@@ -1,0 +1,36 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one table/figure of the paper, prints it, and
+writes it to ``benchmarks/results/<experiment>.txt``.  Batch sizes scale
+with ``REPRO_BENCH_SCALE`` (default 0.5 here so the whole suite finishes in
+minutes; set to 1.0 for the full scaled workloads).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+os.environ.setdefault("REPRO_BENCH_SCALE", "0.5")
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_report(results_dir):
+    """Persist + print an ExperimentReport."""
+
+    def _record(report) -> None:
+        text = report.render()
+        (results_dir / f"{report.experiment}.txt").write_text(text + "\n")
+        print("\n" + text)
+
+    return _record

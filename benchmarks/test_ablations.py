@@ -1,0 +1,11 @@
+"""Design-choice ablations (DESIGN.md §4): ne_idx interval, pruning
+threshold, sum downsampling, spGEMM-vs-spMM."""
+
+from repro.harness.experiments import ablations
+
+
+def test_ablations(benchmark, record_report):
+    report = benchmark.pedantic(ablations.run, rounds=1, iterations=1)
+    record_report(report)
+    rendered = report.render()
+    assert "spGEMM" in rendered and "load-reduced" in rendered

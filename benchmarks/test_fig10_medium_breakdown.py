@@ -1,0 +1,11 @@
+"""Figure 10: stage breakdown on medium DNNs A and D."""
+
+from repro.harness.experiments import fig10
+
+
+def test_fig10_medium_breakdown(benchmark, record_report):
+    report = benchmark.pedantic(fig10.run, rounds=1, iterations=1)
+    record_report(report)
+    for dnn_id, shares in report.data.items():
+        assert shares["recovery"] < 5.0
+        assert shares["pre_convergence"] > 25.0, "pre-convergence should dominate"

@@ -1,0 +1,16 @@
+"""Figure 11: post-convergence layer latency on medium DNNs."""
+
+from repro.harness.experiments import fig11
+
+
+def test_fig11_medium_postconv(benchmark, record_report):
+    report = benchmark.pedantic(fig11.run, rounds=1, iterations=1)
+    record_report(report)
+    for dnn_id in ("A", "B", "C", "D"):
+        row = report.data[dnn_id]
+        assert row["snicit"] < row["snig"], f"{dnn_id}: SNICIT post-conv should beat SNIG"
+        assert row["snicit"] < row["bf"], f"{dnn_id}: SNICIT post-conv should beat BF"
+    var = report.data["variance"]
+    assert var["snicit"] < var["snig"] and var["snicit"] < var["bf"], (
+        "SNICIT's cross-network latency variance should be smallest (§4.2.2)"
+    )

@@ -1,0 +1,24 @@
+"""Figure 12: (t, B) grid — speed-up over SNIG + accuracy loss."""
+
+from repro.harness.experiments import fig12
+
+
+def test_fig12_grid(benchmark, record_report):
+    report = benchmark.pedantic(
+        fig12.run,
+        kwargs={"dnn_ids": ("B", "C"), "t_step": 4},
+        rounds=1,
+        iterations=1,
+    )
+    record_report(report)
+    for dnn_id in ("B", "C"):
+        means = report.data[dnn_id]["mean_speedup_by_batch"]
+        batches = sorted(int(k) for k in means)
+        # paper: larger B -> larger speed-ups
+        assert means[str(batches[-1])] > means[str(batches[0])], (
+            f"DNN {dnn_id}: speed-up should grow with batch size"
+        )
+        # accuracy loss stays small everywhere on the grid
+        losses = [v[1] for k, v in report.data[dnn_id].items()
+                  if "," in k]
+        assert max(losses) < 3.0

@@ -1,0 +1,22 @@
+"""Figure 1: convergence / centralization + computational intensity."""
+
+from repro.analysis.tsne import tsne
+from repro.harness.experiments import fig1
+from repro.harness.medium import get_trained
+
+
+def test_fig1_convergence(benchmark, record_report):
+    report = fig1.run()
+    record_report(report)
+    seps = report.data["separations"]
+    layers = sorted(seps)
+    # centralization: separation at the deepest probe exceeds the shallowest
+    assert seps[layers[-1]] > seps[layers[0]], "classes should centralize with depth"
+    # computational intensity drops at the threshold layer
+    dense = report.data["intensity_dense"]
+    snicit = report.data["intensity_snicit"]
+    assert snicit[-1] < 0.5 * dense[-1], "SNICIT should cut deep-layer intensity"
+
+    tm = get_trained("B")
+    y = tm.stack.head(tm.test.images[:100]).T
+    benchmark.pedantic(lambda: tsne(y, n_iter=100), rounds=1, iterations=1)

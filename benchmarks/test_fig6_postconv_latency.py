@@ -1,0 +1,24 @@
+"""Figure 6: average post-convergence layer latency vs XY-2021."""
+
+from repro.harness.experiments import fig6
+from repro.harness.experiments.common import sdgc_config
+from repro.harness.workloads import get_benchmark, get_input
+
+
+def test_fig6_postconv_latency(benchmark, record_report):
+    report = fig6.run()
+    record_report(report)
+    reductions = {k: v["reduction"] for k, v in report.data.items()}
+    # SNICIT's post-convergence layers are faster on the deep benchmarks
+    deep = [v for k, v in reductions.items() if k.endswith("-120")]
+    assert deep and min(deep) > 1.0
+    # the reduction grows with benchmark size (compare smallest vs largest tier)
+    if "144-120" in reductions and "576-120" in reductions:
+        assert reductions["576-120"] > reductions["144-120"]
+
+    from repro.core import SNICIT
+
+    net = get_benchmark("256-120")
+    y0 = get_input("256-120", 500)
+    engine = SNICIT(net, sdgc_config(net.num_layers))
+    benchmark.pedantic(lambda: engine.infer(y0), rounds=2, iterations=1)

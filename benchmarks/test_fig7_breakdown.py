@@ -1,0 +1,14 @@
+"""Figure 7: stage breakdown on the four SDGC nets."""
+
+from repro.harness.experiments import fig7
+
+
+def test_fig7_breakdown(benchmark, record_report):
+    report = benchmark.pedantic(fig7.run, rounds=1, iterations=1)
+    record_report(report)
+    for name, shares in report.data.items():
+        assert shares["recovery"] < 5.0, f"{name}: recovery must be negligible"
+        assert shares["pre_convergence"] > shares["recovery"]
+        total = sum(shares[s] for s in
+                    ("pre_convergence", "conversion", "post_convergence", "recovery"))
+        assert abs(total - 100.0) < 1e-6

@@ -1,0 +1,15 @@
+"""Figure 8: runtime vs threshold layer t."""
+
+from repro.harness.experiments import fig8
+
+
+def test_fig8_threshold(benchmark, record_report):
+    report = benchmark.pedantic(
+        fig8.run, kwargs={"step": 20}, rounds=1, iterations=1
+    )
+    record_report(report)
+    for name, row in report.data.items():
+        ts, ms = row["t"], row["ms"]
+        best = ms.index(min(ms))
+        # the paper's finding: the optimum is in the interior, well below l
+        assert ts[best] < ts[-1], f"{name}: t=l should not be optimal"

@@ -1,0 +1,16 @@
+"""Figure 9: runtime vs batch size B (SNICIT vs XY-2021)."""
+
+import numpy as np
+
+from repro.harness.experiments import fig9
+
+
+def test_fig9_batch(benchmark, record_report):
+    report = benchmark.pedantic(
+        fig9.run, kwargs={"benchmarks": ("256-120", "576-120")}, rounds=1, iterations=1
+    )
+    record_report(report)
+    for name, row in report.data.items():
+        speedups = np.array(row["xy_ms"]) / np.array(row["snicit_ms"])
+        # paper: speed-up grows with B — compare smallest vs largest batch
+        assert speedups[-1] > speedups[0], f"{name}: speed-up should grow with B"

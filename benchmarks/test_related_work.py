@@ -1,0 +1,13 @@
+"""Related-work comparison (paper §2.2.2): WTA, thresholding, cache exit."""
+
+from repro.harness.experiments import related
+
+
+def test_related_work(benchmark, record_report):
+    report = benchmark.pedantic(related.run, rounds=1, iterations=1)
+    record_report(report)
+    rows = report.data
+    assert rows["SNICIT"]["x_base"] > 1.0, "SNICIT should beat the SNIG baseline"
+    # the cited techniques pay accuracy (or deliver labels only) for speed;
+    # SNICIT's loss must be the smallest of the activation-preserving methods
+    assert rows["SNICIT"]["acc_loss"] <= rows["DASNet-WTA (k=0.3)"]["acc_loss"] + 0.5

@@ -1,0 +1,21 @@
+"""Table 1: benchmark statistics (and generation throughput)."""
+
+from repro.harness.experiments import table1
+from repro.radixnet import build_benchmark
+
+
+def test_table1_stats(benchmark, record_report):
+    report = table1.run()
+    record_report(report)
+    # shape check: connection counts grow monotonically along each axis
+    # (deeper within a tier, larger tier at fixed depth) — the paper's
+    # global ordering has exact ties, so per-axis monotonicity is the
+    # meaningful invariant
+    data = report.data
+    for tier in (144, 256, 576, 1024):
+        conns = [data[f"{tier}-{l}"]["connections"] for l in (24, 48, 120)]
+        assert conns == sorted(conns)
+    for layers in (24, 48, 120):
+        conns = [data[f"{t}-{layers}"]["connections"] for t in (144, 256, 576, 1024)]
+        assert conns == sorted(conns)
+    benchmark.pedantic(lambda: build_benchmark("256-24", seed=1), rounds=3, iterations=1)

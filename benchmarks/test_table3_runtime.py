@@ -1,0 +1,36 @@
+"""Table 3: overall runtime of SNICIT vs the previous champions.
+
+Shape assertions: SNICIT beats XY-2021 on the deep benchmarks, the margin
+grows with depth within each neuron tier, and every engine agrees on the
+SDGC categories (enforced inside run_comparison).
+"""
+
+import numpy as np
+
+from repro.core import SNICIT
+from repro.harness.experiments import table3
+from repro.harness.experiments.common import sdgc_config
+from repro.harness.workloads import get_benchmark, get_input
+
+
+def test_table3_runtime(benchmark, record_report):
+    report = benchmark.pedantic(table3.run, rounds=1, iterations=1)
+    record_report(report)
+    data = report.data
+    # SNICIT wins on the deep (120-layer) rows on wall clock
+    for name in ("256-120", "576-120", "1024-120"):
+        if name in data:
+            assert data[name]["x_xy"] > 1.0, f"{name}: SNICIT should beat XY"
+    # margins grow with depth within a tier (the paper's headline trend)
+    for tier in (256, 576, 1024):
+        xs = [data[f"{tier}-{l}"]["x_xy"] for l in (24, 120) if f"{tier}-{l}" in data]
+        if len(xs) == 2:
+            assert xs[1] > xs[0], f"tier {tier}: speed-up should grow with depth"
+
+
+def test_snicit_inference_throughput(benchmark):
+    """pytest-benchmark timing of the headline engine on one benchmark."""
+    net = get_benchmark("256-48")
+    y0 = get_input("256-48", 600)
+    engine = SNICIT(net, sdgc_config(net.num_layers))
+    benchmark.pedantic(lambda: engine.infer(y0), rounds=3, iterations=1)

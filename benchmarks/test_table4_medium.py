@@ -1,0 +1,16 @@
+"""Table 4: medium-scale sparse DNNs — accuracy loss and speed-ups."""
+
+from repro.harness.experiments import table4
+from repro.harness.medium import get_trained
+
+
+def test_table4_medium(benchmark, record_report):
+    report = table4.run(scale=1.0)
+    record_report(report)
+    for dnn_id, row in report.data.items():
+        assert row["x_snig"] > 1.0, f"DNN {dnn_id}: SNICIT should beat SNIG-2020"
+        assert row["x_bf"] > 1.0, f"DNN {dnn_id}: SNICIT should beat BF-2019"
+        assert row["acc_loss"] < 2.0, f"DNN {dnn_id}: accuracy loss out of band"
+    benchmark.pedantic(
+        lambda: table4.run_one("C"), rounds=2, iterations=1
+    )

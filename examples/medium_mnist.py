@@ -1,0 +1,49 @@
+"""Medium-scale sparse DNN acceleration (paper §4.2).
+
+Trains (or loads from cache) the paper's DNN C — a 12-layer, 256-neuron
+sparse MLP on MNIST-like data — exports its sparse hidden stack, and
+compares SNICIT against SNIG-2020 and BF-2019 on the test set, reporting
+end-to-end accuracy, SNICIT's accuracy loss at several pruning thresholds,
+and the speed-ups.
+
+Run:  python examples/medium_mnist.py
+"""
+
+from repro.baselines import BF2019, SNIG2020
+from repro.core import SNICIT
+from repro.harness.experiments.table4 import medium_config
+from repro.harness.medium import get_trained
+from repro.nn.model import accuracy
+
+
+def main() -> None:
+    print("loading / training DNN C (256 neurons, 12 sparse layers) ...")
+    tm = get_trained("C", verbose=True)
+    print(f"test accuracy of the trained model: {tm.test_accuracy:.4f}")
+
+    stack = tm.stack
+    net = stack.network
+    y0 = stack.head(tm.test.images)
+    labels = tm.test.labels
+    print(f"sparse stack: {net.num_layers} layers, "
+          f"density {net.layers[0].weight.density:.2f}, batch {y0.shape[1]}")
+
+    snig = SNIG2020(net).infer(y0)
+    bf = BF2019(net).infer(y0)
+    base_acc = accuracy(stack.tail(snig.y), labels)
+    print(f"\nSNIG-2020: {snig.total_seconds * 1e3:8.1f} ms  acc {base_acc:.4f}")
+    print(f"BF-2019  : {bf.total_seconds * 1e3:8.1f} ms")
+
+    print("\nSNICIT at different near-zero pruning thresholds:")
+    print(f"{'threshold':>10s} {'ms':>9s} {'x SNIG':>7s} {'acc loss %':>11s}")
+    for thr in (0.0, 0.02, 0.05, 0.1):
+        cfg = medium_config(tm.spec.sparse_layers, prune_threshold=thr)
+        res = SNICIT(net, cfg).infer(y0)
+        acc = accuracy(stack.tail(res.y), labels)
+        print(f"{thr:10.2f} {res.total_seconds * 1e3:9.1f} "
+              f"{snig.total_seconds / res.total_seconds:6.2f}x "
+              f"{(base_acc - acc) * 100:10.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Sparse DNN Graph Challenge workflow (paper §4.1).
+
+Reproduces one row of the paper's Table 3 end to end: generate a Radix-Net
+benchmark, run SNICIT and all three champion baselines, verify golden-
+reference agreement, and report wall-clock plus modeled-GPU latency — then
+sweep the threshold layer t to show the paper's Figure-8 shape (the optimum
+sits in the interior).
+
+Run:  python examples/sdgc_challenge.py [benchmark] [batch]
+e.g.  python examples/sdgc_challenge.py 576-48 1500
+"""
+
+import sys
+
+from repro.core import SNICIT
+from repro.harness.experiments.common import sdgc_config
+from repro.harness.runner import run_comparison
+from repro.radixnet import BENCHMARKS, benchmark_input, build_benchmark
+
+
+def main(name: str = "256-120", batch: int = 1500) -> None:
+    spec = BENCHMARKS[name]
+    print(f"benchmark {name} (stands in for the paper's {spec.paper_name})")
+    net = build_benchmark(name, seed=0)
+    y0 = benchmark_input(net, batch, seed=1)
+
+    cfg = sdgc_config(spec.layers)
+    runs = run_comparison(net, y0, cfg)  # raises if categories disagree
+    sn = runs["snicit"]
+    print(f"\n{'engine':10s} {'wall ms':>10s} {'modeled ms':>12s} {'speed-up':>9s}")
+    for kind, run in runs.items():
+        speedup = run.wall_ms / sn.wall_ms
+        label = f"{sn.wall_ms / run.wall_ms:.2f}x" if kind != "snicit" else "-"
+        print(f"{kind:10s} {run.wall_ms:10.1f} {run.modeled_ms:12.4f} "
+              f"{run.wall_ms / sn.wall_ms:8.2f}x")
+
+    print("\nthreshold-layer sweep (Figure 8 shape):")
+    for t in range(0, spec.layers + 1, max(1, spec.layers // 6)):
+        res = SNICIT(net, sdgc_config(spec.layers, threshold_layer=t)).infer(y0)
+        bar = "#" * int(res.total_seconds * 1e3 / 20)
+        print(f"  t={t:3d}  {res.total_seconds * 1e3:8.1f} ms  {bar}")
+
+
+if __name__ == "__main__":
+    args = sys.argv[1:]
+    main(
+        args[0] if args else "256-120",
+        int(args[1]) if len(args) > 1 else 1500,
+    )

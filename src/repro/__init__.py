@@ -1,0 +1,35 @@
+"""SNICIT reproduction: sparse DNN inference acceleration via compression at inference time.
+
+This package reimplements the system described in
+
+    Shui Jiang, Tsung-Wei Huang, Bei Yu, Tsung-Yi Ho.
+    "SNICIT: Accelerating Sparse Neural Network Inference via Compression at
+    Inference Time on GPU." ICPP 2023.
+
+together with every substrate it depends on: a virtual-GPU execution model
+(:mod:`repro.gpu`), from-scratch sparse matrix formats and kernels
+(:mod:`repro.sparse`), the Radix-Net synthetic network generator used by the
+HPEC Sparse DNN Graph Challenge (:mod:`repro.radixnet`), synthetic
+MNIST/CIFAR-like datasets (:mod:`repro.data`), a small trainable neural-network
+stack for the paper's medium-scale experiments (:mod:`repro.nn`), the SNICIT
+algorithm itself (:mod:`repro.core`), the prior Graph Challenge champions used
+as baselines (:mod:`repro.baselines`), analysis utilities including an exact
+t-SNE (:mod:`repro.analysis`), and the experiment harness that regenerates
+every table and figure of the paper (:mod:`repro.harness`).
+
+Quickstart
+----------
+>>> from repro import radixnet, core, baselines
+>>> net = radixnet.build_benchmark("256-24", seed=0)
+>>> y0 = radixnet.benchmark_input(net, batch=512, seed=1)
+>>> engine = core.SNICIT(net, core.SNICITConfig(threshold_layer=8))
+>>> result = engine.infer(y0)
+>>> ref = baselines.DenseReference(net).infer(y0)
+>>> bool((result.categories == ref.categories).all())
+True
+"""
+
+from repro._version import __version__
+from repro.network import LayerSpec, SparseNetwork
+
+__all__ = ["__version__", "SparseNetwork", "LayerSpec"]

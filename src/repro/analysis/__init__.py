@@ -1,0 +1,22 @@
+"""Analysis utilities: t-SNE, cluster metrics, convergence diagnostics.
+
+These support the paper's motivating Figure 1 (t-SNE of intermediate results
+at layers 2/4/8 plus the computational-intensity curve) and the convergence
+analysis behind the threshold-layer choice.
+"""
+
+from repro.analysis.tsne import tsne
+from repro.analysis.metrics import (
+    cluster_separation,
+    column_convergence_curve,
+    computational_intensity,
+    intra_inter_distances,
+)
+
+__all__ = [
+    "tsne",
+    "cluster_separation",
+    "intra_inter_distances",
+    "column_convergence_curve",
+    "computational_intensity",
+]

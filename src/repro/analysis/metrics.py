@@ -1,0 +1,82 @@
+"""Cluster and convergence metrics over intermediate results.
+
+These quantify the two phenomena SNICIT relies on (paper Fig. 1):
+
+* *centralization* — columns of the same class drawing together over layers
+  (:func:`intra_inter_distances`, :func:`cluster_separation`);
+* *convergence* — layer-to-layer change of each column dying out
+  (:func:`column_convergence_curve`), which justifies a threshold layer;
+* the resulting drop in *computational intensity* once the sparse
+  representation kicks in (:func:`computational_intensity`, the Fig. 1 line
+  chart).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+__all__ = [
+    "intra_inter_distances",
+    "cluster_separation",
+    "column_convergence_curve",
+    "computational_intensity",
+]
+
+
+def intra_inter_distances(
+    y: np.ndarray, labels: np.ndarray, tol: float = 0.0
+) -> tuple[float, float]:
+    """Mean within-class and between-class column L0 distance fractions.
+
+    Distance between two columns is the fraction of entries differing by
+    more than ``tol``.  Returns ``(intra, inter)``.
+    """
+    if y.ndim != 2 or labels.shape != (y.shape[1],):
+        raise ShapeError("y must be (N, B) with one label per column")
+    n = y.shape[0]
+    intra_parts: list[float] = []
+    for c in np.unique(labels):
+        cols = y[:, labels == c]
+        if cols.shape[1] < 2:
+            continue
+        diffs = np.abs(cols[:, 1:] - cols[:, :1]) > tol
+        intra_parts.append(float(diffs.mean()))
+    rng = np.random.default_rng(0)
+    perm = rng.permutation(y.shape[1])
+    inter = float((np.abs(y - y[:, perm]) > tol).mean())
+    intra = float(np.mean(intra_parts)) if intra_parts else 0.0
+    return intra, inter
+
+
+def cluster_separation(y: np.ndarray, labels: np.ndarray, tol: float = 0.0) -> float:
+    """``inter / max(intra, 1/N)`` — larger means tighter class clusters."""
+    intra, inter = intra_inter_distances(y, labels, tol)
+    return inter / max(intra, 1.0 / y.shape[0])
+
+
+def column_convergence_curve(
+    snapshots: list[np.ndarray], tol: float = 1e-6
+) -> np.ndarray:
+    """Fraction of entries changing between consecutive layer snapshots."""
+    if len(snapshots) < 2:
+        raise ShapeError("need at least two snapshots")
+    out = np.empty(len(snapshots) - 1)
+    for i in range(1, len(snapshots)):
+        out[i - 1] = float((np.abs(snapshots[i] - snapshots[i - 1]) > tol).mean())
+    return out
+
+
+def computational_intensity(
+    nnz_per_layer: int, active_columns_trace: np.ndarray, batch: int, threshold_layer: int
+) -> np.ndarray:
+    """Per-layer multiply-accumulate counts with and without compression.
+
+    Returns an array of length ``threshold_layer + len(trace)``: before the
+    threshold layer the full batch is processed; after it, only the active
+    columns — the Fig. 1 "computational intensity" curve.
+    """
+    pre = np.full(threshold_layer, float(nnz_per_layer) * batch)
+    post = nnz_per_layer * active_columns_trace.astype(np.float64)
+    return np.concatenate([pre, post])

@@ -1,0 +1,108 @@
+"""Exact t-SNE (van der Maaten & Hinton, 2008).
+
+Used to regenerate the scatter plots of paper Figure 1: intermediate results
+of a batch embedded in 2-D, showing class clusters centralizing across
+layers.  This is the exact O(n^2) algorithm (no Barnes-Hut) with the
+standard refinements: perplexity calibration by bisection, early
+exaggeration, and momentum gradient descent.  Sample counts in the
+experiments are a few hundred, for which exact t-SNE is the right tool.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError, ShapeError
+
+__all__ = ["tsne"]
+
+
+def _pairwise_sq_dists(x: np.ndarray) -> np.ndarray:
+    sq = (x * x).sum(axis=1)
+    d2 = sq[:, None] + sq[None, :] - 2.0 * (x @ x.T)
+    np.maximum(d2, 0.0, out=d2)
+    np.fill_diagonal(d2, 0.0)
+    return d2
+
+
+def _calibrate_p(d2: np.ndarray, perplexity: float, tol: float = 1e-4, max_iter: int = 64):
+    """Per-point bisection on the Gaussian bandwidth to hit the perplexity."""
+    n = d2.shape[0]
+    target = np.log(perplexity)
+    p = np.zeros((n, n))
+    for i in range(n):
+        beta_lo, beta_hi = 0.0, np.inf
+        beta = 1.0
+        di = np.delete(d2[i], i)
+        for _ in range(max_iter):
+            w = np.exp(-di * beta)
+            s = w.sum()
+            if s <= 0:
+                h = 0.0
+                pi = np.zeros_like(w)
+            else:
+                pi = w / s
+                # Shannon entropy of the conditional distribution
+                nz = pi > 0
+                h = float(-(pi[nz] * np.log(pi[nz])).sum())
+            if abs(h - target) < tol:
+                break
+            if h > target:  # too flat -> narrow the kernel
+                beta_lo = beta
+                beta = beta * 2 if beta_hi == np.inf else (beta + beta_hi) / 2
+            else:
+                beta_hi = beta
+                beta = beta / 2 if beta_lo == 0.0 else (beta + beta_lo) / 2
+        p[i, np.arange(n) != i] = pi
+    return p
+
+
+def tsne(
+    x: np.ndarray,
+    n_components: int = 2,
+    perplexity: float = 30.0,
+    n_iter: int = 500,
+    learning_rate: float = 200.0,
+    seed: int = 0,
+    early_exaggeration: float = 12.0,
+) -> np.ndarray:
+    """Embed rows of ``x`` into ``n_components`` dimensions.
+
+    Returns an ``(n, n_components)`` array.  Deterministic for a fixed seed.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 2:
+        raise ShapeError("tsne expects a 2-D (samples, features) array")
+    n = x.shape[0]
+    if n < 4:
+        raise ConfigError("tsne needs at least 4 samples")
+    perplexity = min(perplexity, (n - 1) / 3.0)
+    if perplexity < 1:
+        raise ConfigError("perplexity too small for the sample count")
+
+    p_cond = _calibrate_p(_pairwise_sq_dists(x), perplexity)
+    p = (p_cond + p_cond.T) / (2.0 * n)
+    np.maximum(p, 1e-12, out=p)
+
+    rng = np.random.default_rng(seed)
+    y = rng.normal(0.0, 1e-4, size=(n, n_components))
+    velocity = np.zeros_like(y)
+    gains = np.ones_like(y)
+    exaggeration_end = min(250, n_iter // 2)
+    for it in range(n_iter):
+        d2 = _pairwise_sq_dists(y)
+        num = 1.0 / (1.0 + d2)
+        np.fill_diagonal(num, 0.0)
+        q = num / num.sum()
+        np.maximum(q, 1e-12, out=q)
+        p_eff = p * early_exaggeration if it < exaggeration_end else p
+        pq = (p_eff - q) * num
+        grad = 4.0 * ((np.diag(pq.sum(axis=1)) - pq) @ y)
+        momentum = 0.5 if it < exaggeration_end else 0.8
+        sign_agree = np.sign(grad) == np.sign(velocity)
+        gains = np.where(sign_agree, gains * 0.8, gains + 0.2)
+        np.maximum(gains, 0.01, out=gains)
+        velocity = momentum * velocity - learning_rate * gains * grad
+        y = y + velocity
+        y -= y.mean(axis=0)
+    return y

@@ -1,0 +1,29 @@
+"""Reimplementations of the SDGC champions used as baselines (paper §4.1.1).
+
+Each baseline captures the published algorithmic idea of its champion:
+
+* :class:`~repro.baselines.dense.DenseReference` — the straightforward
+  per-layer feed-forward (the correctness oracle; analogous to the official
+  SDGC serial baseline, vectorized so experiments finish).
+* :class:`~repro.baselines.bf2019.BF2019` — Bisson & Fatica 2019: the input
+  batch is partitioned across (simulated) GPUs and *dead columns are
+  compacted away* after every layer, so work tracks the surviving inputs.
+* :class:`~repro.baselines.snig2020.SNIG2020` — Lin & Huang 2020: inference
+  as a task graph over batch partitions; per-partition dead-column elision
+  plus stream-level overlap (modeled via the virtual device's task-graph
+  scheduler).
+* :class:`~repro.baselines.xy2021.XY2021` — Xin et al. 2021: a kernel
+  optimization space (ELL / row-split CSR / scatter) searched with a cost
+  model, picking the best spMM strategy per layer; no column compaction —
+  which is exactly the redundancy SNICIT removes post-convergence.
+
+All baselines produce output equal to :class:`DenseReference` (tested) and
+share the :class:`~repro.inference.InferenceResult` interface.
+"""
+
+from repro.baselines.dense import DenseReference
+from repro.baselines.bf2019 import BF2019
+from repro.baselines.snig2020 import SNIG2020
+from repro.baselines.xy2021 import XY2021
+
+__all__ = ["DenseReference", "BF2019", "SNIG2020", "XY2021"]

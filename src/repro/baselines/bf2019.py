@@ -1,0 +1,95 @@
+"""BF-2019 baseline (Bisson & Fatica, SDGC 2019 champion).
+
+Published idea: partition the input batch across GPUs, and after every layer
+*compact away the inputs whose activations are entirely zero*, so downstream
+layers only touch surviving columns.  On the SDGC dynamics (most inputs die,
+§4.1 of the paper and our calibrated Radix-Net regime) this removes most of
+the work in deep layers — but unlike SNICIT it cannot exploit similarity
+among the *surviving* columns.
+
+We reproduce: batch partitioning over ``n_partitions`` simulated GPUs (the
+modeled latency of a layer is the slowest partition, plus the all-gather
+that BF performs between layers), per-layer dead-column compaction, and the
+ELL kernel for the regular Radix-Net fan-in.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.gpu.device import VirtualDevice
+from repro.inference import InferenceResult
+from repro.kernels import baseline_spmm, charge_for
+from repro.network import SparseNetwork
+
+__all__ = ["BF2019"]
+
+
+class BF2019:
+    """Batch-partitioned feed-forward with dead-column compaction."""
+
+    name = "BF-2019"
+
+    def __init__(
+        self,
+        network: SparseNetwork,
+        device: VirtualDevice | None = None,
+        n_partitions: int = 4,
+    ):
+        if n_partitions < 1:
+            raise ConfigError("n_partitions must be >= 1")
+        self.network = network
+        self.device = device or VirtualDevice()
+        self.n_partitions = n_partitions
+
+    def infer(self, y0: np.ndarray) -> InferenceResult:
+        net = self.network
+        y_full = net.validate_input(y0).astype(np.float32, copy=True)
+        batch = y_full.shape[1]
+        layer_seconds = np.zeros(net.num_layers)
+        mark = self.device.snapshot()
+        wall0 = time.perf_counter()
+
+        # active column bookkeeping: engine computes only surviving columns
+        active = np.flatnonzero((y_full != 0).any(axis=0)).astype(np.int64)
+        y = np.ascontiguousarray(y_full[:, active])
+        part_bounds = np.linspace(0, batch, self.n_partitions + 1).astype(np.int64)
+        alive_trace: list[int] = []
+        for i, layer in enumerate(net.layers):
+            lt0 = time.perf_counter()
+            z, work, strategy = baseline_spmm(net, i, y)
+            z += layer.bias_column()
+            y = net.activation(z)
+            keep = (y != 0).any(axis=0)
+            active = active[keep]
+            y = np.ascontiguousarray(y[:, keep])
+            alive_trace.append(len(active))
+            # modeled: each partition multiplies its share of surviving
+            # columns; the layer costs as much as the busiest partition
+            per_part = np.histogram(active, bins=part_bounds)[0]
+            worst = int(per_part.max()) if len(per_part) else 0
+            if strategy == "colwise":  # activation pairs split across partitions
+                work = int(work * worst / max(1, len(active)))
+            self.device.charge(charge_for(strategy, work, layer.n_out, worst, "bf_spmm"))
+            # BF's documented per-layer host synchronization: the surviving
+            # activation block round-trips through the host for compaction
+            # and redistribution across GPUs (the overhead SNIG-2020 was
+            # built to remove)
+            nbytes = float(len(active)) * layer.n_out * 4
+            self.device.cost.charge_d2h(nbytes)
+            self.device.cost.charge_h2d(nbytes)
+            layer_seconds[i] = time.perf_counter() - lt0
+        total = time.perf_counter() - wall0
+
+        out = np.zeros((net.output_dim, batch), dtype=np.float32)
+        out[:, active] = y
+        return InferenceResult(
+            y=out,
+            stage_seconds={"inference": total},
+            layer_seconds=layer_seconds,
+            modeled={"inference": self.device.snapshot() - mark},
+            stats={"alive_trace": np.array(alive_trace), "n_partitions": self.n_partitions},
+        )

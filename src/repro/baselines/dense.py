@@ -1,0 +1,53 @@
+"""Plain feed-forward reference engine.
+
+No compression, no compaction, no kernel tricks: every layer multiplies the
+full weight matrix with the full activation block.  This is the correctness
+oracle every other engine is checked against, and the stand-in for the
+official SDGC CPU baseline in Table 3's "speed-up over baseline" column.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.gpu.device import VirtualDevice
+from repro.inference import InferenceResult
+from repro.network import SparseNetwork
+from repro.sparse.spmm import spmm_charge, spmm_reduceat
+
+__all__ = ["DenseReference"]
+
+
+class DenseReference:
+    """Layer-by-layer sparse feed-forward over the full batch."""
+
+    name = "DenseReference"
+
+    def __init__(self, network: SparseNetwork, device: VirtualDevice | None = None):
+        self.network = network
+        self.device = device or VirtualDevice()
+
+    def infer(self, y0: np.ndarray) -> InferenceResult:
+        net = self.network
+        y = net.validate_input(y0).astype(np.float32, copy=True)
+        layer_seconds = np.zeros(net.num_layers)
+        mark = self.device.snapshot()
+        wall0 = time.perf_counter()
+        for i, layer in enumerate(net.layers):
+            lt0 = time.perf_counter()
+            z = spmm_reduceat(layer.weight, y)
+            z += layer.bias_column()
+            y = net.activation(z)
+            self.device.charge(
+                spmm_charge(layer.weight.nnz, y.shape[1], layer.n_out, name="dense_spmm")
+            )
+            layer_seconds[i] = time.perf_counter() - lt0
+        total = time.perf_counter() - wall0
+        return InferenceResult(
+            y=y,
+            stage_seconds={"inference": total},
+            layer_seconds=layer_seconds,
+            modeled={"inference": self.device.snapshot() - mark},
+        )

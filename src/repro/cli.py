@@ -1,0 +1,137 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro list                         # registry benchmarks
+    python -m repro run 256-48 --engine snicit --batch 1000
+    python -m repro compare 256-48 --batch 1000  # SNICIT vs the champions
+    python -m repro experiment table3 --scale 0.5
+    python -m repro generate 256-24 out_dir/     # write SDGC .tsv layers
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro._version import __version__
+
+EXPERIMENTS = (
+    "table1", "table3", "table4", "fig1", "fig6", "fig7", "fig8", "fig9",
+    "fig10", "fig11", "fig12", "ablations", "related",
+)
+
+
+def _cmd_list(args) -> int:
+    from repro.harness.report import TextTable
+    from repro.radixnet.registry import list_benchmarks
+
+    table = TextTable(["name", "paper", "neurons", "layers", "bias", "connections"])
+    for spec in list_benchmarks():
+        table.add(spec.name, spec.paper_name, spec.neurons, spec.layers,
+                  spec.bias, spec.connections)
+    print(table.render())
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.harness.experiments.common import sdgc_config
+    from repro.harness.runner import run_engine
+    from repro.harness.workloads import get_benchmark, get_input
+
+    net = get_benchmark(args.benchmark)
+    y0 = get_input(args.benchmark, args.batch)
+    cfg = sdgc_config(net.num_layers, threshold_layer=args.threshold)\
+        if args.threshold is not None else sdgc_config(net.num_layers)
+    run = run_engine(args.engine, net, y0, snicit_config=cfg)
+    print(f"{args.engine} on {args.benchmark} (B={args.batch}): "
+          f"{run.wall_ms:.1f} ms wall, {run.modeled_ms:.4f} ms modeled")
+    for stage, seconds in run.result.stage_seconds.items():
+        print(f"  {stage:18s} {seconds * 1e3:9.1f} ms")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from repro.harness.experiments.common import sdgc_config
+    from repro.harness.runner import run_comparison
+    from repro.harness.workloads import get_benchmark, get_input
+
+    net = get_benchmark(args.benchmark)
+    y0 = get_input(args.benchmark, args.batch)
+    runs = run_comparison(net, y0, sdgc_config(net.num_layers))
+    sn = runs["snicit"]
+    print(f"{args.benchmark} (B={args.batch}) — categories agree across engines")
+    for kind, run in runs.items():
+        print(f"  {kind:10s} {run.wall_ms:10.1f} ms   "
+              f"({run.wall_ms / sn.wall_ms:5.2f}x SNICIT)")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    import importlib
+
+    module = importlib.import_module(f"repro.harness.experiments.{args.name}")
+    report = module.run(scale=args.scale)
+    print(report.render())
+    if args.out:
+        Path(args.out).write_text(report.render() + "\n")
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    from repro.radixnet.io import save_layer_tsv
+    from repro.radixnet.registry import build_benchmark
+
+    net = build_benchmark(args.benchmark, seed=args.seed)
+    out = Path(args.out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    for i, layer in enumerate(net.layers):
+        save_layer_tsv(out / f"{args.benchmark}-l{i:04d}.tsv", layer.weight)
+    print(f"wrote {net.num_layers} layers to {out}/")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="SNICIT reproduction command-line interface"
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registry benchmarks").set_defaults(fn=_cmd_list)
+
+    run_p = sub.add_parser("run", help="run one engine on one benchmark")
+    run_p.add_argument("benchmark")
+    run_p.add_argument("--engine", default="snicit",
+                       choices=("snicit", "dense", "bf2019", "snig2020", "xy2021"))
+    run_p.add_argument("--batch", type=int, default=1000)
+    run_p.add_argument("--threshold", type=int, default=None)
+    run_p.set_defaults(fn=_cmd_run)
+
+    cmp_p = sub.add_parser("compare", help="SNICIT vs the champion baselines")
+    cmp_p.add_argument("benchmark")
+    cmp_p.add_argument("--batch", type=int, default=1000)
+    cmp_p.set_defaults(fn=_cmd_compare)
+
+    exp_p = sub.add_parser("experiment", help="regenerate one table/figure")
+    exp_p.add_argument("name", choices=EXPERIMENTS)
+    exp_p.add_argument("--scale", type=float, default=None)
+    exp_p.add_argument("--out", default=None, help="also write the report here")
+    exp_p.set_defaults(fn=_cmd_experiment)
+
+    gen_p = sub.add_parser("generate", help="write a benchmark as SDGC .tsv files")
+    gen_p.add_argument("benchmark")
+    gen_p.add_argument("out_dir")
+    gen_p.add_argument("--seed", type=int, default=0)
+    gen_p.set_defaults(fn=_cmd_generate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

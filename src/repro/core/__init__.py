@@ -1,0 +1,51 @@
+"""SNICIT: the paper's primary contribution.
+
+The pipeline (paper Fig. 2) has four stages:
+
+1. :mod:`pre-convergence <repro.core.pipeline>` sparse feed-forward up to the
+   threshold layer ``t`` (any champion spMM kernel; we use the ELL kernel);
+2. :mod:`cluster-based conversion <repro.core.conversion>` — column sampling
+   + sum downsampling (:mod:`repro.core.sampling`), sample pruning
+   (:mod:`repro.core.pruning`, paper Algorithm 1), centroid assignment and
+   residue construction (paper Algorithm 2, Eq. 3-4);
+3. :mod:`post-convergence update <repro.core.postconv>` — load-reduced spMM
+   over non-empty columns plus the centroid/residue update kernel (paper
+   Algorithm 3, Eq. 5), with near-zero residue pruning and periodic
+   ``ne_idx`` refresh;
+4. :mod:`final results recovery <repro.core.recovery>` (Eq. 6).
+
+Each kernel exists twice: a faithful per-thread virtual-GPU implementation
+(suffix ``_kernel``) that follows the paper's CUDA pseudocode line by line,
+and a fast vectorized twin used by the production pipeline.  Unit tests
+assert the two agree.
+"""
+
+from repro.core.config import SNICITConfig
+from repro.core.sampling import sample_columns, sum_downsample
+from repro.core.pruning import prune_samples, prune_samples_kernel, select_centroids
+from repro.core.conversion import (
+    assign_centroids,
+    build_residues,
+    convert,
+    construct_kernel,
+)
+from repro.core.postconv import postconv_update, update_kernel
+from repro.core.recovery import recover
+from repro.core.pipeline import SNICIT
+
+__all__ = [
+    "SNICITConfig",
+    "SNICIT",
+    "sample_columns",
+    "sum_downsample",
+    "prune_samples",
+    "prune_samples_kernel",
+    "select_centroids",
+    "assign_centroids",
+    "build_residues",
+    "convert",
+    "construct_kernel",
+    "postconv_update",
+    "update_kernel",
+    "recover",
+]

@@ -1,0 +1,97 @@
+"""SNICIT configuration (the paper's tunables, Table 2 and §4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+__all__ = ["SNICITConfig"]
+
+
+@dataclass
+class SNICITConfig:
+    """Parameters of the SNICIT pipeline.
+
+    Parameters
+    ----------
+    threshold_layer:
+        ``t`` — the layer at which intermediate results are assumed converged
+        and conversion happens.  The paper uses 30 for SDGC and the largest
+        even integer <= l/2 for medium DNNs.
+    sample_size:
+        ``s`` — number of columns sampled for centroid selection (32 for
+        SDGC, 128 for medium DNNs).
+    downsample_dim:
+        ``n`` — rows of the sample matrix F after sum downsampling (16 for
+        SDGC).  ``None`` disables downsampling (the paper disables it for
+        medium DNNs, §4.2.1) and F is the raw sampled columns.
+    eta:
+        per-element similarity tolerance in sample pruning (Eq. 2).
+    eps:
+        column similarity fraction: columns closer than ``n * eps`` differing
+        elements are merged during sample pruning.
+    prune_threshold:
+        near-zero residue pruning bound (§3.3.1 "we prune elements that are
+        close to zero").  0 disables pruning and makes SNICIT exactly
+        lossless.
+    ne_idx_interval:
+        refresh period (in layers) of the non-empty column index list
+        ``ne_idx``; ``ne_rec`` itself is updated every layer.  The paper uses
+        200 for SDGC and 1 for medium DNNs.
+    auto_threshold:
+        enable the dynamic data-driven threshold detector (the paper's §5
+        future work, :mod:`repro.core.convergence`).  ``threshold_layer``
+        then acts as the *upper bound*: conversion happens at the detected
+        layer or at ``threshold_layer``, whichever comes first.
+    auto_tolerance / auto_patience:
+        detector parameters (mean relative sketch change; consecutive
+        converged layers required).
+    """
+
+    threshold_layer: int
+    sample_size: int = 32
+    downsample_dim: int | None = 16
+    eta: float = 0.03
+    eps: float = 0.03
+    prune_threshold: float = 0.04
+    ne_idx_interval: int = 1
+    auto_threshold: bool = False
+    auto_tolerance: float = 0.1
+    auto_patience: int = 3
+
+    def __post_init__(self) -> None:
+        if self.threshold_layer < 0:
+            raise ConfigError(f"threshold_layer must be >= 0, got {self.threshold_layer}")
+        if self.sample_size < 1:
+            raise ConfigError("sample_size must be >= 1")
+        if self.downsample_dim is not None and self.downsample_dim < 1:
+            raise ConfigError("downsample_dim must be >= 1 or None")
+        if self.eta < 0 or self.eps < 0:
+            raise ConfigError("eta and eps must be non-negative")
+        if self.prune_threshold < 0:
+            raise ConfigError("prune_threshold must be non-negative")
+        if self.ne_idx_interval < 1:
+            raise ConfigError("ne_idx_interval must be >= 1")
+        if self.auto_tolerance < 0:
+            raise ConfigError("auto_tolerance must be non-negative")
+        if self.auto_patience < 1:
+            raise ConfigError("auto_patience must be >= 1")
+
+    def for_network(self, num_layers: int) -> "SNICITConfig":
+        """Clamp the threshold layer into ``[0, num_layers]``."""
+        t = min(self.threshold_layer, num_layers)
+        if t == self.threshold_layer:
+            return self
+        return SNICITConfig(
+            threshold_layer=t,
+            sample_size=self.sample_size,
+            downsample_dim=self.downsample_dim,
+            eta=self.eta,
+            eps=self.eps,
+            prune_threshold=self.prune_threshold,
+            ne_idx_interval=self.ne_idx_interval,
+            auto_threshold=self.auto_threshold,
+            auto_tolerance=self.auto_tolerance,
+            auto_patience=self.auto_patience,
+        )

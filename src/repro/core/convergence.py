@@ -1,0 +1,95 @@
+"""Dynamic threshold-layer detection (the paper's stated future work, §5).
+
+The published SNICIT takes the threshold layer ``t`` as a hyper-parameter
+("we plan to develop a dynamic data-driven approach for determining
+threshold t").  This module implements that extension: a cheap online
+detector that watches a sampled sketch of the activations during
+pre-convergence and fires when the layer-to-layer change rate stays below a
+tolerance for a few consecutive layers.
+
+The sketch reuses the machinery of §3.2.1: the first ``probe_columns``
+columns, sum-downsampled to ``probe_dim`` values, so the per-layer overhead
+is O(N x probe_columns) — negligible next to the spMM.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.sampling import sample_columns, sum_downsample
+from repro.errors import ConfigError
+
+__all__ = ["ConvergenceDetector"]
+
+
+class ConvergenceDetector:
+    """Online convergence detection over a downsampled activation sketch.
+
+    Parameters
+    ----------
+    tolerance:
+        Mean relative change of the sketch below which a layer counts as
+        "converged".
+    patience:
+        Number of consecutive converged layers required before firing.
+    probe_columns / probe_dim:
+        Sketch size (columns sampled, rows after sum downsampling).
+    min_layer:
+        Never fire before this layer (the early transient always moves).
+    """
+
+    def __init__(
+        self,
+        tolerance: float = 0.1,
+        patience: int = 3,
+        probe_columns: int = 32,
+        probe_dim: int = 16,
+        min_layer: int = 2,
+    ):
+        if tolerance < 0:
+            raise ConfigError("tolerance must be non-negative")
+        if patience < 1:
+            raise ConfigError("patience must be >= 1")
+        if probe_columns < 1 or probe_dim < 1:
+            raise ConfigError("probe sizes must be >= 1")
+        self.tolerance = tolerance
+        self.patience = patience
+        self.probe_columns = probe_columns
+        self.probe_dim = probe_dim
+        self.min_layer = min_layer
+        self._prev: np.ndarray | None = None
+        self._streak = 0
+        self._layer = -1
+        #: change-rate trace, one entry per observed layer (for diagnostics)
+        self.trace: list[float] = []
+
+    def _sketch(self, y: np.ndarray) -> np.ndarray:
+        return sum_downsample(sample_columns(y, self.probe_columns), self.probe_dim)
+
+    def observe(self, y: np.ndarray) -> bool:
+        """Feed the activations of the next layer; returns True when
+        convergence is detected (and keeps returning True afterwards)."""
+        self._layer += 1
+        sketch = self._sketch(y)
+        if self._prev is None or self._prev.shape != sketch.shape:
+            self._prev = sketch
+            self.trace.append(float("inf"))
+            return False
+        denom = np.abs(self._prev).mean() + 1e-12
+        change = float(np.abs(sketch - self._prev).mean() / denom)
+        self.trace.append(change)
+        self._prev = sketch
+        if self._layer < self.min_layer:
+            self._streak = 0
+            return False
+        if change <= self.tolerance:
+            self._streak += 1
+        else:
+            self._streak = 0
+        return self._streak >= self.patience
+
+    def reset(self) -> None:
+        self._prev = None
+        self._streak = 0
+        self._layer = -1
+        self.trace.clear()

@@ -1,0 +1,175 @@
+"""Cluster-based conversion (paper §3.2.2, Algorithm 2, Eq. 3-4, Fig. 4).
+
+Given the converged activations ``Y(t)`` and the centroid column set ``y*``
+(from sample pruning), every non-centroid column picks its nearest centroid
+in L0 distance (exact element inequality count, Eq. 3) and is replaced by
+the residue to that centroid (Eq. 4).  The centroid mapper ``M`` is fixed
+from here on.  Near-zero residues are pruned (§3.3.1) to induce more empty
+columns; ``ne_rec`` records which columns of the converted matrix are
+non-empty.
+
+``construct_kernel`` is the faithful per-thread Algorithm 2 on the virtual
+GPU (one thread per batch column, centroid tiles staged through shared
+memory); ``convert`` / ``assign_centroids`` / ``build_residues`` are the
+vectorized twins.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError, ShapeError
+from repro.gpu.costmodel import KernelCharge
+from repro.gpu.device import VirtualDevice
+from repro.gpu.kernel import SYNC, BlockDim, GridDim, KernelContext, launch_kernel
+
+__all__ = ["assign_centroids", "build_residues", "convert", "construct_kernel"]
+
+
+def assign_centroids(
+    y: np.ndarray, cent_cols: np.ndarray, chunk: int = 512
+) -> np.ndarray:
+    """The centroid mapper ``M`` (Eq. 3): nearest centroid by L0 distance.
+
+    Centroid columns map to -1.  Ties resolve to the first (lowest-index)
+    centroid, matching Algorithm 2's strict-less update.
+    """
+    if y.ndim != 2:
+        raise ShapeError(f"Y must be 2-D, got {y.ndim}-D")
+    cent_cols = np.asarray(cent_cols, dtype=np.int64)
+    if len(cent_cols) == 0:
+        raise ConfigError("need at least one centroid")
+    b = y.shape[1]
+    cents = y[:, cent_cols]  # (N, C)
+    m = np.empty(b, dtype=np.int64)
+    for lo in range(0, b, chunk):
+        hi = min(b, lo + chunk)
+        # (N, chunk, C) inequality count -> (chunk, C)
+        d = (y[:, lo:hi, None] != cents[:, None, :]).sum(axis=0)
+        m[lo:hi] = cent_cols[d.argmin(axis=1)]
+    m[cent_cols] = -1
+    return m
+
+
+def build_residues(
+    y: np.ndarray, m: np.ndarray, prune_threshold: float = 0.0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Converted matrix ``Ŷ(t)`` and ``ne_rec`` (Eq. 4 + near-zero pruning).
+
+    Residue entries with ``|v| < prune_threshold`` are zeroed (centroid
+    columns are never pruned — they are needed intact for recovery).
+    """
+    if m.shape != (y.shape[1],):
+        raise ShapeError("mapper M must have one entry per column")
+    yhat = y.copy()
+    nc = m != -1
+    yhat[:, nc] = y[:, nc] - y[:, m[nc]]
+    if prune_threshold > 0:
+        res = yhat[:, nc]
+        res[np.abs(res) < prune_threshold] = 0
+        yhat[:, nc] = res
+    ne_rec = (yhat != 0).any(axis=0)
+    return yhat, ne_rec
+
+
+def convert(
+    y: np.ndarray, cent_cols: np.ndarray, prune_threshold: float = 0.0
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Full conversion: returns ``(Ŷ(t), M, ne_rec)``."""
+    m = assign_centroids(y, cent_cols)
+    yhat, ne_rec = build_residues(y, m, prune_threshold)
+    return yhat, m, ne_rec
+
+
+def _construct_body(
+    ctx: KernelContext,
+    y0: np.ndarray,
+    cent_col: np.ndarray,
+    m: np.ndarray,
+    y1: np.ndarray,
+    ne_rec: np.ndarray,
+    tile: int,
+):
+    """Per-thread Algorithm 2 body (one thread per batch column)."""
+    n, b = y0.shape
+    tid = ctx.tx + ctx.bx * ctx.block_dim.x  # global column index
+    cent = ctx.shared("cent", tile)
+    dist = n + 1  # line 3
+    cluster = -1
+    n_tiles = (n + tile - 1) // tile
+    for i in range(len(cent_col)):  # line 4
+        this_dist = 0  # line 5
+        for r in range(n_tiles):  # line 6 (generalized to any N)
+            lo = r * tile
+            span = min(tile, n - lo)
+            if ctx.tx < span:  # line 7
+                cent[ctx.tx] = y0[lo + ctx.tx, cent_col[i]]
+            yield SYNC  # line 8
+            if tid < b:  # lines 9-12
+                for k in range(span):
+                    if cent[k] != y0[lo + k, tid]:
+                        this_dist += 1
+            yield SYNC  # line 13
+        if this_dist < dist:  # lines 14-16
+            dist = this_dist
+            cluster = i
+    if tid < b:  # lines 17-22
+        if m[tid] != -1:
+            for r in range(n):
+                y1[r, tid] = y0[r, tid] - y0[r, cent_col[cluster]]
+        else:
+            for r in range(n):
+                y1[r, tid] = y0[r, tid]
+    if tid < b:  # lines 23-29
+        if m[tid] != -1:
+            m[tid] = cent_col[cluster]
+            ne_rec[tid] = dist != 0
+        else:
+            # centroid column: non-empty iff it has any nonzero entry (a dead
+            # cluster's centroid is the zero column and is safely skippable)
+            ne_rec[tid] = bool((y0[:, tid] != 0).any())
+
+
+def construct_kernel(
+    device: VirtualDevice,
+    y0: np.ndarray,
+    cent_cols: np.ndarray,
+    tile: int = 1024,
+    block: int = 1024,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Run Algorithm 2 on the virtual GPU.
+
+    Launch geometry is the paper's ``<<<ceil(B / block), block>>>``.  ``M``
+    is pre-initialized to -1 at centroid positions (as the paper requires
+    before the call).  Returns ``(Ŷ(t), M, ne_rec)``.
+    """
+    if y0.ndim != 2:
+        raise ShapeError("Y0 must be 2-D")
+    if tile > block:
+        # one thread loads one tile element (Algorithm 2 line 7), so the tile
+        # can never exceed the block; the paper uses tile == block == 1024
+        raise ConfigError(f"tile ({tile}) must not exceed block size ({block})")
+    n, b = y0.shape
+    cent_cols = np.asarray(cent_cols, dtype=np.int64)
+    if len(cent_cols) == 0:
+        raise ConfigError("need at least one centroid")
+    m = np.zeros(b, dtype=np.int64)
+    m[cent_cols] = -1
+    y1 = np.zeros_like(y0)
+    ne_rec = np.zeros(b, dtype=bool)
+    charge = KernelCharge(
+        name="construct_yhat",
+        flops=float(n) * b * len(cent_cols),
+        bytes_read=float(y0.nbytes) * (len(cent_cols) + 1),
+        bytes_written=float(y1.nbytes),
+    )
+    launch_kernel(
+        device,
+        _construct_body,
+        grid=GridDim((b + block - 1) // block, 1),
+        block=BlockDim(block, 1),
+        args=(y0, cent_cols, m, y1, ne_rec, tile),
+        name="construct_yhat",
+        charge=charge,
+    )
+    return y1, m, ne_rec

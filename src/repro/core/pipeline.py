@@ -1,0 +1,240 @@
+"""The SNICIT inference engine (paper Fig. 2, §3).
+
+Orchestrates the four stages — pre-convergence feed-forward, cluster-based
+conversion, post-convergence update, final recovery — with per-stage and
+per-layer wall-clock timing plus cost-model accounting on the virtual
+device, so every experiment of §4 can be regenerated.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.config import SNICITConfig
+from repro.core.conversion import convert
+from repro.core.pruning import prune_samples, select_centroids
+from repro.core.recovery import recover
+from repro.core.sampling import sample_columns, sum_downsample
+from repro.core.postconv import update_compact
+from repro.gpu.costmodel import KernelCharge
+from repro.gpu.device import VirtualDevice
+from repro.inference import InferenceResult
+from repro.kernels import champion_spmm, charge_for
+from repro.network import SparseNetwork
+
+__all__ = ["SNICIT"]
+
+
+class SNICIT:
+    """Compression-at-inference-time engine.
+
+    Parameters
+    ----------
+    network:
+        The sparse DNN to run.
+    config:
+        Pipeline parameters; ``config.threshold_layer`` is clamped to the
+        network depth.
+    device:
+        Virtual device for cost accounting (a fresh one per engine by
+        default).
+    """
+
+    name = "SNICIT"
+
+    def __init__(
+        self,
+        network: SparseNetwork,
+        config: SNICITConfig,
+        device: VirtualDevice | None = None,
+    ):
+        self.network = network
+        self.config = config.for_network(network.num_layers)
+        self.device = device or VirtualDevice()
+        # residue arithmetic (Eq. 4-6) needs a fixed activation width from the
+        # threshold layer onward; reject shape-changing post-convergence
+        # layers up front rather than failing mid-inference.  With
+        # auto_threshold the detector may fire anywhere, so all layers must
+        # be square.
+        first_checked = 0 if self.config.auto_threshold else self.config.threshold_layer
+        for i in range(first_checked, network.num_layers):
+            layer = network.layers[i]
+            if layer.n_out != layer.n_in:
+                from repro.errors import ConfigError
+
+                raise ConfigError(
+                    f"post-convergence layer {i} is {layer.n_out}x{layer.n_in}; "
+                    "SNICIT's residue representation requires square layers "
+                    "after the threshold"
+                )
+        # ELL views for the fixed-fan-in fast path are built lazily and cached
+        # on the network itself, shared across engines.
+
+    # ------------------------------------------------------------------ run
+    def infer(self, y0: np.ndarray) -> InferenceResult:
+        """Run the full pipeline on input block ``Y(0)`` of shape (N, B)."""
+        net = self.network
+        cfg = self.config
+        y0 = net.validate_input(y0).astype(np.float32, copy=True)
+        t = cfg.threshold_layer
+        batch = y0.shape[1]
+        layer_seconds = np.zeros(net.num_layers)
+        stage_seconds: dict[str, float] = {}
+        modeled: dict[str, object] = {}
+        dev = self.device
+        mark = dev.snapshot()
+
+        # ---- stage 1: pre-convergence sparse matrix multiplication -------
+        wall0 = time.perf_counter()
+        y = y0
+        detector = None
+        if cfg.auto_threshold:
+            from repro.core.convergence import ConvergenceDetector
+
+            detector = ConvergenceDetector(
+                tolerance=cfg.auto_tolerance,
+                patience=cfg.auto_patience,
+                probe_columns=cfg.sample_size,
+                probe_dim=cfg.downsample_dim or cfg.sample_size,
+            )
+            detector.observe(y)
+        for i in range(t):
+            lt0 = time.perf_counter()
+            y = self._feedforward_layer(i, y)
+            layer_seconds[i] = time.perf_counter() - lt0
+            if detector is not None and detector.observe(y):
+                t = i + 1  # converged early: convert here (paper §5 extension)
+                break
+        stage_seconds["pre_convergence"] = time.perf_counter() - wall0
+        modeled["pre_convergence"] = dev.snapshot() - mark
+        mark = dev.snapshot()
+
+        # ---- stage 2: cluster-based conversion ---------------------------
+        wall0 = time.perf_counter()
+        f0 = sample_columns(y, cfg.sample_size)
+        if cfg.downsample_dim is not None:
+            f = sum_downsample(f0, cfg.downsample_dim)
+        else:
+            f = f0
+        col_idx = prune_samples(f, cfg.eta, cfg.eps)
+        cent_cols = select_centroids(col_idx)
+        if len(cent_cols) == 0:  # degenerate but possible with eta=inf-like configs
+            cent_cols = np.array([0], dtype=np.int64)
+        yhat, m, ne_rec = convert(y, cent_cols, cfg.prune_threshold)
+        ne_idx = self._refresh_ne_idx(ne_rec, m)
+        dev.charge(
+            KernelCharge(
+                name="conversion",
+                flops=float(f.size * f.shape[1] + y.size * len(cent_cols)),
+                bytes_read=float(y.nbytes * 2),
+                bytes_written=float(yhat.nbytes),
+            )
+        )
+        stage_seconds["conversion"] = time.perf_counter() - wall0
+        modeled["conversion"] = dev.snapshot() - mark
+        mark = dev.snapshot()
+
+        # ---- stage 3: post-convergence update -----------------------------
+        # The representation is kept *compacted*: only the ne_idx columns of
+        # Ŷ are materialized, exactly as the paper launches size(ne_idx)
+        # blocks.  Emptiness of residue columns is monotone, so columns are
+        # only ever dropped (at ne_idx refreshes), never re-added; centroids
+        # are pinned.
+        wall0 = time.perf_counter()
+        empties: list[int] = []
+        active_trace: list[int] = []
+        sub = yhat[:, ne_idx]
+        is_cent = m[ne_idx] == -1
+        cent_pos = np.searchsorted(ne_idx, m[ne_idx[~is_cent]])
+        ne_rec_sub = np.ones(len(ne_idx), dtype=bool)
+        for i in range(t, net.num_layers):
+            lt0 = time.perf_counter()
+            layer = net.layers[i]
+            z_sub, work, strategy = champion_spmm(net, i, sub)
+            bias = layer.bias if isinstance(layer.bias, np.ndarray) else float(layer.bias)
+            sub, ne_rec_sub = update_compact(
+                z_sub, bias, is_cent, cent_pos, net.ymax, cfg.prune_threshold
+            )
+            dev.charge(
+                charge_for(strategy, work, layer.n_out, len(ne_idx), "load_reduced_spmm")
+            )
+            dev.charge(
+                KernelCharge(
+                    name="update_centroids_residues",
+                    flops=float(4 * layer.n_out * len(ne_idx)),
+                    bytes_read=float(2 * layer.n_out * len(ne_idx) * 4),
+                    bytes_written=float(layer.n_out * len(ne_idx) * 4),
+                )
+            )
+            active_trace.append(len(ne_idx))
+            empties.append(batch - int(ne_rec_sub.sum()))
+            if (i - t) % cfg.ne_idx_interval == cfg.ne_idx_interval - 1:
+                keep = ne_rec_sub | is_cent
+                if not keep.all():
+                    ne_idx = ne_idx[keep]
+                    sub = sub[:, keep]
+                    is_cent = is_cent[keep]
+                    cent_pos = np.searchsorted(ne_idx, m[ne_idx[~is_cent]])
+            layer_seconds[i] = time.perf_counter() - lt0
+        stage_seconds["post_convergence"] = time.perf_counter() - wall0
+        modeled["post_convergence"] = dev.snapshot() - mark
+        mark = dev.snapshot()
+
+        # ---- stage 4: final results recovery ------------------------------
+        wall0 = time.perf_counter()
+        if t < net.num_layers:
+            yhat = np.zeros((net.output_dim, batch), dtype=sub.dtype)
+            yhat[:, ne_idx] = sub
+            y_final = recover(yhat, m)
+        else:
+            y_final = y  # conversion never happened: plain feed-forward output
+        dev.charge(
+            KernelCharge(
+                name="recovery",
+                flops=float(y_final.size),
+                bytes_read=float(y_final.nbytes),
+                bytes_written=float(y_final.nbytes),
+            )
+        )
+        stage_seconds["recovery"] = time.perf_counter() - wall0
+        modeled["recovery"] = dev.snapshot() - mark
+
+        stats = {
+            "threshold_layer": t,
+            "auto_detected": detector is not None and t < cfg.threshold_layer,
+            "convergence_trace": list(detector.trace) if detector is not None else [],
+            "n_centroids": int(len(cent_cols)) if t < net.num_layers else 0,
+            "centroid_cols": cent_cols if t < net.num_layers else np.empty(0, np.int64),
+            "active_columns_trace": np.array(active_trace),
+            "empty_columns_trace": np.array(empties),
+        }
+        return InferenceResult(
+            y=y_final,
+            stage_seconds=stage_seconds,
+            layer_seconds=layer_seconds,
+            modeled=modeled,
+            stats=stats,
+        )
+
+    # ------------------------------------------------------------- helpers
+    def _feedforward_layer(self, i: int, y: np.ndarray) -> np.ndarray:
+        """One pre-convergence layer.
+
+        Uses the shared champion kernel (§3.1: "The implementation of any
+        previous SDGC champion can be easily incorporated here"), which is
+        exactly what the XY-2021 baseline runs — so pre-convergence latency
+        matches XY's per-layer latency, as the paper reports (§4.1).
+        """
+        net = self.network
+        layer = net.layers[i]
+        z, work, strategy = champion_spmm(net, i, y)
+        z += layer.bias_column()
+        self.device.charge(charge_for(strategy, work, layer.n_out, y.shape[1], "pre_spmm"))
+        return net.activation(z)
+
+    def _refresh_ne_idx(self, ne_rec: np.ndarray, m: np.ndarray) -> np.ndarray:
+        """Rebuild ``ne_idx`` from ``ne_rec``; centroids are always kept."""
+        keep = ne_rec | (m == -1)
+        return np.flatnonzero(keep).astype(np.int64)

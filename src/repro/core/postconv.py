@@ -1,0 +1,277 @@
+"""Post-convergence update (paper §3.3, Eq. 5, Algorithm 3, Fig. 5).
+
+Each post-convergence layer applies two kernels:
+
+1. **Load-reduced spMM** (§3.3.1): ``W(i+1) · Ŷ(i)`` restricted to the
+   non-empty columns listed in ``ne_idx``.  Empty columns contribute a zero
+   product, so skipping them is exact; the work saved is the whole point of
+   the sparse representation.
+2. **Centroid / residue update** (§3.3.2, Algorithm 3): centroid columns
+   take the ordinary feed-forward step; residue columns take the difference
+   form of Eq. 5, with near-zero pruning applied to induce more empty
+   columns.  ``ne_rec`` is refreshed every layer.
+
+``ne_idx`` is rebuilt from ``ne_rec`` only every ``ne_idx_interval`` layers
+(200 for SDGC in the paper).  Staleness is safe because emptiness is
+monotone for residue columns: an empty residue stays empty under Eq. 5
+(``sigma(z_M + 0 + b) - sigma(z_M + b) = 0``).  Centroid columns are always
+kept in ``ne_idx`` — with a vector bias, ``sigma(b)`` can revive even an
+all-zero centroid, so they may never be dropped.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.gpu.costmodel import KernelCharge
+from repro.gpu.device import VirtualDevice
+from repro.gpu.kernel import BlockDim, GridDim, KernelContext, SyncCount, launch_kernel
+from repro.network import LayerSpec, clamped_relu
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ell import ELLMatrix
+from repro.sparse.spmm import spmm_ell, spmm_reduceat
+
+__all__ = [
+    "load_reduced_spmm",
+    "update_centroids_residues",
+    "update_compact",
+    "postconv_update",
+    "update_kernel",
+]
+
+
+def load_reduced_spmm(
+    weight: CSRMatrix | ELLMatrix,
+    yhat: np.ndarray,
+    ne_idx: np.ndarray,
+    net=None,
+    layer_index: int | None = None,
+) -> np.ndarray:
+    """``Z = W @ Ŷ`` computed only over the non-empty columns.
+
+    Returns a dense ``(n_out, B)`` matrix whose skipped columns are zero —
+    exactly the product's value there, since those Ŷ columns are empty.
+
+    When ``net``/``layer_index`` are given, the compacted sub-block is
+    multiplied with the shared champion kernel (§3.3.1: "we leverage
+    off-the-shelf kernels [4, 38] from SDGC champions for our spMM
+    problem"), so SNICIT and XY-2021 use identical kernels.
+    """
+    if yhat.ndim != 2:
+        raise ShapeError("Ŷ must be 2-D")
+    n_out = weight.shape[0]
+    z = np.zeros((n_out, yhat.shape[1]), dtype=yhat.dtype)
+    if len(ne_idx) == 0:
+        return z
+    sub = np.ascontiguousarray(yhat[:, ne_idx])
+    if net is not None and layer_index is not None:
+        from repro.kernels import champion_spmm
+
+        z[:, ne_idx], _, _ = champion_spmm(net, layer_index, sub)
+    elif isinstance(weight, ELLMatrix):
+        z[:, ne_idx] = spmm_ell(weight, sub)
+    else:
+        z[:, ne_idx] = spmm_reduceat(weight, sub)
+    return z
+
+
+def update_centroids_residues(
+    z: np.ndarray,
+    bias: np.ndarray | float,
+    m: np.ndarray,
+    ne_idx: np.ndarray,
+    ymax: float,
+    prune_threshold: float = 0.0,
+    out: np.ndarray | None = None,
+    ne_rec: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized Algorithm 3: derive ``Ŷ(i+1)`` columns from ``Z``.
+
+    Only the columns in ``ne_idx`` are written (all others are empty and
+    stay empty).  Returns ``(Ŷ(i+1), ne_rec)``.
+    """
+    n, b = z.shape
+    if out is None:
+        out = np.zeros_like(z)
+    else:
+        out[...] = 0
+    if ne_rec is None:
+        ne_rec = np.zeros(b, dtype=bool)
+    else:
+        ne_rec[...] = False
+    if len(ne_idx) == 0:
+        return out, ne_rec
+    bias_col = bias[:, None] if isinstance(bias, np.ndarray) else bias
+    is_cent = m[ne_idx] == -1
+    cent_cols = ne_idx[is_cent]
+    res_cols = ne_idx[~is_cent]
+    if len(cent_cols):
+        out[:, cent_cols] = clamped_relu(z[:, cent_cols] + bias_col, ymax)
+        ne_rec[cent_cols] = (out[:, cent_cols] != 0).any(axis=0)
+    if len(res_cols):
+        z_cent = z[:, m[res_cols]] + bias_col  # sigma argument of the mapped centroid
+        v = clamped_relu(z_cent + z[:, res_cols], ymax) - clamped_relu(z_cent.copy(), ymax)
+        if prune_threshold > 0:
+            v[np.abs(v) < prune_threshold] = 0
+        out[:, res_cols] = v
+        ne_rec[res_cols] = (v != 0).any(axis=0)
+    return out, ne_rec
+
+
+def update_compact(
+    z_sub: np.ndarray,
+    bias: np.ndarray | float,
+    is_cent: np.ndarray,
+    cent_pos: np.ndarray,
+    ymax: float,
+    prune_threshold: float = 0.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Algorithm 3 over a *compacted* block (only the non-empty columns).
+
+    ``z_sub`` is the spMM output over the ``ne_idx`` columns; ``is_cent``
+    marks which of those columns are centroids; ``cent_pos[j]`` gives, for
+    each residue column ``j`` (positions where ``is_cent`` is False), the
+    position of its centroid *within the compacted block*.  Returns
+    ``(Ŷ_sub(i+1), ne_rec_sub)``.
+
+    This is the production path: it never materializes full-width ``(N, B)``
+    temporaries, mirroring how the paper's kernel launches exactly
+    ``size(ne_idx)`` blocks.
+    """
+    out = np.empty_like(z_sub)
+    bias_col = bias[:, None] if isinstance(bias, np.ndarray) else bias
+    if is_cent.any():
+        out[:, is_cent] = clamped_relu(z_sub[:, is_cent] + bias_col, ymax)
+    res = ~is_cent
+    if res.any():
+        z_cent = z_sub[:, cent_pos] + bias_col
+        v = clamped_relu(z_cent + z_sub[:, res], ymax)
+        v -= clamped_relu(z_cent, ymax)  # z_cent is dead after this, clamp in place
+        if prune_threshold > 0:
+            v[np.abs(v) < prune_threshold] = 0
+        out[:, res] = v
+    ne_rec_sub = (out != 0).any(axis=0)
+    return out, ne_rec_sub
+
+
+def postconv_update(
+    layer: LayerSpec,
+    weight_ell: ELLMatrix | None,
+    yhat: np.ndarray,
+    m: np.ndarray,
+    ne_idx: np.ndarray,
+    ymax: float,
+    prune_threshold: float = 0.0,
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """One full post-convergence layer (spMM + update).
+
+    Returns ``(Ŷ(i+1), ne_rec, active_columns)`` where ``active_columns`` is
+    the spMM workload actually processed (for cost accounting).
+    """
+    w = weight_ell if weight_ell is not None else layer.weight
+    z = load_reduced_spmm(w, yhat, ne_idx)
+    out, ne_rec = update_centroids_residues(
+        z, layer.bias if isinstance(layer.bias, np.ndarray) else float(layer.bias),
+        m, ne_idx, ymax, prune_threshold,
+    )
+    return out, ne_rec, len(ne_idx)
+
+
+def _update_body(
+    ctx: KernelContext,
+    y0: np.ndarray,
+    m: np.ndarray,
+    ne_idx: np.ndarray,
+    bias,
+    y1: np.ndarray,
+    ne_rec: np.ndarray,
+    ymax: float,
+    prune_threshold: float,
+):
+    """Per-thread Algorithm 3 body (one block per non-empty column).
+
+    The paper's grid-stride loop assumes N is a multiple of the block size;
+    we iterate a fixed tile count with masked work so every thread reaches
+    the same number of ``__syncthreads_count`` barriers for any N.
+    """
+    n = y0.shape[0]
+    bd = ctx.block_dim.x
+    r = ne_idx[ctx.bx]  # line 1
+
+    def sigma(x: float) -> float:
+        return min(max(x, 0.0), ymax)
+
+    def bias_at(j: int) -> float:
+        return float(bias[j]) if isinstance(bias, np.ndarray) else float(bias)
+
+    if m[r] == -1:  # lines 2-6: centroid column
+        any_nonzero = 0
+        n_iters = (n + bd - 1) // bd
+        for it in range(n_iters):
+            j = ctx.tx + it * bd
+            pred = False
+            if j < n:
+                v = sigma(y0[j, r] + bias_at(j))
+                y1[j, r] = v
+                pred = v != 0
+            got = yield SyncCount(pred)
+            any_nonzero += got
+        if ctx.tx == 0:
+            ne_rec[r] = any_nonzero != 0
+        return
+    count = 0  # line 7
+    n_iters = (n + bd - 1) // bd
+    for it in range(n_iters):  # line 8
+        j = ctx.tx + it * bd
+        pred = False
+        if j < n:
+            zc = y0[j, m[r]] + bias_at(j)
+            v = sigma(zc + y0[j, r]) - sigma(zc)  # line 9
+            if prune_threshold > 0 and abs(v) < prune_threshold:
+                v = 0.0
+            pred = v != 0
+            y1[j, r] = v  # line 11
+        got = yield SyncCount(pred)  # line 10
+        count += got
+    if ctx.tx == 0:  # lines 12-13
+        ne_rec[r] = count != 0
+
+
+def update_kernel(
+    device: VirtualDevice,
+    z: np.ndarray,
+    bias,
+    m: np.ndarray,
+    ne_idx: np.ndarray,
+    ymax: float,
+    prune_threshold: float = 0.0,
+    block: int = 1024,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Run Algorithm 3 on the virtual GPU.
+
+    ``z`` is the load-reduced spMM output ``W(i+1) · Ŷ(i)``.  Launch geometry
+    is the paper's ``<<<size(ne_idx), block>>>``.  Returns ``(Ŷ(i+1),
+    ne_rec)`` with untouched columns zero/False.
+    """
+    n, b = z.shape
+    y1 = np.zeros_like(z)
+    ne_rec = np.zeros(b, dtype=bool)
+    if len(ne_idx) == 0:
+        return y1, ne_rec
+    charge = KernelCharge(
+        name="update_centroids_residues",
+        flops=float(4 * n * len(ne_idx)),
+        bytes_read=float(2 * n * len(ne_idx) * z.itemsize),
+        bytes_written=float(n * len(ne_idx) * z.itemsize),
+    )
+    launch_kernel(
+        device,
+        _update_body,
+        grid=GridDim(len(ne_idx), 1),
+        block=BlockDim(block, 1),
+        args=(z, m, ne_idx, bias, y1, ne_rec, ymax, prune_threshold),
+        name="update_centroids_residues",
+        charge=charge,
+    )
+    return y1, ne_rec

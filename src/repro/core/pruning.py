@@ -1,0 +1,116 @@
+"""Sample pruning (paper Algorithm 1, Fig. 3b).
+
+Greedy duplicate elimination over the downsampled sample matrix ``F``:
+iterate columns; each still-alive column becomes the *base* once, and every
+other alive column within tolerance of the base is discarded.  Survivors are
+the centroid columns.
+
+Faithfulness note: the paper's Eq. (2) and surrounding text define
+``diff[i]`` as the number of elements whose difference from the base
+*exceeds* eta, with column ``i`` pruned when ``diff[i] < n * eps`` (few
+dissimilar elements -> same cluster).  Algorithm 1 line 13 as printed counts
+elements *within* eta instead, which contradicts line 16's prune condition;
+we follow Eq. (2) (count dissimilar), keeping everything else verbatim.
+
+``prune_samples_kernel`` executes the algorithm on the virtual GPU with the
+paper's launch geometry ``<<<1, (n, s)>>>`` — one block, an (n, s) thread
+plane, shared ``base`` / ``diff`` / ``tmp_idx`` arrays, atomics and
+barriers.  ``prune_samples`` is the vectorized twin.  Tests assert equality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError, ShapeError
+from repro.gpu.costmodel import KernelCharge
+from repro.gpu.device import VirtualDevice
+from repro.gpu.kernel import SYNC, BlockDim, GridDim, KernelContext, launch_kernel
+
+__all__ = ["prune_samples", "prune_samples_kernel", "select_centroids"]
+
+
+def _check_f(f: np.ndarray) -> tuple[int, int]:
+    if f.ndim != 2:
+        raise ShapeError(f"F must be 2-D, got {f.ndim}-D")
+    return f.shape
+
+
+def prune_samples(f: np.ndarray, eta: float, eps: float) -> np.ndarray:
+    """Vectorized Algorithm 1.  Returns ``col_idx`` with pruned entries = -1."""
+    n, s = _check_f(f)
+    if eta < 0 or eps < 0:
+        raise ConfigError("eta and eps must be non-negative")
+    alive = np.ones(s, dtype=bool)
+    for cmp in range(s):
+        if not alive[cmp]:
+            continue
+        base = f[:, cmp]
+        diff = (np.abs(f - base[:, None]) >= eta).sum(axis=0)
+        to_prune = alive & (diff < n * eps)
+        to_prune[cmp] = False
+        alive[to_prune] = False
+    col_idx = np.where(alive, np.arange(s, dtype=np.int64), -1)
+    return col_idx
+
+
+def _prune_body(ctx: KernelContext, f: np.ndarray, col_idx: np.ndarray, eta: float, eps: float):
+    """Per-thread Algorithm 1 body (block = (n, s) threads)."""
+    n, s = f.shape
+    tid = ctx.tid
+    base = ctx.shared("base", n)
+    diff = ctx.shared("diff", s, dtype=np.int64)
+    tmp_idx = ctx.shared("tmp_idx", s, dtype=np.int64)
+    if ctx.tx == 0:  # lines 3-4
+        tmp_idx[ctx.ty] = col_idx[ctx.ty]
+    yield SYNC  # line 5
+    for cmp in range(s):  # line 6
+        if tmp_idx[cmp] != -1:  # line 7
+            if tid < n:  # lines 8-9
+                base[tid] = f[tid, tmp_idx[cmp]]
+            if tid < s:  # lines 10-11
+                diff[tid] = 0
+            yield SYNC  # line 12
+            # line 13 per the Eq. (2) semantics: count DISSIMILAR elements
+            if tmp_idx[ctx.ty] != -1 and abs(f[ctx.tx, ctx.ty] - base[ctx.tx]) >= eta:
+                ctx.atomic_add(diff, ctx.ty, 1)  # line 14
+            yield SYNC  # line 15
+            if ctx.tx == 0 and ctx.ty != cmp and diff[ctx.ty] < n * eps:  # line 16
+                tmp_idx[ctx.ty] = -1  # line 17
+            yield SYNC  # line 18
+    if tid < s:  # lines 19-20
+        col_idx[tid] = tmp_idx[tid]
+
+
+def prune_samples_kernel(
+    device: VirtualDevice, f: np.ndarray, eta: float, eps: float
+) -> np.ndarray:
+    """Run Algorithm 1 on the virtual GPU; returns the updated ``col_idx``."""
+    n, s = _check_f(f)
+    if n * s > device.spec.max_threads_per_block:
+        raise ConfigError(
+            f"(n={n}, s={s}) exceeds one block ({device.spec.max_threads_per_block} threads); "
+            "the paper launches Algorithm 1 as a single block"
+        )
+    col_idx = np.arange(s, dtype=np.int64)
+    charge = KernelCharge(
+        name="prune_samples",
+        flops=float(2 * n * s * s),
+        bytes_read=float(f.nbytes * s),
+        bytes_written=float(col_idx.nbytes),
+    )
+    launch_kernel(
+        device,
+        _prune_body,
+        grid=GridDim(1, 1),
+        block=BlockDim(n, s),
+        args=(f, col_idx, eta, eps),
+        name="prune_samples",
+        charge=charge,
+    )
+    return col_idx
+
+
+def select_centroids(col_idx: np.ndarray) -> np.ndarray:
+    """Sorted surviving indices (the paper's ``y*`` set)."""
+    return np.sort(col_idx[col_idx != -1])

@@ -1,0 +1,26 @@
+"""Final results recovery (paper §3.4, Eq. 6).
+
+The inverse of conversion: every residue column gets its centroid column
+added back; centroid columns pass through.  The mapper ``M`` is the one
+fixed at conversion time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+__all__ = ["recover"]
+
+
+def recover(yhat: np.ndarray, m: np.ndarray) -> np.ndarray:
+    """Restore ``Y(l)`` from ``Ŷ(l)`` (Eq. 6)."""
+    if yhat.ndim != 2:
+        raise ShapeError("Ŷ must be 2-D")
+    if m.shape != (yhat.shape[1],):
+        raise ShapeError("mapper M must have one entry per column")
+    y = yhat.copy()
+    nc = m != -1
+    y[:, nc] += yhat[:, m[nc]]
+    return y

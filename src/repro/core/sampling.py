@@ -1,0 +1,49 @@
+"""Column sampling and sum downsampling (paper §3.2.1, Fig. 3a).
+
+Centroid selection needs only a coarse sketch of ``Y(t)``.  Column sampling
+takes the first ``s`` columns (the dataset is shuffled, so the first ``s``
+columns are a uniform sample — the paper's argument via threshold-separated
+clustering [36] requires ``s >> k`` classes).  Sum downsampling then
+compresses each sampled column from ``N`` to ``n`` values by summing
+``N / n``-element segments, which a GPU does with one parallel reduction per
+segment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError, ShapeError
+
+__all__ = ["sample_columns", "sum_downsample"]
+
+
+def sample_columns(y: np.ndarray, s: int) -> np.ndarray:
+    """First ``s`` columns of ``Y(t)`` (clamped to the batch size)."""
+    if y.ndim != 2:
+        raise ShapeError(f"Y must be 2-D, got {y.ndim}-D")
+    if s < 1:
+        raise ConfigError("sample size must be >= 1")
+    return y[:, : min(s, y.shape[1])]
+
+
+def sum_downsample(f0: np.ndarray, n: int) -> np.ndarray:
+    """Reduce ``(N, s)`` samples to ``(n, s)`` segment sums.
+
+    Segments are as equal as possible: the first ``N % n`` segments get one
+    extra element (the paper assumes ``n | N``; we generalize so scaled
+    benchmarks with any N work).
+    """
+    if f0.ndim != 2:
+        raise ShapeError(f"F must be 2-D, got {f0.ndim}-D")
+    big_n = f0.shape[0]
+    if n < 1:
+        raise ConfigError("downsample dim must be >= 1")
+    if n >= big_n:
+        return f0.copy()
+    base = big_n // n
+    sizes = np.full(n, base, dtype=np.int64)
+    sizes[: big_n % n] += 1
+    starts = np.zeros(n, dtype=np.int64)
+    np.cumsum(sizes[:-1], out=starts[1:])
+    return np.add.reduceat(f0, starts, axis=0)

@@ -1,0 +1,35 @@
+"""Synthetic datasets standing in for MNIST and CIFAR-10.
+
+The real datasets are not available offline, so this package renders
+procedural substitutes with the properties the experiments rely on:
+
+* ten visually distinct classes whose instances are small perturbations of a
+  class prototype — so intermediate activations *cluster by class*, the
+  phenomenon SNICIT exploits (paper Fig. 1);
+* trainable: the NN stack reaches high accuracy on held-out data, so the
+  accuracy-loss measurements of Table 4 / Fig. 12 are meaningful;
+* MNIST-shaped (28x28 grayscale) and CIFAR-shaped (3x32x32 color) so the
+  paper's resizing pipeline (28^2 -> 32^2/64^2/... flattened feature
+  columns, §2.1) is exercised unchanged.
+"""
+
+from repro.data.synth_mnist import synth_mnist, render_digit
+from repro.data.synth_cifar import synth_cifar
+from repro.data.resize import bilinear_resize
+from repro.data.loader import (
+    Dataset,
+    binarize,
+    images_to_columns,
+    train_test_split,
+)
+
+__all__ = [
+    "synth_mnist",
+    "render_digit",
+    "synth_cifar",
+    "bilinear_resize",
+    "Dataset",
+    "binarize",
+    "images_to_columns",
+    "train_test_split",
+]

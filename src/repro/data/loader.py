@@ -1,0 +1,76 @@
+"""Dataset container, column layout, and split utilities.
+
+The contest (and this whole repo) stores activations column-major in the
+mathematical sense: ``Y`` is ``(N, B)`` with one *column per sample*
+(paper Table 2), so images must be flattened to columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import ConfigError, ShapeError
+
+__all__ = ["Dataset", "images_to_columns", "binarize", "train_test_split"]
+
+
+@dataclass
+class Dataset:
+    """Labeled image set: ``images`` is (n, ...) and ``labels`` is (n,)."""
+
+    images: np.ndarray
+    labels: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.images) != len(self.labels):
+            raise ShapeError(
+                f"{len(self.images)} images vs {len(self.labels)} labels"
+            )
+
+    def __len__(self) -> int:
+        return len(self.images)
+
+    def shuffled(self, rng: np.random.Generator) -> "Dataset":
+        order = rng.permutation(len(self))
+        return Dataset(self.images[order], self.labels[order])
+
+    def batches(self, batch_size: int) -> Iterator["Dataset"]:
+        """Yield consecutive mini-batches (last one may be short)."""
+        if batch_size < 1:
+            raise ConfigError("batch_size must be >= 1")
+        for lo in range(0, len(self), batch_size):
+            yield Dataset(self.images[lo : lo + batch_size], self.labels[lo : lo + batch_size])
+
+
+def images_to_columns(images: np.ndarray) -> np.ndarray:
+    """Flatten an image batch ``(n, ...)`` into a feature matrix ``(N, n)``.
+
+    Column ``i`` is sample ``i`` — the layout of ``Y(0)`` in the paper.
+    """
+    images = np.asarray(images)
+    if images.ndim < 2:
+        raise ShapeError("need at least (n, features)")
+    n = images.shape[0]
+    return images.reshape(n, -1).T.astype(np.float32, copy=True)
+
+
+def binarize(x: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+    """SDGC-style input binarization: pixels above threshold become 1.0."""
+    return (np.asarray(x) > threshold).astype(np.float32)
+
+
+def train_test_split(
+    ds: Dataset, test_fraction: float, rng: np.random.Generator
+) -> tuple[Dataset, Dataset]:
+    """Shuffle and split; returns (train, test)."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ConfigError("test_fraction must be in (0, 1)")
+    shuffled = ds.shuffled(rng)
+    n_test = max(1, int(round(len(ds) * test_fraction)))
+    return (
+        Dataset(shuffled.images[n_test:], shuffled.labels[n_test:]),
+        Dataset(shuffled.images[:n_test], shuffled.labels[:n_test]),
+    )

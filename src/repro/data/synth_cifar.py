@@ -1,0 +1,60 @@
+"""Procedural CIFAR-like color image rendering.
+
+Each class is a textured color field: a class-specific mixture of oriented
+sinusoids plus a class-colored blob, with instance-level phase shifts, blob
+displacement and noise.  Classes are separable by both texture frequency and
+color statistics, giving convolutional layers something real to learn.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = ["synth_cifar"]
+
+_N_CLASSES = 10
+
+
+def _class_params(class_id: int) -> dict:
+    proto_rng = np.random.default_rng(53_000 + class_id)
+    return {
+        "freqs": proto_rng.uniform(0.5, 3.0, size=(2, 2)),  # two oriented waves
+        "phases": proto_rng.uniform(0, 2 * np.pi, size=2),
+        "color": proto_rng.uniform(0.2, 1.0, size=3),
+        "blob_color": proto_rng.uniform(0.0, 1.0, size=3),
+        "blob_sigma": proto_rng.uniform(3.0, 6.0),
+    }
+
+
+def _render(class_id: int, rng: np.random.Generator, size: int) -> np.ndarray:
+    p = _class_params(class_id)
+    yy, xx = np.mgrid[0:size, 0:size].astype(np.float64) / size
+    waves = np.zeros((size, size))
+    for (fx, fy), ph in zip(p["freqs"], p["phases"]):
+        waves += np.sin(2 * np.pi * (fx * xx + fy * yy) + ph + rng.uniform(-0.5, 0.5))
+    waves = (waves - waves.min()) / (np.ptp(waves) + 1e-9)
+
+    cx, cy = rng.uniform(0.25 * size, 0.75 * size, size=2)
+    blob = np.exp(-(((xx * size - cx) ** 2 + (yy * size - cy) ** 2) / (2 * p["blob_sigma"] ** 2)))
+
+    img = (
+        p["color"][:, None, None] * waves[None]
+        + p["blob_color"][:, None, None] * blob[None] * 0.8
+    )
+    img += rng.normal(0.0, 0.04, size=img.shape)
+    return np.clip(img, 0.0, 1.0).astype(np.float32)
+
+
+def synth_cifar(
+    n: int, rng: np.random.Generator, size: int = 32
+) -> tuple[np.ndarray, np.ndarray]:
+    """``n`` labeled color images: ``(images (n,3,size,size), labels (n,))``."""
+    if n < 0:
+        raise ConfigError("n must be non-negative")
+    labels = rng.integers(0, _N_CLASSES, size=n)
+    images = np.stack([_render(int(c), rng, size) for c in labels]) if n else np.zeros(
+        (0, 3, size, size), dtype=np.float32
+    )
+    return images, labels.astype(np.int64)

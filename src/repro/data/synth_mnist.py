@@ -1,0 +1,117 @@
+"""Procedural MNIST-like digit rendering.
+
+Each class has a fixed stroke skeleton (a polyline through class-seeded
+control points, plus an elliptical arc for even classes).  An instance
+jitters the control points, stamps Gaussian ink along the strokes, and adds
+pixel noise — yielding within-class variation around a stable prototype,
+like handwritten digits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = ["render_digit", "synth_mnist"]
+
+_N_CLASSES = 10
+
+
+def _class_skeleton(class_id: int, size: int) -> np.ndarray:
+    """Deterministic control points for a class (independent of instance rng)."""
+    proto_rng = np.random.default_rng(97_000 + class_id)
+    n_pts = 4 + class_id % 3
+    margin = size * 0.15
+    pts = proto_rng.uniform(margin, size - margin, size=(n_pts, 2))
+    if class_id % 2 == 0:
+        # even classes get a loop segment: append an arc around the centroid
+        center = pts.mean(axis=0)
+        radius = size * 0.22
+        angles = np.linspace(0.0, 1.5 * np.pi, 6) + proto_rng.uniform(0, np.pi)
+        arc = center + radius * np.stack([np.cos(angles), np.sin(angles)], axis=1)
+        pts = np.concatenate([pts, arc], axis=0)
+    return pts
+
+
+def render_digit(
+    class_id: int,
+    rng: np.random.Generator,
+    size: int = 28,
+    jitter: float = 1.2,
+    ink_sigma: float = 1.1,
+    noise: float = 0.05,
+) -> np.ndarray:
+    """Render one ``(size, size)`` float32 image of the given class in [0, 1]."""
+    if not 0 <= class_id < _N_CLASSES:
+        raise ConfigError(f"class_id must be in [0, {_N_CLASSES}), got {class_id}")
+    pts = _class_skeleton(class_id, size) + rng.normal(0.0, jitter, size=(1, 2))
+    pts = pts + rng.normal(0.0, jitter * 0.5, size=pts.shape)
+
+    # sample stamp centers densely along the polyline
+    seg_starts = pts[:-1]
+    seg_ends = pts[1:]
+    seg_lens = np.linalg.norm(seg_ends - seg_starts, axis=1)
+    stamps = []
+    for s, e, ln in zip(seg_starts, seg_ends, seg_lens):
+        n = max(2, int(ln * 2))
+        ts = np.linspace(0.0, 1.0, n)[:, None]
+        stamps.append(s[None, :] * (1 - ts) + e[None, :] * ts)
+    centers = np.concatenate(stamps, axis=0)
+
+    yy, xx = np.mgrid[0:size, 0:size].astype(np.float64)
+    img = np.zeros((size, size), dtype=np.float64)
+    sig2 = 2.0 * ink_sigma**2
+    # accumulate max ink over stamps (strokes, not heat blobs)
+    d2 = (xx[None] - centers[:, 0, None, None]) ** 2 + (yy[None] - centers[:, 1, None, None]) ** 2
+    img = np.exp(-d2 / sig2).max(axis=0)
+
+    brightness = rng.uniform(0.8, 1.0)
+    img = img * brightness + rng.normal(0.0, noise, size=img.shape)
+    return np.clip(img, 0.0, 1.0).astype(np.float32)
+
+
+def prototype_digit_batch(
+    n: int,
+    rng: np.random.Generator,
+    size: int = 28,
+    max_shift: int = 2,
+    noise: float = 0.01,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Digits with *quantized* within-class variation (SDGC input model).
+
+    Each instance is its class prototype translated by an integer shift in
+    ``[-max_shift, max_shift]^2`` plus light pixel noise.  After the
+    contest's binarization and downsampling, batches drawn this way contain
+    many (near-)duplicate feature columns — the redundancy structure of real
+    MNIST batches that compression-at-inference-time methods exploit.
+    :func:`synth_mnist` (continuous stroke jitter, every instance unique) is
+    the harder variant used for training the medium-scale networks.
+    """
+    protos = np.stack([
+        render_digit(c, np.random.default_rng(77_000 + c), size=size, jitter=0.0, noise=0.0)
+        for c in range(_N_CLASSES)
+    ])
+    labels = rng.integers(0, _N_CLASSES, size=n)
+    shifts = rng.integers(-max_shift, max_shift + 1, size=(n, 2))
+    images = np.empty((n, size, size), dtype=np.float32)
+    for i, (c, (dy, dx)) in enumerate(zip(labels, shifts)):
+        images[i] = np.roll(protos[c], (int(dy), int(dx)), axis=(0, 1))
+    if noise > 0:
+        images += rng.normal(0.0, noise, size=images.shape).astype(np.float32)
+        np.clip(images, 0.0, 1.0, out=images)
+    return images, labels.astype(np.int64)
+
+
+def synth_mnist(
+    n: int, rng: np.random.Generator, size: int = 28
+) -> tuple[np.ndarray, np.ndarray]:
+    """``n`` labeled digit images: ``(images (n,size,size), labels (n,))``.
+
+    Labels are drawn uniformly and shuffled, matching the paper's note that
+    MNIST batches arrive with classes interleaved (§3.2.1 column sampling
+    relies on this).
+    """
+    labels = rng.integers(0, _N_CLASSES, size=n)
+    images = np.stack([render_digit(int(c), rng, size=size) for c in labels])
+    return images, labels.astype(np.int64)

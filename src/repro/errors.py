@@ -1,0 +1,35 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this package derives from :class:`ReproError` so callers
+can catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ShapeError(ReproError, ValueError):
+    """An array argument has an incompatible shape."""
+
+
+class FormatError(ReproError, ValueError):
+    """A sparse matrix is structurally invalid (bad indptr, out-of-range index, ...)."""
+
+
+class ConfigError(ReproError, ValueError):
+    """An algorithm configuration value is out of its documented range."""
+
+
+class DeviceError(ReproError, RuntimeError):
+    """Virtual-GPU misuse: out-of-memory, freed buffer access, bad launch geometry."""
+
+
+class KernelError(ReproError, RuntimeError):
+    """A virtual-GPU kernel violated the execution model (e.g. divergent barrier)."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative routine failed to converge within its iteration budget."""

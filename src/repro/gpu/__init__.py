@@ -1,0 +1,47 @@
+"""Virtual-GPU execution substrate.
+
+The paper's kernels run on an RTX A6000.  This reproduction has no GPU, so we
+model one: :class:`~repro.gpu.device.VirtualDevice` owns a memory space and a
+roofline :class:`~repro.gpu.costmodel.CostModel`; :mod:`repro.gpu.kernel`
+executes kernel bodies with faithful CUDA block/thread semantics (shared
+memory, ``__syncthreads``, ``__syncthreads_count``, atomics) so the paper's
+Algorithms 1-3 can be implemented *as written* and cross-checked against fast
+vectorized twins; :mod:`repro.gpu.stream` provides streams and a task graph
+used by the SNIG-2020 baseline.
+
+The cost model is the bridge between "work done" and "GPU time": every kernel
+charges FLOPs and bytes moved, and the device converts the ledger into a
+modeled latency with a roofline (max of compute time and memory time) plus a
+fixed per-launch overhead.  Benchmarks report both modeled latency and actual
+CPU wall-clock.
+"""
+
+from repro.gpu.costmodel import CostModel, CostSnapshot, KernelCharge
+from repro.gpu.device import DeviceSpec, VirtualDevice, RTX_A6000_SCALED
+from repro.gpu.kernel import (
+    BlockDim,
+    GridDim,
+    KernelContext,
+    SYNC,
+    launch_kernel,
+)
+from repro.gpu.memory import DeviceBuffer
+from repro.gpu.stream import Task, TaskGraph, simulate_schedule
+
+__all__ = [
+    "CostModel",
+    "CostSnapshot",
+    "KernelCharge",
+    "DeviceSpec",
+    "VirtualDevice",
+    "RTX_A6000_SCALED",
+    "DeviceBuffer",
+    "KernelContext",
+    "GridDim",
+    "BlockDim",
+    "SYNC",
+    "launch_kernel",
+    "Task",
+    "TaskGraph",
+    "simulate_schedule",
+]

@@ -1,0 +1,87 @@
+"""Device memory buffers with allocation tracking and transfer accounting.
+
+A :class:`DeviceBuffer` wraps a NumPy array that "lives on" a
+:class:`~repro.gpu.device.VirtualDevice`.  Allocation is bounded by the device
+memory size (the paper sizes batches so the A6000's 48 GB is not exceeded —
+Section 4.1.1 — and we reproduce that constraint), and host-device transfers
+are charged against the cost model's PCIe bandwidth.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import DeviceError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.gpu.device import VirtualDevice
+
+__all__ = ["DeviceBuffer"]
+
+
+class DeviceBuffer:
+    """An array allocated in a virtual device's memory space.
+
+    Do not construct directly; use :meth:`VirtualDevice.alloc`,
+    :meth:`VirtualDevice.to_device`, or :meth:`VirtualDevice.zeros`.
+    """
+
+    __slots__ = ("_device", "_array", "_freed")
+
+    def __init__(self, device: "VirtualDevice", array: np.ndarray):
+        self._device = device
+        self._array = array
+        self._freed = False
+
+    @property
+    def device(self) -> "VirtualDevice":
+        return self._device
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.array.shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.array.dtype
+
+    @property
+    def nbytes(self) -> int:
+        return self.array.nbytes
+
+    @property
+    def array(self) -> np.ndarray:
+        """The backing array.  Kernels operate on this in place."""
+        if self._freed:
+            raise DeviceError("use of freed device buffer")
+        return self._array
+
+    def to_host(self) -> np.ndarray:
+        """Copy device data back to the host (charged as a D2H transfer)."""
+        arr = self.array
+        self._device.cost.charge_d2h(arr.nbytes)
+        return arr.copy()
+
+    def copy_from_host(self, host: np.ndarray) -> None:
+        """Overwrite device contents with host data (charged as H2D)."""
+        arr = self.array
+        if host.shape != arr.shape:
+            raise DeviceError(f"H2D shape mismatch: {host.shape} -> {arr.shape}")
+        arr[...] = host
+        self._device.cost.charge_h2d(arr.nbytes)
+
+    def free(self) -> None:
+        """Release the allocation.  Further access raises :class:`DeviceError`."""
+        if not self._freed:
+            self._device._release(self._array.nbytes)
+            self._freed = True
+
+    @property
+    def freed(self) -> bool:
+        return self._freed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "freed" if self._freed else f"{self._array.shape} {self._array.dtype}"
+        return f"DeviceBuffer({state})"

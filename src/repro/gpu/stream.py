@@ -1,0 +1,142 @@
+"""Streams and task graphs for overlap scheduling (SNIG-2020 substrate).
+
+SNIG-2020 reduces CPU-GPU synchronization by expressing inference as a CUDA
+task graph: the input batch is partitioned, and each partition's per-layer
+kernels form a dependency chain that the scheduler interleaves across
+streams.  This module provides the scheduling substrate: a :class:`TaskGraph`
+of :class:`Task` nodes with modeled durations, executed either
+
+* eagerly on the host (``TaskGraph.run``) honoring dependencies, and/or
+* through :func:`simulate_schedule`, a list scheduler that computes the
+  modeled *makespan* over ``n_streams`` concurrent streams — the quantity the
+  SNIG baseline reports as its modeled GPU latency.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ConfigError
+
+__all__ = ["Task", "TaskGraph", "simulate_schedule"]
+
+
+@dataclass
+class Task:
+    """One node of a task graph.
+
+    Parameters
+    ----------
+    name:
+        Unique task identifier.
+    fn:
+        Host callable performing the work (may be ``None`` for pure modeling).
+    duration:
+        Modeled duration in seconds; if ``None``, the duration is whatever
+        ``fn`` returns (allowing work-dependent modeled costs).
+    """
+
+    name: str
+    fn: Callable[[], float | None] | None = None
+    duration: float | None = None
+    deps: list[str] = field(default_factory=list)
+
+
+class TaskGraph:
+    """A DAG of tasks with modeled durations."""
+
+    def __init__(self) -> None:
+        self._tasks: dict[str, Task] = {}
+
+    def add(self, task: Task) -> Task:
+        if task.name in self._tasks:
+            raise ConfigError(f"duplicate task name {task.name!r}")
+        for dep in task.deps:
+            if dep not in self._tasks:
+                raise ConfigError(f"task {task.name!r} depends on unknown task {dep!r}")
+        self._tasks[task.name] = task
+        return task
+
+    def task(
+        self,
+        name: str,
+        fn: Callable[[], float | None] | None = None,
+        duration: float | None = None,
+        deps: list[str] | None = None,
+    ) -> Task:
+        """Convenience wrapper around :meth:`add`."""
+        return self.add(Task(name=name, fn=fn, duration=duration, deps=list(deps or [])))
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tasks
+
+    def topo_order(self) -> list[Task]:
+        """Kahn topological order (insertion-stable)."""
+        indeg = {n: len(t.deps) for n, t in self._tasks.items()}
+        children: dict[str, list[str]] = {n: [] for n in self._tasks}
+        for t in self._tasks.values():
+            for dep in t.deps:
+                children[dep].append(t.name)
+        ready = [n for n, d in indeg.items() if d == 0]
+        order: list[Task] = []
+        while ready:
+            n = ready.pop(0)
+            order.append(self._tasks[n])
+            for c in children[n]:
+                indeg[c] -= 1
+                if indeg[c] == 0:
+                    ready.append(c)
+        if len(order) != len(self._tasks):  # pragma: no cover - add() prevents cycles
+            raise ConfigError("task graph contains a cycle")
+        return order
+
+    def run(self) -> dict[str, float]:
+        """Execute every task's host function in dependency order.
+
+        Returns the per-task modeled duration (from ``Task.duration`` or the
+        function's return value; 0.0 if neither).
+        """
+        durations: dict[str, float] = {}
+        for t in self.topo_order():
+            returned = t.fn() if t.fn is not None else None
+            if t.duration is not None:
+                durations[t.name] = t.duration
+            elif isinstance(returned, (int, float)):
+                durations[t.name] = float(returned)
+            else:
+                durations[t.name] = 0.0
+        return durations
+
+
+def simulate_schedule(
+    graph: TaskGraph, durations: dict[str, float], n_streams: int = 4
+) -> tuple[float, dict[str, tuple[float, float]]]:
+    """List-schedule the graph on ``n_streams`` streams; return (makespan, spans).
+
+    Greedy earliest-ready-first scheduling: a task starts as soon as all its
+    dependencies finished and a stream is free.  ``spans`` maps task name to
+    its (start, end) interval on the modeled timeline.
+    """
+    if n_streams < 1:
+        raise ConfigError("n_streams must be >= 1")
+    order = graph.topo_order()
+    finish: dict[str, float] = {}
+    spans: dict[str, tuple[float, float]] = {}
+    # stream_free is a min-heap of times at which each stream becomes idle
+    stream_free = [0.0] * n_streams
+    heapq.heapify(stream_free)
+    for t in order:
+        ready = max((finish[d] for d in t.deps), default=0.0)
+        stream_at = heapq.heappop(stream_free)
+        start = max(ready, stream_at)
+        end = start + durations.get(t.name, 0.0)
+        heapq.heappush(stream_free, end)
+        finish[t.name] = end
+        spans[t.name] = (start, end)
+    makespan = max(finish.values(), default=0.0)
+    return makespan, spans

@@ -1,0 +1,29 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+* :mod:`repro.harness.workloads` — cached construction of the scaled SDGC
+  benchmarks and their input blocks;
+* :mod:`repro.harness.medium` — the four medium-scale DNNs A-D (build, train,
+  cache, export);
+* :mod:`repro.harness.runner` — run engines on a workload and collect
+  comparable timings;
+* :mod:`repro.harness.report` — plain-text tables matching the paper's rows;
+* :mod:`repro.harness.experiments` — one module per table/figure.
+
+Scaling: every experiment accepts a ``scale`` multiplier on batch sizes and
+reads the ``REPRO_BENCH_SCALE`` environment variable by default, so the full
+suite can be made faster/slower without code changes.
+"""
+
+from repro.harness.runner import EngineRun, run_engine, run_comparison, bench_scale
+from repro.harness.report import TextTable
+from repro.harness.workloads import get_benchmark, get_input
+
+__all__ = [
+    "EngineRun",
+    "run_engine",
+    "run_comparison",
+    "bench_scale",
+    "TextTable",
+    "get_benchmark",
+    "get_input",
+]

@@ -1,0 +1,32 @@
+"""Per-table / per-figure experiment modules.
+
+Each module exposes ``run(scale=None) -> ExperimentReport``; ``scale``
+multiplies batch sizes (default from ``REPRO_BENCH_SCALE``).  The reports
+print the same rows/series the paper reports, with wall-clock and modeled
+latency side by side.
+
+==========  ==========================================================
+module      reproduces
+==========  ==========================================================
+table1      Table 1 (benchmark statistics)
+table3      Table 3 (overall runtime vs champions, 12 benchmarks)
+table4      Table 4 (medium-scale DNNs: accuracy loss + speed-ups)
+fig1        Figure 1 (convergence/centralization + intensity curve)
+fig6        Figure 6 (avg post-convergence layer latency vs XY-2021)
+fig7        Figure 7 (runtime breakdown, four SDGC nets)
+fig8        Figure 8 (runtime vs threshold layer t)
+fig9        Figure 9 (runtime vs batch size B)
+fig10       Figure 10 (runtime breakdown, medium DNNs A and D)
+fig11       Figure 11 (post-convergence latency, medium DNNs)
+fig12       Figure 12 ((t, B) grid: speed-up + accuracy loss)
+ablations   design-choice ablations called out in DESIGN.md
+==========  ==========================================================
+"""
+
+from repro.harness.experiments.common import (
+    ExperimentReport,
+    sdgc_config,
+    sdgc_threshold,
+)
+
+__all__ = ["ExperimentReport", "sdgc_config", "sdgc_threshold"]

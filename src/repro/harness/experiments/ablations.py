@@ -1,0 +1,143 @@
+"""Design-choice ablations called out in DESIGN.md.
+
+1. ``ne_idx`` refresh interval (paper §3.3.2 uses 200 layers for SDGC): how
+   much does stale column tracking cost?
+2. Near-zero pruning threshold (paper §3.3.1): empty-column yield vs
+   accuracy loss on a medium DNN.
+3. Sum downsampling on/off (paper disables it for medium nets): conversion
+   latency vs centroid quality.
+4. spGEMM on the residue matrix vs the paper's dense-column load-reduced
+   spMM (§3.3.1's argument for *not* using spGEMM).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.baselines import SNIG2020
+from repro.core import SNICIT
+from repro.harness.experiments.common import ExperimentReport, scaled_batch, sdgc_config
+from repro.harness.experiments.table4 import medium_config
+from repro.harness.medium import get_trained
+from repro.harness.report import TextTable
+from repro.harness.runner import bench_scale
+from repro.harness.workloads import get_benchmark, get_input
+from repro.nn.model import accuracy
+from repro.sparse.convert import to_csr
+from repro.sparse.spgemm import spgemm
+from repro.sparse.spmm import spmm_reduceat
+
+
+def run_ne_interval(scale: float, name: str = "256-120") -> TextTable:
+    net = get_benchmark(name)
+    y0 = get_input(name, scaled_batch(1000, scale))
+    table = TextTable(["ne_idx interval", "runtime ms", "mean active cols"],
+                      title=f"Ablation 1 — ne_idx refresh interval ({name})")
+    rows = {}
+    for interval in (1, 5, 20, 1000):
+        cfg = sdgc_config(net.num_layers, ne_idx_interval=interval)
+        res = SNICIT(net, cfg).infer(y0)
+        mean_active = float(res.stats["active_columns_trace"].mean())
+        table.add(interval, res.total_seconds * 1e3, mean_active)
+        rows[interval] = (res.total_seconds, mean_active)
+    return table
+
+
+def run_prune_threshold(scale: float, dnn_id: str = "C") -> TextTable:
+    tm = get_trained(dnn_id)
+    stack = tm.stack
+    y0 = stack.head(tm.test.images)
+    labels = tm.test.labels
+    snig = SNIG2020(stack.network).infer(y0)
+    base_acc = accuracy(stack.tail(snig.y), labels)
+    table = TextTable(
+        ["prune threshold", "runtime ms", "acc loss %", "mean active cols"],
+        title=f"Ablation 2 — near-zero pruning threshold (DNN {dnn_id})",
+    )
+    for thr in (0.0, 0.01, 0.03, 0.05, 0.1, 0.2):
+        cfg = medium_config(tm.spec.sparse_layers, prune_threshold=thr)
+        res = SNICIT(stack.network, cfg).infer(y0)
+        loss = (base_acc - accuracy(stack.tail(res.y), labels)) * 100
+        table.add(thr, res.total_seconds * 1e3, loss,
+                  float(res.stats["active_columns_trace"].mean()))
+    return table
+
+
+def run_downsampling(scale: float, name: str = "576-48") -> TextTable:
+    net = get_benchmark(name)
+    y0 = get_input(name, scaled_batch(1000, scale))
+    table = TextTable(
+        ["downsample n", "conversion ms", "total ms", "centroids"],
+        title=f"Ablation 3 — sum downsampling ({name})",
+    )
+    for n in (None, 8, 16, 64):
+        cfg = sdgc_config(net.num_layers, downsample_dim=n)
+        res = SNICIT(net, cfg).infer(y0)
+        table.add(
+            "off" if n is None else n,
+            res.stage_seconds["conversion"] * 1e3,
+            res.total_seconds * 1e3,
+            res.stats["n_centroids"],
+        )
+    return table
+
+
+def run_spgemm_comparison(scale: float, name: str = "256-24") -> TextTable:
+    """Multiply one post-convergence layer both ways: the paper's dense-column
+    load-reduced spMM vs compressing Ŷ to CSR and running spGEMM."""
+    net = get_benchmark(name)
+    y0 = get_input(name, scaled_batch(500, scale))
+    cfg = sdgc_config(net.num_layers)
+    engine = SNICIT(net, cfg)
+    res = engine.infer(y0)  # warm run to obtain a converged Ŷ via stats
+    # rebuild the converged representation at the threshold layer
+    from repro.core.conversion import convert
+    from repro.core.pruning import prune_samples, select_centroids
+    from repro.core.sampling import sample_columns, sum_downsample
+    from repro.kernels import champion_spmm
+
+    y = y0.astype(np.float32)
+    for i in range(cfg.for_network(net.num_layers).threshold_layer):
+        z, _, _ = champion_spmm(net, i, y)
+        z += net.layers[i].bias_column()
+        y = net.activation(z)
+    f = sum_downsample(sample_columns(y, cfg.sample_size), cfg.downsample_dim)
+    cents = select_centroids(prune_samples(f, cfg.eta, cfg.eps))
+    yhat, m, ne_rec = convert(y, cents, cfg.prune_threshold)
+    w = net.layers[cfg.for_network(net.num_layers).threshold_layer].weight
+
+    t0 = time.perf_counter()
+    spmm_reduceat(w, yhat[:, ne_rec])
+    dense_ms = (time.perf_counter() - t0) * 1e3
+
+    t0 = time.perf_counter()
+    yhat_csr = to_csr(yhat)  # per-layer recompression the paper warns about
+    spgemm(w, yhat_csr)
+    spgemm_ms = (time.perf_counter() - t0) * 1e3
+
+    table = TextTable(
+        ["strategy", "one-layer ms"],
+        title=f"Ablation 4 — load-reduced spMM vs spGEMM on Ŷ ({name})",
+    )
+    table.add("load-reduced spMM (paper)", dense_ms)
+    table.add("spGEMM + recompression", spgemm_ms)
+    return table
+
+
+def run(scale: float | None = None) -> ExperimentReport:
+    scale = bench_scale() if scale is None else scale
+    tables = [
+        run_ne_interval(scale),
+        run_prune_threshold(scale),
+        run_downsampling(scale),
+        run_spgemm_comparison(scale),
+    ]
+    report = ExperimentReport(
+        experiment="ablations",
+        title="design-choice ablations",
+        table=tables[0],
+        series=[t.render() for t in tables[1:]],
+    )
+    return report

@@ -1,0 +1,61 @@
+"""Shared experiment plumbing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import SNICITConfig
+from repro.harness.report import TextTable
+
+__all__ = ["ExperimentReport", "sdgc_threshold", "sdgc_config", "scaled_batch"]
+
+
+@dataclass
+class ExperimentReport:
+    """Rendered result of one experiment."""
+
+    experiment: str
+    title: str
+    table: TextTable | None = None
+    series: list[str] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    #: machine-readable rows for tests/EXPERIMENTS.md generation
+    data: dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        parts = [f"== {self.experiment}: {self.title} =="]
+        if self.table is not None:
+            parts.append(self.table.render())
+        parts.extend(self.series)
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts)
+
+
+def sdgc_threshold(num_layers: int) -> int:
+    """The paper's SDGC threshold (t = 30) mapped to scaled depths."""
+    return min(30, num_layers // 2)
+
+
+def sdgc_config(num_layers: int, **overrides) -> SNICITConfig:
+    """Paper §4.1 SDGC parameters: s = 32, n = 16, eps = eta = 0.03.
+
+    ``ne_idx_interval`` maps the paper's 200-of-1920 layers to the scaled
+    depths (~1 refresh per 10 % of the depth).
+    """
+    defaults = dict(
+        threshold_layer=sdgc_threshold(num_layers),
+        sample_size=32,
+        downsample_dim=16,
+        eta=0.03,
+        eps=0.03,
+        prune_threshold=0.04,
+        ne_idx_interval=max(1, num_layers // 10),
+    )
+    defaults.update(overrides)
+    return SNICITConfig(**defaults)
+
+
+def scaled_batch(base: int, scale: float) -> int:
+    """Apply the harness batch multiplier with a sane floor."""
+    return max(32, int(round(base * scale)))

@@ -1,0 +1,94 @@
+"""Figure 1: convergence/centralization of intermediate results + the
+computational-intensity drop SNICIT's representation buys.
+
+The paper's figure t-SNE-embeds a batch's intermediate results at layers 2,
+4 and 8, showing the ten classes centralizing, and plots per-layer
+computational intensity with and without SNICIT's strategy.  We reproduce
+both: 2-D t-SNE embeddings (exact algorithm, repro.analysis.tsne) with a
+cluster-separation score per layer, and the intensity curve from a real
+SNICIT run's active-column trace.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.metrics import cluster_separation, column_convergence_curve
+from repro.analysis.tsne import tsne
+from repro.core import SNICIT
+from repro.harness.experiments.common import ExperimentReport
+from repro.harness.experiments.table4 import medium_config
+from repro.harness.medium import get_trained
+from repro.harness.report import TextTable, format_series
+from repro.harness.runner import bench_scale
+from repro.kernels import champion_spmm
+
+
+def run(scale: float | None = None, dnn_id: str = "B", tsne_samples: int = 150) -> ExperimentReport:
+    scale = bench_scale() if scale is None else scale
+    tm = get_trained(dnn_id)
+    stack = tm.stack
+    net = stack.network
+    images = tm.test.images[: max(64, int(400 * scale))]
+    labels = tm.test.labels[: len(images)]
+    y = stack.head(images).astype(np.float32)
+
+    probe_layers = sorted({2, 4, 8, net.num_layers - 1} & set(range(net.num_layers)))
+    separations: dict[int, float] = {}
+    embeddings: dict[int, np.ndarray] = {}
+    snapshots = [y.copy()]
+    for i in range(net.num_layers):
+        z, _, _ = champion_spmm(net, i, y)
+        z += net.layers[i].bias_column()
+        y = net.activation(z)
+        snapshots.append(y.copy())
+        if i in probe_layers:
+            separations[i] = cluster_separation(y, labels, tol=0.03)
+            embeddings[i] = tsne(y[:, :tsne_samples].T, n_iter=250, seed=0)
+    convergence = column_convergence_curve(snapshots, tol=0.01)
+
+    # computational intensity: dense vs SNICIT active columns.  Column-level
+    # compression is the SDGC mechanism, so the intensity curve runs on an
+    # SDGC benchmark (the paper's Fig. 1 line chart shows the same cliff).
+    from repro.harness.experiments.common import sdgc_config
+    from repro.harness.workloads import get_benchmark, get_input
+
+    sdgc_net = get_benchmark("256-24")
+    sdgc_y0 = get_input("256-24", max(200, int(1000 * scale)))
+    res = SNICIT(sdgc_net, sdgc_config(sdgc_net.num_layers)).infer(sdgc_y0)
+    trace = res.stats["active_columns_trace"]
+    t = res.stats["threshold_layer"]
+    batch = sdgc_y0.shape[1]
+    nnz = sdgc_net.layers[0].weight.nnz
+    dense_curve = [float(nnz * batch)] * sdgc_net.num_layers
+    snicit_curve = [float(nnz * batch)] * t + [float(nnz * a) for a in trace]
+
+    table = TextTable(
+        ["layer", "cluster separation (inter/intra)"],
+        title="Figure 1 — centralization of intermediate results over layers",
+    )
+    for i in probe_layers:
+        table.add(i, separations[i])
+    series = [
+        format_series("convergence (frac entries changing)", range(len(convergence)), convergence),
+        format_series("intensity dense", range(len(dense_curve)), dense_curve),
+        format_series("intensity SNICIT", range(len(snicit_curve)), snicit_curve),
+    ]
+    return ExperimentReport(
+        experiment="fig1",
+        title="intermediate-result convergence and computational intensity",
+        table=table,
+        series=series,
+        notes=[
+            "cluster separation should grow with depth (classes centralize)",
+            "t-SNE embeddings computed per probe layer; separation is the "
+            "quantitative stand-in for the paper's scatter plots",
+        ],
+        data={
+            "separations": separations,
+            "convergence": convergence.tolist(),
+            "embeddings": {k: v.tolist() for k, v in embeddings.items()},
+            "intensity_dense": dense_curve,
+            "intensity_snicit": snicit_curve,
+        },
+    )

@@ -1,0 +1,40 @@
+"""Figure 10: runtime breakdown for medium DNNs A and D.
+
+Paper: pre-convergence dominates (62 % / 69 %), recovery is tiny
+(4.3 % / 0.3 %).
+"""
+
+from __future__ import annotations
+
+from repro.core import SNICIT
+from repro.harness.experiments.common import ExperimentReport
+from repro.harness.experiments.fig7 import STAGES
+from repro.harness.experiments.table4 import medium_config
+from repro.harness.medium import get_trained
+from repro.harness.report import TextTable
+from repro.harness.runner import bench_scale
+
+
+def run(scale: float | None = None, dnn_ids=("A", "D")) -> ExperimentReport:
+    scale = bench_scale() if scale is None else scale
+    table = TextTable(
+        ["DNN", "pre %", "conversion %", "post %", "recovery %", "total ms"],
+        title="Figure 10 — stage breakdown, medium DNNs",
+    )
+    data = {}
+    for dnn_id in dnn_ids:
+        tm = get_trained(dnn_id)
+        n_test = len(tm.test.images) if scale >= 1 else max(64, int(800 * scale))
+        y0 = tm.stack.head(tm.test.images[:n_test])
+        res = SNICIT(tm.stack.network, medium_config(tm.spec.sparse_layers)).infer(y0)
+        total = res.total_seconds
+        shares = {s: 100.0 * res.stage_seconds[s] / total for s in STAGES}
+        table.add(dnn_id, shares["pre_convergence"], shares["conversion"],
+                  shares["post_convergence"], shares["recovery"], total * 1e3)
+        data[dnn_id] = {**shares, "total_ms": total * 1e3}
+    return ExperimentReport(
+        experiment="fig10",
+        title="stage breakdown (medium DNNs)",
+        table=table,
+        data=data,
+    )

@@ -1,0 +1,58 @@
+"""Figure 11: average post-convergence layer latency on the medium DNNs,
+SNICIT vs SNIG-2020 and BF-2019.
+
+Paper: SNICIT has the lowest per-layer latency on all four networks, with
+far smaller variance across networks than the baselines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import BF2019, SNIG2020
+from repro.core import SNICIT
+from repro.harness.experiments.common import ExperimentReport
+from repro.harness.experiments.table4 import medium_config
+from repro.harness.medium import MEDIUM_DNNS, get_trained
+from repro.harness.report import TextTable
+from repro.harness.runner import bench_scale
+
+
+def run(scale: float | None = None) -> ExperimentReport:
+    scale = bench_scale() if scale is None else scale
+    table = TextTable(
+        ["DNN", "SNICIT ms/layer", "SNIG ms/layer", "BF ms/layer"],
+        title="Figure 11 — post-convergence per-layer latency (medium DNNs)",
+    )
+    data = {}
+    per_engine: dict[str, list[float]] = {"snicit": [], "snig": [], "bf": []}
+    for dnn_id in MEDIUM_DNNS:
+        tm = get_trained(dnn_id)
+        n_test = len(tm.test.images) if scale >= 1 else max(64, int(800 * scale))
+        y0 = tm.stack.head(tm.test.images[:n_test])
+        net = tm.stack.network
+        cfg = medium_config(tm.spec.sparse_layers)
+        t = cfg.threshold_layer
+        sn = SNICIT(net, cfg).infer(y0)
+        sg = SNIG2020(net).infer(y0)
+        bf = BF2019(net).infer(y0)
+        row = {
+            "snicit": float(sn.layer_seconds[t:].mean() * 1e3),
+            "snig": float(sg.layer_seconds[t:].mean() * 1e3),
+            "bf": float(bf.layer_seconds[t:].mean() * 1e3),
+        }
+        for k, v in row.items():
+            per_engine[k].append(v)
+        table.add(dnn_id, row["snicit"], row["snig"], row["bf"])
+        data[dnn_id] = row
+    data["variance"] = {k: float(np.var(v)) for k, v in per_engine.items()}
+    return ExperimentReport(
+        experiment="fig11",
+        title="medium-DNN post-convergence latency",
+        table=table,
+        notes=[
+            f"cross-network latency variance: {data['variance']}",
+            "SNICIT's variance should be the smallest (paper §4.2.2)",
+        ],
+        data=data,
+    )

@@ -1,0 +1,84 @@
+"""Figure 12: (threshold t, batch B) grid — speed-up over SNIG-2020 and
+accuracy loss, per medium DNN.
+
+Paper: larger B -> larger speed-ups; speed-up peaks at t slightly below
+l/2; accuracy loss generally decreases with t (non-monotonic at small t
+because more centroids represent the batch better).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import SNIG2020
+from repro.core import SNICIT
+from repro.harness.experiments.common import ExperimentReport
+from repro.harness.experiments.table4 import medium_config
+from repro.harness.medium import get_trained
+from repro.harness.report import TextTable, render_heatmap
+from repro.harness.runner import bench_scale
+from repro.nn.model import accuracy
+
+DEFAULT_BATCHES = (200, 400, 800)
+
+
+def run(
+    scale: float | None = None,
+    dnn_ids=("A", "B", "C", "D"),
+    batches=DEFAULT_BATCHES,
+    t_step: int = 4,
+) -> ExperimentReport:
+    scale = bench_scale() if scale is None else scale
+    batches = [max(32, int(b * scale)) for b in batches]
+    table = TextTable(
+        ["DNN", "t", "B", "speed-up vs SNIG", "acc loss %"],
+        title="Figure 12 — (t, B) grid search",
+    )
+    heatmaps: list[str] = []
+    data = {}
+    for dnn_id in dnn_ids:
+        tm = get_trained(dnn_id)
+        stack = tm.stack
+        net = stack.network
+        grid = {}
+        for b in batches:
+            images = tm.test.images[:b]
+            labels = tm.test.labels[:b]
+            y0 = stack.head(images)
+            snig = SNIG2020(net).infer(y0)
+            base_acc = accuracy(stack.tail(snig.y), labels)
+            for t in range(0, net.num_layers, t_step):
+                cfg = medium_config(tm.spec.sparse_layers, threshold_layer=t)
+                res = SNICIT(net, cfg).infer(y0)
+                speedup = snig.total_seconds / res.total_seconds
+                loss = (base_acc - accuracy(stack.tail(res.y), labels)) * 100
+                grid[(t, b)] = (speedup, loss)
+                table.add(dnn_id, t, b, speedup, loss)
+        data[dnn_id] = {f"{t},{b}": v for (t, b), v in grid.items()}
+        # headline checks per network
+        speedups_by_b = {
+            b: np.mean([v[0] for (t, bb), v in grid.items() if bb == b]) for b in batches
+        }
+        data[dnn_id]["mean_speedup_by_batch"] = {str(k): float(v) for k, v in speedups_by_b.items()}
+        # the paper's heatmap panels (rows = t, cols = B); brackets mark the
+        # red "actual speed-up" contour (> 1x)
+        ts = sorted({t for t, _ in grid})
+        heatmaps.append(render_heatmap(
+            f"DNN {dnn_id}: speed-up over SNIG (rows t, cols B)",
+            ts, batches,
+            [[grid[(t, b)][0] for b in batches] for t in ts],
+            mark_above=1.0,
+        ))
+        heatmaps.append(render_heatmap(
+            f"DNN {dnn_id}: accuracy loss % (rows t, cols B)",
+            ts, batches,
+            [[grid[(t, b)][1] for b in batches] for t in ts],
+        ))
+    return ExperimentReport(
+        experiment="fig12",
+        title="(t, B) grid: speed-up over SNIG + accuracy loss",
+        table=table,
+        series=heatmaps,
+        notes=["mean speed-up should increase with B (paper Figs. 12a/c/e/g)"],
+        data=data,
+    )

@@ -1,0 +1,60 @@
+"""Figure 6: average latency per post-convergence layer, SNICIT vs XY-2021.
+
+Paper: SNICIT's post-convergence layers are up to 18.69x faster than
+XY-2021's, with the gap growing with benchmark size.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import XY2021
+from repro.core import SNICIT
+from repro.harness.experiments.common import (
+    ExperimentReport,
+    scaled_batch,
+    sdgc_config,
+    sdgc_threshold,
+)
+from repro.harness.report import TextTable
+from repro.harness.runner import bench_scale
+from repro.harness.workloads import get_benchmark, get_input
+from repro.radixnet.registry import list_benchmarks
+
+
+def run(scale: float | None = None, benchmarks: list[str] | None = None) -> ExperimentReport:
+    scale = bench_scale() if scale is None else scale
+    table = TextTable(
+        ["bench", "paper", "SNICIT ms/layer", "XY ms/layer", "reduction",
+         "modeled reduction"],
+        title="Figure 6 — average post-convergence layer latency",
+    )
+    data = {}
+    specs = list_benchmarks()
+    if benchmarks:
+        specs = [s for s in specs if s.name in benchmarks]
+    for spec in specs:
+        net = get_benchmark(spec.name)
+        y0 = get_input(spec.name, scaled_batch(spec.batch_default, scale))
+        t = sdgc_threshold(spec.layers)
+        sn = SNICIT(net, sdgc_config(spec.layers)).infer(y0)
+        xy = XY2021(net).infer(y0)
+        sn_ms = float(sn.layer_seconds[t:].mean() * 1e3)
+        xy_ms = float(xy.layer_seconds[t:].mean() * 1e3)
+        post_layers = spec.layers - t
+        sn_modeled = sn.modeled["post_convergence"].modeled_seconds / post_layers
+        # XY's modeled time over the same layer range, prorated by work share
+        xy_modeled = xy.modeled["inference"].modeled_seconds * (post_layers / spec.layers)
+        xy_modeled /= post_layers
+        table.add(spec.name, spec.paper_name, sn_ms, xy_ms, xy_ms / sn_ms,
+                  xy_modeled / sn_modeled)
+        data[spec.name] = {
+            "snicit_ms_per_layer": sn_ms,
+            "xy_ms_per_layer": xy_ms,
+            "reduction": xy_ms / sn_ms,
+            "modeled_reduction": xy_modeled / sn_modeled,
+        }
+    return ExperimentReport(
+        experiment="fig6",
+        title="post-convergence per-layer latency vs XY-2021",
+        table=table,
+        data=data,
+    )

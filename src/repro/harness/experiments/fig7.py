@@ -1,0 +1,45 @@
+"""Figure 7: runtime breakdown of the four stages on the *-120-class nets.
+
+Paper percentages (pre-convergence / conversion / post-convergence /
+recovery): 58/10/32/0.4 on the smallest up to 79/16/5/0.25 on the largest —
+pre-convergence dominates more as neurons grow, recovery is negligible.
+"""
+
+from __future__ import annotations
+
+from repro.core import SNICIT
+from repro.harness.experiments.common import ExperimentReport, scaled_batch, sdgc_config
+from repro.harness.report import TextTable
+from repro.harness.runner import bench_scale
+from repro.harness.workloads import get_benchmark, get_input
+
+#: Stand-ins for the paper's four *-120 nets (our 24-layer tier).
+DEFAULT_BENCHMARKS = ("144-24", "256-24", "576-24", "1024-24")
+
+STAGES = ("pre_convergence", "conversion", "post_convergence", "recovery")
+
+
+def run(scale: float | None = None, benchmarks=DEFAULT_BENCHMARKS) -> ExperimentReport:
+    scale = bench_scale() if scale is None else scale
+    table = TextTable(
+        ["bench", "pre %", "conversion %", "post %", "recovery %", "total ms"],
+        title="Figure 7 — runtime breakdown per stage",
+    )
+    data = {}
+    for name in benchmarks:
+        net = get_benchmark(name)
+        spec_batch = 2000 if net.input_dim < 1024 else 1000
+        y0 = get_input(name, scaled_batch(spec_batch, scale))
+        res = SNICIT(net, sdgc_config(net.num_layers)).infer(y0)
+        total = res.total_seconds
+        shares = {s: 100.0 * res.stage_seconds[s] / total for s in STAGES}
+        table.add(name, shares["pre_convergence"], shares["conversion"],
+                  shares["post_convergence"], shares["recovery"], total * 1e3)
+        data[name] = {**shares, "total_ms": total * 1e3}
+    return ExperimentReport(
+        experiment="fig7",
+        title="stage breakdown (SDGC)",
+        table=table,
+        notes=["recovery should be negligible; conversion share grows with neurons"],
+        data=data,
+    )

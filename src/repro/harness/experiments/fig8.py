@@ -1,0 +1,44 @@
+"""Figure 8: runtime vs threshold layer t.
+
+Paper: SNICIT is fastest for t between 20 and 40 (of 120 layers); small t
+produces too many centroids (longer post-convergence), large t wastes time
+in pre-convergence.  Scaled equivalently here: the optimum should sit in the
+interior of [0, l], not at either end.
+"""
+
+from __future__ import annotations
+
+from repro.core import SNICIT
+from repro.harness.experiments.common import ExperimentReport, scaled_batch, sdgc_config
+from repro.harness.report import TextTable, format_series
+from repro.harness.runner import bench_scale
+from repro.harness.workloads import get_benchmark, get_input
+
+DEFAULT_BENCHMARKS = ("144-120", "256-120", "576-120")
+
+
+def run(scale: float | None = None, benchmarks=DEFAULT_BENCHMARKS, step: int = 10) -> ExperimentReport:
+    scale = bench_scale() if scale is None else scale
+    series = []
+    data = {}
+    table = TextTable(["bench", "best t", "best ms", "t=0 ms", "t=max ms"],
+                      title="Figure 8 — runtime vs threshold layer t")
+    for name in benchmarks:
+        net = get_benchmark(name)
+        y0 = get_input(name, scaled_batch(1000, scale))
+        ts = list(range(0, net.num_layers, step))
+        times = []
+        for t in ts:
+            cfg = sdgc_config(net.num_layers, threshold_layer=t)
+            times.append(SNICIT(net, cfg).infer(y0).total_seconds * 1e3)
+        series.append(format_series(f"{name} runtime(ms) vs t", ts, times))
+        best = int(times.index(min(times)))
+        table.add(name, ts[best], times[best], times[0], times[-1])
+        data[name] = {"t": ts, "ms": times}
+    return ExperimentReport(
+        experiment="fig8",
+        title="runtime vs threshold layer",
+        table=table,
+        series=series,
+        data=data,
+    )

@@ -1,0 +1,53 @@
+"""Figure 9: runtime vs batch size B, SNICIT vs XY-2021 (deepest nets).
+
+Paper: SNICIT's speed-up over XY grows with B — the centroid population
+stays basically constant while XY's work grows linearly.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import XY2021
+from repro.core import SNICIT
+from repro.harness.experiments.common import ExperimentReport, sdgc_config
+from repro.harness.report import TextTable, format_series
+from repro.harness.runner import bench_scale
+from repro.harness.workloads import get_benchmark, get_input
+
+DEFAULT_BENCHMARKS = ("144-120", "256-120", "576-120", "1024-120")
+DEFAULT_BATCHES = (250, 500, 1000, 2000)
+
+
+def run(
+    scale: float | None = None,
+    benchmarks=DEFAULT_BENCHMARKS,
+    batches=DEFAULT_BATCHES,
+) -> ExperimentReport:
+    scale = bench_scale() if scale is None else scale
+    batches = [max(32, int(b * scale)) for b in batches]
+    series = []
+    data = {}
+    table = TextTable(
+        ["bench", "B", "SNICIT ms", "XY ms", "speed-up"],
+        title="Figure 9 — runtime vs batch size",
+    )
+    for name in benchmarks:
+        net = get_benchmark(name)
+        sn_times, xy_times = [], []
+        for b in batches:
+            y0 = get_input(name, b)
+            sn = SNICIT(net, sdgc_config(net.num_layers)).infer(y0).total_seconds * 1e3
+            xy = XY2021(net).infer(y0).total_seconds * 1e3
+            sn_times.append(sn)
+            xy_times.append(xy)
+            table.add(name, b, sn, xy, xy / sn)
+        series.append(format_series(f"{name} SNICIT ms vs B", batches, sn_times))
+        series.append(format_series(f"{name} XY ms vs B", batches, xy_times))
+        data[name] = {"batches": batches, "snicit_ms": sn_times, "xy_ms": xy_times}
+    return ExperimentReport(
+        experiment="fig9",
+        title="runtime vs batch size (SNICIT vs XY-2021)",
+        table=table,
+        series=series,
+        notes=["speed-up should grow with B"],
+        data=data,
+    )

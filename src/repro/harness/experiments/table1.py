@@ -1,0 +1,55 @@
+"""Table 1: SDGC benchmark statistics (scaled registry vs paper)."""
+
+from __future__ import annotations
+
+from repro.harness.experiments.common import ExperimentReport
+from repro.harness.report import TextTable
+from repro.radixnet.registry import list_benchmarks
+
+#: Paper Table 1 connection counts, keyed by paper benchmark name.
+PAPER_CONNECTIONS = {
+    "1024-120": 3_932_160,
+    "1024-480": 15_728_640,
+    "1024-1920": 62_914_560,
+    "4096-120": 15_728_640,
+    "4096-480": 62_914_560,
+    "4096-1920": 251_658_240,
+    "16384-120": 62_914_560,
+    "16384-480": 251_658_240,
+    "16384-1920": 1_006_632_960,
+    "65536-120": 251_658_240,
+    "65536-480": 1_006_632_960,
+    "65536-1920": 4_026_531_840,
+}
+
+
+def run(scale: float | None = None) -> ExperimentReport:
+    table = TextTable(
+        ["paper bench", "scaled bench", "bias", "fan-in", "connections", "paper connections"],
+        title="Table 1 — SDGC benchmark statistics (scaled registry)",
+    )
+    data = {}
+    for spec in list_benchmarks():
+        table.add(
+            spec.paper_name,
+            spec.name,
+            spec.bias,
+            spec.fanin,
+            spec.connections,
+            PAPER_CONNECTIONS[spec.paper_name],
+        )
+        data[spec.name] = {
+            "connections": spec.connections,
+            "paper_connections": PAPER_CONNECTIONS[spec.paper_name],
+            "bias": spec.bias,
+        }
+    return ExperimentReport(
+        experiment="table1",
+        title="benchmark statistics",
+        table=table,
+        notes=[
+            "scaled sizes keep the x4 neuron / x4-ish layer tier ratios and the "
+            "bias ladder of the paper's Table 1",
+        ],
+        data=data,
+    )

@@ -1,0 +1,169 @@
+"""The four medium-scale sparse DNNs of paper §4.2 (Table 4).
+
+=====  ========  =========  ========================================
+ID     N - l     dataset    architecture
+=====  ========  =========  ========================================
+A      128-18    MNIST      784 dense -> 18 sparse N x N -> 10 dense
+B      256-18    MNIST      as A with N = 256
+C      256-12    MNIST      as B with l = 12
+D      256-12    CIFAR-10   3-stage conv feature extractor -> dense
+                            calibration -> 12 sparse -> 10 dense
+=====  ========  =========  ========================================
+
+All sparse layers have 50-60 % density and the bounded-ReLU activation with
+ymax = 1.  Networks are trained on the synthetic datasets (the paper trains
+on the real ones for 150 epochs at lr 6e-5; our scaled sets converge in ~10
+epochs at lr 1e-3 — DESIGN.md records the substitution) and cached on disk
+so experiment reruns are cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.loader import Dataset, train_test_split
+from repro.data.synth_cifar import synth_cifar
+from repro.data.synth_mnist import synth_mnist
+from repro.errors import ConfigError
+from repro.nn.export import SparseStack, export_sparse_stack
+from repro.nn.layers import BoundedReLU, Conv2d, Dense, Flatten, MaxPool2d, SparseLinear
+from repro.nn.model import Sequential
+
+__all__ = ["MediumSpec", "MEDIUM_DNNS", "build_model", "get_trained", "TrainedMedium"]
+
+
+@dataclass(frozen=True)
+class MediumSpec:
+    """Configuration of one medium-scale network."""
+
+    id: str
+    neurons: int
+    sparse_layers: int
+    dataset: str  # 'mnist' | 'cifar'
+    density: float = 0.55
+    train_n: int = 2400
+    test_n: int = 800
+    epochs: int = 10
+    lr: float = 1e-3
+
+    @property
+    def name(self) -> str:
+        return f"{self.neurons}-{self.sparse_layers}"
+
+
+MEDIUM_DNNS: dict[str, MediumSpec] = {
+    "A": MediumSpec("A", 128, 18, "mnist"),
+    "B": MediumSpec("B", 256, 18, "mnist"),
+    "C": MediumSpec("C", 256, 12, "mnist"),
+    "D": MediumSpec("D", 256, 12, "cifar", train_n=1600, test_n=600, epochs=12),
+}
+
+
+def build_model(spec: MediumSpec, rng: np.random.Generator) -> Sequential:
+    """Construct the untrained model for a spec (§4.2 architectures)."""
+    n = spec.neurons
+    layers: list = []
+    if spec.dataset == "mnist":
+        layers += [Flatten(), Dense(28 * 28, n, rng, name="embed"), BoundedReLU(1.0)]
+    elif spec.dataset == "cifar":
+        for stage, (c_in, c_out) in enumerate([(3, 8), (8, 16), (16, 16)]):
+            layers += [
+                Conv2d(c_in, c_out, 3, rng, padding=1, name=f"conv{stage}a"),
+                BoundedReLU(1.0),
+                Conv2d(c_out, c_out, 3, rng, padding=1, name=f"conv{stage}b"),
+                BoundedReLU(1.0),
+                MaxPool2d(),
+            ]
+        layers += [Flatten(), Dense(4 * 4 * 16, n, rng, name="calib"), BoundedReLU(1.0)]
+    else:
+        raise ConfigError(f"unknown dataset {spec.dataset!r}")
+    for i in range(spec.sparse_layers):
+        layers += [SparseLinear(n, n, spec.density, rng, name=f"sparse{i}"), BoundedReLU(1.0)]
+    layers += [Dense(n, 10, rng, name="out")]
+    return Sequential(layers, name=f"DNN-{spec.id}")
+
+
+def _make_data(spec: MediumSpec, seed: int) -> tuple[Dataset, Dataset]:
+    rng = np.random.default_rng(10_000 + seed)
+    total = spec.train_n + spec.test_n
+    if spec.dataset == "mnist":
+        images, labels = synth_mnist(total, rng)
+    else:
+        images, labels = synth_cifar(total, rng)
+    full = Dataset(images, labels)
+    return train_test_split(full, spec.test_n / total, rng)
+
+
+@dataclass
+class TrainedMedium:
+    """A trained medium network with its data and exported sparse stack."""
+
+    spec: MediumSpec
+    model: Sequential
+    stack: SparseStack
+    train: Dataset
+    test: Dataset
+    test_accuracy: float
+
+
+_memory_cache: dict[tuple[str, int], TrainedMedium] = {}
+
+
+def _cache_path(spec: MediumSpec, seed: int, cache_dir: Path) -> Path:
+    return cache_dir / f"medium_{spec.id}_seed{seed}.npz"
+
+
+def get_trained(
+    dnn_id: str,
+    seed: int = 0,
+    cache_dir: str | Path | None = None,
+    verbose: bool = False,
+) -> TrainedMedium:
+    """Build + train (or load from cache) one of the four networks."""
+    try:
+        spec = MEDIUM_DNNS[dnn_id]
+    except KeyError:
+        raise ConfigError(f"unknown medium DNN {dnn_id!r}; known: {sorted(MEDIUM_DNNS)}") from None
+    key = (dnn_id, seed)
+    if key in _memory_cache:
+        return _memory_cache[key]
+
+    rng = np.random.default_rng(20_000 + seed)
+    model = build_model(spec, rng)
+    train, test = _make_data(spec, seed)
+
+    cache_dir = Path(cache_dir) if cache_dir else Path(__file__).resolve().parents[3] / ".cache"
+    path = _cache_path(spec, seed, cache_dir)
+    loaded = False
+    if path.exists():
+        data = np.load(path)
+        params = model.params()
+        if len(data.files) == len(params):
+            for i, p in enumerate(params):
+                saved = data[f"p{i}"]
+                if saved.shape != p.value.shape:
+                    break
+                p.value[...] = saved
+            else:
+                loaded = True
+    if not loaded:
+        model.fit(
+            train,
+            epochs=spec.epochs,
+            rng=np.random.default_rng(30_000 + seed),
+            lr=spec.lr,
+            verbose=verbose,
+        )
+        cache_dir.mkdir(parents=True, exist_ok=True)
+        np.savez_compressed(path, **{f"p{i}": p.value for i, p in enumerate(model.params())})
+
+    stack = export_sparse_stack(model, name=f"DNN-{spec.id}")
+    acc = model.evaluate(test)
+    trained = TrainedMedium(
+        spec=spec, model=model, stack=stack, train=train, test=test, test_accuracy=acc
+    )
+    _memory_cache[key] = trained
+    return trained

@@ -1,0 +1,92 @@
+"""Plain-text tables shaped like the paper's tables and figure series."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["TextTable", "format_series", "render_heatmap"]
+
+
+class TextTable:
+    """Fixed-width text table builder."""
+
+    def __init__(self, columns: Sequence[str], title: str = ""):
+        self.columns = list(columns)
+        self.title = title
+        self.rows: list[list[str]] = []
+
+    def add(self, *cells: Any) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(f"expected {len(self.columns)} cells, got {len(cells)}")
+        self.rows.append([_fmt(c) for c in cells])
+
+    def render(self) -> str:
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in self.rows)) if self.rows
+            else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        header = " | ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_series(name: str, xs: Sequence[Any], ys: Sequence[Any]) -> str:
+    """One figure series as 'name: (x1, y1) (x2, y2) ...'."""
+    pts = " ".join(f"({_fmt(x)}, {_fmt(y)})" for x, y in zip(xs, ys))
+    return f"{name}: {pts}"
+
+
+_SHADES = " .:-=+*#%@"
+
+
+def render_heatmap(
+    title: str,
+    row_labels: Sequence[Any],
+    col_labels: Sequence[Any],
+    values: Sequence[Sequence[float]],
+    mark_above: float | None = None,
+) -> str:
+    """ASCII heatmap for the paper's Fig. 12-style grids.
+
+    Darker glyph = larger value.  ``mark_above`` draws the paper's red
+    contour analogue: cells strictly above it are bracketed, e.g. ``[#]``.
+    """
+    flat = [v for row in values for v in row]
+    if not flat:
+        return title
+    lo, hi = min(flat), max(flat)
+    span = (hi - lo) or 1.0
+    col_width = max(3, *(len(str(c)) for c in col_labels))
+    lines = [title]
+    header = " " * 8 + " ".join(str(c).rjust(col_width) for c in col_labels)
+    lines.append(header)
+    for label, row in zip(row_labels, values):
+        cells = []
+        for v in row:
+            shade = _SHADES[int((v - lo) / span * (len(_SHADES) - 1))]
+            cell = f"[{shade}]" if (mark_above is not None and v > mark_above) else f" {shade} "
+            cells.append(cell.rjust(col_width))
+        lines.append(f"{str(label):>7s} " + " ".join(cells))
+    lines.append(f"        scale: {_fmt(lo)} (' ') .. {_fmt(hi)} ('@')"
+                 + (f", [x] marks > {_fmt(mark_above)}" if mark_above is not None else ""))
+    return "\n".join(lines)

@@ -1,0 +1,43 @@
+"""Cached workload construction (networks and input blocks).
+
+Building a 1024-neuron, 120-layer Radix-Net takes a second or two and the
+experiment suite reuses the same few networks dozens of times, so both
+networks and rendered input batches are memoized per (name, seed) /
+(name, batch, seed).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.network import SparseNetwork
+from repro.radixnet.registry import benchmark_input, build_benchmark
+
+__all__ = ["get_benchmark", "get_input", "get_labeled_input"]
+
+
+@lru_cache(maxsize=32)
+def get_benchmark(name: str, seed: int = 0) -> SparseNetwork:
+    """Memoized scaled-SDGC network."""
+    return build_benchmark(name, seed=seed)
+
+
+@lru_cache(maxsize=64)
+def _input_cache(name: str, batch: int, seed: int) -> tuple[np.ndarray, np.ndarray]:
+    net = get_benchmark(name)
+    y0, labels = benchmark_input(net, batch, seed=seed, labeled=True)
+    y0.setflags(write=False)
+    labels.setflags(write=False)
+    return y0, labels
+
+
+def get_input(name: str, batch: int, seed: int = 1) -> np.ndarray:
+    """Memoized input block for a registry benchmark (read-only array)."""
+    return _input_cache(name, batch, seed)[0]
+
+
+def get_labeled_input(name: str, batch: int, seed: int = 1) -> tuple[np.ndarray, np.ndarray]:
+    """Memoized (Y0, labels) pair."""
+    return _input_cache(name, batch, seed)

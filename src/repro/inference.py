@@ -1,0 +1,67 @@
+"""Common interface shared by SNICIT and the baseline engines.
+
+Every engine takes a :class:`~repro.network.SparseNetwork` (plus a
+:class:`~repro.gpu.device.VirtualDevice` for cost accounting) and exposes
+``infer(y0) -> InferenceResult``.  Results carry the dense output ``Y(l)``,
+wall-clock stage/layer timings, and cost-model snapshots, so the harness can
+compare engines on equal terms.
+
+The SDGC correctness check is :func:`sdgc_categories`: the contest's golden
+reference marks which *inputs* still have any nonzero activation at the last
+layer; two engines agree iff their category vectors match.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Protocol
+
+import numpy as np
+
+from repro.gpu.costmodel import CostSnapshot
+
+__all__ = ["InferenceResult", "Engine", "sdgc_categories"]
+
+
+def sdgc_categories(y_last: np.ndarray) -> np.ndarray:
+    """Boolean vector over inputs: True where the column has any nonzero."""
+    return (y_last != 0).any(axis=0)
+
+
+@dataclass
+class InferenceResult:
+    """Output of one engine run."""
+
+    y: np.ndarray
+    #: wall-clock seconds per named stage (engine-specific stage names;
+    #: SNICIT uses the paper's four: pre_convergence, conversion,
+    #: post_convergence, recovery)
+    stage_seconds: dict[str, float]
+    #: wall-clock seconds per layer, length = network depth
+    layer_seconds: np.ndarray
+    #: cost-model snapshot *deltas* per stage (same keys as stage_seconds)
+    modeled: dict[str, CostSnapshot] = field(default_factory=dict)
+    #: engine-specific extras (centroid counts, empty-column traces, ...)
+    stats: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def categories(self) -> np.ndarray:
+        """SDGC golden-reference categories (inputs alive at the last layer)."""
+        return sdgc_categories(self.y)
+
+    @property
+    def total_seconds(self) -> float:
+        return float(sum(self.stage_seconds.values()))
+
+    @property
+    def modeled_seconds(self) -> float:
+        return float(sum(s.modeled_seconds for s in self.modeled.values()))
+
+
+class Engine(Protocol):
+    """Structural type implemented by SNICIT and every baseline."""
+
+    name: str
+
+    def infer(self, y0: np.ndarray) -> InferenceResult:  # pragma: no cover - protocol
+        ...

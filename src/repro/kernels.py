@@ -1,0 +1,99 @@
+"""The shared "champion" spMM kernel with strategy selection.
+
+XY-2021's contribution is an spMM *optimization space* searched with a cost
+model.  For the Radix-Net workloads the space collapses to a simple but
+effective choice per layer:
+
+* when the activation block has many all-zero rows (dead neurons across the
+  whole batch — the dominant regime deep in SDGC nets), use the
+  column-masked kernel :func:`~repro.sparse.spmm.spmm_masked`, whose work
+  scales with the *live* rows;
+* otherwise use the ELLPACK kernel, the fastest dense-activation strategy
+  for fixed fan-in.
+
+SNICIT §3.1/§3.3.1 states it adopts the champions' kernels for both its
+pre-convergence and load-reduced spMM stages, so this module is used by the
+XY-2021 baseline *and* by SNICIT — the comparison between them then isolates
+exactly what the paper isolates: the value of compression at inference time,
+not kernel differences.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.costmodel import KernelCharge
+from repro.network import SparseNetwork
+from repro.sparse.spmm import spmm_colwise, spmm_ell, spmm_masked
+
+__all__ = [
+    "champion_spmm",
+    "baseline_spmm",
+    "charge_for",
+    "LIVE_ROW_THRESHOLD",
+    "DENSE_WEIGHT_THRESHOLD",
+]
+
+#: Above this live-row fraction, masking overhead outweighs the skipped work.
+LIVE_ROW_THRESHOLD = 0.6
+
+#: Above this weight density the layer counts as "dense-ish" (medium-scale
+#: 50-60 % layers) and the activation-driven column-wise kernel — BF-2019's
+#: kernel shape, which the paper adopts for its medium experiments — wins.
+DENSE_WEIGHT_THRESHOLD = 0.2
+
+
+def champion_spmm(
+    net: SparseNetwork, i: int, y: np.ndarray
+) -> tuple[np.ndarray, int, str]:
+    """Compute ``W(i) @ y`` with the best strategy for this block.
+
+    Returns ``(z, work, strategy)``: ``work`` is the kernel's cost-model
+    unit count — multiplied weight nonzeros for the batch-parallel kernels
+    ('masked'/'ell', each unit costs a length-B FMA row), activation
+    nonzeros for the column-wise kernel (each unit costs a length-N_out FMA
+    column).
+    """
+    layer = net.layers[i]
+    if layer.weight.density >= DENSE_WEIGHT_THRESHOLD:
+        z, nnz = spmm_colwise(net.dense(i), y)
+        return z, nnz, "colwise"
+    live = (y != 0).any(axis=1)
+    frac = float(live.mean()) if live.size else 0.0
+    if frac < LIVE_ROW_THRESHOLD:
+        z, active_nnz = spmm_masked(layer.weight, y, live)
+        return z, active_nnz, "masked"
+    z = spmm_ell(net.ell(i), y)
+    return z, layer.weight.nnz, "ell"
+
+
+def baseline_spmm(net: SparseNetwork, i: int, y: np.ndarray) -> tuple[np.ndarray, int, str]:
+    """The BF-2019 / SNIG-2020 kernel: plain per-topology strategy.
+
+    ELL for the fixed-fan-in Radix-Net layers, the activation-driven
+    column-wise kernel for dense-ish (medium-scale) layers.  No live-row
+    masking — that refinement belongs to XY's optimization space.
+    """
+    layer = net.layers[i]
+    if layer.weight.density >= DENSE_WEIGHT_THRESHOLD:
+        z, nnz = spmm_colwise(net.dense(i), y)
+        return z, nnz, "colwise"
+    z = spmm_ell(net.ell(i), y)
+    return z, layer.weight.nnz, "ell"
+
+
+def charge_for(strategy: str, work: int, n_out: int, batch: int, name: str) -> KernelCharge:
+    """Cost-model charge for one champion/baseline kernel invocation."""
+    if strategy == "colwise":
+        return KernelCharge(
+            name=name,
+            flops=2.0 * work * n_out,
+            bytes_read=float(work) * (n_out * 4 + 8),
+            bytes_written=float(n_out) * batch * 4,
+        )
+    return KernelCharge(
+        name=name,
+        flops=2.0 * work * batch,
+        bytes_read=float(work) * (batch * 4 + 12),
+        bytes_written=float(n_out) * batch * 4,
+    )

@@ -1,0 +1,53 @@
+"""Minimal trainable neural-network stack (medium-scale DNN substrate).
+
+The paper trains its four medium-scale networks (Table 4) with PyTorch and
+the SparseLinear toolkit; neither is available offline, so this package
+implements the needed pieces from scratch on NumPy:
+
+* layers with explicit forward/backward (:mod:`repro.nn.layers`):
+  ``Dense``, ``SparseLinear`` (static random mask, 50-60 % density like the
+  paper's), ``Conv2d`` (im2col), ``MaxPool2d``, ``Flatten``, ``BoundedReLU``
+  (the paper's ReLU clamped at 1 for medium DNNs);
+* softmax cross-entropy loss (:mod:`repro.nn.loss`);
+* Adam and SGD optimizers (:mod:`repro.nn.optim`);
+* a ``Sequential`` container with a training loop (:mod:`repro.nn.model`);
+* export of a trained model's sparse hidden stack into the inference-side
+  :class:`~repro.network.SparseNetwork` format consumed by SNICIT and the
+  baselines (:mod:`repro.nn.export`).
+
+Training batches are row-major ``(batch, features)``; the export step
+transposes into the paper's column-per-sample layout.
+"""
+
+from repro.nn.params import Param
+from repro.nn.layers import (
+    BoundedReLU,
+    Conv2d,
+    Dense,
+    Flatten,
+    MaxPool2d,
+    Module,
+    SparseLinear,
+)
+from repro.nn.loss import softmax_cross_entropy
+from repro.nn.optim import SGD, Adam
+from repro.nn.model import Sequential, accuracy
+from repro.nn.export import export_sparse_stack, SparseStack
+
+__all__ = [
+    "Param",
+    "Module",
+    "Dense",
+    "SparseLinear",
+    "Conv2d",
+    "MaxPool2d",
+    "Flatten",
+    "BoundedReLU",
+    "softmax_cross_entropy",
+    "Adam",
+    "SGD",
+    "Sequential",
+    "accuracy",
+    "export_sparse_stack",
+    "SparseStack",
+]

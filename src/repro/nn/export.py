@@ -1,0 +1,100 @@
+"""Export a trained model's sparse hidden stack to the inference format.
+
+The paper's medium-scale comparison runs SNICIT and the baselines *only on
+the l sparsely-connected hidden layers* (§4.2: "we focus on the l sparsely
+connected hidden layers ... and compare SNICIT with the baselines on these
+sparse layers").  This module splits a trained :class:`~repro.nn.model.
+Sequential` into
+
+* ``head``   — everything before the first SparseLinear (dense embedding,
+  conv feature extractor); run once to produce ``Y(0)``;
+* ``network``— the sparse stack as a :class:`~repro.network.SparseNetwork`
+  (weights transposed to the inference ``(out, in)`` convention, per-neuron
+  bias vectors, the BoundedReLU's ymax);
+* ``tail``   — the classification layers after the sparse stack; maps the
+  engine's ``Y(l)`` back to logits, so end-to-end accuracy (and SNICIT's
+  accuracy loss) can be measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.network import LayerSpec, SparseNetwork
+from repro.nn.layers import BoundedReLU, Module, SparseLinear
+from repro.nn.model import Sequential
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["SparseStack", "export_sparse_stack"]
+
+
+@dataclass
+class SparseStack:
+    """A trained model split into head / sparse network / tail."""
+
+    head_layers: list[Module]
+    network: SparseNetwork
+    tail_layers: list[Module]
+
+    def head(self, images: np.ndarray) -> np.ndarray:
+        """Run the head and transpose into the (N, B) column layout."""
+        x = images
+        for layer in self.head_layers:
+            x = layer.forward(x)
+        return np.ascontiguousarray(x.T)
+
+    def tail(self, y_last: np.ndarray) -> np.ndarray:
+        """Map the sparse stack's output ``(N, B)`` to logits ``(B, K)``."""
+        x = np.ascontiguousarray(y_last.T)
+        for layer in self.tail_layers:
+            x = layer.forward(x)
+        return x
+
+    def reference_logits(self, images: np.ndarray) -> np.ndarray:
+        """Full exact forward pass (head -> dense sparse-stack -> tail)."""
+        y = self.head(images)
+        for spec in self.network.layers:
+            z = spec.weight.to_dense() @ y + spec.bias_column()
+            y = self.network.activation(z)
+        return self.tail(y)
+
+
+def export_sparse_stack(model: Sequential, name: str | None = None) -> SparseStack:
+    """Split ``model`` around its contiguous run of SparseLinear layers."""
+    sparse_idx = [i for i, l in enumerate(model.layers) if isinstance(l, SparseLinear)]
+    if not sparse_idx:
+        raise ConfigError("model has no SparseLinear layers to export")
+    if sparse_idx != list(range(sparse_idx[0], sparse_idx[-1] + 2, 2)):
+        raise ConfigError(
+            "SparseLinear layers must alternate with activations "
+            "(SparseLinear, BoundedReLU, SparseLinear, ...)"
+        )
+    first, last = sparse_idx[0], sparse_idx[-1]
+    ymax: float | None = None
+    specs: list[LayerSpec] = []
+    for i in sparse_idx:
+        if i + 1 >= len(model.layers) or not isinstance(model.layers[i + 1], BoundedReLU):
+            raise ConfigError(f"SparseLinear at index {i} is not followed by BoundedReLU")
+        act: BoundedReLU = model.layers[i + 1]
+        if ymax is None:
+            ymax = act.ymax
+        elif act.ymax != ymax:
+            raise ConfigError("all sparse-stack activations must share one ymax")
+        layer: SparseLinear = model.layers[i]
+        w = CSRMatrix.from_dense((layer.weight.value * layer.mask).T)
+        specs.append(LayerSpec(weight=w, bias=layer.bias.value.copy(), name=f"S{i}"))
+    net = SparseNetwork(
+        specs,
+        ymax=float(ymax),
+        name=name or f"{model.name}-sparse-stack",
+        meta={"kind": "medium", "source_model": model.name},
+    )
+    return SparseStack(
+        head_layers=model.layers[:first],
+        network=net,
+        tail_layers=model.layers[last + 2 :],
+    )

@@ -1,0 +1,265 @@
+"""Layers with explicit forward/backward passes.
+
+Shapes are row-major: dense layers take ``(batch, features)``, convolutional
+layers take ``(batch, channels, height, width)``.  Each layer caches what its
+backward pass needs during forward; calling ``backward`` before ``forward``
+is a usage error and raises.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError, ShapeError
+from repro.nn.params import Param
+
+__all__ = [
+    "Module",
+    "Dense",
+    "SparseLinear",
+    "BoundedReLU",
+    "Flatten",
+    "Conv2d",
+    "MaxPool2d",
+]
+
+
+class Module:
+    """Base layer: forward, backward, parameter enumeration."""
+
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def params(self) -> list[Param]:
+        return []
+
+    def __call__(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        return self.forward(x, train=train)
+
+
+def _he_init(rng: np.random.Generator, fan_in: int, shape: tuple[int, ...]) -> np.ndarray:
+    return rng.normal(0.0, np.sqrt(2.0 / fan_in), size=shape).astype(np.float32)
+
+
+class Dense(Module):
+    """Fully-connected layer ``y = x @ W + b`` with W of shape (in, out)."""
+
+    def __init__(self, n_in: int, n_out: int, rng: np.random.Generator, name: str = "dense"):
+        self.weight = Param(_he_init(rng, n_in, (n_in, n_out)), f"{name}.W")
+        self.bias = Param(np.zeros(n_out, dtype=np.float32), f"{name}.b")
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.weight.shape[0]:
+            raise ShapeError(f"Dense expects (B, {self.weight.shape[0]}), got {x.shape}")
+        self._x = x if train else None
+        return x @ self.weight.value + self.bias.value
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise ConfigError("backward() before forward(train=True)")
+        self.weight.grad += self._x.T @ grad
+        self.bias.grad += grad.sum(axis=0)
+        return grad @ self.weight.value.T
+
+    def params(self) -> list[Param]:
+        return [self.weight, self.bias]
+
+
+class SparseLinear(Module):
+    """Statically-masked linear layer (the SparseLinear toolkit's model).
+
+    A fixed random boolean mask of the requested density is applied to the
+    weights at construction and re-applied to every gradient, so masked
+    connections never receive weight.  The paper's networks use densities of
+    50-60 % (§4.2).
+    """
+
+    def __init__(
+        self,
+        n_in: int,
+        n_out: int,
+        density: float,
+        rng: np.random.Generator,
+        name: str = "sparse",
+    ):
+        if not 0.0 < density <= 1.0:
+            raise ConfigError(f"density must be in (0, 1], got {density}")
+        self.mask = (rng.random((n_in, n_out)) < density).astype(np.float32)
+        # guarantee every output neuron keeps at least one input
+        dead = np.flatnonzero(self.mask.sum(axis=0) == 0)
+        if len(dead):
+            self.mask[rng.integers(0, n_in, size=len(dead)), dead] = 1.0
+        self.weight = Param(_he_init(rng, max(1, int(n_in * density)), (n_in, n_out)) * self.mask,
+                            f"{name}.W")
+        self.bias = Param(np.zeros(n_out, dtype=np.float32), f"{name}.b")
+        self._x: np.ndarray | None = None
+
+    @property
+    def density(self) -> float:
+        return float(self.mask.mean())
+
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.weight.shape[0]:
+            raise ShapeError(f"SparseLinear expects (B, {self.weight.shape[0]}), got {x.shape}")
+        self._x = x if train else None
+        return x @ self.weight.value + self.bias.value
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise ConfigError("backward() before forward(train=True)")
+        self.weight.grad += (self._x.T @ grad) * self.mask
+        self.bias.grad += grad.sum(axis=0)
+        return grad @ self.weight.value.T
+
+    def params(self) -> list[Param]:
+        return [self.weight, self.bias]
+
+
+class BoundedReLU(Module):
+    """``min(max(x, 0), ymax)`` — the paper's activation (ymax=1 for §4.2)."""
+
+    def __init__(self, ymax: float = 1.0):
+        if ymax <= 0:
+            raise ConfigError("ymax must be positive")
+        self.ymax = float(ymax)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        out = np.clip(x, 0.0, self.ymax)
+        self._mask = ((x > 0) & (x < self.ymax)) if train else None
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise ConfigError("backward() before forward(train=True)")
+        return grad * self._mask
+
+
+class Flatten(Module):
+    """Collapse all non-batch dimensions."""
+
+    def __init__(self) -> None:
+        self._shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise ConfigError("backward() before forward()")
+        return grad.reshape(self._shape)
+
+
+def _im2col(x: np.ndarray, k: int, pad: int) -> tuple[np.ndarray, tuple[int, int]]:
+    """Unfold ``(B, C, H, W)`` into ``(B, C*k*k, H_out*W_out)`` (stride 1)."""
+    b, c, h, w = x.shape
+    if pad:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    h_out, w_out = h + 2 * pad - k + 1, w + 2 * pad - k + 1
+    # gather k*k shifted views; stride tricks keep this allocation-free
+    s = x.strides
+    view = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(b, c, k, k, h_out, w_out),
+        strides=(s[0], s[1], s[2], s[3], s[2], s[3]),
+        writeable=False,
+    )
+    cols = view.reshape(b, c * k * k, h_out * w_out)
+    return np.ascontiguousarray(cols), (h_out, w_out)
+
+
+def _col2im(cols: np.ndarray, x_shape: tuple[int, ...], k: int, pad: int) -> np.ndarray:
+    """Adjoint of :func:`_im2col` (scatter-add the unfolded gradient)."""
+    b, c, h, w = x_shape
+    h_p, w_p = h + 2 * pad, w + 2 * pad
+    h_out, w_out = h_p - k + 1, w_p - k + 1
+    grad = np.zeros((b, c, h_p, w_p), dtype=cols.dtype)
+    cols = cols.reshape(b, c, k, k, h_out, w_out)
+    for i in range(k):
+        for j in range(k):
+            grad[:, :, i : i + h_out, j : j + w_out] += cols[:, :, i, j]
+    if pad:
+        grad = grad[:, :, pad:-pad, pad:-pad]
+    return grad
+
+
+class Conv2d(Module):
+    """Stride-1 2-D convolution via im2col (network D's feature extractor)."""
+
+    def __init__(
+        self,
+        c_in: int,
+        c_out: int,
+        kernel: int,
+        rng: np.random.Generator,
+        padding: int = 1,
+        name: str = "conv",
+    ):
+        self.kernel = int(kernel)
+        self.padding = int(padding)
+        fan_in = c_in * kernel * kernel
+        self.weight = Param(_he_init(rng, fan_in, (c_out, fan_in)), f"{name}.W")
+        self.bias = Param(np.zeros(c_out, dtype=np.float32), f"{name}.b")
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        if x.ndim != 4:
+            raise ShapeError(f"Conv2d expects (B, C, H, W), got {x.shape}")
+        cols, (h_out, w_out) = _im2col(x, self.kernel, self.padding)
+        out = np.einsum("of,bfl->bol", self.weight.value, cols) + self.bias.value[None, :, None]
+        self._cache = (cols, x.shape, h_out, w_out) if train else None
+        return out.reshape(x.shape[0], -1, h_out, w_out)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise ConfigError("backward() before forward(train=True)")
+        cols, x_shape, h_out, w_out = self._cache
+        g = grad.reshape(grad.shape[0], grad.shape[1], -1)
+        self.weight.grad += np.einsum("bol,bfl->of", g, cols)
+        self.bias.grad += g.sum(axis=(0, 2))
+        gcols = np.einsum("of,bol->bfl", self.weight.value, g)
+        return _col2im(gcols, x_shape, self.kernel, self.padding)
+
+    def params(self) -> list[Param]:
+        return [self.weight, self.bias]
+
+
+class MaxPool2d(Module):
+    """2x2 stride-2 max pooling (requires even spatial dims)."""
+
+    def __init__(self) -> None:
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        b, c, h, w = x.shape
+        if h % 2 or w % 2:
+            raise ShapeError(f"MaxPool2d needs even H, W; got {x.shape}")
+        blocks = x.reshape(b, c, h // 2, 2, w // 2, 2)
+        out = blocks.max(axis=(3, 5))
+        if train:
+            mask = blocks == out[:, :, :, None, :, None]
+            # break ties deterministically: keep only the first max per window
+            flat = mask.transpose(0, 1, 2, 4, 3, 5).reshape(b, c, h // 2, w // 2, 4)
+            first = np.cumsum(flat, axis=-1) == 1
+            mask = (
+                (flat & first)
+                .reshape(b, c, h // 2, w // 2, 2, 2)
+                .transpose(0, 1, 2, 4, 3, 5)
+            )
+            self._cache = (mask, x.shape)
+        else:
+            self._cache = None
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise ConfigError("backward() before forward(train=True)")
+        mask, x_shape = self._cache
+        b, c, h, w = x_shape
+        g = grad[:, :, :, None, :, None] * mask
+        return g.reshape(x_shape)

@@ -1,0 +1,34 @@
+"""Losses (the paper trains with cross-entropy, §4.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+__all__ = ["softmax_cross_entropy", "softmax"]
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax with max-shift for numerical stability."""
+    z = logits - logits.max(axis=1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, labels: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Mean cross-entropy loss and its gradient w.r.t. the logits.
+
+    ``logits`` is ``(B, K)``, ``labels`` is ``(B,)`` integer classes.
+    """
+    if logits.ndim != 2 or labels.shape != (logits.shape[0],):
+        raise ShapeError(f"bad shapes: logits {logits.shape}, labels {labels.shape}")
+    b = logits.shape[0]
+    p = softmax(logits)
+    eps = np.finfo(p.dtype).tiny
+    loss = float(-np.log(p[np.arange(b), labels] + eps).mean())
+    grad = p
+    grad[np.arange(b), labels] -= 1.0
+    return loss, grad / b

@@ -1,0 +1,104 @@
+"""Sequential model container and training loop."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.loader import Dataset
+from repro.errors import ConfigError
+from repro.nn.layers import Module
+from repro.nn.loss import softmax_cross_entropy
+from repro.nn.optim import Adam
+
+__all__ = ["Sequential", "accuracy", "TrainReport"]
+
+
+@dataclass
+class TrainReport:
+    """Per-epoch loss and accuracy trace from :meth:`Sequential.fit`."""
+
+    losses: list[float]
+    train_accuracies: list[float]
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 classification accuracy."""
+    return float((logits.argmax(axis=1) == labels).mean())
+
+
+class Sequential(Module):
+    """An ordered stack of layers trained with softmax cross-entropy."""
+
+    def __init__(self, layers: list[Module], name: str = "model"):
+        if not layers:
+            raise ConfigError("Sequential needs at least one layer")
+        self.layers = list(layers)
+        self.name = name
+
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x, train=train)
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def params(self):
+        out = []
+        for layer in self.layers:
+            out.extend(layer.params())
+        return out
+
+    def predict(self, images: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Logits for an image batch, evaluated in chunks."""
+        outs = [
+            self.forward(images[lo : lo + batch_size])
+            for lo in range(0, len(images), batch_size)
+        ]
+        return np.concatenate(outs, axis=0)
+
+    def evaluate(self, ds: Dataset, batch_size: int = 256) -> float:
+        """Top-1 accuracy on a dataset."""
+        return accuracy(self.predict(ds.images, batch_size), ds.labels)
+
+    def fit(
+        self,
+        train: Dataset,
+        epochs: int,
+        rng: np.random.Generator,
+        batch_size: int = 64,
+        lr: float = 6e-5,
+        optimizer: type | None = None,
+        verbose: bool = False,
+    ) -> TrainReport:
+        """Train with Adam (paper §4.2: Adam, lr 6e-5, cross-entropy).
+
+        The paper trains for 150 epochs at full MNIST scale; the scaled
+        experiments here reach their accuracy plateau in far fewer epochs.
+        """
+        opt = (optimizer or Adam)(self.params(), lr=lr)
+        losses: list[float] = []
+        accs: list[float] = []
+        for epoch in range(epochs):
+            epoch_loss = 0.0
+            epoch_correct = 0
+            shuffled = train.shuffled(rng)
+            n_batches = 0
+            for batch in shuffled.batches(batch_size):
+                logits = self.forward(batch.images, train=True)
+                loss, grad = softmax_cross_entropy(logits, batch.labels)
+                opt.zero_grad()
+                self.backward(grad)
+                opt.step()
+                epoch_loss += loss
+                epoch_correct += int((logits.argmax(axis=1) == batch.labels).sum())
+                n_batches += 1
+            losses.append(epoch_loss / max(1, n_batches))
+            accs.append(epoch_correct / len(train))
+            if verbose:  # pragma: no cover - logging only
+                print(f"[{self.name}] epoch {epoch}: loss={losses[-1]:.4f} acc={accs[-1]:.3f}")
+        return TrainReport(losses, accs)

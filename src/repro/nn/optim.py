@@ -1,0 +1,75 @@
+"""Optimizers (the paper uses Adam with lr = 6e-5, §4.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.nn.params import Param
+
+__all__ = ["SGD", "Adam"]
+
+
+class SGD:
+    """Plain stochastic gradient descent with optional momentum."""
+
+    def __init__(self, params: list[Param], lr: float = 0.01, momentum: float = 0.0):
+        if lr <= 0:
+            raise ConfigError("lr must be positive")
+        self.params = list(params)
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.value) for p in self.params]
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            if self.momentum:
+                v *= self.momentum
+                v -= self.lr * p.grad
+                p.value += v
+            else:
+                p.value -= self.lr * p.grad
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+
+class Adam:
+    """Adam (Kingma & Ba, 2014) with bias correction."""
+
+    def __init__(
+        self,
+        params: list[Param],
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ):
+        if lr <= 0:
+            raise ConfigError("lr must be positive")
+        if not (0 <= beta1 < 1 and 0 <= beta2 < 1):
+            raise ConfigError("betas must be in [0, 1)")
+        self.params = list(params)
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m = [np.zeros_like(p.value) for p in self.params]
+        self._v = [np.zeros_like(p.value) for p in self.params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        b1t = 1.0 - self.beta1**self._t
+        b2t = 1.0 - self.beta2**self._t
+        for p, m, v in zip(self.params, self._m, self._v):
+            m *= self.beta1
+            m += (1 - self.beta1) * p.grad
+            v *= self.beta2
+            v += (1 - self.beta2) * (p.grad * p.grad)
+            p.value -= self.lr * (m / b1t) / (np.sqrt(v / b2t) + self.eps)
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()

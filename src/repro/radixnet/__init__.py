@@ -1,0 +1,42 @@
+"""Radix-Net synthetic sparse DNN generation (SDGC substrate).
+
+The SDGC benchmarks are generated with the Radix-Net structured-sparse
+topology generator (Kepner & Robinett, IPDPSW 2019): every neuron has exactly
+``fanin`` connections to the previous layer, arranged as mixed-radix
+butterfly stages so that after ``ceil(log_fanin N)`` layers every input can
+influence every output.  This package reproduces the family at configurable
+scale:
+
+* :mod:`repro.radixnet.generator` — butterfly topology construction,
+* :mod:`repro.radixnet.weights` — random weight / constant bias assignment
+  calibrated so activations saturate against the SDGC clamp the way the real
+  benchmarks do (the property SNICIT's residue cancellation exploits),
+* :mod:`repro.radixnet.io` — SDGC ``.tsv`` interchange format,
+* :mod:`repro.radixnet.registry` — the scaled Table-1 benchmark registry and
+  input generation.
+"""
+
+from repro.radixnet.generator import butterfly_indices, radixnet_topology
+from repro.radixnet.weights import assign_weights, sdgc_bias
+from repro.radixnet.registry import (
+    BENCHMARKS,
+    BenchmarkSpec,
+    benchmark_input,
+    build_benchmark,
+    list_benchmarks,
+)
+from repro.radixnet.io import load_layer_tsv, save_layer_tsv
+
+__all__ = [
+    "butterfly_indices",
+    "radixnet_topology",
+    "assign_weights",
+    "sdgc_bias",
+    "BENCHMARKS",
+    "BenchmarkSpec",
+    "build_benchmark",
+    "benchmark_input",
+    "list_benchmarks",
+    "load_layer_tsv",
+    "save_layer_tsv",
+]

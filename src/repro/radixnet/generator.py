@@ -1,0 +1,79 @@
+"""Radix-Net butterfly topology construction.
+
+A Radix-Net layer with radix ``r`` and stride ``p`` connects output neuron
+``j`` to the ``r`` input neurons ``(j + k * p) mod N`` for ``k in 0..r-1``.
+Stacking layers whose strides cycle through ``r**0, r**1, ...`` yields the
+mixed-radix butterfly of the original generator: after ``ceil(log_r N)``
+stages the union of paths from any input reaches every output.  An optional
+per-layer random permutation of output neurons reproduces the permuted
+Kronecker variants used for the published SDGC networks.
+
+Every output neuron has exactly ``r`` in-edges (SDGC §2.1: "Each neuron in
+all architectures has 32 edge connections with neurons in adjacent layers").
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = ["butterfly_indices", "radixnet_topology", "effective_stride"]
+
+
+def effective_stride(n: int, stride: int, fanin: int) -> int:
+    """Smallest stride >= the requested one whose multiples are distinct.
+
+    ``(j + k * p) mod n`` visits ``n / gcd(p, n)`` distinct offsets; when n is
+    not a power of the radix the nominal butterfly stride can alias (e.g.
+    n=144, p=32 gives only 9 distinct in-neighbors).  We bump the stride until
+    the first ``fanin`` multiples are distinct, preserving exact fan-in for
+    every n.
+    """
+    p = max(1, stride % n) if n > 1 else 1
+    while n // math.gcd(p, n) < fanin:
+        p += 1
+    return p
+
+
+def butterfly_indices(n: int, radix: int, stride: int) -> np.ndarray:
+    """Index matrix ``(n, radix)``: in-neighbors of each output neuron."""
+    if n <= 0:
+        raise ConfigError("n must be positive")
+    if not 1 <= radix <= n:
+        raise ConfigError(f"radix must be in [1, n]; got radix={radix}, n={n}")
+    j = np.arange(n, dtype=np.int64)[:, None]
+    k = np.arange(radix, dtype=np.int64)[None, :]
+    return (j + k * stride) % n
+
+
+def radixnet_topology(
+    n: int,
+    n_layers: int,
+    fanin: int = 32,
+    rng: np.random.Generator | None = None,
+    permute: bool = True,
+) -> list[np.ndarray]:
+    """Per-layer index matrices for an ``n``-neuron, ``n_layers``-deep net.
+
+    Strides cycle through ``fanin**0 .. fanin**(d-1)`` (``d = ceil(log_fanin
+    n)``) so consecutive layers form complete butterflies.  If ``permute`` is
+    true, each layer's rows are additionally routed through a random output
+    permutation (requires ``rng``).
+    """
+    if fanin > n:
+        raise ConfigError(f"fanin {fanin} exceeds neuron count {n}")
+    if permute and rng is None:
+        raise ConfigError("permute=True requires an rng")
+    depth = max(1, math.ceil(math.log(n, fanin))) if n > 1 else 1
+    layers: list[np.ndarray] = []
+    for layer in range(n_layers):
+        stride = effective_stride(n, fanin ** (layer % depth), fanin)
+        idx = butterfly_indices(n, fanin, stride)
+        if permute:
+            perm = rng.permutation(n)
+            idx = idx[perm]
+        layers.append(idx)
+    return layers

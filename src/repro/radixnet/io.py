@@ -1,0 +1,92 @@
+"""SDGC tab-separated interchange format.
+
+The official Graph Challenge distributes each layer as a ``.tsv`` of
+1-indexed ``row<TAB>col<TAB>value`` triplets.  These helpers read and write
+that format so networks generated here can be exchanged with SDGC tooling
+(and so the registry can optionally persist generated benchmarks).
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["save_layer_tsv", "load_layer_tsv", "save_categories", "load_categories"]
+
+
+def save_layer_tsv(path: str | Path, layer: CSRMatrix) -> None:
+    """Write one layer's weights as 1-indexed SDGC triplets."""
+    coo = layer.to_coo().sorted()
+    with open(path, "w", encoding="ascii") as fh:
+        for r, c, v in zip(coo.row, coo.col, coo.data):
+            fh.write(f"{r + 1}\t{c + 1}\t{v:.9g}\n")
+
+
+def load_layer_tsv(path: str | Path, shape: tuple[int, int], dtype=np.float32) -> CSRMatrix:
+    """Read one layer from SDGC 1-indexed triplets."""
+    rows: list[int] = []
+    cols: list[int] = []
+    vals: list[float] = []
+    text = Path(path).read_text(encoding="ascii")
+    for lineno, line in enumerate(io.StringIO(text), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        parts = line.split("\t")
+        if len(parts) != 3:
+            raise FormatError(f"{path}:{lineno}: expected 3 tab-separated fields")
+        try:
+            r, c, v = int(parts[0]), int(parts[1]), float(parts[2])
+        except ValueError as exc:
+            raise FormatError(f"{path}:{lineno}: {exc}") from exc
+        if r < 1 or c < 1:
+            raise FormatError(f"{path}:{lineno}: SDGC indices are 1-based")
+        rows.append(r - 1)
+        cols.append(c - 1)
+        vals.append(v)
+    coo = COOMatrix(
+        np.array(rows, dtype=np.int64),
+        np.array(cols, dtype=np.int64),
+        np.array(vals, dtype=dtype),
+        shape,
+    )
+    return CSRMatrix.from_coo(coo)
+
+
+def save_categories(path: str | Path, categories: np.ndarray) -> None:
+    """Write a golden-reference category file: 1-indexed surviving inputs.
+
+    The contest's truth files list the indices of the inputs that still have
+    nonzero activations at the last layer, one per line.
+    """
+    categories = np.asarray(categories)
+    if categories.dtype == bool:
+        indices = np.flatnonzero(categories)
+    else:
+        indices = categories.astype(np.int64)
+    with open(path, "w", encoding="ascii") as fh:
+        for idx in indices:
+            fh.write(f"{idx + 1}\n")
+
+
+def load_categories(path: str | Path, batch: int) -> np.ndarray:
+    """Read a golden-reference category file into a boolean vector."""
+    out = np.zeros(batch, dtype=bool)
+    for lineno, line in enumerate(Path(path).read_text(encoding="ascii").splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            idx = int(line)
+        except ValueError as exc:
+            raise FormatError(f"{path}:{lineno}: {exc}") from exc
+        if not 1 <= idx <= batch:
+            raise FormatError(f"{path}:{lineno}: category {idx} out of range [1, {batch}]")
+        out[idx - 1] = True
+    return out

@@ -1,0 +1,196 @@
+"""Scaled SDGC benchmark registry (paper Table 1).
+
+Python-on-CPU cannot hold the full SDGC sizes (up to 4x10^9 edges), so the
+registry maps each of the paper's 12 benchmarks to a scaled twin that keeps
+the structure intact: square neuron counts (inputs are resized images),
+exactly 32-edge fan-in, the SDGC bias ladder, and the same x2 neuron / layer
+tier ratios.  ``meta['paper_name']`` records which paper benchmark each entry
+stands in for; EXPERIMENTS.md reports paper-vs-measured per pair.
+
+================  =================  =======
+paper benchmark   scaled benchmark   bias
+================  =================  =======
+1024-{120..1920}  144-{24,48,120}    -0.30
+4096-{...}        256-{24,48,120}    -0.35
+16384-{...}       576-{24,48,120}    -0.40
+65536-{...}       1024-{24,48,120}   -0.45
+================  =================  =======
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.loader import binarize, images_to_columns
+from repro.data.resize import bilinear_resize
+from repro.data.synth_mnist import prototype_digit_batch
+from repro.errors import ConfigError
+from repro.network import LayerSpec, SparseNetwork
+from repro.radixnet.generator import radixnet_topology
+from repro.radixnet.weights import WeightScale, assign_weights
+
+__all__ = [
+    "BenchmarkSpec",
+    "BENCHMARKS",
+    "list_benchmarks",
+    "build_benchmark",
+    "benchmark_input",
+]
+
+#: SDGC activation upper bound (paper §2.1).
+SDGC_YMAX = 32.0
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """One scaled SDGC benchmark."""
+
+    name: str
+    neurons: int
+    layers: int
+    bias: float
+    paper_name: str
+    fanin: int = 32
+    batch_default: int = 2000
+
+    @property
+    def image_side(self) -> int:
+        side = int(round(math.sqrt(self.neurons)))
+        if side * side != self.neurons:
+            raise ConfigError(f"benchmark neurons {self.neurons} is not a perfect square")
+        return side
+
+    @property
+    def connections(self) -> int:
+        """Total edge count (Table 1 'Connections' analogue)."""
+        return self.neurons * self.fanin * self.layers
+
+
+#: Per-tier (self_weight, pos) calibrated so every tier lands in the SDGC
+#: regime: the vast majority of input columns go completely dead over the
+#: first ~12-24 layers (the contest's "category" structure) and the few
+#: survivors settle into a handful of railed patterns.  The smallest tier
+#: (bias -0.3) barely dies — matching the paper's observation that SNICIT's
+#: edge is smallest there (Table 3: 1.11x on 1024-120).  The more negative
+#: the tier's bias, the more positive drive the mixture needs.
+_TIER_SCALE = {
+    144: (1.35, 0.15),
+    256: (1.35, 0.35),
+    576: (1.35, 0.70),
+    1024: (1.35, 0.85),
+}
+
+
+def tier_weight_scale(neurons: int) -> WeightScale:
+    """The calibrated weight distribution for a registry tier."""
+    self_weight, pos = _TIER_SCALE.get(neurons, (1.35, 0.35))
+    return WeightScale(pos=pos, self_weight=self_weight)
+
+
+def _make_registry() -> dict[str, BenchmarkSpec]:
+    tiers = [
+        (144, -0.30, 1024, 2000),
+        (256, -0.35, 4096, 2000),
+        (576, -0.40, 16384, 2000),
+        (1024, -0.45, 65536, 1000),
+    ]
+    layer_map = [(24, 120), (48, 480), (120, 1920)]
+    registry: dict[str, BenchmarkSpec] = {}
+    for neurons, bias, paper_n, batch in tiers:
+        for layers, paper_l in layer_map:
+            name = f"{neurons}-{layers}"
+            registry[name] = BenchmarkSpec(
+                name=name,
+                neurons=neurons,
+                layers=layers,
+                bias=bias,
+                paper_name=f"{paper_n}-{paper_l}",
+                batch_default=batch,
+            )
+    return registry
+
+
+BENCHMARKS: dict[str, BenchmarkSpec] = _make_registry()
+
+
+def list_benchmarks() -> list[BenchmarkSpec]:
+    """All registry entries in Table-1 order (neurons major, layers minor)."""
+    return sorted(BENCHMARKS.values(), key=lambda s: (s.neurons, s.layers))
+
+
+def build_benchmark(
+    spec: str | BenchmarkSpec,
+    seed: int = 0,
+    permute: bool = False,
+    scale: WeightScale | None = None,
+) -> SparseNetwork:
+    """Generate the network for a registry entry (or custom spec).
+
+    ``permute`` defaults to False: the calibrated SDGC-like dynamics rely on
+    the butterfly self edge staying on the diagonal (see
+    :mod:`repro.radixnet.weights`); permuted variants remain available for
+    topology experiments.
+    """
+    if isinstance(spec, str):
+        try:
+            spec = BENCHMARKS[spec]
+        except KeyError:
+            raise ConfigError(
+                f"unknown benchmark {spec!r}; known: {sorted(BENCHMARKS)}"
+            ) from None
+    rng = np.random.default_rng(seed)
+    topo = radixnet_topology(
+        spec.neurons, spec.layers, fanin=min(spec.fanin, spec.neurons), rng=rng, permute=permute
+    )
+    if scale is None:
+        scale = tier_weight_scale(spec.neurons)
+    weights = assign_weights(topo, spec.neurons, rng, scale=scale)
+    layers = [
+        LayerSpec(weight=w, bias=spec.bias, name=f"L{i}") for i, w in enumerate(weights)
+    ]
+    return SparseNetwork(
+        layers,
+        ymax=SDGC_YMAX,
+        name=spec.name,
+        meta={
+            "kind": "sdgc",
+            "paper_name": spec.paper_name,
+            "bias": spec.bias,
+            "fanin": spec.fanin,
+            "neurons": spec.neurons,
+            "image_side": spec.image_side,
+        },
+    )
+
+
+def benchmark_input(
+    net: SparseNetwork,
+    batch: int,
+    seed: int = 1,
+    labeled: bool = False,
+    binarized: bool = True,
+):
+    """SDGC-style input block ``Y(0)`` of shape ``(neurons, batch)``.
+
+    Renders synthetic MNIST digits, bilinearly resizes 28x28 to the
+    benchmark's image side (§2.1), flattens to feature columns, and (by
+    default) binarizes like the contest inputs.  With ``labeled=True``
+    returns ``(Y0, labels)``.
+    """
+    side = net.meta.get("image_side")
+    if side is None:
+        side = int(round(math.sqrt(net.input_dim)))
+        if side * side != net.input_dim:
+            raise ConfigError(
+                f"network input dim {net.input_dim} is not a square; pass SDGC nets"
+            )
+    rng = np.random.default_rng(seed)
+    images, labels = prototype_digit_batch(batch, rng, size=28)
+    resized = bilinear_resize(images, side)
+    y0 = images_to_columns(resized)
+    if binarized:
+        y0 = binarize(y0, threshold=0.5)
+    return (y0, labels) if labeled else y0

@@ -1,0 +1,26 @@
+"""Inference-time data-compression related works (paper §2.2.2).
+
+The paper positions SNICIT against earlier dense-DNN compression-at-
+inference-time techniques.  This package implements the three families it
+cites, adapted to the sparse-stack setting, so they can be compared head to
+head with SNICIT on the medium-scale networks:
+
+* :class:`~repro.related.wta.WTAEngine` — DASNet-style dynamic
+  winners-take-all: after every layer only the top-k fraction of each
+  column's activations survive, shrinking the work of activation-driven
+  kernels at some accuracy cost.
+* :class:`~repro.related.threshold.ThresholdEngine` — Kurtz et al.:
+  boost activation sparsity by thresholding near-zero activations and
+  computing on the compressed representation.
+* :class:`~repro.related.cache_exit.CacheEarlyExit` — Kumar et al. / Li et
+  al.: cache historical hidden-layer sketches with their labels; on a
+  confident similarity hit, a query exits early with the cached label.
+  As the paper notes, the per-layer cache lookups add overhead proportional
+  to depth — the comparison experiment quantifies that.
+"""
+
+from repro.related.wta import WTAEngine
+from repro.related.threshold import ThresholdEngine
+from repro.related.cache_exit import CacheEarlyExit
+
+__all__ = ["WTAEngine", "ThresholdEngine", "CacheEarlyExit"]

@@ -1,0 +1,133 @@
+"""Cache-based early exit (Kumar et al. HotCloud'19; Li et al. ACM MM'21).
+
+Historical hidden-layer outputs are stored as downsampled sketches together
+with their final labels.  At inference time, each still-running query
+compares its sketch against the cache at every layer; a sufficiently
+confident nearest-neighbor hit lets the query *exit early* with the cached
+label.  The paper's critique (§2.2.2): the per-layer lookup overhead is
+proportional to depth, and the technique yields labels, not activations —
+it cannot feed downstream computation the way SNICIT's recovered ``Y(l)``
+can.  This implementation makes both effects measurable.
+
+Works on a :class:`~repro.nn.export.SparseStack` because early exit needs
+the classification head to produce cached labels.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.sampling import sum_downsample
+from repro.errors import ConfigError
+from repro.kernels import baseline_spmm
+from repro.nn.export import SparseStack
+
+__all__ = ["CacheEarlyExit", "EarlyExitResult"]
+
+
+@dataclass
+class EarlyExitResult:
+    """Outcome of a cached-inference run."""
+
+    labels: np.ndarray
+    exit_layer: np.ndarray  # per query; num_layers means "ran to the end"
+    seconds: float
+    #: fraction of queries that exited early
+    hit_rate: float = 0.0
+    stats: dict = field(default_factory=dict)
+
+
+class CacheEarlyExit:
+    """Sketch-cache early-exit inference over a trained sparse stack."""
+
+    name = "Cache-EarlyExit"
+
+    def __init__(
+        self,
+        stack: SparseStack,
+        sketch_dim: int = 16,
+        tolerance: float = 0.15,
+        check_every: int = 1,
+    ):
+        if sketch_dim < 1:
+            raise ConfigError("sketch_dim must be >= 1")
+        if tolerance < 0:
+            raise ConfigError("tolerance must be non-negative")
+        if check_every < 1:
+            raise ConfigError("check_every must be >= 1")
+        self.stack = stack
+        self.sketch_dim = sketch_dim
+        self.tolerance = tolerance
+        self.check_every = check_every
+        #: per-layer caches: list of (sketches (d, m), labels (m,))
+        self._cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+    # -- cache construction ---------------------------------------------
+    def build_cache(self, images: np.ndarray) -> None:
+        """Populate the per-layer sketch cache from reference images.
+
+        Labels stored are the *model's own predictions* (the cache
+        approximates the model, not the ground truth).
+        """
+        net = self.stack.network
+        y = self.stack.head(images).astype(np.float32)
+        sketches: dict[int, np.ndarray] = {}
+        for i in range(net.num_layers):
+            z, _, _ = baseline_spmm(net, i, y)
+            z += net.layers[i].bias_column()
+            y = net.activation(z)
+            if (i + 1) % self.check_every == 0:
+                sketches[i] = sum_downsample(y, self.sketch_dim)
+        labels = self.stack.tail(y).argmax(axis=1)
+        self._cache = {i: (s, labels) for i, s in sketches.items()}
+
+    @property
+    def cache_entries(self) -> int:
+        return sum(s.shape[1] for s, _ in self._cache.values())
+
+    # -- inference ---------------------------------------------------------
+    def predict(self, images: np.ndarray) -> EarlyExitResult:
+        """Classify images with per-layer cache lookups and early exit."""
+        if not self._cache:
+            raise ConfigError("call build_cache() before predict()")
+        net = self.stack.network
+        y = self.stack.head(images).astype(np.float32)
+        batch = y.shape[1]
+        labels = np.full(batch, -1, dtype=np.int64)
+        exit_layer = np.full(batch, net.num_layers, dtype=np.int64)
+        running = np.arange(batch)
+        t0 = time.perf_counter()
+        for i in range(net.num_layers):
+            if len(running) == 0:
+                break
+            z, _, _ = baseline_spmm(net, i, y)
+            z += net.layers[i].bias_column()
+            y = net.activation(z)
+            if i in self._cache:
+                cache_sketch, cache_labels = self._cache[i]
+                q = sum_downsample(y, self.sketch_dim)  # (d, running)
+                # nearest cached sketch per running query (L1, normalized)
+                d = np.abs(q[:, :, None] - cache_sketch[:, None, :]).mean(axis=0)
+                scale = np.abs(cache_sketch).mean() + 1e-9
+                best = d.argmin(axis=1)
+                hit = d[np.arange(len(running)), best] <= self.tolerance * scale
+                if hit.any():
+                    hit_cols = np.flatnonzero(hit)
+                    labels[running[hit_cols]] = cache_labels[best[hit_cols]]
+                    exit_layer[running[hit_cols]] = i
+                    keep = ~hit
+                    running = running[keep]
+                    y = np.ascontiguousarray(y[:, keep])
+        if len(running):
+            labels[running] = self.stack.tail(y).argmax(axis=1)
+        seconds = time.perf_counter() - t0
+        return EarlyExitResult(
+            labels=labels,
+            exit_layer=exit_layer,
+            seconds=seconds,
+            hit_rate=float((exit_layer < net.num_layers).mean()),
+            stats={"cache_entries": self.cache_entries},
+        )

@@ -1,0 +1,82 @@
+"""DASNet-style dynamic winners-take-all inference (Yang et al. 2019).
+
+After each layer's activation, only the ``keep_fraction`` largest entries of
+every column survive; the rest are dropped to exact zero.  On activation-
+driven kernels (work proportional to nnz) this directly cuts per-layer cost,
+at an accuracy cost that grows as ``keep_fraction`` shrinks — the trade-off
+SNICIT's residue representation avoids paying for converged batches.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.gpu.device import VirtualDevice
+from repro.inference import InferenceResult
+from repro.kernels import baseline_spmm, charge_for
+from repro.network import SparseNetwork
+
+__all__ = ["WTAEngine", "winners_take_all"]
+
+
+def winners_take_all(y: np.ndarray, keep_fraction: float) -> np.ndarray:
+    """Zero all but the top ``keep_fraction`` entries of each column (in place).
+
+    Ties at the cut-off magnitude are resolved toward keeping earlier rows
+    (argpartition order), so exactly ``ceil(k * N)`` entries survive in any
+    column that has that many nonzeros.
+    """
+    n = y.shape[0]
+    keep = max(1, int(np.ceil(keep_fraction * n)))
+    if keep >= n:
+        return y
+    # indices of the (n - keep) smallest |values| per column -> zeroed
+    drop = np.argpartition(np.abs(y), n - keep, axis=0)[: n - keep, :]
+    np.put_along_axis(y, drop, 0.0, axis=0)
+    return y
+
+
+class WTAEngine:
+    """Feed-forward with per-layer winners-take-all activation dropout."""
+
+    name = "DASNet-WTA"
+
+    def __init__(
+        self,
+        network: SparseNetwork,
+        keep_fraction: float = 0.5,
+        device: VirtualDevice | None = None,
+    ):
+        if not 0.0 < keep_fraction <= 1.0:
+            raise ConfigError("keep_fraction must be in (0, 1]")
+        self.network = network
+        self.keep_fraction = keep_fraction
+        self.device = device or VirtualDevice()
+
+    def infer(self, y0: np.ndarray) -> InferenceResult:
+        net = self.network
+        y = net.validate_input(y0).astype(np.float32, copy=True)
+        layer_seconds = np.zeros(net.num_layers)
+        mark = self.device.snapshot()
+        wall0 = time.perf_counter()
+        for i, layer in enumerate(net.layers):
+            lt0 = time.perf_counter()
+            z, work, strategy = baseline_spmm(net, i, y)
+            z += layer.bias_column()
+            y = net.activation(z)
+            winners_take_all(y, self.keep_fraction)
+            self.device.charge(
+                charge_for(strategy, work, layer.n_out, y.shape[1], "wta_spmm")
+            )
+            layer_seconds[i] = time.perf_counter() - lt0
+        total = time.perf_counter() - wall0
+        return InferenceResult(
+            y=y,
+            stage_seconds={"inference": total},
+            layer_seconds=layer_seconds,
+            modeled={"inference": self.device.snapshot() - mark},
+            stats={"keep_fraction": self.keep_fraction},
+        )

@@ -1,0 +1,71 @@
+"""Network (de)serialization.
+
+Stores a :class:`~repro.network.SparseNetwork` in a single ``.npz``: per
+layer the CSR triplet plus bias, and the network-level metadata as JSON.
+This complements the SDGC ``.tsv`` interchange format
+(:mod:`repro.radixnet.io`), which stores one layer per text file.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.network import LayerSpec, SparseNetwork
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["save_network", "load_network"]
+
+_FORMAT_VERSION = 1
+
+
+def save_network(path: str | Path, net: SparseNetwork) -> None:
+    """Write the network to ``path`` (.npz)."""
+    arrays: dict[str, np.ndarray] = {}
+    header = {
+        "format_version": _FORMAT_VERSION,
+        "name": net.name,
+        "ymax": net.ymax,
+        "num_layers": net.num_layers,
+        "meta": net.meta,
+        "layer_names": [layer.name for layer in net.layers],
+    }
+    for i, layer in enumerate(net.layers):
+        w = layer.weight
+        arrays[f"l{i}_indptr"] = w.indptr
+        arrays[f"l{i}_indices"] = w.indices
+        arrays[f"l{i}_data"] = w.data
+        arrays[f"l{i}_shape"] = np.array(w.shape, dtype=np.int64)
+        if isinstance(layer.bias, np.ndarray):
+            arrays[f"l{i}_bias"] = layer.bias
+        else:
+            arrays[f"l{i}_bias"] = np.array(float(layer.bias), dtype=np.float64)
+    arrays["header"] = np.frombuffer(json.dumps(header).encode(), dtype=np.uint8)
+    np.savez_compressed(path, **arrays)
+
+
+def load_network(path: str | Path) -> SparseNetwork:
+    """Read a network written by :func:`save_network`."""
+    data = np.load(path)
+    if "header" not in data:
+        raise FormatError(f"{path}: not a repro network file (missing header)")
+    header = json.loads(bytes(data["header"]).decode())
+    if header.get("format_version") != _FORMAT_VERSION:
+        raise FormatError(
+            f"{path}: unsupported format version {header.get('format_version')}"
+        )
+    layers: list[LayerSpec] = []
+    for i in range(header["num_layers"]):
+        shape = tuple(int(x) for x in data[f"l{i}_shape"])
+        weight = CSRMatrix(
+            data[f"l{i}_indptr"], data[f"l{i}_indices"], data[f"l{i}_data"], shape
+        )
+        bias_arr = data[f"l{i}_bias"]
+        bias = bias_arr if bias_arr.ndim else float(bias_arr)
+        layers.append(LayerSpec(weight, bias=bias, name=header["layer_names"][i]))
+    return SparseNetwork(
+        layers, ymax=header["ymax"], name=header["name"], meta=header["meta"]
+    )

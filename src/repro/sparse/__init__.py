@@ -1,0 +1,49 @@
+"""From-scratch sparse matrix formats and kernels.
+
+The SDGC weight matrices are highly sparse (32 nonzeros per row); SNICIT and
+all baselines spend nearly all their time in sparse-times-dense products
+(spMM).  This package implements the storage formats (COO/CSR/CSC/ELL) and a
+family of spMM kernels with different parallelization strategies:
+
+* :func:`~repro.sparse.spmm.spmm_reduceat` — row-split CSR (the workhorse),
+* :func:`~repro.sparse.spmm.spmm_ell` — ELLPACK for fixed fan-in rows,
+* :func:`~repro.sparse.spmm.spmm_scatter` — nonzero-parallel scatter,
+* :func:`~repro.sparse.spmm.spmm_masked` — column-masked CSR for
+  activation-sparse inputs (the load-reduced spMM of SNICIT §3.3.1 and the
+  active-row compaction of BF-2019),
+* :func:`~repro.sparse.spgemm.spgemm` — Gustavson sparse×sparse, kept to
+  demonstrate the paper's argument (§3.3.1) for *not* using spGEMM on Ŷ.
+
+``scipy.sparse`` is used only in tests as an independent reference.
+"""
+
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.ell import ELLMatrix
+from repro.sparse.convert import random_sparse, to_csr
+from repro.sparse.spmm import (
+    spmm,
+    spmm_charge,
+    spmm_ell,
+    spmm_masked,
+    spmm_reduceat,
+    spmm_scatter,
+)
+from repro.sparse.spgemm import spgemm
+
+__all__ = [
+    "COOMatrix",
+    "CSRMatrix",
+    "CSCMatrix",
+    "ELLMatrix",
+    "random_sparse",
+    "to_csr",
+    "spmm",
+    "spmm_charge",
+    "spmm_reduceat",
+    "spmm_ell",
+    "spmm_masked",
+    "spmm_scatter",
+    "spgemm",
+]

@@ -1,0 +1,73 @@
+"""Cross-format conversion helpers and random sparse generators."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ell import ELLMatrix
+
+__all__ = ["to_csr", "to_csc", "csr_to_csc", "csc_to_csr", "random_sparse"]
+
+
+def to_csr(m) -> CSRMatrix:
+    """Convert any supported sparse type (or dense ndarray) to CSR."""
+    if isinstance(m, CSRMatrix):
+        return m
+    if isinstance(m, COOMatrix):
+        return CSRMatrix.from_coo(m)
+    if isinstance(m, CSCMatrix):
+        return csc_to_csr(m)
+    if isinstance(m, ELLMatrix):
+        return m.to_csr()
+    return CSRMatrix.from_dense(np.asarray(m))
+
+
+def to_csc(m) -> CSCMatrix:
+    """Convert any supported sparse type (or dense ndarray) to CSC."""
+    if isinstance(m, CSCMatrix):
+        return m
+    if isinstance(m, COOMatrix):
+        return CSCMatrix.from_coo(m)
+    if isinstance(m, CSRMatrix):
+        return csr_to_csc(m)
+    if isinstance(m, ELLMatrix):
+        return csr_to_csc(m.to_csr())
+    return CSCMatrix.from_dense(np.asarray(m))
+
+
+def csr_to_csc(csr: CSRMatrix) -> CSCMatrix:
+    return CSCMatrix.from_coo(csr.to_coo())
+
+
+def csc_to_csr(csc: CSCMatrix) -> CSRMatrix:
+    return CSRMatrix.from_coo(csc.to_coo())
+
+
+def random_sparse(
+    shape: tuple[int, int],
+    density: float,
+    rng: np.random.Generator,
+    value_range: tuple[float, float] = (-1.0, 1.0),
+    dtype=np.float32,
+) -> CSRMatrix:
+    """Random CSR matrix with approximately ``density`` fill (no duplicates).
+
+    Values are uniform in ``value_range`` with exact zeros re-drawn so the
+    stored nnz equals the structural nnz.
+    """
+    if not 0.0 <= density <= 1.0:
+        raise ConfigError(f"density must be in [0, 1], got {density}")
+    n_rows, n_cols = shape
+    total = n_rows * n_cols
+    nnz = int(round(density * total))
+    flat = rng.choice(total, size=nnz, replace=False) if nnz else np.empty(0, dtype=np.int64)
+    rows = flat // n_cols
+    cols = flat % n_cols
+    lo, hi = value_range
+    vals = rng.uniform(lo, hi, size=nnz).astype(dtype)
+    vals[vals == 0] = dtype(lo + (hi - lo) * 0.5) or dtype(1.0)
+    return CSRMatrix.from_coo(COOMatrix(rows, cols, vals, shape))

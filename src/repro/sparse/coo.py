@@ -1,0 +1,97 @@
+"""Coordinate (COO) sparse matrix format."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FormatError, ShapeError
+
+__all__ = ["COOMatrix"]
+
+
+class COOMatrix:
+    """Triplet-format sparse matrix: parallel (row, col, data) arrays.
+
+    COO is the assembly format: generators (Radix-Net, the NN sparsifier)
+    emit triplets, which are then deduplicated/sorted and converted to CSR or
+    CSC for computation.
+    """
+
+    __slots__ = ("row", "col", "data", "shape")
+
+    def __init__(
+        self,
+        row: np.ndarray,
+        col: np.ndarray,
+        data: np.ndarray,
+        shape: tuple[int, int],
+        validate: bool = True,
+    ):
+        self.row = np.asarray(row, dtype=np.int64)
+        self.col = np.asarray(col, dtype=np.int64)
+        self.data = np.asarray(data)
+        self.shape = (int(shape[0]), int(shape[1]))
+        if validate:
+            self.validate()
+
+    def validate(self) -> None:
+        if self.row.ndim != 1 or self.col.ndim != 1 or self.data.ndim != 1:
+            raise FormatError("COO arrays must be one-dimensional")
+        if not (len(self.row) == len(self.col) == len(self.data)):
+            raise FormatError(
+                f"COO triplet length mismatch: {len(self.row)}/{len(self.col)}/{len(self.data)}"
+            )
+        if self.shape[0] < 0 or self.shape[1] < 0:
+            raise ShapeError(f"negative shape {self.shape}")
+        if len(self.row):
+            if self.row.min() < 0 or self.row.max() >= self.shape[0]:
+                raise FormatError("COO row index out of range")
+            if self.col.min() < 0 or self.col.max() >= self.shape[1]:
+                raise FormatError("COO col index out of range")
+
+    @property
+    def nnz(self) -> int:
+        return len(self.data)
+
+    @property
+    def density(self) -> float:
+        cells = self.shape[0] * self.shape[1]
+        return self.nnz / cells if cells else 0.0
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "COOMatrix":
+        dense = np.asarray(dense)
+        if dense.ndim != 2:
+            raise ShapeError(f"expected 2-D array, got {dense.ndim}-D")
+        r, c = np.nonzero(dense)
+        return cls(r, c, dense[r, c], dense.shape)
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros(self.shape, dtype=self.data.dtype if self.nnz else np.float64)
+        # += via add.at so duplicate triplets sum, matching sparse semantics
+        np.add.at(out, (self.row, self.col), self.data)
+        return out
+
+    def sorted(self) -> "COOMatrix":
+        """Return a copy sorted by (row, col)."""
+        order = np.lexsort((self.col, self.row))
+        return COOMatrix(
+            self.row[order], self.col[order], self.data[order], self.shape, validate=False
+        )
+
+    def sum_duplicates(self) -> "COOMatrix":
+        """Return a copy with duplicate (row, col) entries summed."""
+        if self.nnz == 0:
+            return COOMatrix(self.row, self.col, self.data, self.shape, validate=False)
+        s = self.sorted()
+        key = s.row * self.shape[1] + s.col
+        boundaries = np.concatenate(([True], key[1:] != key[:-1]))
+        starts = np.flatnonzero(boundaries)
+        data = np.add.reduceat(s.data, starts)
+        return COOMatrix(s.row[starts], s.col[starts], data, self.shape, validate=False)
+
+    def transpose(self) -> "COOMatrix":
+        return COOMatrix(self.col, self.row, self.data, (self.shape[1], self.shape[0]))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"COOMatrix(shape={self.shape}, nnz={self.nnz})"

@@ -1,0 +1,110 @@
+"""Compressed Sparse Column (CSC) format."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FormatError, ShapeError
+from repro.sparse.coo import COOMatrix
+
+__all__ = ["CSCMatrix"]
+
+
+class CSCMatrix:
+    """Column-compressed sparse matrix (the transpose view of CSR).
+
+    Used where column gathering is the hot operation: slicing the weight
+    matrix down to the active input neurons (BF-2019's compaction) and
+    building per-column task partitions (SNIG-2020).
+    """
+
+    __slots__ = ("indptr", "indices", "data", "shape")
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+        shape: tuple[int, int],
+        validate: bool = True,
+    ):
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.data = np.asarray(data)
+        self.shape = (int(shape[0]), int(shape[1]))
+        if validate:
+            self.validate()
+
+    def validate(self) -> None:
+        n_rows, n_cols = self.shape
+        if self.indptr.ndim != 1 or len(self.indptr) != n_cols + 1:
+            raise FormatError(f"indptr must have length ncols+1={n_cols + 1}")
+        if self.indptr[0] != 0:
+            raise FormatError("indptr[0] must be 0")
+        if np.any(np.diff(self.indptr) < 0):
+            raise FormatError("indptr must be non-decreasing")
+        if self.indptr[-1] != len(self.indices) or len(self.indices) != len(self.data):
+            raise FormatError("indptr[-1], indices and data lengths are inconsistent")
+        if len(self.indices):
+            if self.indices.min() < 0 or self.indices.max() >= n_rows:
+                raise FormatError("CSC row index out of range")
+
+    @property
+    def nnz(self) -> int:
+        return len(self.data)
+
+    @property
+    def col_nnz(self) -> np.ndarray:
+        return np.diff(self.indptr)
+
+    @classmethod
+    def from_coo(cls, coo: COOMatrix) -> "CSCMatrix":
+        coo = coo.sum_duplicates()
+        # sort by (col, row)
+        order = np.lexsort((coo.row, coo.col))
+        col = coo.col[order]
+        counts = np.bincount(col, minlength=coo.shape[1])
+        indptr = np.zeros(coo.shape[1] + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(indptr, coo.row[order], coo.data[order], coo.shape, validate=False)
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "CSCMatrix":
+        return cls.from_coo(COOMatrix.from_dense(dense))
+
+    def to_coo(self) -> COOMatrix:
+        cols = np.repeat(np.arange(self.shape[1], dtype=np.int64), self.col_nnz)
+        return COOMatrix(self.indices, cols, self.data, self.shape, validate=False)
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros(self.shape, dtype=self.data.dtype if self.nnz else np.float64)
+        cols = np.repeat(np.arange(self.shape[1]), self.col_nnz)
+        out[self.indices, cols] = self.data
+        return out
+
+    def col(self, j: int) -> tuple[np.ndarray, np.ndarray]:
+        """(row indices, values) of column ``j`` — views, not copies."""
+        if not 0 <= j < self.shape[1]:
+            raise ShapeError(f"column {j} out of range for {self.shape}")
+        lo, hi = self.indptr[j], self.indptr[j + 1]
+        return self.indices[lo:hi], self.data[lo:hi]
+
+    def take_columns(self, cols: np.ndarray) -> "CSCMatrix":
+        """New CSC containing only the given columns (in the given order)."""
+        cols = np.asarray(cols, dtype=np.int64)
+        counts = self.col_nnz[cols]
+        indptr = np.zeros(len(cols) + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        total = int(indptr[-1])
+        gather = np.empty(total, dtype=np.int64)
+        pos = 0
+        for s, c in zip(self.indptr[cols], counts):
+            gather[pos : pos + c] = np.arange(s, s + c)
+            pos += c
+        return CSCMatrix(
+            indptr, self.indices[gather], self.data[gather], (self.shape[0], len(cols)),
+            validate=False,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CSCMatrix(shape={self.shape}, nnz={self.nnz})"

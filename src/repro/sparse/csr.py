@@ -1,0 +1,159 @@
+"""Compressed Sparse Row (CSR) format."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FormatError, ShapeError
+from repro.sparse.coo import COOMatrix
+
+__all__ = ["CSRMatrix"]
+
+
+class CSRMatrix:
+    """Row-compressed sparse matrix.
+
+    ``indptr`` has length ``nrows + 1``; row ``i``'s nonzeros occupy
+    ``indices[indptr[i]:indptr[i+1]]`` / ``data[indptr[i]:indptr[i+1]]``.
+    Column indices within a row are kept sorted (canonical form), which the
+    spMM kernels rely on for deterministic summation order.
+    """
+
+    __slots__ = ("indptr", "indices", "data", "shape")
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+        shape: tuple[int, int],
+        validate: bool = True,
+    ):
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.data = np.asarray(data)
+        self.shape = (int(shape[0]), int(shape[1]))
+        if validate:
+            self.validate()
+
+    def validate(self) -> None:
+        n_rows, n_cols = self.shape
+        if self.indptr.ndim != 1 or len(self.indptr) != n_rows + 1:
+            raise FormatError(f"indptr must have length nrows+1={n_rows + 1}")
+        if self.indptr[0] != 0:
+            raise FormatError("indptr[0] must be 0")
+        if np.any(np.diff(self.indptr) < 0):
+            raise FormatError("indptr must be non-decreasing")
+        if self.indptr[-1] != len(self.indices) or len(self.indices) != len(self.data):
+            raise FormatError("indptr[-1], indices and data lengths are inconsistent")
+        if len(self.indices):
+            if self.indices.min() < 0 or self.indices.max() >= n_cols:
+                raise FormatError("CSR column index out of range")
+
+    @property
+    def nnz(self) -> int:
+        return len(self.data)
+
+    @property
+    def density(self) -> float:
+        cells = self.shape[0] * self.shape[1]
+        return self.nnz / cells if cells else 0.0
+
+    @property
+    def row_nnz(self) -> np.ndarray:
+        """Nonzeros per row (length nrows)."""
+        return np.diff(self.indptr)
+
+    # -- construction --------------------------------------------------------
+    @classmethod
+    def from_coo(cls, coo: COOMatrix) -> "CSRMatrix":
+        coo = coo.sum_duplicates()
+        n_rows = coo.shape[0]
+        counts = np.bincount(coo.row, minlength=n_rows)
+        indptr = np.zeros(n_rows + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(indptr, coo.col, coo.data, coo.shape, validate=False)
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "CSRMatrix":
+        return cls.from_coo(COOMatrix.from_dense(dense))
+
+    # -- conversion -----------------------------------------------------------
+    def to_coo(self) -> COOMatrix:
+        rows = np.repeat(np.arange(self.shape[0], dtype=np.int64), self.row_nnz)
+        return COOMatrix(rows, self.indices, self.data, self.shape, validate=False)
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros(self.shape, dtype=self.data.dtype if self.nnz else np.float64)
+        rows = np.repeat(np.arange(self.shape[0]), self.row_nnz)
+        out[rows, self.indices] = self.data
+        return out
+
+    def transpose(self) -> "CSRMatrix":
+        return CSRMatrix.from_coo(self.to_coo().transpose())
+
+    # -- access ----------------------------------------------------------------
+    def row(self, i: int) -> tuple[np.ndarray, np.ndarray]:
+        """(column indices, values) of row ``i`` — views, not copies."""
+        if not 0 <= i < self.shape[0]:
+            raise ShapeError(f"row {i} out of range for {self.shape}")
+        lo, hi = self.indptr[i], self.indptr[i + 1]
+        return self.indices[lo:hi], self.data[lo:hi]
+
+    def take_rows(self, rows: np.ndarray) -> "CSRMatrix":
+        """New CSR containing only the given rows (in the given order)."""
+        rows = np.asarray(rows, dtype=np.int64)
+        counts = self.row_nnz[rows]
+        indptr = np.zeros(len(rows) + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        # gather each selected row's nonzero span
+        starts = self.indptr[rows]
+        total = int(indptr[-1])
+        gather = np.empty(total, dtype=np.int64)
+        pos = 0
+        for s, c in zip(starts, counts):
+            gather[pos : pos + c] = np.arange(s, s + c)
+            pos += c
+        return CSRMatrix(
+            indptr, self.indices[gather], self.data[gather], (len(rows), self.shape[1]),
+            validate=False,
+        )
+
+    # -- arithmetic --------------------------------------------------------------
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Sparse matrix - dense vector product."""
+        x = np.asarray(x)
+        if x.shape != (self.shape[1],):
+            raise ShapeError(f"matvec expects vector of length {self.shape[1]}")
+        contrib = self.data * x[self.indices]
+        return _segment_sum(contrib, self.indptr, self.shape[0])
+
+    def scale_rows(self, scale: np.ndarray) -> "CSRMatrix":
+        """Return a copy with row ``i`` multiplied by ``scale[i]``."""
+        scale = np.asarray(scale)
+        if scale.shape != (self.shape[0],):
+            raise ShapeError("scale must have one entry per row")
+        data = self.data * np.repeat(scale, self.row_nnz)
+        return CSRMatrix(self.indptr, self.indices, data, self.shape, validate=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CSRMatrix(shape={self.shape}, nnz={self.nnz})"
+
+
+def _segment_sum(values: np.ndarray, indptr: np.ndarray, n_segments: int) -> np.ndarray:
+    """Sum ``values`` within the segments delimited by ``indptr``.
+
+    Handles empty segments, which ``np.add.reduceat`` alone gets wrong (for a
+    repeated boundary it returns the *next* element instead of 0).
+    """
+    if values.ndim == 1:
+        out = np.zeros(n_segments, dtype=values.dtype)
+    else:
+        out = np.zeros((n_segments,) + values.shape[1:], dtype=values.dtype)
+    lengths = np.diff(indptr)
+    nonempty = np.flatnonzero(lengths > 0)
+    if len(nonempty) == 0:
+        return out
+    starts = indptr[nonempty]
+    out[nonempty] = np.add.reduceat(values, starts, axis=0)
+    return out

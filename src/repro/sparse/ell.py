@@ -1,0 +1,84 @@
+"""ELLPACK format for fixed-fan-in matrices.
+
+Every Radix-Net layer has exactly 32 nonzeros per row (SDGC §2.1), so the
+sparsity structure is perfectly regular: store it as two dense ``(rows, K)``
+arrays of column indices and values.  spMM over ELL is a short sequence of
+fully-vectorized gathers — the fastest kernel in the XY-2021 strategy space
+for this topology, mirroring how regular fan-in lets real GPU kernels achieve
+coalesced loads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["ELLMatrix"]
+
+
+class ELLMatrix:
+    """Fixed-width sparse matrix: ``idx[i, k]`` / ``val[i, k]`` per row.
+
+    Rows with fewer than K real nonzeros are padded with ``val == 0`` entries
+    pointing at column 0 (a harmless gather).
+    """
+
+    __slots__ = ("idx", "val", "shape")
+
+    def __init__(self, idx: np.ndarray, val: np.ndarray, shape: tuple[int, int]):
+        self.idx = np.asarray(idx, dtype=np.int64)
+        self.val = np.asarray(val)
+        self.shape = (int(shape[0]), int(shape[1]))
+        if self.idx.shape != self.val.shape or self.idx.ndim != 2:
+            raise FormatError("ELL idx/val must be equal-shape 2-D arrays")
+        if self.idx.shape[0] != self.shape[0]:
+            raise FormatError("ELL row count mismatch")
+        if self.idx.size and (self.idx.min() < 0 or self.idx.max() >= self.shape[1]):
+            raise FormatError("ELL column index out of range")
+
+    @property
+    def width(self) -> int:
+        return self.idx.shape[1]
+
+    @property
+    def nnz(self) -> int:
+        return int(np.count_nonzero(self.val))
+
+    @classmethod
+    def from_csr(cls, csr: CSRMatrix, width: int | None = None) -> "ELLMatrix":
+        counts = csr.row_nnz
+        k = int(counts.max()) if len(counts) and counts.size else 0
+        width = width if width is not None else k
+        if width < k:
+            raise FormatError(f"ELL width {width} < max row nnz {k}")
+        n = csr.shape[0]
+        idx = np.zeros((n, width), dtype=np.int64)
+        val = np.zeros((n, width), dtype=csr.data.dtype if csr.nnz else np.float64)
+        # scatter each nonzero into its (row, slot) cell
+        rows = np.repeat(np.arange(n), counts)
+        slots = np.arange(csr.nnz) - np.repeat(csr.indptr[:-1], counts)
+        idx[rows, slots] = csr.indices
+        val[rows, slots] = csr.data
+        return cls(idx, val, csr.shape)
+
+    def to_csr(self) -> CSRMatrix:
+        mask = self.val != 0
+        counts = mask.sum(axis=1)
+        indptr = np.zeros(self.shape[0] + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        indices = self.idx[mask]
+        data = self.val[mask]
+        # within-row entries may be unsorted; canonicalize via COO round trip
+        csr = CSRMatrix(indptr, indices, data, self.shape, validate=False)
+        return CSRMatrix.from_coo(csr.to_coo())
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros(self.shape, dtype=self.val.dtype)
+        rows = np.repeat(np.arange(self.shape[0]), self.width)
+        np.add.at(out, (rows, self.idx.ravel()), self.val.ravel())
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ELLMatrix(shape={self.shape}, width={self.width})"

@@ -1,0 +1,59 @@
+"""Gustavson sparse x sparse multiplication (spGEMM).
+
+SNICIT §3.3.1 argues *against* computing ``W · Ŷ`` with spGEMM: Ŷ would need
+recompression every layer, and the mix of dense centroid columns with sparse
+residue columns makes the workload irregular.  We keep a correct spGEMM here
+so the ablation benchmark can demonstrate that argument quantitatively.
+
+The implementation is the classic row-by-row Gustavson algorithm with a dense
+accumulator, vectorized over each row's nonzero gather.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["spgemm"]
+
+
+def spgemm(a: CSRMatrix, b: CSRMatrix) -> CSRMatrix:
+    """Compute ``A @ B`` with both operands and the result in CSR."""
+    if a.shape[1] != b.shape[0]:
+        raise ShapeError(f"spGEMM shapes incompatible: {a.shape} x {b.shape}")
+    n_rows, n_cols = a.shape[0], b.shape[1]
+    indptr = np.zeros(n_rows + 1, dtype=np.int64)
+    out_indices: list[np.ndarray] = []
+    out_data: list[np.ndarray] = []
+    accumulator = np.zeros(n_cols, dtype=np.result_type(a.data.dtype, b.data.dtype))
+    touched = np.zeros(n_cols, dtype=bool)
+    nnz = 0
+    for i in range(n_rows):
+        cols_a, vals_a = a.row(i)
+        if len(cols_a) == 0:
+            indptr[i + 1] = nnz
+            continue
+        touched_cols: list[np.ndarray] = []
+        for j, v in zip(cols_a, vals_a):
+            cols_b, vals_b = b.row(int(j))
+            if len(cols_b) == 0:
+                continue
+            accumulator[cols_b] += v * vals_b
+            touched[cols_b] = True
+            touched_cols.append(cols_b)
+        if touched_cols:
+            cols = np.unique(np.concatenate(touched_cols))
+            vals = accumulator[cols]
+            keep = vals != 0
+            cols, vals = cols[keep], vals[keep]
+            out_indices.append(cols)
+            out_data.append(vals.copy())
+            nnz += len(cols)
+            accumulator[touched] = 0
+            touched[:] = False
+        indptr[i + 1] = nnz
+    indices = np.concatenate(out_indices) if out_indices else np.empty(0, dtype=np.int64)
+    data = np.concatenate(out_data) if out_data else np.empty(0, dtype=accumulator.dtype)
+    return CSRMatrix(indptr, indices, data, (n_rows, n_cols), validate=False)

@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpu.device import DeviceSpec, VirtualDevice
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def device() -> VirtualDevice:
+    return VirtualDevice()
+
+
+@pytest.fixture
+def tiny_device() -> VirtualDevice:
+    """A device with tiny memory and generous block limits for error tests."""
+    return VirtualDevice(
+        DeviceSpec(
+            name="tiny",
+            sm_count=2,
+            peak_flops=1e9,
+            mem_bandwidth=1e9,
+            memory_bytes=1 << 16,
+            max_threads_per_block=4096,
+        )
+    )

@@ -1,0 +1,86 @@
+"""t-SNE and convergence/cluster metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    cluster_separation,
+    column_convergence_curve,
+    computational_intensity,
+    intra_inter_distances,
+    tsne,
+)
+from repro.errors import ConfigError, ShapeError
+
+
+def blobs(rng, n_per=20, centers=((0, 0, 0), (10, 10, 10), (-10, 5, -5))):
+    xs, labels = [], []
+    for c, center in enumerate(centers):
+        xs.append(rng.normal(0, 0.5, size=(n_per, 3)) + np.array(center))
+        labels += [c] * n_per
+    return np.concatenate(xs), np.array(labels)
+
+
+def test_tsne_shape_and_determinism(rng):
+    x, _ = blobs(rng)
+    e1 = tsne(x, n_iter=120, seed=3)
+    e2 = tsne(x, n_iter=120, seed=3)
+    assert e1.shape == (60, 2)
+    assert np.array_equal(e1, e2)
+
+
+def test_tsne_separates_blobs(rng):
+    x, labels = blobs(rng)
+    emb = tsne(x, n_iter=300, seed=0)
+    # within-cluster spread must be far below between-cluster distance
+    centers = np.stack([emb[labels == c].mean(axis=0) for c in range(3)])
+    intra = max(
+        np.linalg.norm(emb[labels == c] - centers[c], axis=1).mean() for c in range(3)
+    )
+    inter = min(
+        np.linalg.norm(centers[a] - centers[b])
+        for a in range(3)
+        for b in range(a + 1, 3)
+    )
+    assert inter > 2 * intra
+
+
+def test_tsne_validation(rng):
+    with pytest.raises(ShapeError):
+        tsne(np.zeros(10))
+    with pytest.raises(ConfigError):
+        tsne(np.zeros((3, 2)))
+
+
+def test_intra_inter_on_crafted_clusters():
+    y = np.zeros((4, 6), dtype=np.float32)
+    y[:, :3] = 1.0  # class 0 columns identical
+    y[:, 3:] = 5.0  # class 1 columns identical
+    labels = np.array([0, 0, 0, 1, 1, 1])
+    intra, inter = intra_inter_distances(y, labels)
+    assert intra == 0.0
+    assert inter > 0.0
+    assert cluster_separation(y, labels) > 1.0
+
+
+def test_intra_inter_validation():
+    with pytest.raises(ShapeError):
+        intra_inter_distances(np.zeros((3, 4)), np.zeros(3))
+
+
+def test_convergence_curve():
+    a = np.zeros((3, 3))
+    b = np.ones((3, 3))
+    curve = column_convergence_curve([a, b, b])
+    assert list(curve) == [1.0, 0.0]
+    with pytest.raises(ShapeError):
+        column_convergence_curve([a])
+
+
+def test_computational_intensity_shape_and_drop():
+    trace = np.array([40, 30, 20])
+    curve = computational_intensity(1000, trace, batch=100, threshold_layer=2)
+    assert len(curve) == 5
+    assert (curve[:2] == 1000 * 100).all()
+    assert list(curve[2:]) == [40_000, 30_000, 20_000]
+    assert curve[2] < curve[1]  # the Fig. 1 cliff at the threshold layer

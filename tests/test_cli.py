@@ -1,0 +1,52 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "256-48" in out and "paper" in out
+
+
+def test_run_engine(capsys):
+    assert main(["run", "144-24", "--engine", "snicit", "--batch", "64"]) == 0
+    out = capsys.readouterr().out
+    assert "snicit on 144-24" in out
+    assert "pre_convergence" in out
+
+
+def test_run_with_threshold(capsys):
+    assert main(["run", "144-24", "--batch", "64", "--threshold", "4"]) == 0
+
+
+def test_compare(capsys):
+    assert main(["compare", "144-24", "--batch", "64"]) == 0
+    out = capsys.readouterr().out
+    assert "categories agree" in out
+    assert "xy2021" in out
+
+
+def test_experiment_table1(capsys, tmp_path):
+    out_file = tmp_path / "t1.txt"
+    assert main(["experiment", "table1", "--out", str(out_file)]) == 0
+    assert "Table 1" in out_file.read_text()
+
+
+def test_generate_tsv(tmp_path, capsys):
+    assert main(["generate", "144-24", str(tmp_path / "out"), "--seed", "3"]) == 0
+    files = list((tmp_path / "out").glob("*.tsv"))
+    assert len(files) == 24
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["experiment", "table99"])
+
+
+def test_version(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["--version"])
+    assert exc.value.code == 0

@@ -1,0 +1,92 @@
+"""Dynamic threshold detection (paper §5 future-work extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core import SNICIT, SNICITConfig
+from repro.core.convergence import ConvergenceDetector
+from repro.errors import ConfigError
+
+
+def test_detector_fires_on_constant_stream():
+    det = ConvergenceDetector(tolerance=0.01, patience=2, min_layer=0)
+    y = np.ones((8, 4))
+    fired = [det.observe(y) for _ in range(5)]
+    # first observation seeds the sketch; two identical follow-ups fire
+    assert fired == [False, False, True, True, True]
+
+
+def test_detector_resists_changing_stream(rng):
+    det = ConvergenceDetector(tolerance=0.01, patience=2, min_layer=0)
+    for _ in range(6):
+        assert not det.observe(rng.random((8, 4)) * 10)
+
+
+def test_detector_streak_resets_on_change(rng):
+    det = ConvergenceDetector(tolerance=0.01, patience=2, min_layer=0)
+    y = np.ones((8, 4))
+    det.observe(y)
+    det.observe(y)  # streak 1
+    det.observe(rng.random((8, 4)) * 10)  # breaks the streak
+    assert not det.observe(y)  # big change from random -> streak 0
+    det.observe(y)  # streak 1
+    assert det.observe(y)  # streak 2 -> fires
+
+
+def test_detector_min_layer_gate():
+    det = ConvergenceDetector(tolerance=0.5, patience=1, min_layer=4)
+    y = np.ones((4, 4))
+    results = [det.observe(y) for _ in range(7)]
+    assert not any(results[:4])
+    assert results[-1]
+
+
+def test_detector_reset():
+    det = ConvergenceDetector(tolerance=0.1, patience=1, min_layer=0)
+    y = np.ones((4, 4))
+    det.observe(y)
+    assert det.observe(y)
+    det.reset()
+    assert not det.observe(y)  # needs a fresh baseline again
+    assert det.trace == [float("inf")]
+
+
+def test_detector_validation():
+    with pytest.raises(ConfigError):
+        ConvergenceDetector(tolerance=-1)
+    with pytest.raises(ConfigError):
+        ConvergenceDetector(patience=0)
+    with pytest.raises(ConfigError):
+        ConvergenceDetector(probe_columns=0)
+
+
+def test_auto_threshold_in_pipeline():
+    from repro.baselines import DenseReference
+    from repro.radixnet import benchmark_input, build_benchmark
+
+    net = build_benchmark("256-48", seed=0)
+    y0 = benchmark_input(net, 300, seed=1)
+    ref = DenseReference(net).infer(y0)
+    cfg = SNICITConfig(threshold_layer=net.num_layers, auto_threshold=True)
+    res = SNICIT(net, cfg).infer(y0)
+    assert res.stats["auto_detected"], "the SDGC regime converges; detector must fire"
+    assert res.stats["threshold_layer"] < net.num_layers
+    assert (res.categories == ref.categories).all()
+    assert len(res.stats["convergence_trace"]) >= res.stats["threshold_layer"]
+
+
+def test_auto_threshold_respects_cap():
+    from repro.radixnet import benchmark_input, build_benchmark
+
+    net = build_benchmark("144-24", seed=0)
+    y0 = benchmark_input(net, 150, seed=1)
+    cfg = SNICITConfig(threshold_layer=4, auto_threshold=True, auto_tolerance=0.0)
+    res = SNICIT(net, cfg).infer(y0)
+    assert res.stats["threshold_layer"] == 4  # tolerance 0 never fires early
+
+
+def test_auto_config_validation():
+    with pytest.raises(ConfigError):
+        SNICITConfig(threshold_layer=1, auto_tolerance=-0.1)
+    with pytest.raises(ConfigError):
+        SNICITConfig(threshold_layer=1, auto_patience=0)

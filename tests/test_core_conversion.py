@@ -1,0 +1,131 @@
+"""Cluster-based conversion (Algorithm 2, Eq. 3-4) and recovery (Eq. 6)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.conversion import assign_centroids, build_residues, construct_kernel, convert
+from repro.core.recovery import recover
+from repro.errors import ConfigError, ShapeError
+
+
+def test_assign_centroids_nearest_l0(rng):
+    y = np.array(
+        [
+            [0.0, 0.0, 9.0, 9.0, 0.0],
+            [1.0, 1.0, 8.0, 8.0, 1.0],
+            [2.0, 2.1, 7.0, 7.0, 2.0],
+        ],
+        dtype=np.float32,
+    )
+    cents = np.array([0, 2])
+    m = assign_centroids(y, cents)
+    assert m[0] == -1 and m[2] == -1
+    assert m[1] == 0  # differs from col0 in one entry, from col2 in three
+    assert m[3] == 2
+    assert m[4] == 0  # exactly equal to col0
+
+
+def test_assign_centroids_tie_goes_to_first():
+    y = np.array([[0.0, 5.0, 9.0]], dtype=np.float32)
+    # col1 differs from both centroids in 1 element -> tie -> first centroid
+    m = assign_centroids(y, np.array([0, 2]))
+    assert m[1] == 0
+
+
+def test_assign_centroids_chunking_consistent(rng):
+    y = rng.random((6, 50)).astype(np.float32)
+    cents = np.array([0, 10, 20])
+    assert np.array_equal(
+        assign_centroids(y, cents, chunk=7), assign_centroids(y, cents, chunk=512)
+    )
+
+
+def test_assign_centroids_validation(rng):
+    with pytest.raises(ConfigError):
+        assign_centroids(np.zeros((2, 2), dtype=np.float32), np.array([], dtype=np.int64))
+    with pytest.raises(ShapeError):
+        assign_centroids(np.zeros(4, dtype=np.float32), np.array([0]))
+
+
+def test_build_residues_eq4(rng):
+    y = rng.random((5, 8)).astype(np.float32)
+    cents = np.array([1, 4])
+    m = assign_centroids(y, cents)
+    yhat, ne_rec = build_residues(y, m)
+    for j in range(8):
+        if m[j] == -1:
+            assert np.array_equal(yhat[:, j], y[:, j])
+        else:
+            assert np.allclose(yhat[:, j], y[:, j] - y[:, m[j]], atol=1e-7)
+    # ne_rec is truthful
+    assert np.array_equal(ne_rec, (yhat != 0).any(axis=0))
+
+
+def test_build_residues_pruning_zeroes_small_entries():
+    y = np.array([[1.0, 1.005], [1.0, 2.0]], dtype=np.float32)
+    m = np.array([-1, 0])
+    yhat, ne_rec = build_residues(y, m, prune_threshold=0.01)
+    assert yhat[0, 1] == 0.0  # 0.005 pruned
+    assert yhat[1, 1] == pytest.approx(1.0)
+    # centroid column never pruned
+    assert np.array_equal(yhat[:, 0], y[:, 0])
+
+
+def test_build_residues_duplicate_column_is_empty():
+    y = np.array([[3.0, 3.0], [1.0, 1.0]], dtype=np.float32)
+    m = np.array([-1, 0])
+    yhat, ne_rec = build_residues(y, m)
+    assert not ne_rec[1]
+    assert ne_rec[0]
+
+
+def test_recover_inverts_convert(rng):
+    y = rng.random((7, 12)).astype(np.float64)  # float64: exact (a-b)+b
+    yhat, m, _ = convert(y, np.array([0, 3, 7]))
+    back = recover(yhat, m)
+    assert np.allclose(back, y, atol=1e-12)
+
+
+def test_recover_validation():
+    with pytest.raises(ShapeError):
+        recover(np.zeros(4), np.zeros(4, dtype=np.int64))
+    with pytest.raises(ShapeError):
+        recover(np.zeros((2, 3)), np.zeros(5, dtype=np.int64))
+
+
+def test_construct_kernel_matches_vectorized(device, rng):
+    y = np.round(rng.random((12, 10)) * 4, 1).astype(np.float32)
+    cents = np.array([0, 4])
+    yhat_v, m_v, ne_v = convert(y, cents)
+    yhat_k, m_k, ne_k = construct_kernel(device, y, cents, tile=4, block=4)
+    assert np.array_equal(m_k, m_v)
+    assert np.allclose(yhat_k, yhat_v, atol=1e-6)
+    assert np.array_equal(ne_k, ne_v)
+
+
+def test_construct_kernel_dead_centroid_marked_empty(device):
+    y = np.zeros((4, 3), dtype=np.float32)
+    y[:, 1] = 2.0
+    yhat, m, ne_rec = construct_kernel(device, y, np.array([0, 1]), tile=2, block=2)
+    assert not ne_rec[0]  # the all-zero centroid is skippable
+    assert ne_rec[1]
+    assert not ne_rec[2]  # column 2 equals dead centroid 0 -> empty residue
+
+
+def test_construct_kernel_charges_device(device, rng):
+    y = rng.random((8, 6)).astype(np.float32)
+    before = device.snapshot()
+    construct_kernel(device, y, np.array([0]), tile=4, block=4)
+    assert device.snapshot().launches == before.launches + 1
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 3000), b=st.integers(2, 12), n=st.integers(1, 10))
+def test_convert_recover_roundtrip_property(seed, b, n):
+    rng = np.random.default_rng(seed)
+    y = rng.random((n, b))
+    n_cents = rng.integers(1, b + 1)
+    cents = np.sort(rng.choice(b, size=n_cents, replace=False))
+    yhat, m, _ = convert(y, cents)
+    assert np.allclose(recover(yhat, m), y, atol=1e-9)

@@ -1,0 +1,167 @@
+"""Post-convergence update (Eq. 5, Algorithm 3): correctness + kernel twins."""
+
+import numpy as np
+import pytest
+
+from repro.core.conversion import convert
+from repro.core.postconv import (
+    load_reduced_spmm,
+    update_centroids_residues,
+    update_compact,
+    update_kernel,
+)
+from repro.core.recovery import recover
+from repro.network import clamped_relu
+from repro.sparse import CSRMatrix
+from repro.sparse.spmm import spmm_reduceat
+
+
+def setup_case(rng, n=10, b=8, ymax=4.0):
+    """Random converged state + weight; returns pieces and the ground truth."""
+    y = (rng.random((n, b)) * ymax).astype(np.float64)
+    # make some duplicate columns so empties exist
+    y[:, 3] = y[:, 0]
+    y[:, 5] = y[:, 2]
+    cents = np.array([0, 2])
+    yhat, m, ne_rec = convert(y, cents)
+    wd = rng.random((n, n))
+    wd[wd > 0.4] = 0
+    w = CSRMatrix.from_dense(wd)
+    bias = -0.2
+    # ground truth next layer on the uncompressed representation
+    y_next = clamped_relu(wd @ y + bias, ymax)
+    return y, yhat, m, ne_rec, w, wd, bias, y_next, ymax
+
+
+def test_eq5_reproduces_feedforward(rng):
+    y, yhat, m, ne_rec, w, wd, bias, y_next, ymax = setup_case(rng)
+    ne_idx = np.flatnonzero(ne_rec | (m == -1))
+    z = load_reduced_spmm(w, yhat, ne_idx)
+    out, ne2 = update_centroids_residues(z, bias, m, ne_idx, ymax)
+    # recovering the updated representation must equal the plain feed-forward
+    assert np.allclose(recover(out, m), y_next, atol=1e-9)
+
+
+def test_load_reduced_skips_empty_columns_exactly(rng):
+    y, yhat, m, ne_rec, w, wd, bias, y_next, ymax = setup_case(rng)
+    ne_idx = np.flatnonzero(ne_rec | (m == -1))
+    full = spmm_reduceat(w, yhat)
+    reduced = load_reduced_spmm(w, yhat, ne_idx)
+    assert np.allclose(full, reduced, atol=1e-12)  # skipped columns were zero
+
+
+def test_empty_residue_stays_empty(rng):
+    y, yhat, m, ne_rec, w, wd, bias, y_next, ymax = setup_case(rng)
+    ne_idx = np.flatnonzero(ne_rec | (m == -1))
+    z = load_reduced_spmm(w, yhat, ne_idx)
+    out, ne2 = update_centroids_residues(z, bias, m, ne_idx, ymax)
+    # columns 3 and 5 were duplicates -> empty residues -> still empty
+    assert (out[:, 3] == 0).all() and (out[:, 5] == 0).all()
+    assert not ne2[3] and not ne2[5]
+
+
+def test_vector_bias_supported(rng):
+    y, yhat, m, ne_rec, w, wd, _, _, ymax = setup_case(rng)
+    bias_vec = rng.standard_normal(w.shape[0]) * 0.1
+    ne_idx = np.flatnonzero(ne_rec | (m == -1))
+    z = load_reduced_spmm(w, yhat, ne_idx)
+    out, _ = update_centroids_residues(z, bias_vec, m, ne_idx, ymax)
+    y_next = clamped_relu(wd @ y + bias_vec[:, None], ymax)
+    assert np.allclose(recover(out, m), y_next, atol=1e-9)
+
+
+def test_pruning_zeroes_small_updates(rng):
+    y, yhat, m, ne_rec, w, wd, bias, y_next, ymax = setup_case(rng)
+    ne_idx = np.flatnonzero(ne_rec | (m == -1))
+    z = load_reduced_spmm(w, yhat, ne_idx)
+    out_raw, _ = update_centroids_residues(z, bias, m, ne_idx, ymax)
+    out_pruned, _ = update_centroids_residues(z, bias, m, ne_idx, ymax, prune_threshold=0.3)
+    res_cols = ne_idx[m[ne_idx] != -1]
+    raw = out_raw[:, res_cols]
+    pruned = out_pruned[:, res_cols]
+    assert (pruned[np.abs(raw) < 0.3] == 0).all()
+    assert np.array_equal(pruned[np.abs(raw) >= 0.3], raw[np.abs(raw) >= 0.3])
+    # centroid columns never pruned
+    cent_cols = ne_idx[m[ne_idx] == -1]
+    assert np.array_equal(out_raw[:, cent_cols], out_pruned[:, cent_cols])
+
+
+def test_update_compact_matches_full(rng):
+    y, yhat, m, ne_rec, w, wd, bias, y_next, ymax = setup_case(rng)
+    ne_idx = np.flatnonzero(ne_rec | (m == -1))
+    z = load_reduced_spmm(w, yhat, ne_idx)
+    out_full, ne_full = update_centroids_residues(z, bias, m, ne_idx, ymax, 0.1)
+    is_cent = m[ne_idx] == -1
+    cent_pos = np.searchsorted(ne_idx, m[ne_idx[~is_cent]])
+    z_sub = z[:, ne_idx]
+    out_sub, ne_sub = update_compact(z_sub, bias, is_cent, cent_pos, ymax, 0.1)
+    assert np.allclose(out_sub, out_full[:, ne_idx], atol=1e-12)
+    assert np.array_equal(ne_sub, ne_full[ne_idx])
+
+
+def test_update_kernel_matches_vectorized(device, rng):
+    y, yhat, m, ne_rec, w, wd, bias, y_next, ymax = setup_case(rng, n=8, b=6)
+    ne_idx = np.flatnonzero(ne_rec | (m == -1))
+    z = load_reduced_spmm(w, yhat, ne_idx).astype(np.float64)
+    out_v, ne_v = update_centroids_residues(z, bias, m, ne_idx, ymax, 0.05)
+    out_k, ne_k = update_kernel(device, z, bias, m, ne_idx, ymax, 0.05, block=3)
+    assert np.allclose(out_k, out_v, atol=1e-12)
+    assert np.array_equal(ne_k, ne_v)
+
+
+def test_update_kernel_vector_bias(device, rng):
+    y, yhat, m, ne_rec, w, wd, _, _, ymax = setup_case(rng, n=8, b=6)
+    bias_vec = rng.standard_normal(8) * 0.1
+    ne_idx = np.flatnonzero(ne_rec | (m == -1))
+    z = load_reduced_spmm(w, yhat, ne_idx).astype(np.float64)
+    out_v, ne_v = update_centroids_residues(z, bias_vec, m, ne_idx, ymax)
+    out_k, ne_k = update_kernel(device, z, bias_vec, m, ne_idx, ymax, block=4)
+    assert np.allclose(out_k, out_v, atol=1e-12)
+    assert np.array_equal(ne_k, ne_v)
+
+
+def test_update_kernel_empty_ne_idx(device):
+    z = np.zeros((4, 3))
+    out, ne = update_kernel(device, z, 0.0, np.full(3, -1), np.empty(0, dtype=np.int64), 1.0)
+    assert (out == 0).all() and not ne.any()
+
+
+def test_multi_layer_equivalence_with_refresh(rng):
+    """Run several post-convergence layers and compare against ground truth,
+    exercising the ne_idx refresh logic (monotone emptiness)."""
+    n, b, ymax = 12, 10, 4.0
+    y = (rng.random((n, b)) * ymax).astype(np.float64)
+    y[:, 4] = y[:, 1]
+    y[:, 7] = y[:, 1]
+    cents = np.array([1, 2])
+    yhat, m, ne_rec = convert(y, cents)
+    ne_idx = np.flatnonzero(ne_rec | (m == -1))
+    y_ref = y.copy()
+    for step in range(4):
+        wd = rng.random((n, n))
+        wd[wd > 0.35] = 0
+        w = CSRMatrix.from_dense(wd)
+        bias = -0.1
+        y_ref = clamped_relu(wd @ y_ref + bias, ymax)
+        z = load_reduced_spmm(w, yhat, ne_idx)
+        yhat, ne_rec = update_centroids_residues(z, bias, m, ne_idx, ymax)
+        ne_idx = np.flatnonzero(ne_rec | (m == -1))
+        assert np.allclose(recover(yhat, m), y_ref, atol=1e-9), f"layer {step}"
+
+
+def test_postconv_update_wrapper(rng):
+    """The convenience wrapper (spMM + update in one call) matches the
+    two-step path and reports the spMM workload."""
+    from repro.core.postconv import postconv_update
+    from repro.network import LayerSpec
+
+    y, yhat, m, ne_rec, w, wd, bias, y_next, ymax = setup_case(rng)
+    ne_idx = np.flatnonzero(ne_rec | (m == -1))
+    layer = LayerSpec(w, bias=bias)
+    out, ne2, active = postconv_update(layer, None, yhat, m, ne_idx, ymax)
+    assert active == len(ne_idx)
+    assert np.allclose(recover(out, m), y_next, atol=1e-9)
+
+    z = load_reduced_spmm(w, yhat, ne_idx)
+    out2, _ = update_centroids_residues(z, bias, m, ne_idx, ymax)
+    assert np.allclose(out, out2, atol=1e-12)

@@ -1,0 +1,108 @@
+"""Sample pruning (paper Algorithm 1): vectorized twin vs virtual-GPU kernel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.pruning import prune_samples, prune_samples_kernel, select_centroids
+from repro.errors import ConfigError
+
+
+def test_duplicates_are_pruned():
+    f = np.array([[1.0, 1.0, 5.0], [2.0, 2.0, 6.0]])  # cols 0 and 1 identical
+    col_idx = prune_samples(f, eta=0.1, eps=0.5)
+    assert list(col_idx) == [0, -1, 2]
+
+
+def test_distinct_columns_survive():
+    f = np.array([[0.0, 10.0, 20.0]])
+    col_idx = prune_samples(f, eta=0.1, eps=0.5)
+    assert list(col_idx) == [0, 1, 2]
+
+
+def test_greedy_order_matters_first_base_wins():
+    # col1 is close to col0; col2 close to col1 but not to col0.
+    f = np.array([[0.0, 1.0, 2.0]])
+    # eta=1.5: |0-1|=1 < eta (similar), |0-2|=2 >= eta (dissimilar)
+    col_idx = prune_samples(f, eta=1.5, eps=0.5)
+    # col1 pruned by col0; col2 survives and becomes its own base
+    assert list(col_idx) == [0, -1, 2]
+
+
+def test_figure_3b_example():
+    """The paper's Fig. 3b walkthrough: cols 1,3 merge into 0; 4,5 into 2."""
+    base = np.array([0.0, 0.0, 0.0, 0.0])
+    far = np.array([10.0, 10.0, 10.0, 10.0])
+    f = np.stack([base, base + 0.01, far, base - 0.01, far + 0.01, far - 0.01], axis=1)
+    col_idx = prune_samples(f, eta=0.05, eps=0.5)
+    assert list(col_idx) == [0, -1, 2, -1, -1, -1]
+    assert list(select_centroids(col_idx)) == [0, 2]
+
+
+def test_eps_scales_merge_tolerance():
+    # two columns differing in 1 of 4 elements
+    f = np.array([[0.0, 0.0], [0.0, 0.0], [0.0, 0.0], [0.0, 9.0]])
+    # diff = 1 dissimilar element; prune iff 1 < 4 * eps
+    assert list(prune_samples(f, eta=0.5, eps=0.5)) == [0, -1]
+    assert list(prune_samples(f, eta=0.5, eps=0.2)) == [0, 1]
+
+
+def test_survivors_are_pairwise_distinct(rng):
+    """Invariant: any later survivor is dissimilar from every earlier one."""
+    f = rng.random((8, 20)) * 2
+    eta, eps = 0.3, 0.25
+    col_idx = prune_samples(f, eta, eps)
+    survivors = select_centroids(col_idx)
+    n = f.shape[0]
+    for a_pos, a in enumerate(survivors):
+        for b in survivors[a_pos + 1 :]:
+            diff = int((np.abs(f[:, b] - f[:, a]) >= eta).sum())
+            assert diff >= n * eps
+
+
+def test_kernel_matches_vectorized(device, rng):
+    for seed in range(5):
+        r = np.random.default_rng(seed)
+        f = np.round(r.random((6, 12)) * 3, 1)
+        expected = prune_samples(f, eta=0.4, eps=0.3)
+        got = prune_samples_kernel(device, f, eta=0.4, eps=0.3)
+        assert np.array_equal(got, expected), f"seed {seed}"
+
+
+def test_kernel_single_block_limit(device):
+    with pytest.raises(ConfigError, match="block"):
+        prune_samples_kernel(device, np.zeros((64, 64)), 0.1, 0.1)
+
+
+def test_kernel_charges_device(device):
+    before = device.snapshot()
+    prune_samples_kernel(device, np.ones((4, 6)), 0.1, 0.1)
+    after = device.snapshot()
+    assert after.launches == before.launches + 1
+    assert after.barriers > before.barriers
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        prune_samples(np.zeros((2, 2)), eta=-1, eps=0.1)
+    from repro.errors import ShapeError
+
+    with pytest.raises(ShapeError):
+        prune_samples(np.zeros(4), 0.1, 0.1)
+
+
+def test_select_centroids_sorted():
+    assert list(select_centroids(np.array([5, -1, 2, -1, 0]))) == [0, 2, 5]
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 5000), s=st.integers(1, 10), n=st.integers(1, 6))
+def test_kernel_vectorized_equivalence_property(seed, s, n):
+    rng = np.random.default_rng(seed)
+    f = np.round(rng.random((n, s)), 1)
+    from repro.gpu.device import VirtualDevice
+
+    device = VirtualDevice()
+    expected = prune_samples(f, eta=0.25, eps=0.4)
+    got = prune_samples_kernel(device, f, eta=0.25, eps=0.4)
+    assert np.array_equal(got, expected)

@@ -1,0 +1,70 @@
+"""Column sampling and sum downsampling (paper §3.2.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.sampling import sample_columns, sum_downsample
+from repro.errors import ConfigError, ShapeError
+
+
+def test_sample_takes_first_columns(rng):
+    y = rng.random((6, 10))
+    f = sample_columns(y, 4)
+    assert np.array_equal(f, y[:, :4])
+
+
+def test_sample_clamps_to_batch(rng):
+    y = rng.random((6, 3))
+    assert sample_columns(y, 100).shape == (6, 3)
+
+
+def test_sample_validation(rng):
+    with pytest.raises(ShapeError):
+        sample_columns(np.zeros(5), 2)
+    with pytest.raises(ConfigError):
+        sample_columns(np.zeros((2, 2)), 0)
+
+
+def test_downsample_exact_division():
+    f0 = np.arange(12, dtype=float).reshape(12, 1)
+    f = sum_downsample(f0, 3)
+    # segments of 4: 0+1+2+3, 4+..7, 8+..11
+    assert list(f[:, 0]) == [6.0, 22.0, 38.0]
+
+
+def test_downsample_uneven_segments():
+    f0 = np.ones((10, 2))
+    f = sum_downsample(f0, 3)
+    # sizes 4, 3, 3
+    assert list(f[:, 0]) == [4.0, 3.0, 3.0]
+
+
+def test_downsample_preserves_total_sum(rng):
+    f0 = rng.random((37, 5))
+    f = sum_downsample(f0, 8)
+    assert np.allclose(f.sum(axis=0), f0.sum(axis=0))
+
+
+def test_downsample_noop_when_n_ge_rows(rng):
+    f0 = rng.random((4, 3))
+    out = sum_downsample(f0, 10)
+    assert np.array_equal(out, f0)
+    out[0, 0] = 99  # must be a copy
+    assert f0[0, 0] != 99
+
+
+def test_downsample_validation():
+    with pytest.raises(ConfigError):
+        sum_downsample(np.zeros((4, 2)), 0)
+    with pytest.raises(ShapeError):
+        sum_downsample(np.zeros(4), 2)
+
+
+@settings(max_examples=30, deadline=None)
+@given(rows=st.integers(1, 40), n=st.integers(1, 40), seed=st.integers(0, 999))
+def test_downsample_sum_preservation_property(rows, n, seed):
+    f0 = np.random.default_rng(seed).random((rows, 3))
+    f = sum_downsample(f0, n)
+    assert f.shape[0] == min(n, rows) or f.shape == f0.shape
+    assert np.allclose(f.sum(axis=0), f0.sum(axis=0))

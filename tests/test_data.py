@@ -1,0 +1,163 @@
+"""Synthetic datasets, resizing, and loading utilities."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    Dataset,
+    bilinear_resize,
+    binarize,
+    images_to_columns,
+    render_digit,
+    synth_cifar,
+    synth_mnist,
+    train_test_split,
+)
+from repro.data.synth_mnist import prototype_digit_batch
+from repro.errors import ConfigError, ShapeError
+
+
+# ----------------------------------------------------------- synth mnist
+def test_render_digit_shape_and_range(rng):
+    img = render_digit(3, rng)
+    assert img.shape == (28, 28)
+    assert img.dtype == np.float32
+    assert img.min() >= 0.0 and img.max() <= 1.0
+    assert img.max() > 0.5  # there is actual ink
+
+
+def test_render_digit_bad_class(rng):
+    with pytest.raises(ConfigError):
+        render_digit(10, rng)
+
+
+def test_synth_mnist_batch(rng):
+    images, labels = synth_mnist(30, rng)
+    assert images.shape == (30, 28, 28)
+    assert labels.shape == (30,)
+    assert labels.min() >= 0 and labels.max() <= 9
+
+
+def test_synth_mnist_classes_are_distinct():
+    """Within-class pixel distance must be smaller than between-class."""
+    rng = np.random.default_rng(0)
+    imgs_a = np.stack([render_digit(2, rng) for _ in range(8)])
+    imgs_b = np.stack([render_digit(7, rng) for _ in range(8)])
+    intra = np.abs(imgs_a - imgs_a.mean(0)).mean()
+    inter = np.abs(imgs_a.mean(0) - imgs_b.mean(0)).mean()
+    assert inter > intra
+
+
+def test_prototype_batch_quantized_variation(rng):
+    images, labels = prototype_digit_batch(200, rng, noise=0.0)
+    cols = binarize(images_to_columns(images))
+    unique = len({cols[:, j].tobytes() for j in range(200)})
+    # 10 classes x 25 integer shifts bounds the input diversity
+    assert unique <= 250
+
+
+def test_prototype_batch_same_shift_same_image(rng):
+    images, labels = prototype_digit_batch(300, rng, noise=0.0)
+    # at 300 draws over <=250 patterns, duplicates must exist
+    keys = {}
+    dup = 0
+    for i in range(300):
+        k = images[i].tobytes()
+        dup += k in keys
+        keys[k] = i
+    assert dup > 0
+
+
+# ----------------------------------------------------------- synth cifar
+def test_synth_cifar_batch(rng):
+    images, labels = synth_cifar(12, rng)
+    assert images.shape == (12, 3, 32, 32)
+    assert images.min() >= 0 and images.max() <= 1
+    assert labels.shape == (12,)
+
+
+def test_synth_cifar_classes_differ(rng):
+    a, _ = synth_cifar(1, np.random.default_rng(0))
+    # same class renders look alike, different class differ more
+    rng1, rng2 = np.random.default_rng(1), np.random.default_rng(2)
+    from repro.data.synth_cifar import _render
+
+    same = np.abs(_render(0, rng1, 32) - _render(0, rng2, 32)).mean()
+    diff = np.abs(_render(0, rng1, 32) - _render(5, rng2, 32)).mean()
+    assert diff > same
+
+
+# --------------------------------------------------------------- resize
+def test_resize_identity():
+    imgs = np.random.default_rng(0).random((3, 8, 8)).astype(np.float32)
+    out = bilinear_resize(imgs, 8)
+    assert np.allclose(out, imgs)
+    out[0, 0, 0] = 99  # must be a copy
+    assert imgs[0, 0, 0] != 99
+
+
+def test_resize_constant_image_stays_constant():
+    imgs = np.full((2, 10, 10), 0.7, dtype=np.float32)
+    out = bilinear_resize(imgs, 23)
+    assert np.allclose(out, 0.7, atol=1e-6)
+
+
+def test_resize_preserves_linear_ramp():
+    # bilinear interpolation reproduces a linear function exactly
+    ramp = np.linspace(0, 1, 8)[None, None, :].repeat(8, axis=1)
+    out = bilinear_resize(ramp, 15)
+    expected = np.linspace(0, 1, 15)
+    assert np.allclose(out[0, 3], expected, atol=1e-6)
+
+
+def test_resize_upscale_shape():
+    imgs = np.random.default_rng(0).random((2, 28, 28))
+    assert bilinear_resize(imgs, 32).shape == (2, 32, 32)
+    assert bilinear_resize(imgs, 12).shape == (2, 12, 12)
+
+
+def test_resize_validation():
+    with pytest.raises(ShapeError):
+        bilinear_resize(np.zeros((4, 4)), 8)
+    with pytest.raises(ConfigError):
+        bilinear_resize(np.zeros((1, 4, 4)), 0)
+
+
+# --------------------------------------------------------------- loader
+def test_images_to_columns_layout():
+    imgs = np.arange(24).reshape(2, 3, 4).astype(np.float32)
+    cols = images_to_columns(imgs)
+    assert cols.shape == (12, 2)
+    assert np.array_equal(cols[:, 0], imgs[0].ravel())
+    assert np.array_equal(cols[:, 1], imgs[1].ravel())
+
+
+def test_binarize_threshold():
+    x = np.array([0.2, 0.5, 0.8])
+    assert list(binarize(x)) == [0.0, 0.0, 1.0]
+    assert list(binarize(x, threshold=0.1)) == [1.0, 1.0, 1.0]
+
+
+def test_dataset_validation_and_batches(rng):
+    with pytest.raises(ShapeError):
+        Dataset(np.zeros((3, 2, 2)), np.zeros(4))
+    ds = Dataset(np.arange(10)[:, None].astype(float), np.arange(10))
+    batches = list(ds.batches(4))
+    assert [len(b) for b in batches] == [4, 4, 2]
+    with pytest.raises(ConfigError):
+        list(ds.batches(0))
+
+
+def test_shuffled_preserves_pairs(rng):
+    ds = Dataset(np.arange(20)[:, None].astype(float), np.arange(20))
+    sh = ds.shuffled(rng)
+    assert sorted(sh.labels) == list(range(20))
+    assert (sh.images[:, 0] == sh.labels).all()  # pairing intact
+
+
+def test_train_test_split(rng):
+    ds = Dataset(np.zeros((100, 2)), np.zeros(100, dtype=int))
+    train, test = train_test_split(ds, 0.25, rng)
+    assert len(train) == 75 and len(test) == 25
+    with pytest.raises(ConfigError):
+        train_test_split(ds, 1.5, rng)

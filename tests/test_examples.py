@@ -1,0 +1,31 @@
+"""Examples stay runnable: compile all, execute the fast one end to end."""
+
+import py_compile
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parents[1] / "examples").glob("*.py"))
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(names) >= 3  # deliverable: at least three runnable examples
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+def test_virtual_gpu_example_runs():
+    path = Path(__file__).parents[1] / "examples" / "virtual_gpu_kernels.py"
+    proc = subprocess.run(
+        [sys.executable, str(path)], capture_output=True, text=True, timeout=300
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "kernel == vectorized: True" in proc.stdout
+    assert "modeled latency" in proc.stdout

@@ -1,0 +1,115 @@
+"""Integration smoke tests: every experiment module runs end to end at tiny
+scale and produces a well-formed report with the paper's qualitative shape.
+
+The full-scale versions (with shape assertions at real batch sizes) live in
+benchmarks/; these keep the experiment plumbing under unit-test coverage.
+"""
+
+import pytest
+
+from repro.harness.experiments import (
+    ExperimentReport,
+    sdgc_config,
+    sdgc_threshold,
+)
+from repro.harness.experiments import (
+    fig1,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    table1,
+    table3,
+    table4,
+)
+
+
+def check_report(report: ExperimentReport) -> str:
+    rendered = report.render()
+    assert report.experiment in rendered
+    assert rendered.count("\n") >= 2
+    return rendered
+
+
+def test_common_sdgc_threshold():
+    assert sdgc_threshold(120) == 30  # the paper's t
+    assert sdgc_threshold(24) == 12
+    cfg = sdgc_config(120)
+    assert cfg.sample_size == 32 and cfg.downsample_dim == 16
+    assert cfg.eta == cfg.eps == 0.03
+
+
+def test_table1_report():
+    report = table1.run()
+    check_report(report)
+    assert len(report.data) == 12
+
+
+def test_table3_tiny():
+    report = table3.run(scale=0.05, benchmarks=["144-24"])
+    check_report(report)
+    row = report.data["144-24"]
+    assert row["snicit_ms"] > 0 and row["x_xy"] > 0
+
+
+def test_table4_single_row():
+    from repro.harness.experiments.table4 import run_one
+
+    row = run_one("C", batch=128)
+    assert row["x_snig"] > 0 and abs(row["acc_loss"]) < 5
+
+
+def test_fig1_tiny():
+    report = fig1.run(scale=0.1, tsne_samples=30)
+    check_report(report)
+    seps = report.data["separations"]
+    assert len(seps) >= 2
+    assert report.data["intensity_snicit"][-1] <= report.data["intensity_dense"][-1]
+
+
+def test_fig6_tiny():
+    report = fig6.run(scale=0.05, benchmarks=["256-24"])
+    check_report(report)
+    assert "256-24" in report.data
+
+
+def test_fig7_tiny():
+    report = fig7.run(scale=0.05, benchmarks=("144-24",))
+    check_report(report)
+    shares = report.data["144-24"]
+    total = sum(shares[s] for s in
+                ("pre_convergence", "conversion", "post_convergence", "recovery"))
+    assert total == pytest.approx(100.0)
+
+
+def test_fig8_tiny():
+    report = fig8.run(scale=0.05, benchmarks=("144-24",), step=12)
+    check_report(report)
+    assert len(report.data["144-24"]["t"]) == 2
+
+
+def test_fig9_tiny():
+    report = fig9.run(scale=1.0, benchmarks=("144-24",), batches=(40, 80))
+    check_report(report)
+    assert len(report.data["144-24"]["snicit_ms"]) == 2
+
+
+def test_fig10_tiny():
+    report = fig10.run(scale=0.1, dnn_ids=("C",))
+    check_report(report)
+    assert report.data["C"]["recovery"] < 50
+
+
+def test_fig11_tiny():
+    report = fig11.run(scale=0.1)
+    check_report(report)
+    assert set("ABCD") <= set(report.data)
+
+
+def test_fig12_tiny():
+    report = fig12.run(scale=1.0, dnn_ids=("C",), batches=(64,), t_step=6)
+    check_report(report)
+    assert "mean_speedup_by_batch" in report.data["C"]

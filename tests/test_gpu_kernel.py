@@ -1,0 +1,226 @@
+"""Per-thread kernel executor semantics (barriers, shared memory, atomics)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.gpu.kernel import SYNC, BlockDim, GridDim, SyncCount, launch_kernel
+
+
+def test_thread_indices_cover_grid(device):
+    seen = np.zeros((2, 3, 4), dtype=np.int64)  # (grid.x, block.y, block.x)
+
+    def body(ctx, out):
+        out[ctx.bx, ctx.ty, ctx.tx] += 1
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    launch_kernel(device, body, grid=GridDim(2, 1), block=BlockDim(4, 3), args=(seen,))
+    assert (seen == 1).all()
+
+
+def test_shared_memory_is_per_block(device):
+    # every block's threads increment a block-shared counter; totals per block
+    totals = np.zeros(3, dtype=np.int64)
+
+    def body(ctx, totals):
+        acc = ctx.shared("acc", 1, dtype=np.int64)
+        ctx.atomic_add(acc, 0, 1)
+        yield SYNC
+        if ctx.tx == 0:
+            totals[ctx.bx] = acc[0]
+
+    launch_kernel(device, body, grid=3, block=8, args=(totals,))
+    assert (totals == 8).all()
+
+
+def test_barrier_orders_writes_before_reads(device):
+    # thread 0 writes, all threads read after the barrier; without barrier
+    # semantics this would be racy (interleaved threads read stale zeros)
+    out = np.zeros(16)
+
+    def body(ctx, out):
+        sh = ctx.shared("x", 1)
+        if ctx.tx == 0:
+            sh[0] = 42.0
+        yield SYNC
+        out[ctx.tx] = sh[0]
+
+    launch_kernel(device, body, grid=1, block=16, args=(out,))
+    assert (out == 42.0).all()
+
+
+def test_sync_count_returns_block_wide_count(device):
+    counts = np.zeros(8, dtype=np.int64)
+
+    def body(ctx, counts):
+        got = yield SyncCount(ctx.tx % 3 == 0)
+        counts[ctx.tx] = got
+
+    launch_kernel(device, body, grid=1, block=8, args=(counts,))
+    # tx in {0, 3, 6} -> 3 threads true, every thread receives 3
+    assert (counts == 3).all()
+
+
+def test_sync_count_zero_is_delivered(device):
+    counts = np.full(4, -1, dtype=np.int64)
+
+    def body(ctx, counts):
+        got = yield SyncCount(False)
+        counts[ctx.tx] = got
+
+    launch_kernel(device, body, grid=1, block=4, args=(counts,))
+    assert (counts == 0).all()
+
+
+def test_early_return_threads_skip_barriers(device):
+    # guard pattern: threads beyond n return before the barrier
+    out = np.zeros(4)
+
+    def body(ctx, out):
+        if ctx.tx >= 2:
+            return
+        yield SYNC
+        out[ctx.tx] = 1.0
+
+    launch_kernel(device, body, grid=1, block=4, args=(out,))
+    assert list(out) == [1.0, 1.0, 0.0, 0.0]
+
+
+def test_divergent_barrier_kinds_raise(device):
+    def body(ctx):
+        if ctx.tx == 0:
+            yield SYNC
+        else:
+            yield SyncCount(True)
+
+    with pytest.raises(KernelError, match="divergent"):
+        launch_kernel(device, body, grid=1, block=2)
+
+
+def test_atomics_are_counted_in_charge(device):
+    arr = np.zeros(1)
+
+    def body(ctx, arr):
+        ctx.atomic_add(arr, 0, 1.0)
+        return
+        yield  # pragma: no cover
+
+    charge = launch_kernel(device, body, grid=2, block=5, args=(arr,))
+    assert arr[0] == 10.0
+    assert charge.atomics == 10
+
+
+def test_atomic_add_returns_old_value(device):
+    old_values = np.zeros(4)
+
+    def body(ctx, out):
+        sh = ctx.shared("a", 1)
+        # threads run sequentially within a segment, so olds are 0..3 in some order
+        out[ctx.tx] = ctx.atomic_add(sh, 0, 1.0)
+        return
+        yield  # pragma: no cover
+
+    launch_kernel(device, body, grid=1, block=4, args=(old_values,))
+    assert sorted(old_values) == [0.0, 1.0, 2.0, 3.0]
+
+
+def test_atomic_max(device):
+    arr = np.zeros(1)
+
+    def body(ctx, arr):
+        ctx.atomic_max(arr, 0, float(ctx.tx))
+        return
+        yield  # pragma: no cover
+
+    launch_kernel(device, body, grid=1, block=7, args=(arr,))
+    assert arr[0] == 6.0
+
+
+def test_block_size_limit_enforced(device):
+    def body(ctx):
+        return
+        yield  # pragma: no cover
+
+    with pytest.raises(KernelError, match="exceeds"):
+        launch_kernel(device, body, grid=1, block=BlockDim(2048, 1))
+
+
+def test_empty_geometry_rejected(device):
+    def body(ctx):
+        return
+        yield  # pragma: no cover
+
+    with pytest.raises(KernelError, match="empty"):
+        launch_kernel(device, body, grid=0, block=4)
+
+
+def test_charge_merges_explicit_and_measured(device):
+    from repro.gpu.costmodel import KernelCharge
+
+    def body(ctx, arr):
+        ctx.atomic_add(arr, 0, 1)
+        yield SYNC
+
+    arr = np.zeros(1)
+    charge = launch_kernel(
+        device, body, grid=1, block=2, args=(arr,),
+        charge=KernelCharge(name="k", flops=123.0),
+    )
+    assert charge.flops == 123.0
+    assert charge.atomics == 2
+    assert charge.barriers >= 1
+    assert device.snapshot().flops == 123.0
+
+
+def test_tree_reduction_kernel(device):
+    """A classic shared-memory tree reduction: exercises repeated barriers
+    with data-dependent shared-memory reads between them."""
+    import numpy as np
+
+    data = np.arange(64, dtype=np.float64)
+    out = np.zeros(2)
+
+    def body(ctx, data, out):
+        n = 32  # elements per block
+        sh = ctx.shared("buf", n)
+        base = ctx.bx * n
+        sh[ctx.tx] = data[base + ctx.tx]
+        yield SYNC
+        stride = n // 2
+        while stride > 0:
+            if ctx.tx < stride:
+                sh[ctx.tx] += sh[ctx.tx + stride]
+            yield SYNC
+            stride //= 2
+        if ctx.tx == 0:
+            out[ctx.bx] = sh[0]
+
+    launch_kernel(device, body, grid=2, block=32, args=(data, out))
+    assert out[0] == data[:32].sum()
+    assert out[1] == data[32:].sum()
+
+
+def test_grid_stride_loop_with_sync_count(device):
+    """Counting nonzeros of a vector with __syncthreads_count over a
+    grid-stride loop (the Algorithm-3 access pattern at awkward sizes)."""
+    import numpy as np
+
+    vec = np.zeros(37)
+    vec[[0, 5, 9, 20, 36]] = 1.0
+    result = np.zeros(1, dtype=np.int64)
+
+    def body(ctx, vec, result):
+        n = len(vec)
+        bd = ctx.block_dim.x
+        total = 0
+        for it in range((n + bd - 1) // bd):
+            j = ctx.tx + it * bd
+            pred = bool(j < n and vec[j] != 0)
+            got = yield SyncCount(pred)
+            total += got
+        if ctx.tx == 0:
+            result[0] = total
+
+    launch_kernel(device, body, grid=1, block=8, args=(vec, result))
+    assert result[0] == 5

@@ -1,0 +1,77 @@
+"""Virtual device memory management and transfer accounting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeviceError
+from repro.gpu.device import VirtualDevice
+
+
+def test_alloc_tracks_bytes(device):
+    buf = device.alloc((10, 10), dtype=np.float32)
+    assert device.allocated_bytes == 400
+    buf.free()
+    assert device.allocated_bytes == 0
+
+
+def test_zeros_is_zeroed(device):
+    buf = device.zeros((5,), dtype=np.float64)
+    assert (buf.array == 0).all()
+
+
+def test_oom_raises(tiny_device):
+    with pytest.raises(DeviceError, match="OOM"):
+        tiny_device.alloc((1 << 20,), dtype=np.float64)
+
+
+def test_oom_boundary_exact_fit(tiny_device):
+    # exactly the device capacity fits
+    buf = tiny_device.alloc((tiny_device.spec.memory_bytes,), dtype=np.uint8)
+    assert tiny_device.allocated_bytes == tiny_device.spec.memory_bytes
+    with pytest.raises(DeviceError):
+        tiny_device.alloc((1,), dtype=np.uint8)
+    buf.free()
+
+
+def test_use_after_free_raises(device):
+    buf = device.alloc((4,))
+    buf.free()
+    with pytest.raises(DeviceError, match="freed"):
+        _ = buf.array
+    # double free is a no-op
+    buf.free()
+
+
+def test_to_device_copies_and_charges(device):
+    host = np.arange(6, dtype=np.float32).reshape(2, 3)
+    buf = device.to_device(host)
+    host[0, 0] = 99  # device copy must be independent
+    assert buf.array[0, 0] == 0
+    assert device.snapshot().h2d_bytes == host.nbytes
+
+
+def test_to_host_charges_d2h(device):
+    buf = device.to_device(np.ones(8, dtype=np.float32))
+    out = buf.to_host()
+    assert (out == 1).all()
+    assert device.snapshot().d2h_bytes == 32
+
+
+def test_copy_from_host_shape_mismatch(device):
+    buf = device.alloc((2, 2))
+    with pytest.raises(DeviceError, match="shape"):
+        buf.copy_from_host(np.zeros((3, 3), dtype=np.float32))
+
+
+def test_peak_allocation_tracking(device):
+    a = device.alloc((1000,), dtype=np.float32)
+    b = device.alloc((2000,), dtype=np.float32)
+    a.free()
+    b.free()
+    assert device.allocated_bytes == 0
+    assert device.peak_allocated_bytes == 12000
+
+
+def test_default_spec_is_a6000_scale(device):
+    assert device.spec.memory_bytes == 48 * 1024**3
+    assert device.spec.sm_count == 84

@@ -1,0 +1,112 @@
+"""Task graph construction and stream scheduling."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.gpu.stream import Task, TaskGraph, simulate_schedule
+
+
+def chain_graph(n: int) -> TaskGraph:
+    g = TaskGraph()
+    for i in range(n):
+        g.task(f"t{i}", deps=[f"t{i - 1}"] if i else [])
+    return g
+
+
+def test_duplicate_task_rejected():
+    g = TaskGraph()
+    g.task("a")
+    with pytest.raises(ConfigError, match="duplicate"):
+        g.task("a")
+
+
+def test_unknown_dependency_rejected():
+    g = TaskGraph()
+    with pytest.raises(ConfigError, match="unknown"):
+        g.task("b", deps=["nope"])
+
+
+def test_topo_order_respects_deps():
+    g = TaskGraph()
+    g.task("a")
+    g.task("b", deps=["a"])
+    g.task("c", deps=["a"])
+    g.task("d", deps=["b", "c"])
+    order = [t.name for t in g.topo_order()]
+    assert order.index("a") < order.index("b") < order.index("d")
+    assert order.index("a") < order.index("c") < order.index("d")
+
+
+def test_run_executes_functions_in_order():
+    log = []
+    g = TaskGraph()
+    g.task("a", fn=lambda: log.append("a"))
+    g.task("b", fn=lambda: log.append("b"), deps=["a"])
+    durations = g.run()
+    assert log == ["a", "b"]
+    assert durations == {"a": 0.0, "b": 0.0}
+
+
+def test_run_duration_from_return_value_and_field():
+    g = TaskGraph()
+    g.task("ret", fn=lambda: 1.5)
+    g.task("fixed", fn=lambda: 9.9, duration=0.25)
+    durations = g.run()
+    assert durations["ret"] == 1.5
+    assert durations["fixed"] == 0.25  # explicit duration wins
+
+
+def test_single_stream_is_serial():
+    g = chain_graph(4)
+    durations = {f"t{i}": 1.0 for i in range(4)}
+    makespan, spans = simulate_schedule(g, durations, n_streams=1)
+    assert makespan == pytest.approx(4.0)
+    assert spans["t3"] == (3.0, 4.0)
+
+
+def test_independent_tasks_overlap():
+    g = TaskGraph()
+    for i in range(4):
+        g.task(f"t{i}")
+    durations = {f"t{i}": 1.0 for i in range(4)}
+    makespan, _ = simulate_schedule(g, durations, n_streams=4)
+    assert makespan == pytest.approx(1.0)
+    makespan2, _ = simulate_schedule(g, durations, n_streams=2)
+    assert makespan2 == pytest.approx(2.0)
+
+
+def test_dependency_chain_cannot_overlap():
+    g = chain_graph(3)
+    durations = {f"t{i}": 2.0 for i in range(3)}
+    makespan, _ = simulate_schedule(g, durations, n_streams=8)
+    assert makespan == pytest.approx(6.0)
+
+
+def test_partitioned_pipeline_makespan():
+    # two independent chains of 3 x 1s on 2 streams: perfect overlap
+    g = TaskGraph()
+    for p in range(2):
+        prev = None
+        for i in range(3):
+            name = f"p{p}l{i}"
+            g.task(name, deps=[prev] if prev else [])
+            prev = name
+    durations = {t.name: 1.0 for t in g.topo_order()}
+    makespan, _ = simulate_schedule(g, durations, n_streams=2)
+    assert makespan == pytest.approx(3.0)
+
+
+def test_invalid_stream_count():
+    with pytest.raises(ConfigError):
+        simulate_schedule(TaskGraph(), {}, n_streams=0)
+
+
+def test_missing_duration_defaults_to_zero():
+    g = chain_graph(2)
+    makespan, _ = simulate_schedule(g, {"t0": 1.0}, n_streams=1)
+    assert makespan == pytest.approx(1.0)
+
+
+def test_task_dataclass_defaults():
+    t = Task(name="x")
+    assert t.deps == [] and t.fn is None and t.duration is None

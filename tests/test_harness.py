@@ -1,0 +1,127 @@
+"""Harness plumbing: runners, scaling, workload caching, reporting."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SNICITConfig
+from repro.errors import ConfigError
+from repro.harness import TextTable, bench_scale, get_benchmark, get_input, run_comparison
+from repro.harness.report import format_series
+from repro.harness.runner import make_engine, run_engine
+
+
+def test_bench_scale_default(monkeypatch):
+    monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+    assert bench_scale() == 1.0
+    assert bench_scale(default=0.25) == 0.25
+
+
+def test_bench_scale_env(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "0.5")
+    assert bench_scale() == 0.5
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "zero")
+    with pytest.raises(ConfigError):
+        bench_scale()
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "-1")
+    with pytest.raises(ConfigError):
+        bench_scale()
+
+
+def test_workload_caching_returns_same_objects():
+    net1 = get_benchmark("144-24")
+    net2 = get_benchmark("144-24")
+    assert net1 is net2
+    y1 = get_input("144-24", 64)
+    y2 = get_input("144-24", 64)
+    assert y1 is y2
+    assert not y1.flags.writeable  # cached arrays are read-only
+
+
+def test_make_engine_kinds():
+    net = get_benchmark("144-24")
+    cfg = SNICITConfig(threshold_layer=8)
+    for kind in ("snicit", "dense", "bf2019", "snig2020", "xy2021"):
+        engine = make_engine(kind, net, cfg)
+        assert hasattr(engine, "infer")
+    with pytest.raises(ConfigError):
+        make_engine("warp-drive", net, cfg)
+    with pytest.raises(ConfigError):
+        make_engine("snicit", net, None)
+
+
+def test_run_engine_and_comparison():
+    net = get_benchmark("144-24")
+    y0 = get_input("144-24", 64)
+    cfg = SNICITConfig(threshold_layer=8)
+    run = run_engine("snicit", net, y0, snicit_config=cfg)
+    assert run.wall_ms > 0 and run.modeled_ms > 0
+    runs = run_comparison(net, y0, cfg, engines=("snicit", "xy2021"))
+    assert set(runs) == {"snicit", "xy2021"}
+
+
+def test_run_comparison_detects_mismatch(monkeypatch):
+    net = get_benchmark("144-24")
+    y0 = get_input("144-24", 64)
+    cfg = SNICITConfig(threshold_layer=8)
+
+    import repro.harness.runner as runner_mod
+
+    class BrokenEngine:
+        name = "broken"
+
+        def __init__(self, net):
+            self._net = net
+
+        def infer(self, y0):
+            from repro.baselines import DenseReference
+
+            res = DenseReference(self._net).infer(y0)
+            res.y = np.zeros_like(res.y)  # kills every category
+            return res
+
+    monkeypatch.setitem(runner_mod._ENGINES, "broken", BrokenEngine)
+    with pytest.raises(AssertionError, match="disagree"):
+        run_comparison(net, y0, cfg, engines=("snicit", "broken"))
+
+
+def test_text_table_render():
+    t = TextTable(["a", "bb"], title="T")
+    t.add(1, 2.5)
+    t.add("x", 0.001)
+    out = t.render()
+    assert out.splitlines()[0] == "T"
+    assert "a" in out and "bb" in out and "0.001" in out
+    with pytest.raises(ValueError):
+        t.add(1)
+
+
+def test_format_series():
+    s = format_series("curve", [1, 2], [0.5, 0.25])
+    assert s == "curve: (1, 0.50) (2, 0.25)"
+
+
+def test_render_heatmap():
+    from repro.harness.report import render_heatmap
+
+    out = render_heatmap(
+        "demo", ["t0", "t4"], [100, 200],
+        [[0.5, 1.5], [0.9, 2.0]], mark_above=1.0,
+    )
+    lines = out.splitlines()
+    assert lines[0] == "demo"
+    assert "100" in lines[1] and "200" in lines[1]
+    assert "[" in out  # the >1x contour is marked
+    assert "scale:" in lines[-1]
+
+
+def test_render_heatmap_empty():
+    from repro.harness.report import render_heatmap
+
+    assert render_heatmap("empty", [], [], []) == "empty"
+
+
+def test_render_heatmap_constant_values():
+    from repro.harness.report import render_heatmap
+
+    out = render_heatmap("const", ["a"], [1, 2], [[3.0, 3.0]])
+    assert "const" in out  # zero span must not divide by zero

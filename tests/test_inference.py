@@ -1,0 +1,23 @@
+"""InferenceResult and SDGC category semantics."""
+
+import numpy as np
+
+from repro.gpu.costmodel import CostSnapshot
+from repro.inference import InferenceResult, sdgc_categories
+
+
+def test_sdgc_categories():
+    y = np.array([[0.0, 1.0, 0.0], [0.0, 0.0, -2.0]])
+    assert list(sdgc_categories(y)) == [False, True, True]
+
+
+def test_result_totals():
+    res = InferenceResult(
+        y=np.zeros((2, 2)),
+        stage_seconds={"a": 1.0, "b": 0.5},
+        layer_seconds=np.array([0.7, 0.8]),
+        modeled={"a": CostSnapshot(modeled_seconds=0.1), "b": CostSnapshot(modeled_seconds=0.2)},
+    )
+    assert res.total_seconds == 1.5
+    assert res.modeled_seconds == np.float64(0.1 + 0.2)
+    assert not res.categories.any()

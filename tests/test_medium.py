@@ -1,0 +1,88 @@
+"""Medium-scale DNN construction, training cache, and SNICIT behavior.
+
+Uses the on-disk weight cache (.cache/) — the first ever run trains the
+networks (~1 minute each); subsequent runs load instantly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import SNICIT
+from repro.errors import ConfigError
+from repro.harness.experiments.table4 import medium_config
+from repro.harness.medium import MEDIUM_DNNS, build_model, get_trained
+from repro.nn.model import accuracy
+
+
+def test_specs_match_paper_table4():
+    assert MEDIUM_DNNS["A"].name == "128-18"
+    assert MEDIUM_DNNS["B"].name == "256-18"
+    assert MEDIUM_DNNS["C"].name == "256-12"
+    assert MEDIUM_DNNS["D"].name == "256-12"
+    assert MEDIUM_DNNS["D"].dataset == "cifar"
+    for spec in MEDIUM_DNNS.values():
+        assert 0.5 <= spec.density <= 0.6  # paper: 50-60 %
+
+
+def test_build_model_architecture(rng):
+    model = build_model(MEDIUM_DNNS["A"], rng)
+    from repro.nn import Dense, SparseLinear
+
+    sparse = [l for l in model.layers if isinstance(l, SparseLinear)]
+    dense = [l for l in model.layers if isinstance(l, Dense)]
+    assert len(sparse) == 18
+    assert len(dense) == 2  # embed + output
+    assert sparse[0].weight.shape == (128, 128)
+
+
+def test_build_model_cifar_architecture(rng):
+    model = build_model(MEDIUM_DNNS["D"], rng)
+    from repro.nn import Conv2d, MaxPool2d
+
+    convs = [l for l in model.layers if isinstance(l, Conv2d)]
+    pools = [l for l in model.layers if isinstance(l, MaxPool2d)]
+    assert len(convs) == 6 and len(pools) == 3  # three (conv, conv, pool) stages
+    # the feature extractor must produce the calibration input size
+    images = rng.random((2, 3, 32, 32)).astype(np.float32)
+    assert model.forward(images).shape == (2, 10)
+
+
+def test_unknown_dnn_rejected():
+    with pytest.raises(ConfigError):
+        get_trained("Z")
+
+
+def test_trained_network_reaches_accuracy():
+    tm = get_trained("C")
+    assert tm.test_accuracy > 0.9  # synthetic digits are easier than MNIST
+
+
+def test_cache_roundtrip_preserves_weights(tmp_path):
+    # training with epochs=0-equivalent is not exposed; instead verify that a
+    # second load returns identical parameters from the shared disk cache
+    a = get_trained("A")
+    from repro.harness.medium import _memory_cache
+
+    _memory_cache.clear()
+    b = get_trained("A")
+    for p1, p2 in zip(a.model.params(), b.model.params()):
+        assert np.array_equal(p1.value, p2.value)
+
+
+def test_snicit_accuracy_loss_small_on_medium():
+    tm = get_trained("C")
+    stack = tm.stack
+    y0 = stack.head(tm.test.images)
+    res = SNICIT(stack.network, medium_config(tm.spec.sparse_layers)).infer(y0)
+    acc = accuracy(stack.tail(res.y), tm.test.labels)
+    assert tm.test_accuracy - acc < 0.02  # paper band: <= 1.43 %
+
+
+def test_medium_config_matches_paper_rules():
+    cfg = medium_config(18)
+    assert cfg.threshold_layer == 8  # largest even int <= 18/2
+    assert cfg.sample_size == 128
+    assert cfg.downsample_dim is None
+    assert cfg.ne_idx_interval == 1
+    cfg12 = medium_config(12)
+    assert cfg12.threshold_layer == 6

@@ -1,0 +1,85 @@
+"""SparseNetwork / LayerSpec container semantics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, ShapeError
+from repro.network import LayerSpec, SparseNetwork, clamped_relu
+from repro.sparse import CSRMatrix
+
+
+def make_net(rng, n=8, layers=3, ymax=32.0):
+    specs = []
+    for i in range(layers):
+        d = rng.random((n, n))
+        d[d > 0.4] = 0
+        specs.append(LayerSpec(CSRMatrix.from_dense(d), bias=-0.1, name=f"L{i}"))
+    return SparseNetwork(specs, ymax=ymax, name="test")
+
+
+def test_clamped_relu_in_place():
+    x = np.array([-1.0, 0.5, 40.0])
+    out = clamped_relu(x, 32.0)
+    assert out is x
+    assert list(x) == [0.0, 0.5, 32.0]
+
+
+def test_layerspec_bias_vector_shape_checked(rng):
+    w = CSRMatrix.from_dense(rng.random((4, 4)))
+    LayerSpec(w, bias=np.zeros(4))  # ok
+    with pytest.raises(ShapeError):
+        LayerSpec(w, bias=np.zeros(5))
+
+
+def test_bias_column_scalar_and_vector(rng):
+    w = CSRMatrix.from_dense(rng.random((3, 3)))
+    assert LayerSpec(w, bias=-0.5).bias_column().shape == (3, 1)
+    vec = LayerSpec(w, bias=np.array([1.0, 2.0, 3.0])).bias_column()
+    assert vec.shape == (3, 1) and vec[1, 0] == 2.0
+
+
+def test_network_shape_chain_validated(rng):
+    a = LayerSpec(CSRMatrix.from_dense(rng.random((4, 6))))
+    b = LayerSpec(CSRMatrix.from_dense(rng.random((5, 5))))
+    with pytest.raises(ShapeError):
+        SparseNetwork([a, b])
+
+
+def test_network_needs_layers_and_positive_ymax(rng):
+    with pytest.raises(ConfigError):
+        SparseNetwork([])
+    layer = LayerSpec(CSRMatrix.from_dense(rng.random((2, 2))))
+    with pytest.raises(ConfigError):
+        SparseNetwork([layer], ymax=0)
+
+
+def test_network_properties(rng):
+    net = make_net(rng, n=8, layers=3)
+    assert net.num_layers == 3
+    assert net.input_dim == 8 and net.output_dim == 8
+    assert net.total_nnz == sum(l.weight.nnz for l in net.layers)
+
+
+def test_format_caches_consistent(rng):
+    net = make_net(rng)
+    dense = net.layers[1].weight.to_dense()
+    assert np.allclose(net.ell(1).to_dense(), dense)
+    assert np.allclose(net.csc(1).to_dense(), dense)
+    assert np.allclose(net.dense(1), dense)
+    assert net.ell(1) is net.ell(1)  # cached object identity
+
+
+def test_validate_input(rng):
+    net = make_net(rng, n=8)
+    y = np.zeros((8, 5), dtype=np.float32)
+    assert net.validate_input(y) is not None
+    with pytest.raises(ShapeError):
+        net.validate_input(np.zeros((7, 5)))
+    with pytest.raises(ShapeError):
+        net.validate_input(np.zeros(8))
+
+
+def test_activation_uses_network_ymax(rng):
+    net = make_net(rng, ymax=1.0)
+    x = np.array([[2.0, -1.0]])
+    assert list(net.activation(x)[0]) == [1.0, 0.0]

@@ -1,0 +1,101 @@
+"""Exporting trained models into the inference SparseNetwork format."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.nn import BoundedReLU, Dense, Flatten, Sequential, SparseLinear, export_sparse_stack
+
+
+def small_model(rng, n=12, l_sparse=3):
+    layers = [Flatten(), Dense(16, n, rng), BoundedReLU(1.0)]
+    for _ in range(l_sparse):
+        layers += [SparseLinear(n, n, 0.5, rng), BoundedReLU(1.0)]
+    layers += [Dense(n, 4, rng)]
+    return Sequential(layers)
+
+
+def test_export_structure(rng):
+    model = small_model(rng)
+    stack = export_sparse_stack(model)
+    assert stack.network.num_layers == 3
+    assert stack.network.ymax == 1.0
+    assert len(stack.head_layers) == 3
+    assert len(stack.tail_layers) == 1
+    for spec in stack.network.layers:
+        assert isinstance(spec.bias, np.ndarray)
+        assert spec.weight.shape == (12, 12)
+
+
+def test_export_weights_are_transposed_and_masked(rng):
+    model = small_model(rng, l_sparse=1)
+    sparse_layer = model.layers[3]
+    stack = export_sparse_stack(model)
+    w = stack.network.layers[0].weight.to_dense()
+    assert np.allclose(w, (sparse_layer.weight.value * sparse_layer.mask).T, atol=1e-7)
+
+
+def test_head_stack_tail_equals_model(rng):
+    model = small_model(rng)
+    images = rng.random((9, 4, 4)).astype(np.float32)
+    expected = model.forward(images)
+    stack = export_sparse_stack(model)
+    got = stack.reference_logits(images)
+    assert np.allclose(got, expected, atol=1e-4)
+
+
+def test_head_produces_column_layout(rng):
+    model = small_model(rng)
+    stack = export_sparse_stack(model)
+    images = rng.random((5, 4, 4)).astype(np.float32)
+    y0 = stack.head(images)
+    assert y0.shape == (12, 5)
+
+
+def test_export_requires_sparse_layers(rng):
+    model = Sequential([Flatten(), Dense(4, 2, rng)])
+    with pytest.raises(ConfigError, match="no SparseLinear"):
+        export_sparse_stack(model)
+
+
+def test_export_requires_activation_after_sparse(rng):
+    model = Sequential([Flatten(), SparseLinear(4, 4, 0.5, rng), Dense(4, 2, rng)])
+    with pytest.raises(ConfigError, match="BoundedReLU"):
+        export_sparse_stack(model)
+
+
+def test_export_requires_consistent_ymax(rng):
+    model = Sequential([
+        Flatten(),
+        SparseLinear(4, 4, 0.5, rng), BoundedReLU(1.0),
+        SparseLinear(4, 4, 0.5, rng), BoundedReLU(2.0),
+        Dense(4, 2, rng),
+    ])
+    with pytest.raises(ConfigError, match="ymax"):
+        export_sparse_stack(model)
+
+
+def test_export_requires_contiguous_sparse_run(rng):
+    model = Sequential([
+        SparseLinear(4, 4, 0.5, rng), BoundedReLU(1.0),
+        Dense(4, 4, rng), BoundedReLU(1.0),
+        SparseLinear(4, 4, 0.5, rng), BoundedReLU(1.0),
+    ])
+    with pytest.raises(ConfigError, match="alternate"):
+        export_sparse_stack(model)
+
+
+def test_snicit_on_exported_stack_is_lossless_without_pruning(rng):
+    from repro.core import SNICIT, SNICITConfig
+
+    model = small_model(rng, n=16, l_sparse=4)
+    stack = export_sparse_stack(model)
+    images = rng.random((40, 4, 4)).astype(np.float32)
+    y0 = stack.head(images)
+    cfg = SNICITConfig(
+        threshold_layer=2, sample_size=16, downsample_dim=None, prune_threshold=0.0
+    )
+    res = SNICIT(stack.network, cfg).infer(y0)
+    expected = model.forward(images)
+    got = stack.tail(res.y)
+    assert np.allclose(got, expected, atol=1e-3)

@@ -1,0 +1,181 @@
+"""Gradient checks and semantics for the NN layers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, ShapeError
+from repro.nn import (
+    BoundedReLU,
+    Conv2d,
+    Dense,
+    Flatten,
+    MaxPool2d,
+    SparseLinear,
+)
+
+
+def numeric_grad(f, x, eps=1e-4):
+    """Central-difference gradient of scalar f wrt array x."""
+    g = np.zeros_like(x, dtype=np.float64)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        hi = f()
+        x[idx] = orig - eps
+        lo = f()
+        x[idx] = orig
+        g[idx] = (hi - lo) / (2 * eps)
+        it.iternext()
+    return g
+
+
+def check_layer_gradients(layer, x, atol=2e-2):
+    """Backprop gradients must match finite differences (input + params)."""
+    rng = np.random.default_rng(0)
+    out = layer.forward(x, train=True)
+    upstream = rng.standard_normal(out.shape).astype(np.float32)
+
+    def loss():
+        return float((layer.forward(x) * upstream).sum())
+
+    for p in layer.params():
+        p.zero_grad()
+    grad_in = layer.backward(upstream)
+    # re-prime the cache that backward consumed
+    layer.forward(x, train=True)
+
+    num_in = numeric_grad(loss, x)
+    assert np.allclose(grad_in, num_in, atol=atol), "input gradient mismatch"
+    for p in layer.params():
+        num_p = numeric_grad(loss, p.value)
+        assert np.allclose(p.grad, num_p, atol=atol), f"{p.name} gradient mismatch"
+
+
+def test_dense_gradients(rng):
+    layer = Dense(5, 4, rng)
+    x = rng.standard_normal((3, 5)).astype(np.float32)
+    check_layer_gradients(layer, x)
+
+
+def test_dense_shape_error(rng):
+    with pytest.raises(ShapeError):
+        Dense(5, 4, rng).forward(np.zeros((3, 6), dtype=np.float32))
+
+
+def test_backward_before_forward_raises(rng):
+    layer = Dense(3, 3, rng)
+    with pytest.raises(ConfigError):
+        layer.backward(np.zeros((2, 3), dtype=np.float32))
+
+
+def test_sparse_linear_gradients_respect_mask(rng):
+    layer = SparseLinear(6, 5, density=0.5, rng=rng)
+    x = rng.standard_normal((4, 6)).astype(np.float32)
+    upstream = rng.standard_normal((4, 5)).astype(np.float32)
+
+    def loss():
+        return float((layer.forward(x) * upstream).sum())
+
+    layer.forward(x, train=True)
+    layer.weight.zero_grad()
+    grad_in = layer.backward(upstream)
+    num_in = numeric_grad(loss, x)
+    assert np.allclose(grad_in, num_in, atol=2e-2)
+    # analytic weight gradient equals the masked projection of the numeric one
+    num_w = numeric_grad(loss, layer.weight.value)
+    assert np.allclose(layer.weight.grad, num_w * layer.mask, atol=2e-2)
+    # masked weights stay exactly zero and receive zero gradient
+    off = layer.mask == 0
+    assert (layer.weight.value[off] == 0).all()
+    assert (layer.weight.grad[off] == 0).all()
+
+
+def test_sparse_linear_density_property(rng):
+    layer = SparseLinear(50, 40, density=0.55, rng=rng)
+    assert 0.4 <= layer.density <= 0.7
+    with pytest.raises(ConfigError):
+        SparseLinear(4, 4, density=0.0, rng=rng)
+
+
+def test_sparse_linear_no_dead_outputs(rng):
+    # even at tiny density every output must keep >= 1 input connection
+    layer = SparseLinear(30, 30, density=0.02, rng=rng)
+    assert (layer.mask.sum(axis=0) >= 1).all()
+
+
+def test_bounded_relu_forward_and_grad(rng):
+    act = BoundedReLU(1.0)
+    x = np.array([[-0.5, 0.3, 2.0]], dtype=np.float32)
+    out = act.forward(x, train=True)
+    assert list(out[0]) == [0.0, pytest.approx(0.3), 1.0]
+    grad = act.backward(np.ones_like(x))
+    assert list(grad[0]) == [0.0, 1.0, 0.0]  # zero grad in both clipped regions
+    with pytest.raises(ConfigError):
+        BoundedReLU(0.0)
+
+
+def test_flatten_roundtrip(rng):
+    f = Flatten()
+    x = rng.random((2, 3, 4, 5)).astype(np.float32)
+    out = f.forward(x, train=True)
+    assert out.shape == (2, 60)
+    back = f.backward(out)
+    assert back.shape == x.shape
+
+
+def test_conv2d_gradients(rng):
+    layer = Conv2d(2, 3, kernel=3, rng=rng, padding=1)
+    x = rng.standard_normal((2, 2, 5, 5)).astype(np.float32)
+    check_layer_gradients(layer, x, atol=5e-2)
+
+
+def test_conv2d_matches_direct_convolution(rng):
+    layer = Conv2d(1, 1, kernel=3, rng=rng, padding=1)
+    x = rng.standard_normal((1, 1, 6, 6)).astype(np.float32)
+    out = layer.forward(x)
+    # brute-force same-padding convolution
+    k = layer.weight.value.reshape(1, 3, 3)
+    pad = np.pad(x[0, 0], 1)
+    expected = np.zeros((6, 6))
+    for i in range(6):
+        for j in range(6):
+            expected[i, j] = (pad[i : i + 3, j : j + 3] * k[0]).sum() + layer.bias.value[0]
+    assert np.allclose(out[0, 0], expected, atol=1e-4)
+
+
+def test_conv2d_shape_error(rng):
+    with pytest.raises(ShapeError):
+        Conv2d(1, 1, 3, rng).forward(np.zeros((2, 4), dtype=np.float32))
+
+
+def test_maxpool_forward_and_routing(rng):
+    pool = MaxPool2d()
+    x = np.zeros((1, 1, 4, 4), dtype=np.float32)
+    x[0, 0, 1, 1] = 5.0  # window (0,0)
+    x[0, 0, 2, 3] = 7.0  # window (1,1)
+    out = pool.forward(x, train=True)
+    assert out[0, 0, 0, 0] == 5.0 and out[0, 0, 1, 1] == 7.0
+    grad = pool.backward(np.ones_like(out))
+    assert grad[0, 0, 1, 1] == 1.0 and grad[0, 0, 2, 3] == 1.0
+    assert grad.sum() == 4.0  # one routed gradient per window
+
+
+def test_maxpool_tie_routes_single_gradient():
+    pool = MaxPool2d()
+    x = np.ones((1, 1, 2, 2), dtype=np.float32)  # all tied
+    pool.forward(x, train=True)
+    grad = pool.backward(np.ones((1, 1, 1, 1), dtype=np.float32))
+    assert grad.sum() == 1.0  # exactly one winner
+
+
+def test_maxpool_odd_dims_rejected():
+    with pytest.raises(ShapeError):
+        MaxPool2d().forward(np.zeros((1, 1, 5, 4), dtype=np.float32))
+
+
+def test_maxpool_gradients(rng):
+    pool = MaxPool2d()
+    x = rng.standard_normal((2, 2, 4, 4)).astype(np.float32)
+    check_layer_gradients(pool, x)

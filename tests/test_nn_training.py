@@ -1,0 +1,140 @@
+"""Loss, optimizers, and the Sequential training loop."""
+
+import numpy as np
+import pytest
+
+from repro.data.loader import Dataset
+from repro.errors import ConfigError, ShapeError
+from repro.nn import Adam, BoundedReLU, Dense, SGD, Sequential, accuracy
+from repro.nn.loss import softmax, softmax_cross_entropy
+from repro.nn.params import Param
+
+
+# ------------------------------------------------------------------ loss
+def test_softmax_rows_sum_to_one(rng):
+    p = softmax(rng.standard_normal((5, 7)))
+    assert np.allclose(p.sum(axis=1), 1.0)
+    assert (p > 0).all()
+
+
+def test_softmax_is_shift_invariant(rng):
+    z = rng.standard_normal((3, 4))
+    assert np.allclose(softmax(z), softmax(z + 1000.0))
+
+
+def test_cross_entropy_perfect_prediction_near_zero():
+    logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+    loss, grad = softmax_cross_entropy(logits, np.array([0, 1]))
+    assert loss < 1e-6
+    assert np.allclose(grad, 0.0, atol=1e-6)
+
+
+def test_cross_entropy_uniform_is_log_k():
+    logits = np.zeros((4, 10))
+    loss, _ = softmax_cross_entropy(logits, np.zeros(4, dtype=int))
+    assert loss == pytest.approx(np.log(10), rel=1e-5)
+
+
+def test_cross_entropy_gradient_matches_numeric(rng):
+    logits = rng.standard_normal((3, 5))
+    labels = np.array([1, 4, 0])
+    _, grad = softmax_cross_entropy(logits.copy(), labels)
+    eps = 1e-5
+    for i in range(3):
+        for j in range(5):
+            up = logits.copy()
+            up[i, j] += eps
+            down = logits.copy()
+            down[i, j] -= eps
+            num = (softmax_cross_entropy(up, labels)[0]
+                   - softmax_cross_entropy(down, labels)[0]) / (2 * eps)
+            assert grad[i, j] == pytest.approx(num, abs=1e-4)
+
+
+def test_cross_entropy_shape_error():
+    with pytest.raises(ShapeError):
+        softmax_cross_entropy(np.zeros((3, 2)), np.zeros(4, dtype=int))
+
+
+# ------------------------------------------------------------- optimizers
+def test_sgd_step():
+    p = Param(np.array([1.0, 2.0]))
+    p.grad[:] = [0.5, -0.5]
+    SGD([p], lr=0.1).step()
+    assert np.allclose(p.value, [0.95, 2.05])
+
+
+def test_sgd_momentum_accumulates():
+    p = Param(np.array([0.0]))
+    opt = SGD([p], lr=1.0, momentum=0.9)
+    p.grad[:] = 1.0
+    opt.step()
+    first = p.value.copy()
+    opt.zero_grad()
+    p.grad[:] = 1.0
+    opt.step()
+    assert (p.value - first) < first  # velocity grows the second step downward
+    assert p.value < first
+
+
+def test_adam_first_step_is_lr_sized():
+    p = Param(np.array([0.0]))
+    opt = Adam([p], lr=0.01)
+    p.grad[:] = 123.0
+    opt.step()
+    # bias-corrected Adam's first step magnitude ~= lr regardless of grad scale
+    assert abs(p.value[0] + 0.01) < 1e-6
+
+
+def test_adam_converges_on_quadratic():
+    p = Param(np.array([5.0]))
+    opt = Adam([p], lr=0.1)
+    for _ in range(500):
+        opt.zero_grad()
+        p.grad[:] = 2 * p.value  # d/dx x^2
+        opt.step()
+    assert abs(p.value[0]) < 1e-2
+
+
+def test_optimizer_validation():
+    with pytest.raises(ConfigError):
+        Adam([], lr=-1)
+    with pytest.raises(ConfigError):
+        Adam([], beta1=1.5)
+    with pytest.raises(ConfigError):
+        SGD([], lr=0)
+
+
+# ------------------------------------------------------------- sequential
+def _toy_problem(rng, n=200):
+    """Two linearly separable 2-D blobs."""
+    x = rng.standard_normal((n, 2)).astype(np.float32)
+    labels = (x[:, 0] + x[:, 1] > 0).astype(np.int64)
+    x[labels == 1] += 1.5
+    return Dataset(x, labels)
+
+
+def test_sequential_training_learns(rng):
+    ds = _toy_problem(rng)
+    model = Sequential([Dense(2, 16, rng), BoundedReLU(5.0), Dense(16, 2, rng)])
+    report = model.fit(ds, epochs=30, rng=rng, lr=0.01, batch_size=32)
+    assert report.losses[-1] < report.losses[0] * 0.5
+    assert model.evaluate(ds) > 0.9
+
+
+def test_sequential_predict_chunks_match(rng):
+    ds = _toy_problem(rng, n=50)
+    model = Sequential([Dense(2, 4, rng), Dense(4, 2, rng)])
+    whole = model.predict(ds.images, batch_size=64)
+    chunked = model.predict(ds.images, batch_size=7)
+    assert np.allclose(whole, chunked, atol=1e-5)
+
+
+def test_sequential_needs_layers():
+    with pytest.raises(ConfigError):
+        Sequential([])
+
+
+def test_accuracy_helper():
+    logits = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 0.0]])
+    assert accuracy(logits, np.array([0, 1, 1])) == pytest.approx(2 / 3)

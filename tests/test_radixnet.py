@@ -1,0 +1,280 @@
+"""Radix-Net generation: topology, weights, registry, I/O, dynamics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.kernels import champion_spmm
+from repro.radixnet import (
+    BENCHMARKS,
+    benchmark_input,
+    build_benchmark,
+    butterfly_indices,
+    list_benchmarks,
+    load_layer_tsv,
+    radixnet_topology,
+    save_layer_tsv,
+)
+from repro.radixnet.weights import WeightScale, assign_weights, sdgc_bias
+
+
+# ------------------------------------------------------------- topology
+def test_butterfly_exact_fanin():
+    idx = butterfly_indices(64, 8, 1)
+    assert idx.shape == (64, 8)
+    # stride 1: neuron j connects to j..j+7 mod 64
+    assert list(idx[0]) == list(range(8))
+    assert list(idx[63]) == [63, 0, 1, 2, 3, 4, 5, 6]
+
+
+def test_butterfly_slot0_is_self_edge():
+    for stride in (1, 8, 64):
+        idx = butterfly_indices(256, 32, stride)
+        assert (idx[:, 0] == np.arange(256)).all()
+
+
+def test_butterfly_rejects_bad_args():
+    with pytest.raises(ConfigError):
+        butterfly_indices(0, 4, 1)
+    with pytest.raises(ConfigError):
+        butterfly_indices(4, 8, 1)
+
+
+def test_topology_strides_cycle(rng):
+    layers = radixnet_topology(64, 4, fanin=8, permute=False)
+    # depth = ceil(log_8 64) = 2 -> strides 1, 8, 1, 8
+    assert list(layers[0][0]) == [0, 1, 2, 3, 4, 5, 6, 7]
+    assert list(layers[1][0]) == [0, 8, 16, 24, 32, 40, 48, 56]
+    assert np.array_equal(layers[0], layers[2])
+
+
+def test_topology_butterfly_reaches_everything():
+    # after depth stages, every input should be able to influence every output
+    n, fanin = 64, 8
+    layers = radixnet_topology(n, 2, fanin=fanin, permute=False)
+    reach = np.zeros((n, n), dtype=bool)  # reach[j, i]: output j sees input i
+    for i in range(n):
+        frontier = {i}
+        for idx in layers:
+            nxt = {j for j in range(n) if any(k in frontier for k in idx[j])}
+            frontier = nxt
+        reach[list(frontier), i] = True
+    assert reach.all()
+
+
+def test_topology_permutation_keeps_fanin(rng):
+    layers = radixnet_topology(32, 3, fanin=4, rng=rng, permute=True)
+    for idx in layers:
+        assert idx.shape == (32, 4)
+        assert idx.min() >= 0 and idx.max() < 32
+
+
+def test_topology_permute_requires_rng():
+    with pytest.raises(ConfigError):
+        radixnet_topology(16, 2, fanin=4, permute=True)
+
+
+def test_topology_fanin_too_large():
+    with pytest.raises(ConfigError):
+        radixnet_topology(16, 2, fanin=32, permute=False)
+
+
+# --------------------------------------------------------------- weights
+def test_assign_weights_structure(rng):
+    topo = radixnet_topology(64, 3, fanin=8, permute=False)
+    weights = assign_weights(topo, 64, rng)
+    assert len(weights) == 3
+    for w in weights:
+        assert w.shape == (64, 64)
+        assert (w.row_nnz == 8).all()  # exact fan-in preserved
+
+
+def test_assign_weights_self_edge_value(rng):
+    topo = radixnet_topology(64, 1, fanin=8, permute=False)
+    scale = WeightScale(self_weight=1.7)
+    (w,) = assign_weights(topo, 64, rng, scale=scale)
+    diag = w.to_dense().diagonal()
+    assert np.allclose(diag, 1.7)
+
+
+def test_sdgc_bias_table():
+    assert sdgc_bias(1024) == -0.3
+    assert sdgc_bias(65536) == -0.45
+    with pytest.raises(ConfigError):
+        sdgc_bias(512)
+
+
+# --------------------------------------------------------------- registry
+def test_registry_has_twelve_benchmarks():
+    specs = list_benchmarks()
+    assert len(specs) == 12
+    assert {s.neurons for s in specs} == {144, 256, 576, 1024}
+    assert {s.layers for s in specs} == {24, 48, 120}
+
+
+def test_registry_paper_mapping_and_bias():
+    spec = BENCHMARKS["1024-120"]
+    assert spec.paper_name == "65536-1920"
+    assert spec.bias == -0.45
+    assert BENCHMARKS["144-24"].paper_name == "1024-120"
+
+
+def test_registry_connections_formula():
+    spec = BENCHMARKS["256-24"]
+    assert spec.connections == 256 * 32 * 24
+
+
+def test_build_benchmark_structure():
+    net = build_benchmark("144-24", seed=0)
+    assert net.num_layers == 24
+    assert net.input_dim == 144
+    assert net.ymax == 32.0
+    assert net.meta["paper_name"] == "1024-120"
+    for layer in net.layers:
+        assert (layer.weight.row_nnz == 32).all()
+        assert layer.bias == -0.3
+
+
+def test_build_benchmark_deterministic():
+    a = build_benchmark("144-24", seed=7)
+    b = build_benchmark("144-24", seed=7)
+    assert np.array_equal(a.layers[3].weight.data, b.layers[3].weight.data)
+    c = build_benchmark("144-24", seed=8)
+    assert not np.array_equal(a.layers[3].weight.data, c.layers[3].weight.data)
+
+
+def test_build_benchmark_unknown_name():
+    with pytest.raises(ConfigError, match="unknown benchmark"):
+        build_benchmark("999-3")
+
+
+def test_benchmark_input_shape_and_binarization():
+    net = build_benchmark("144-24", seed=0)
+    y0, labels = benchmark_input(net, 50, seed=2, labeled=True)
+    assert y0.shape == (144, 50)
+    assert labels.shape == (50,)
+    assert set(np.unique(y0)) <= {0.0, 1.0}
+    y_raw = benchmark_input(net, 50, seed=2, binarized=False)
+    assert y_raw.max() <= 1.0 and len(np.unique(y_raw)) > 2
+
+
+# --------------------------------------------------------------- dynamics
+def test_dynamics_regime():
+    """The calibrated SDGC regime (matching the published benchmark
+    phenomenology): the vast majority of inputs go completely dead within the
+    24-layer tier, and the survivors collapse onto a handful of railed
+    patterns — the structure SNICIT's compression monetizes."""
+    net = build_benchmark("256-24", seed=0)
+    y = benchmark_input(net, 300, seed=1).astype(np.float32)
+    for i in range(net.num_layers):
+        z, _, _ = champion_spmm(net, i, y)
+        z += net.layers[i].bias_column()
+        y = net.activation(z)
+    alive = (y != 0).any(axis=0)
+    assert 0.005 <= alive.mean() <= 0.4, f"alive fraction {alive.mean()} out of regime"
+    survivors = y[:, alive]
+    railed = ((survivors == 0) | (survivors >= 31.5)).mean()
+    assert railed > 0.9, "survivor activations should pin at the clamp rails"
+    patterns = len({survivors[:, j].tobytes() for j in range(survivors.shape[1])})
+    assert patterns <= 32, "survivors should cluster into few patterns"
+
+
+def test_dynamics_columns_merge_with_depth():
+    net = build_benchmark("256-120", seed=0)
+    y = benchmark_input(net, 200, seed=1).astype(np.float32)
+    uniques = {}
+    for i in range(net.num_layers):
+        z, _, _ = champion_spmm(net, i, y)
+        z += net.layers[i].bias_column()
+        y = net.activation(z)
+        if i in (29, 119):
+            uniques[i] = len({y[:, j].tobytes() for j in range(y.shape[1])})
+    assert uniques[119] <= uniques[29], "deeper layers should merge columns"
+    assert uniques[119] < 200, "some columns must have merged"
+
+
+# ----------------------------------------------------------------- io
+def test_tsv_roundtrip(tmp_path, rng):
+    topo = radixnet_topology(32, 1, fanin=4, permute=False)
+    (w,) = assign_weights(topo, 32, rng)
+    path = tmp_path / "layer.tsv"
+    save_layer_tsv(path, w)
+    loaded = load_layer_tsv(path, (32, 32))
+    assert np.array_equal(loaded.indptr, w.indptr)
+    assert np.array_equal(loaded.indices, w.indices)
+    assert np.allclose(loaded.data, w.data, atol=1e-6)
+
+
+def test_tsv_is_one_indexed(tmp_path, rng):
+    topo = radixnet_topology(8, 1, fanin=2, permute=False)
+    (w,) = assign_weights(topo, 8, rng)
+    path = tmp_path / "layer.tsv"
+    save_layer_tsv(path, w)
+    first = path.read_text().splitlines()[0].split("\t")
+    assert int(first[0]) >= 1 and int(first[1]) >= 1
+
+
+def test_tsv_malformed_rejected(tmp_path):
+    from repro.errors import FormatError
+
+    path = tmp_path / "bad.tsv"
+    path.write_text("1\t2\n")
+    with pytest.raises(FormatError, match="3 tab-separated"):
+        load_layer_tsv(path, (4, 4))
+    path.write_text("0\t1\t0.5\n")
+    with pytest.raises(FormatError, match="1-based"):
+        load_layer_tsv(path, (4, 4))
+    path.write_text("a\tb\tc\n")
+    with pytest.raises(FormatError):
+        load_layer_tsv(path, (4, 4))
+
+
+def test_categories_roundtrip(tmp_path):
+    from repro.radixnet.io import load_categories, save_categories
+
+    cats = np.array([True, False, True, True, False])
+    path = tmp_path / "truth.cat"
+    save_categories(path, cats)
+    assert path.read_text().split() == ["1", "3", "4"]
+    loaded = load_categories(path, 5)
+    assert np.array_equal(loaded, cats)
+
+
+def test_categories_from_indices(tmp_path):
+    from repro.radixnet.io import load_categories, save_categories
+
+    path = tmp_path / "truth.cat"
+    save_categories(path, np.array([0, 4]))
+    assert np.array_equal(load_categories(path, 6),
+                          np.array([True, False, False, False, True, False]))
+
+
+def test_categories_validation(tmp_path):
+    from repro.errors import FormatError
+    from repro.radixnet.io import load_categories
+
+    path = tmp_path / "bad.cat"
+    path.write_text("0\n")
+    with pytest.raises(FormatError, match="out of range"):
+        load_categories(path, 4)
+    path.write_text("xyz\n")
+    with pytest.raises(FormatError):
+        load_categories(path, 4)
+
+
+def test_engine_categories_match_saved_truth(tmp_path):
+    """End-to-end golden-reference flow: dense engine writes the truth file,
+    SNICIT is checked against it — the contest's evaluation protocol."""
+    from repro.baselines import DenseReference
+    from repro.core import SNICIT, SNICITConfig
+    from repro.radixnet.io import load_categories, save_categories
+
+    net = build_benchmark("144-24", seed=0)
+    y0 = benchmark_input(net, 100, seed=5)
+    truth = DenseReference(net).infer(y0).categories
+    path = tmp_path / "144-24.cat"
+    save_categories(path, truth)
+    # lossless configuration: category agreement is guaranteed, so this
+    # exercises the golden-reference protocol itself
+    res = SNICIT(net, SNICITConfig(threshold_layer=8, prune_threshold=0.0)).infer(y0)
+    assert np.array_equal(res.categories, load_categories(path, 100))

@@ -1,0 +1,130 @@
+"""Related-work engines (paper §2.2.2): WTA, thresholding, cache early-exit."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.harness.medium import get_trained
+from repro.related import CacheEarlyExit, ThresholdEngine, WTAEngine
+from repro.related.wta import winners_take_all
+
+
+# ------------------------------------------------------------------- WTA
+def test_winners_take_all_keeps_exact_count(rng):
+    y = rng.random((20, 5)).astype(np.float32)
+    winners_take_all(y, 0.25)
+    assert ((y != 0).sum(axis=0) <= 5).all()
+    assert ((y != 0).sum(axis=0) == 5).all()  # dense input -> exactly ceil(.25*20)
+
+
+def test_winners_take_all_keeps_largest(rng):
+    y = np.array([[0.1], [0.9], [0.5], [0.3]], dtype=np.float32)
+    winners_take_all(y, 0.5)
+    assert y[1, 0] == pytest.approx(0.9) and y[2, 0] == pytest.approx(0.5)
+    assert y[0, 0] == 0 and y[3, 0] == 0
+
+
+def test_winners_take_all_full_keep_is_noop(rng):
+    y = rng.random((8, 3)).astype(np.float32)
+    expected = y.copy()
+    winners_take_all(y, 1.0)
+    assert np.array_equal(y, expected)
+
+
+def test_wta_engine_runs_and_degrades_gracefully():
+    tm = get_trained("C")
+    stack = tm.stack
+    y0 = stack.head(tm.test.images[:200])
+    labels = tm.test.labels[:200]
+    from repro.nn.model import accuracy
+
+    res_mild = WTAEngine(stack.network, keep_fraction=0.9).infer(y0)
+    res_harsh = WTAEngine(stack.network, keep_fraction=0.05).infer(y0)
+    acc_mild = accuracy(stack.tail(res_mild.y), labels)
+    acc_harsh = accuracy(stack.tail(res_harsh.y), labels)
+    assert acc_mild >= acc_harsh  # harsher dropout can only hurt
+    assert acc_mild > 0.8
+
+
+def test_wta_validation():
+    tm = get_trained("C")
+    with pytest.raises(ConfigError):
+        WTAEngine(tm.stack.network, keep_fraction=0.0)
+
+
+# -------------------------------------------------------------- threshold
+def test_threshold_engine_increases_sparsity():
+    tm = get_trained("C")
+    stack = tm.stack
+    y0 = stack.head(tm.test.images[:200])
+    plain = ThresholdEngine(stack.network, threshold=0.0).infer(y0)
+    thresh = ThresholdEngine(stack.network, threshold=0.1).infer(y0)
+    assert thresh.stats["sparsity_trace"].mean() > plain.stats["sparsity_trace"].mean()
+    # zero threshold is exact: matches the baseline engines
+    from repro.baselines import DenseReference
+
+    ref = DenseReference(stack.network).infer(y0)
+    assert np.allclose(plain.y, ref.y, atol=1e-3)
+
+
+def test_threshold_validation():
+    tm = get_trained("C")
+    with pytest.raises(ConfigError):
+        ThresholdEngine(tm.stack.network, threshold=-0.1)
+
+
+# -------------------------------------------------------------- cache exit
+def test_cache_early_exit_flow():
+    tm = get_trained("C")
+    cache = CacheEarlyExit(tm.stack, tolerance=0.2)
+    cache.build_cache(tm.train.images[:300])
+    assert cache.cache_entries > 0
+    result = cache.predict(tm.test.images[:150])
+    labels = tm.test.labels[:150]
+    acc = float((result.labels == labels).mean())
+    assert acc > 0.7, "cache-assisted accuracy collapsed"
+    assert 0.0 <= result.hit_rate <= 1.0
+    assert (result.labels >= 0).all()
+    # exits happen strictly before the end for hits
+    hits = result.exit_layer < tm.stack.network.num_layers
+    assert hits.mean() == pytest.approx(result.hit_rate)
+
+
+def test_cache_exit_requires_built_cache():
+    tm = get_trained("C")
+    cache = CacheEarlyExit(tm.stack)
+    with pytest.raises(ConfigError, match="build_cache"):
+        cache.predict(tm.test.images[:10])
+
+
+def test_cache_exit_zero_tolerance_never_hits():
+    tm = get_trained("C")
+    cache = CacheEarlyExit(tm.stack, tolerance=0.0)
+    cache.build_cache(tm.train.images[:100])
+    result = cache.predict(tm.test.images[:50])
+    # distinct queries essentially never match a cached sketch exactly
+    assert result.hit_rate <= 0.1
+    # and then labels equal the plain model's predictions
+    expected = tm.model.predict(tm.test.images[:50]).argmax(axis=1)
+    no_hit = result.exit_layer == tm.stack.network.num_layers
+    assert np.array_equal(result.labels[no_hit], expected[no_hit])
+
+
+def test_cache_exit_validation():
+    tm = get_trained("C")
+    with pytest.raises(ConfigError):
+        CacheEarlyExit(tm.stack, sketch_dim=0)
+    with pytest.raises(ConfigError):
+        CacheEarlyExit(tm.stack, tolerance=-1)
+    with pytest.raises(ConfigError):
+        CacheEarlyExit(tm.stack, check_every=0)
+
+
+# ------------------------------------------------------------ experiment
+def test_related_experiment_report():
+    from repro.harness.experiments import related
+
+    report = related.run(scale=0.2)
+    rendered = report.render()
+    assert "SNICIT" in rendered and "Cache-EarlyExit" in rendered
+    assert "hit rate" in rendered

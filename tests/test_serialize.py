@@ -1,0 +1,69 @@
+"""Network .npz serialization round trips."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.network import LayerSpec, SparseNetwork
+from repro.serialize import load_network, save_network
+from repro.sparse import CSRMatrix
+
+
+def make_net(rng):
+    layers = []
+    for i in range(3):
+        d = rng.random((6, 6))
+        d[d > 0.4] = 0
+        bias = rng.standard_normal(6).astype(np.float32) if i == 1 else -0.3
+        layers.append(LayerSpec(CSRMatrix.from_dense(d), bias=bias, name=f"L{i}"))
+    return SparseNetwork(layers, ymax=7.5, name="roundtrip", meta={"kind": "test", "x": 1})
+
+
+def test_roundtrip(tmp_path, rng):
+    net = make_net(rng)
+    path = tmp_path / "net.npz"
+    save_network(path, net)
+    loaded = load_network(path)
+    assert loaded.name == net.name
+    assert loaded.ymax == net.ymax
+    assert loaded.meta == net.meta
+    assert loaded.num_layers == net.num_layers
+    for a, b in zip(net.layers, loaded.layers):
+        assert a.name == b.name
+        assert np.array_equal(a.weight.to_dense(), b.weight.to_dense())
+        if isinstance(a.bias, np.ndarray):
+            assert np.array_equal(a.bias, b.bias)
+        else:
+            assert a.bias == b.bias
+
+
+def test_loaded_network_runs(tmp_path, rng):
+    from repro.baselines import DenseReference
+
+    net = make_net(rng)
+    path = tmp_path / "net.npz"
+    save_network(path, net)
+    loaded = load_network(path)
+    y0 = rng.random((6, 5)).astype(np.float32)
+    a = DenseReference(net).infer(y0)
+    b = DenseReference(loaded).infer(y0)
+    assert np.allclose(a.y, b.y)
+
+
+def test_rejects_foreign_npz(tmp_path):
+    path = tmp_path / "foreign.npz"
+    np.savez(path, x=np.zeros(3))
+    with pytest.raises(FormatError, match="header"):
+        load_network(path)
+
+
+def test_rejects_wrong_version(tmp_path, rng, monkeypatch):
+    import repro.serialize as ser
+
+    net = make_net(rng)
+    path = tmp_path / "net.npz"
+    monkeypatch.setattr(ser, "_FORMAT_VERSION", 99)
+    save_network(path, net)
+    monkeypatch.setattr(ser, "_FORMAT_VERSION", 1)
+    with pytest.raises(FormatError, match="version"):
+        load_network(path)

@@ -1,0 +1,232 @@
+"""COO/CSR/CSC/ELL containers: construction, round trips, validation."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import FormatError, ShapeError
+from repro.sparse import COOMatrix, CSRMatrix, CSCMatrix, ELLMatrix
+from repro.sparse.convert import csc_to_csr, csr_to_csc, random_sparse, to_csc, to_csr
+
+
+def random_dense(rng, shape=(7, 5), density=0.4):
+    d = rng.random(shape)
+    d[d > density] = 0.0
+    return d
+
+
+# ---------------------------------------------------------------- COO
+def test_coo_from_to_dense_roundtrip(rng):
+    d = random_dense(rng)
+    assert np.array_equal(COOMatrix.from_dense(d).to_dense(), d)
+
+
+def test_coo_duplicate_entries_sum():
+    coo = COOMatrix(
+        np.array([0, 0, 1]), np.array([1, 1, 0]), np.array([2.0, 3.0, 4.0]), (2, 2)
+    )
+    dense = coo.to_dense()
+    assert dense[0, 1] == 5.0
+    summed = coo.sum_duplicates()
+    assert summed.nnz == 2
+    assert np.array_equal(summed.to_dense(), dense)
+
+
+def test_coo_sorted_orders_by_row_then_col():
+    coo = COOMatrix(np.array([1, 0, 1]), np.array([0, 2, 1]), np.array([1.0, 2.0, 3.0]), (2, 3))
+    s = coo.sorted()
+    assert list(s.row) == [0, 1, 1]
+    assert list(s.col) == [2, 0, 1]
+
+
+def test_coo_transpose(rng):
+    d = random_dense(rng)
+    assert np.array_equal(COOMatrix.from_dense(d).transpose().to_dense(), d.T)
+
+
+def test_coo_validation_errors():
+    with pytest.raises(FormatError, match="length"):
+        COOMatrix(np.array([0]), np.array([0, 1]), np.array([1.0]), (2, 2))
+    with pytest.raises(FormatError, match="out of range"):
+        COOMatrix(np.array([5]), np.array([0]), np.array([1.0]), (2, 2))
+    with pytest.raises(FormatError, match="one-dimensional"):
+        COOMatrix(np.zeros((2, 2)), np.array([0]), np.array([1.0]), (2, 2))
+
+
+def test_coo_density():
+    coo = COOMatrix(np.array([0]), np.array([0]), np.array([1.0]), (2, 2))
+    assert coo.density == 0.25
+
+
+# ---------------------------------------------------------------- CSR
+def test_csr_matches_scipy(rng):
+    d = random_dense(rng, (20, 13))
+    ours = CSRMatrix.from_dense(d)
+    ref = sp.csr_matrix(d)
+    assert np.array_equal(ours.indptr, ref.indptr)
+    assert np.array_equal(ours.indices, ref.indices)
+    assert np.allclose(ours.data, ref.data)
+
+
+def test_csr_handles_empty_rows(rng):
+    d = np.zeros((5, 4))
+    d[1, 2] = 3.0
+    d[4, 0] = 1.0
+    csr = CSRMatrix.from_dense(d)
+    assert list(csr.row_nnz) == [0, 1, 0, 0, 1]
+    assert np.array_equal(csr.to_dense(), d)
+
+
+def test_csr_matvec_matches_numpy(rng):
+    d = random_dense(rng, (9, 6))
+    x = rng.random(6)
+    assert np.allclose(CSRMatrix.from_dense(d).matvec(x), d @ x)
+
+
+def test_csr_matvec_shape_error(rng):
+    csr = CSRMatrix.from_dense(random_dense(rng))
+    with pytest.raises(ShapeError):
+        csr.matvec(np.ones(99))
+
+
+def test_csr_row_view(rng):
+    d = random_dense(rng)
+    csr = CSRMatrix.from_dense(d)
+    cols, vals = csr.row(2)
+    assert np.allclose(d[2, cols], vals)
+    with pytest.raises(ShapeError):
+        csr.row(99)
+
+
+def test_csr_take_rows(rng):
+    d = random_dense(rng, (8, 5))
+    sub = CSRMatrix.from_dense(d).take_rows(np.array([3, 0, 7]))
+    assert np.array_equal(sub.to_dense(), d[[3, 0, 7]])
+
+
+def test_csr_scale_rows(rng):
+    d = random_dense(rng, (4, 5))
+    s = rng.random(4)
+    scaled = CSRMatrix.from_dense(d).scale_rows(s)
+    assert np.allclose(scaled.to_dense(), d * s[:, None])
+
+
+def test_csr_transpose(rng):
+    d = random_dense(rng, (6, 9))
+    assert np.array_equal(CSRMatrix.from_dense(d).transpose().to_dense(), d.T)
+
+
+def test_csr_validation_errors():
+    with pytest.raises(FormatError, match="indptr"):
+        CSRMatrix(np.array([0, 1]), np.array([0]), np.array([1.0]), (2, 2))
+    with pytest.raises(FormatError, match="non-decreasing"):
+        CSRMatrix(np.array([0, 2, 1]), np.array([0, 0]), np.array([1.0, 1.0]), (2, 2))
+    with pytest.raises(FormatError, match="out of range"):
+        CSRMatrix(np.array([0, 1]), np.array([9]), np.array([1.0]), (1, 2))
+    with pytest.raises(FormatError, match="indptr\\[0\\]"):
+        CSRMatrix(np.array([1, 1]), np.array([]), np.array([]), (1, 2))
+
+
+# ---------------------------------------------------------------- CSC
+def test_csc_matches_scipy(rng):
+    d = random_dense(rng, (11, 7))
+    ours = CSCMatrix.from_dense(d)
+    ref = sp.csc_matrix(d)
+    assert np.array_equal(ours.indptr, ref.indptr)
+    assert np.array_equal(ours.indices, ref.indices)
+    assert np.allclose(ours.data, ref.data)
+
+
+def test_csc_take_columns(rng):
+    d = random_dense(rng, (6, 8))
+    sub = CSCMatrix.from_dense(d).take_columns(np.array([5, 1]))
+    assert np.array_equal(sub.to_dense(), d[:, [5, 1]])
+
+
+def test_csc_col_view(rng):
+    d = random_dense(rng)
+    csc = CSCMatrix.from_dense(d)
+    rows, vals = csc.col(1)
+    assert np.allclose(d[rows, 1], vals)
+    with pytest.raises(ShapeError):
+        csc.col(77)
+
+
+def test_csr_csc_conversions(rng):
+    d = random_dense(rng, (10, 10))
+    csr = CSRMatrix.from_dense(d)
+    assert np.array_equal(csr_to_csc(csr).to_dense(), d)
+    assert np.array_equal(csc_to_csr(CSCMatrix.from_dense(d)).to_dense(), d)
+
+
+# ---------------------------------------------------------------- ELL
+def test_ell_roundtrip_fixed_fanin(rng):
+    idx = rng.integers(0, 16, size=(8, 4))
+    val = rng.random((8, 4)).astype(np.float32) + 0.1
+    ell = ELLMatrix(idx, val, (8, 16))
+    csr = ell.to_csr()
+    back = ELLMatrix.from_csr(csr)
+    assert np.array_equal(back.to_dense(), ell.to_dense())
+
+
+def test_ell_from_csr_pads_ragged_rows(rng):
+    d = np.zeros((3, 5))
+    d[0, [0, 1, 2]] = 1.0
+    d[2, 4] = 2.0
+    ell = ELLMatrix.from_csr(CSRMatrix.from_dense(d))
+    assert ell.width == 3
+    assert np.array_equal(ell.to_dense(), d)
+    assert ell.nnz == 4
+
+
+def test_ell_width_too_small_rejected(rng):
+    d = np.ones((2, 3))
+    with pytest.raises(FormatError, match="width"):
+        ELLMatrix.from_csr(CSRMatrix.from_dense(d), width=2)
+
+
+def test_ell_validation():
+    with pytest.raises(FormatError):
+        ELLMatrix(np.zeros((2, 2, 2), dtype=np.int64), np.zeros((2, 2, 2)), (2, 4))
+    with pytest.raises(FormatError, match="out of range"):
+        ELLMatrix(np.array([[9]]), np.array([[1.0]]), (1, 4))
+
+
+# ----------------------------------------------------------- converters
+def test_to_csr_to_csc_accept_everything(rng):
+    d = random_dense(rng)
+    for m in (d, COOMatrix.from_dense(d), CSRMatrix.from_dense(d),
+              CSCMatrix.from_dense(d), ELLMatrix.from_csr(CSRMatrix.from_dense(d))):
+        assert np.array_equal(to_csr(m).to_dense(), d)
+        assert np.array_equal(to_csc(m).to_dense(), d)
+
+
+def test_random_sparse_density_and_range(rng):
+    m = random_sparse((40, 50), 0.1, rng, value_range=(-2.0, 2.0))
+    assert m.nnz == 200
+    assert (m.data != 0).all()
+    assert (np.abs(m.data) <= 2.0).all()
+
+
+def test_random_sparse_bad_density(rng):
+    from repro.errors import ConfigError
+
+    with pytest.raises(ConfigError):
+        random_sparse((4, 4), 1.5, rng)
+
+
+# --------------------------------------------------------- property based
+@settings(max_examples=25, deadline=None)
+@given(
+    n_rows=st.integers(1, 12),
+    n_cols=st.integers(1, 12),
+    seed=st.integers(0, 10_000),
+    density=st.floats(0.0, 1.0),
+)
+def test_roundtrip_property(n_rows, n_cols, seed, density):
+    rng = np.random.default_rng(seed)
+    d = rng.random((n_rows, n_cols))
+    d[d > density] = 0.0
+    for convert in (CSRMatrix.from_dense, CSCMatrix.from_dense, COOMatrix.from_dense):
+        assert np.array_equal(convert(d).to_dense(), d)

@@ -1,0 +1,108 @@
+"""Magnitude pruning and iterative sparsification."""
+
+import numpy as np
+import pytest
+
+from repro.data.loader import Dataset
+from repro.errors import ConfigError
+from repro.nn import BoundedReLU, Dense, Flatten, Sequential, SparseLinear
+from repro.nn.sparsify import iterative_prune, magnitude_mask, prune_model
+
+
+def test_magnitude_mask_exact_count(rng):
+    w = rng.standard_normal((10, 10))
+    mask = magnitude_mask(w, 0.3)
+    assert mask.sum() == 30
+
+
+def test_magnitude_mask_keeps_largest():
+    w = np.array([[1.0, -5.0], [0.1, 3.0]])
+    mask = magnitude_mask(w, 0.5)
+    assert mask[0, 1] and mask[1, 1]
+    assert not mask[0, 0] and not mask[1, 0]
+
+
+def test_magnitude_mask_handles_ties():
+    w = np.ones((4, 4))
+    mask = magnitude_mask(w, 0.25)
+    assert mask.sum() == 4
+
+
+def test_magnitude_mask_full_density(rng):
+    w = rng.standard_normal((3, 3))
+    assert magnitude_mask(w, 1.0).all()
+    with pytest.raises(ConfigError):
+        magnitude_mask(w, 0.0)
+
+
+def make_model(rng, density=1.0, n=16):
+    return Sequential([
+        Flatten(),
+        Dense(8, n, rng),
+        BoundedReLU(1.0),
+        SparseLinear(n, n, density, rng),
+        BoundedReLU(1.0),
+        SparseLinear(n, n, density, rng),
+        BoundedReLU(1.0),
+        Dense(n, 2, rng),
+    ])
+
+
+def test_prune_model_hits_density(rng):
+    model = make_model(rng)
+    touched = prune_model(model, 0.4)
+    assert touched == 2
+    for layer in model.layers:
+        if isinstance(layer, SparseLinear):
+            assert layer.density == pytest.approx(0.4, abs=0.05)
+            off = layer.mask == 0
+            assert (layer.weight.value[off] == 0).all()
+
+
+def test_prune_is_monotone(rng):
+    model = make_model(rng, density=0.6)
+    layer = next(l for l in model.layers if isinstance(l, SparseLinear))
+    before = layer.mask.copy()
+    prune_model(model, 0.3)
+    # no previously-masked connection came back
+    assert not ((layer.mask > 0) & (before == 0)).any()
+
+
+def test_prune_keeps_outputs_connected(rng):
+    model = make_model(rng)
+    prune_model(model, 0.05)
+    for layer in model.layers:
+        if isinstance(layer, SparseLinear):
+            assert (layer.mask.sum(axis=0) >= 1).all()
+
+
+def _toy_dataset(rng, n=300):
+    x = rng.standard_normal((n, 2, 4)).astype(np.float32)
+    labels = (x.reshape(n, -1).sum(axis=1) > 0).astype(np.int64)
+    return Dataset(x, labels)
+
+
+def test_iterative_prune_end_to_end(rng):
+    model = make_model(rng)
+    train = _toy_dataset(rng)
+    test = _toy_dataset(rng, 100)
+    model.fit(train, epochs=6, rng=rng, lr=3e-3)
+    dense_acc = model.evaluate(test)
+    report = iterative_prune(
+        model, train, test, final_density=0.5, rng=rng, steps=2, epochs_per_step=3
+    )
+    assert report.final_density == pytest.approx(0.5, abs=0.05)
+    assert len(report.accuracies) == 2
+    assert report.accuracies[-1] > dense_acc - 0.15  # fine-tuning recovers
+
+
+def test_iterative_prune_validation(rng):
+    model = make_model(rng, density=0.4)
+    ds = _toy_dataset(rng, 50)
+    with pytest.raises(ConfigError, match="below current"):
+        iterative_prune(model, ds, ds, final_density=0.9, rng=rng)
+    with pytest.raises(ConfigError):
+        iterative_prune(model, ds, ds, final_density=0.2, rng=rng, steps=0)
+    no_sparse = Sequential([Flatten(), Dense(8, 2, rng)])
+    with pytest.raises(ConfigError, match="no SparseLinear"):
+        iterative_prune(no_sparse, ds, ds, final_density=0.5, rng=rng)

@@ -1,0 +1,61 @@
+"""Gustavson spGEMM correctness."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.sparse import CSRMatrix
+from repro.sparse.spgemm import spgemm
+
+
+def rand(rng, shape, density=0.3):
+    d = rng.random(shape)
+    d[d > density] = 0.0
+    return d
+
+
+def test_spgemm_matches_dense(rng):
+    a = rand(rng, (8, 6))
+    b = rand(rng, (6, 9))
+    out = spgemm(CSRMatrix.from_dense(a), CSRMatrix.from_dense(b))
+    assert np.allclose(out.to_dense(), a @ b, atol=1e-12)
+
+
+def test_spgemm_result_is_canonical(rng):
+    a = rand(rng, (5, 5))
+    b = rand(rng, (5, 5))
+    out = spgemm(CSRMatrix.from_dense(a), CSRMatrix.from_dense(b))
+    out.validate()
+    # indices sorted within each row
+    for i in range(out.shape[0]):
+        cols, _ = out.row(i)
+        assert (np.diff(cols) > 0).all() if len(cols) > 1 else True
+
+
+def test_spgemm_empty_operand(rng):
+    a = CSRMatrix.from_dense(np.zeros((3, 4)))
+    b = CSRMatrix.from_dense(rand(rng, (4, 2)))
+    out = spgemm(a, b)
+    assert out.nnz == 0
+    assert out.shape == (3, 2)
+
+
+def test_spgemm_shape_mismatch(rng):
+    a = CSRMatrix.from_dense(rand(rng, (3, 4)))
+    with pytest.raises(ShapeError):
+        spgemm(a, a)
+
+
+def test_spgemm_identity(rng):
+    d = rand(rng, (6, 6))
+    eye = CSRMatrix.from_dense(np.eye(6))
+    out = spgemm(eye, CSRMatrix.from_dense(d))
+    assert np.allclose(out.to_dense(), d)
+
+
+def test_spgemm_numeric_cancellation_dropped():
+    # +1 * 1 + (-1) * 1 cancels to exact zero -> entry must be dropped
+    a = CSRMatrix.from_dense(np.array([[1.0, -1.0]]))
+    b = CSRMatrix.from_dense(np.array([[1.0], [1.0]]))
+    out = spgemm(a, b)
+    assert out.nnz == 0
