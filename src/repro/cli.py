@@ -7,6 +7,8 @@ Usage::
     python -m repro compare 256-48 --batch 1000  # SNICIT vs the champions
     python -m repro experiment table3 --scale 0.5
     python -m repro generate 256-24 out_dir/     # write SDGC .tsv layers
+    python -m repro serve 144-24 --requests 128  # micro-batched serving demo
+    python -m repro bench-serve 144-24           # cold vs warm throughput
 """
 
 from __future__ import annotations
@@ -21,6 +23,13 @@ EXPERIMENTS = (
     "table1", "table3", "table4", "fig1", "fig6", "fig7", "fig8", "fig9",
     "fig10", "fig11", "fig12", "ablations", "related",
 )
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
+    return value
 
 
 def _cmd_list(args) -> int:
@@ -92,6 +101,68 @@ def _cmd_generate(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.harness.experiments.common import sdgc_config
+    from repro.harness.workloads import get_benchmark, get_input
+    from repro.serve import EngineSession, InferenceServer
+    from repro.serve.bench import _split_requests
+
+    net = get_benchmark(args.benchmark)
+    overrides = {} if args.threshold is None else {"threshold_layer": args.threshold}
+    cfg = sdgc_config(net.num_layers, **overrides)
+    stream = _split_requests(
+        get_input(args.benchmark, args.requests * args.request_cols, args.seed),
+        args.request_cols,
+    )
+    session = EngineSession(net, cfg)
+    server = InferenceServer(
+        session,
+        max_batch=args.max_batch,
+        max_wait_s=args.max_wait_ms / 1e3,
+        queue_limit=args.queue_limit,
+    )
+    report = server.serve(iter(stream))
+    summary = report.summary()
+    print(f"served {summary['served']}/{summary['requests']} requests "
+          f"({summary['rejected']} rejected) on {args.benchmark} "
+          f"in {summary['wall_seconds'] * 1e3:.1f} ms")
+    print(f"  throughput   {summary['requests_per_second']:9.1f} req/s   "
+          f"{summary['columns_per_second']:9.1f} col/s")
+    lat = summary["latency_seconds"]
+    print(f"  latency      p50 {lat['p50'] * 1e3:7.2f} ms   "
+          f"p95 {lat['p95'] * 1e3:7.2f} ms   max {lat['p100'] * 1e3:7.2f} ms")
+    batcher = server.batcher.stats()
+    print(f"  batching     {batcher['batches']} blocks, "
+          f"mean fill {batcher['mean_fill']:.0%} of {batcher['max_batch']}")
+    stage = session.stats()["stage_seconds"]
+    for name, seconds in stage.items():
+        print(f"  {name:18s} {seconds * 1e3:9.1f} ms")
+    return 0
+
+
+def _cmd_bench_serve(args) -> int:
+    from repro.serve.bench import bench_serve
+
+    result = bench_serve(
+        benchmark=args.benchmark,
+        requests=args.requests,
+        request_cols=args.request_cols,
+        max_batch=args.max_batch,
+        threshold=args.threshold,
+        seed=args.seed,
+        out=args.out,
+    )
+    cold, warm = result["cold"], result["warm"]
+    print(f"bench-serve on {args.benchmark}: {result['requests']} requests "
+          f"x {result['request_cols']} columns")
+    print(f"  cold (engine per request) {cold['requests_per_second']:9.1f} req/s")
+    print(f"  warm (session + batching) {warm['requests_per_second']:9.1f} req/s")
+    print(f"  speedup {result['speedup']:.2f}x   "
+          f"categories_match={result['categories_match']}")
+    print(f"wrote {args.out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="SNICIT reproduction command-line interface"
@@ -125,6 +196,31 @@ def build_parser() -> argparse.ArgumentParser:
     gen_p.add_argument("out_dir")
     gen_p.add_argument("--seed", type=int, default=0)
     gen_p.set_defaults(fn=_cmd_generate)
+
+    serve_p = sub.add_parser(
+        "serve", help="micro-batched serving loop over a synthetic request stream"
+    )
+    serve_p.add_argument("benchmark")
+    serve_p.add_argument("--requests", type=_positive_int, default=128)
+    serve_p.add_argument("--request-cols", type=_positive_int, default=2)
+    serve_p.add_argument("--max-batch", type=_positive_int, default=64)
+    serve_p.add_argument("--max-wait-ms", type=float, default=2.0)
+    serve_p.add_argument("--queue-limit", type=_positive_int, default=1024)
+    serve_p.add_argument("--threshold", type=int, default=None)
+    serve_p.add_argument("--seed", type=int, default=1)
+    serve_p.set_defaults(fn=_cmd_serve)
+
+    bserve_p = sub.add_parser(
+        "bench-serve", help="cold vs warm serving throughput (writes BENCH_serve.json)"
+    )
+    bserve_p.add_argument("benchmark")
+    bserve_p.add_argument("--requests", type=_positive_int, default=48)
+    bserve_p.add_argument("--request-cols", type=_positive_int, default=4)
+    bserve_p.add_argument("--max-batch", type=_positive_int, default=64)
+    bserve_p.add_argument("--threshold", type=int, default=None)
+    bserve_p.add_argument("--seed", type=int, default=1)
+    bserve_p.add_argument("--out", default="BENCH_serve.json")
+    bserve_p.set_defaults(fn=_cmd_bench_serve)
     return parser
 
 

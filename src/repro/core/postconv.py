@@ -111,7 +111,8 @@ def update_centroids_residues(
         ne_rec[cent_cols] = (out[:, cent_cols] != 0).any(axis=0)
     if len(res_cols):
         z_cent = z[:, m[res_cols]] + bias_col  # sigma argument of the mapped centroid
-        v = clamped_relu(z_cent + z[:, res_cols], ymax) - clamped_relu(z_cent.copy(), ymax)
+        v = clamped_relu(z_cent + z[:, res_cols], ymax)
+        v -= clamped_relu(z_cent, ymax)  # z_cent is dead after this, clamp in place
         if prune_threshold > 0:
             v[np.abs(v) < prune_threshold] = 0
         out[:, res_cols] = v
@@ -163,17 +164,22 @@ def postconv_update(
     ne_idx: np.ndarray,
     ymax: float,
     prune_threshold: float = 0.0,
+    out: np.ndarray | None = None,
+    ne_rec: np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray, int]:
     """One full post-convergence layer (spMM + update).
 
     Returns ``(Ŷ(i+1), ne_rec, active_columns)`` where ``active_columns`` is
-    the spMM workload actually processed (for cost accounting).
+    the spMM workload actually processed (for cost accounting).  ``out`` and
+    ``ne_rec`` are optional reuse buffers forwarded to
+    :func:`update_centroids_residues`; warm sessions pass them to avoid
+    re-allocating ``(N, B)`` blocks every layer.
     """
     w = weight_ell if weight_ell is not None else layer.weight
     z = load_reduced_spmm(w, yhat, ne_idx)
     out, ne_rec = update_centroids_residues(
         z, layer.bias if isinstance(layer.bias, np.ndarray) else float(layer.bias),
-        m, ne_idx, ymax, prune_threshold,
+        m, ne_idx, ymax, prune_threshold, out=out, ne_rec=ne_rec,
     )
     return out, ne_rec, len(ne_idx)
 

@@ -33,3 +33,7 @@ class KernelError(ReproError, RuntimeError):
 
 class ConvergenceError(ReproError, RuntimeError):
     """An iterative routine failed to converge within its iteration budget."""
+
+
+class ServeOverflowError(ReproError, RuntimeError):
+    """The serving queue is full; the request was rejected, never dropped silently."""

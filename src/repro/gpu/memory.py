@@ -18,7 +18,65 @@ from repro.errors import DeviceError
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.gpu.device import VirtualDevice
 
-__all__ = ["DeviceBuffer"]
+__all__ = ["DeviceBuffer", "BufferPool"]
+
+
+class BufferPool:
+    """Reusable host-side scratch arrays keyed by ``(shape, dtype)``.
+
+    Warm engine sessions run the same network shape call after call; the pool
+    keeps a small number of arrays per shape alive so per-layer outputs stop
+    churning the allocator.  ``take`` hands back an existing buffer of the
+    requested shape — skipping any array in ``avoid`` so an spMM never writes
+    into its own input — or allocates a new one (retained up to
+    ``slots_per_key``).  Contents are unspecified; every kernel's ``out=``
+    path zero-fills before accumulating.
+    """
+
+    def __init__(self, slots_per_key: int = 2):
+        if slots_per_key < 1:
+            raise DeviceError(f"slots_per_key must be >= 1, got {slots_per_key}")
+        self.slots_per_key = int(slots_per_key)
+        self._bufs: dict[tuple, list[np.ndarray]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def take(
+        self,
+        shape: tuple[int, ...],
+        dtype=np.float32,
+        avoid: tuple[np.ndarray, ...] | np.ndarray | None = None,
+    ) -> np.ndarray:
+        if isinstance(avoid, np.ndarray):
+            avoid = (avoid,)
+        key = (tuple(int(s) for s in shape), np.dtype(dtype).str)
+        bufs = self._bufs.setdefault(key, [])
+        for buf in bufs:
+            if not any(buf is a for a in avoid or ()):
+                self.hits += 1
+                return buf
+        self.misses += 1
+        buf = np.empty(key[0], dtype=dtype)
+        if len(bufs) < self.slots_per_key:
+            bufs.append(buf)
+        return buf
+
+    def owns(self, array: np.ndarray) -> bool:
+        """True if ``array`` is one of the pool's retained buffers."""
+        return any(array is buf for bufs in self._bufs.values() for buf in bufs)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(buf.nbytes for bufs in self._bufs.values() for buf in bufs)
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "shapes": len(self._bufs),
+            "buffers": sum(len(b) for b in self._bufs.values()),
+            "nbytes": self.nbytes,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
 
 
 class DeviceBuffer:

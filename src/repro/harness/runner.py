@@ -54,12 +54,23 @@ class EngineRun:
         return self.result.modeled_seconds * 1e3
 
 
-def make_engine(kind: str, net: SparseNetwork, snicit_config: SNICITConfig | None = None):
-    """Instantiate an engine by name ('snicit', 'dense', 'bf2019', ...)."""
+def make_engine(
+    kind: str,
+    net: SparseNetwork,
+    snicit_config: SNICITConfig | None = None,
+    memo=None,
+    scratch=None,
+):
+    """Instantiate an engine by name ('snicit', 'dense', 'bf2019', ...).
+
+    ``memo``/``scratch`` are forwarded to SNICIT so warm sessions
+    (:class:`repro.serve.EngineSession`) can share strategy decisions and
+    output buffers across calls; the stateless baselines ignore them.
+    """
     if kind == "snicit":
         if snicit_config is None:
             raise ConfigError("snicit engine needs a SNICITConfig")
-        return SNICIT(net, snicit_config)
+        return SNICIT(net, snicit_config, memo=memo, scratch=scratch)
     try:
         return _ENGINES[kind](net)
     except KeyError:
@@ -71,8 +82,16 @@ def run_engine(
     net: SparseNetwork,
     y0: np.ndarray,
     snicit_config: SNICITConfig | None = None,
+    engine=None,
 ) -> EngineRun:
-    engine = make_engine(kind, net, snicit_config)
+    """Run one engine on one input block.
+
+    Pass ``engine`` to reuse a prebuilt (warm) engine instead of
+    constructing a fresh one per call — the cold-vs-warm distinction
+    ``bench-serve`` measures.
+    """
+    if engine is None:
+        engine = make_engine(kind, net, snicit_config)
     return EngineRun(engine=kind, result=engine.infer(y0))
 
 

@@ -30,6 +30,7 @@ __all__ = [
     "champion_spmm",
     "baseline_spmm",
     "charge_for",
+    "StrategyMemo",
     "LIVE_ROW_THRESHOLD",
     "DENSE_WEIGHT_THRESHOLD",
 ]
@@ -43,8 +44,54 @@ LIVE_ROW_THRESHOLD = 0.6
 DENSE_WEIGHT_THRESHOLD = 0.2
 
 
+class StrategyMemo:
+    """Memoized champion choices per ``(layer, live-fraction bucket)``.
+
+    A warm serving session sees the same layers with very similar activation
+    liveness call after call, so the champion decision is stable within a
+    coarse live-fraction bucket.  The memo records the first decision for
+    each bucket and replays it afterwards — the hook SparseDNN-style
+    pre-specialized engines use to stop re-deriving per-layer strategy.
+    """
+
+    def __init__(self, n_buckets: int = 16):
+        if n_buckets < 1:
+            from repro.errors import ConfigError
+
+            raise ConfigError(f"n_buckets must be >= 1, got {n_buckets}")
+        self.n_buckets = int(n_buckets)
+        self._choice: dict[tuple[int, int], str] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def bucket(self, live_fraction: float) -> int:
+        """Quantize a live fraction in [0, 1] to a bucket index."""
+        return min(int(live_fraction * self.n_buckets), self.n_buckets - 1)
+
+    def lookup(self, layer: int, live_fraction: float) -> str | None:
+        strategy = self._choice.get((layer, self.bucket(live_fraction)))
+        if strategy is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return strategy
+
+    def record(self, layer: int, live_fraction: float, strategy: str) -> None:
+        self._choice[(layer, self.bucket(live_fraction))] = strategy
+
+    def __len__(self) -> int:
+        return len(self._choice)
+
+    def stats(self) -> dict[str, int]:
+        return {"entries": len(self._choice), "hits": self.hits, "misses": self.misses}
+
+
 def champion_spmm(
-    net: SparseNetwork, i: int, y: np.ndarray
+    net: SparseNetwork,
+    i: int,
+    y: np.ndarray,
+    memo: StrategyMemo | None = None,
+    out: np.ndarray | None = None,
 ) -> tuple[np.ndarray, int, str]:
     """Compute ``W(i) @ y`` with the best strategy for this block.
 
@@ -53,17 +100,26 @@ def champion_spmm(
     ('masked'/'ell', each unit costs a length-B FMA row), activation
     nonzeros for the column-wise kernel (each unit costs a length-N_out FMA
     column).
+
+    ``memo`` replays a previously recorded strategy for this layer's
+    live-fraction bucket instead of re-deriving it; ``out`` is an optional
+    preallocated ``(n_out, B)`` result buffer (must not alias ``y``).
     """
     layer = net.layers[i]
     if layer.weight.density >= DENSE_WEIGHT_THRESHOLD:
-        z, nnz = spmm_colwise(net.dense(i), y)
+        z, nnz = spmm_colwise(net.dense(i), y, out=out)
         return z, nnz, "colwise"
     live = (y != 0).any(axis=1)
     frac = float(live.mean()) if live.size else 0.0
-    if frac < LIVE_ROW_THRESHOLD:
-        z, active_nnz = spmm_masked(layer.weight, y, live)
+    strategy = memo.lookup(i, frac) if memo is not None else None
+    if strategy is None:
+        strategy = "masked" if frac < LIVE_ROW_THRESHOLD else "ell"
+        if memo is not None:
+            memo.record(i, frac, strategy)
+    if strategy == "masked":
+        z, active_nnz = spmm_masked(layer.weight, y, live, out=out)
         return z, active_nnz, "masked"
-    z = spmm_ell(net.ell(i), y)
+    z = spmm_ell(net.ell(i), y, out=out)
     return z, layer.weight.nnz, "ell"
 
 

@@ -1,0 +1,30 @@
+"""Warm-session serving layer (toward the production north star).
+
+Per-request engine construction wastes everything SNICIT amortizes: weight
+views, strategy decisions, output buffers, and — above all — batch packing.
+This package keeps one engine warm and feeds it well-packed blocks:
+
+* :class:`~repro.serve.session.EngineSession` — a persistent engine wrapper
+  pinning weight views, memoizing champion strategies, and recycling output
+  buffers;
+* :class:`~repro.serve.batcher.MicroBatcher` — bounded request packing with
+  max-batch / max-wait flushing and per-request result splitting;
+* :class:`~repro.serve.server.InferenceServer` — the synchronous serving
+  loop with graceful overflow rejection;
+* :func:`~repro.serve.bench.bench_serve` — the cold-vs-warm throughput
+  benchmark behind ``python -m repro bench-serve``.
+"""
+
+from repro.serve.batcher import MicroBatcher, Ticket
+from repro.serve.bench import bench_serve
+from repro.serve.server import InferenceServer, ServeReport
+from repro.serve.session import EngineSession
+
+__all__ = [
+    "EngineSession",
+    "MicroBatcher",
+    "Ticket",
+    "InferenceServer",
+    "ServeReport",
+    "bench_serve",
+]

@@ -1,0 +1,201 @@
+"""Micro-batching: pack small requests into SNICIT-sized blocks.
+
+SNICIT's compression stages amortize over the batch dimension — a lone
+request of a few columns pays the full per-layer launch overhead that a
+well-packed block shares across hundreds of columns.  :class:`MicroBatcher`
+queues incoming requests, packs them into blocks of at most ``max_batch``
+columns, runs each block through a warm :class:`~repro.serve.session.
+EngineSession`, and splits the output back per request.
+
+The batcher is synchronous and explicitly clocked: ``submit`` flushes as
+soon as a full block is pending, ``poll`` flushes when the oldest request
+has waited ``max_wait_s`` (callers drive it from their loop), and ``drain``
+flushes everything.  The pending queue is bounded: past ``max_pending``
+requests, ``submit`` raises :class:`~repro.errors.ServeOverflowError` —
+rejected with an error, never dropped silently.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+
+import numpy as np
+
+from repro.errors import ServeOverflowError, ShapeError
+from repro.inference import InferenceResult, sdgc_categories
+from repro.serve.session import EngineSession
+
+__all__ = ["MicroBatcher", "Ticket"]
+
+
+class Ticket:
+    """Handle for one submitted request; resolves when its batch runs."""
+
+    __slots__ = ("y0", "submitted_at", "completed_at", "batch_columns", "result", "_y")
+
+    def __init__(self, y0: np.ndarray, submitted_at: float):
+        self.y0 = y0
+        self.submitted_at = submitted_at
+        self.completed_at: float | None = None
+        #: total columns of the packed block this request rode in
+        self.batch_columns: int | None = None
+        #: the shared InferenceResult of that block
+        self.result: InferenceResult | None = None
+        self._y: np.ndarray | None = None
+
+    @property
+    def columns(self) -> int:
+        return self.y0.shape[1]
+
+    @property
+    def ready(self) -> bool:
+        return self._y is not None
+
+    @property
+    def y(self) -> np.ndarray:
+        """This request's slice of the block output ``Y(l)``."""
+        if self._y is None:
+            raise ServeOverflowError("ticket not resolved yet; flush or drain the batcher")
+        return self._y
+
+    @property
+    def categories(self) -> np.ndarray:
+        return sdgc_categories(self.y)
+
+    @property
+    def latency_seconds(self) -> float:
+        if self.completed_at is None:
+            raise ServeOverflowError("ticket not resolved yet; flush or drain the batcher")
+        return self.completed_at - self.submitted_at
+
+
+class MicroBatcher:
+    """Bounded synchronous request packer in front of an engine session."""
+
+    def __init__(
+        self,
+        session: EngineSession,
+        max_batch: int = 256,
+        max_wait_s: float = 0.002,
+        max_pending: int = 1024,
+        clock=time.monotonic,
+    ):
+        if max_batch < 1:
+            raise ShapeError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait_s < 0:
+            raise ShapeError(f"max_wait_s must be >= 0, got {max_wait_s}")
+        if max_pending < 1:
+            raise ShapeError(f"max_pending must be >= 1, got {max_pending}")
+        self.session = session
+        self.max_batch = int(max_batch)
+        self.max_wait_s = float(max_wait_s)
+        self.max_pending = int(max_pending)
+        self.clock = clock
+        self._pending: deque[Ticket] = deque()
+        self._pending_cols = 0
+        self.counters = {
+            "requests": 0,
+            "rejected": 0,
+            "batches": 0,
+            "batched_columns": 0,
+            "wait_flushes": 0,
+        }
+
+    # -------------------------------------------------------------- intake
+    @property
+    def pending_requests(self) -> int:
+        return len(self._pending)
+
+    @property
+    def pending_columns(self) -> int:
+        return self._pending_cols
+
+    def submit(self, y0: np.ndarray) -> Ticket:
+        """Queue one request of shape ``(input_dim, k)``; may flush a block.
+
+        Raises :class:`~repro.errors.ServeOverflowError` when the pending
+        queue is full — the caller decides whether to retry, shed load, or
+        surface the error to the client.
+        """
+        y0 = self.session.network.validate_input(np.asarray(y0))
+        if y0.shape[1] < 1:
+            raise ShapeError("a request needs at least one column")
+        if len(self._pending) >= self.max_pending:
+            self.counters["rejected"] += 1
+            raise ServeOverflowError(
+                f"pending queue full ({self.max_pending} requests); request rejected"
+            )
+        ticket = Ticket(y0, self.clock())
+        self._pending.append(ticket)
+        self._pending_cols += ticket.columns
+        self.counters["requests"] += 1
+        while self._pending_cols >= self.max_batch:
+            self._flush_batch()
+        return ticket
+
+    # ------------------------------------------------------------ flushing
+    def poll(self) -> int:
+        """Flush everything once the oldest request has waited long enough.
+
+        Returns the number of blocks run.  Callers embed this in their
+        serving loop; with a fake clock it is the max-wait unit test hook.
+        """
+        if not self._pending:
+            return 0
+        if self.clock() - self._pending[0].submitted_at < self.max_wait_s:
+            return 0
+        self.counters["wait_flushes"] += 1
+        return self.drain()
+
+    def drain(self) -> int:
+        """Flush every pending request; returns the number of blocks run."""
+        n = 0
+        while self._pending:
+            self._flush_batch()
+            n += 1
+        return n
+
+    def _flush_batch(self) -> None:
+        """Pack and run one block of at most ``max_batch`` columns.
+
+        Always takes at least one request, so a single request wider than
+        ``max_batch`` still runs (alone, as its own block).
+        """
+        take: list[Ticket] = [self._pending.popleft()]
+        cols = take[0].columns
+        while self._pending and cols + self._pending[0].columns <= self.max_batch:
+            ticket = self._pending.popleft()
+            take.append(ticket)
+            cols += ticket.columns
+        self._pending_cols -= cols
+        block = take[0].y0 if len(take) == 1 else np.hstack([t.y0 for t in take])
+        result = self.session.run(block)
+        now = self.clock()
+        lo = 0
+        for ticket in take:
+            hi = lo + ticket.columns
+            ticket._y = result.y[:, lo:hi]
+            ticket.result = result
+            ticket.batch_columns = cols
+            ticket.completed_at = now
+            lo = hi
+        self.counters["batches"] += 1
+        self.counters["batched_columns"] += cols
+
+    # ------------------------------------------------------------- metrics
+    def stats(self) -> dict:
+        """Packing counters plus the mean block fill against ``max_batch``."""
+        batches = self.counters["batches"]
+        mean_fill = (
+            self.counters["batched_columns"] / (batches * self.max_batch)
+            if batches
+            else 0.0
+        )
+        return {
+            **self.counters,
+            "pending_requests": self.pending_requests,
+            "pending_columns": self.pending_columns,
+            "max_batch": self.max_batch,
+            "mean_fill": mean_fill,
+        }

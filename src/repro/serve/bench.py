@@ -1,0 +1,109 @@
+"""Serving throughput benchmark: cold per-request engines vs a warm session.
+
+The cold path is today's ``run_engine`` usage — a fresh SNICIT engine per
+request, each request its own tiny batch.  The warm path is the serving
+stack this package adds: one :class:`~repro.serve.session.EngineSession`
+behind an :class:`~repro.serve.server.InferenceServer`, requests packed into
+SNICIT-sized blocks.  Results land in ``BENCH_serve.json`` so successive
+PRs accumulate a machine-readable perf trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.harness.experiments.common import sdgc_config
+from repro.harness.runner import run_engine
+from repro.harness.workloads import get_benchmark, get_input
+from repro.serve.server import InferenceServer
+from repro.serve.session import EngineSession
+
+__all__ = ["bench_serve", "DEFAULT_BENCH_PATH"]
+
+DEFAULT_BENCH_PATH = "BENCH_serve.json"
+
+
+def _split_requests(y0: np.ndarray, request_cols: int) -> list[np.ndarray]:
+    """Cut a block into per-request column slices (last one may be short)."""
+    return [
+        y0[:, lo : lo + request_cols] for lo in range(0, y0.shape[1], request_cols)
+    ]
+
+
+def bench_serve(
+    benchmark: str = "144-24",
+    requests: int = 48,
+    request_cols: int = 4,
+    max_batch: int = 64,
+    threshold: int | None = None,
+    seed: int = 1,
+    out: str | Path | None = DEFAULT_BENCH_PATH,
+) -> dict:
+    """Measure request throughput: cold per-request engines vs warm serving.
+
+    Returns the result dict and, unless ``out`` is None, writes it as JSON.
+    Both paths run the same requests on the same network; weight views are
+    pre-built before timing either path so the comparison isolates
+    steady-state serving cost (engine construction + packing), not the
+    one-time view build both paths share through the network cache.
+    """
+    net = get_benchmark(benchmark)
+    overrides = {} if threshold is None else {"threshold_layer": threshold}
+    cfg = sdgc_config(net.num_layers, **overrides)
+    stream = _split_requests(get_input(benchmark, requests * request_cols, seed), request_cols)
+
+    # one warm session serves; its warmup also pre-builds the shared views
+    # the cold path will hit through the network cache
+    session = EngineSession(net, cfg)
+    server = InferenceServer(
+        session, max_batch=max_batch, max_wait_s=60.0, queue_limit=len(stream)
+    )
+
+    t0 = time.perf_counter()
+    cold_runs = [
+        run_engine("snicit", net, y0, snicit_config=cfg) for y0 in stream
+    ]
+    cold_seconds = time.perf_counter() - t0
+
+    report = server.serve(iter(stream))
+
+    cold_cats = np.concatenate([run.result.categories for run in cold_runs])
+    warm_cats = np.concatenate([t.categories for t in report.served])
+    total_cols = sum(y0.shape[1] for y0 in stream)
+
+    result = {
+        "benchmark": benchmark,
+        "paper_name": net.meta.get("paper_name"),
+        "requests": len(stream),
+        "request_cols": request_cols,
+        "total_columns": total_cols,
+        "max_batch": max_batch,
+        "threshold_layer": cfg.threshold_layer,
+        "cold": {
+            "seconds": cold_seconds,
+            "requests_per_second": len(stream) / cold_seconds if cold_seconds else 0.0,
+            "columns_per_second": total_cols / cold_seconds if cold_seconds else 0.0,
+        },
+        "warm": {
+            "seconds": report.wall_seconds,
+            "requests_per_second": report.requests_per_second,
+            "columns_per_second": report.columns_per_second,
+            "latency_seconds": report.latency_quantiles(),
+            "rejected": len(report.rejected),
+            "warmup_seconds": session.warmup_seconds,
+            "batcher": server.batcher.stats(),
+            "memo": session.memo.stats(),
+            "scratch": session.scratch.stats(),
+        },
+        "speedup": (
+            cold_seconds / report.wall_seconds if report.wall_seconds > 0 else float("inf")
+        ),
+        "categories_match": bool((cold_cats == warm_cats).all()),
+    }
+    if out is not None:
+        Path(out).write_text(json.dumps(result, indent=2) + "\n")
+    return result

@@ -1,0 +1,128 @@
+"""Synchronous inference server: bounded queue + micro-batched execution.
+
+:class:`InferenceServer` is the single-threaded serving loop of the repo's
+north star: requests enter a bounded queue, the :class:`~repro.serve.
+batcher.MicroBatcher` packs them into blocks for a warm
+:class:`~repro.serve.session.EngineSession`, and overflow is rejected with
+:class:`~repro.errors.ServeOverflowError` — a client always learns its
+request's fate.  ``serve`` runs a whole request stream and returns a report
+with per-request latencies and throughput, which ``python -m repro serve``
+prints and ``bench-serve`` records.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ServeOverflowError
+from repro.serve.batcher import MicroBatcher, Ticket
+from repro.serve.session import EngineSession
+
+__all__ = ["InferenceServer", "ServeReport"]
+
+
+@dataclass
+class ServeReport:
+    """Outcome of serving one request stream."""
+
+    served: list[Ticket] = field(default_factory=list)
+    #: (stream index, error message) per rejected request — never silent
+    rejected: list[tuple[int, str]] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    @property
+    def requests(self) -> int:
+        return len(self.served) + len(self.rejected)
+
+    @property
+    def columns(self) -> int:
+        return sum(t.columns for t in self.served)
+
+    @property
+    def requests_per_second(self) -> float:
+        return len(self.served) / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    @property
+    def columns_per_second(self) -> float:
+        return self.columns / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    def latency_quantiles(self, qs=(0.5, 0.95, 1.0)) -> dict[str, float]:
+        if not self.served:
+            return {f"p{int(q * 100)}": 0.0 for q in qs}
+        lat = np.array([t.latency_seconds for t in self.served])
+        return {f"p{int(q * 100)}": float(np.quantile(lat, q)) for q in qs}
+
+    def summary(self) -> dict:
+        return {
+            "requests": self.requests,
+            "served": len(self.served),
+            "rejected": len(self.rejected),
+            "columns": self.columns,
+            "wall_seconds": self.wall_seconds,
+            "requests_per_second": self.requests_per_second,
+            "columns_per_second": self.columns_per_second,
+            "latency_seconds": self.latency_quantiles(),
+        }
+
+
+class InferenceServer:
+    """Bounded-queue synchronous serving loop over one warm session."""
+
+    def __init__(
+        self,
+        session: EngineSession,
+        max_batch: int = 256,
+        max_wait_s: float = 0.002,
+        queue_limit: int = 1024,
+        clock=time.monotonic,
+    ):
+        self.session = session
+        self.batcher = MicroBatcher(
+            session,
+            max_batch=max_batch,
+            max_wait_s=max_wait_s,
+            max_pending=queue_limit,
+            clock=clock,
+        )
+
+    # ------------------------------------------------------------- serving
+    def submit(self, y0: np.ndarray) -> Ticket:
+        """Enqueue one request; raises on overflow (the queue is bounded)."""
+        return self.batcher.submit(y0)
+
+    def step(self) -> int:
+        """One loop iteration: flush if the oldest request waited too long."""
+        return self.batcher.poll()
+
+    def drain(self) -> int:
+        """Flush every pending request (shutdown / end of stream)."""
+        return self.batcher.drain()
+
+    def serve(self, requests) -> ServeReport:
+        """Run a request stream to completion.
+
+        ``requests`` yields ``(input_dim, k)`` blocks.  Overflowing requests
+        are recorded as rejections with their error message; everything else
+        resolves by the time the report is returned.
+        """
+        report = ServeReport()
+        t0 = time.perf_counter()
+        for index, y0 in enumerate(requests):
+            try:
+                report.served.append(self.submit(y0))
+            except ServeOverflowError as exc:
+                report.rejected.append((index, str(exc)))
+            self.step()
+        self.drain()
+        report.wall_seconds = time.perf_counter() - t0
+        return report
+
+    # ------------------------------------------------------------- metrics
+    def stats(self) -> dict:
+        return {
+            "session": self.session.stats(),
+            "batcher": self.batcher.stats(),
+        }

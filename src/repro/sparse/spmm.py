@@ -72,15 +72,23 @@ def spmm_reduceat(w: CSRMatrix, y: np.ndarray, out: np.ndarray | None = None) ->
         out[...] = 0
     if w.nnz == 0 or b == 0:
         return out
-    rows_per_chunk = max(1, _SCRATCH_ELEMENTS // max(1, b * max(1, w.nnz // n_out)))
-    for r0 in range(0, n_out, rows_per_chunk):
-        r1 = min(n_out, r0 + rows_per_chunk)
+    # Chunk boundaries walk indptr so the (chunk_nnz, B) scratch block is
+    # bounded by the *actual* nonzero span, not the mean nnz/row — a skewed
+    # row distribution must not blow past the budget.  A single row wider
+    # than the budget is processed alone (its scratch is irreducible).
+    nnz_budget = max(1, _SCRATCH_ELEMENTS // max(1, b))
+    r0 = 0
+    while r0 < n_out:
+        r1 = int(np.searchsorted(w.indptr, w.indptr[r0] + nnz_budget, side="right")) - 1
+        r1 = min(n_out, max(r1, r0 + 1))
         lo, hi = w.indptr[r0], w.indptr[r1]
         if lo == hi:
+            r0 = r1
             continue
         contrib = w.data[lo:hi, None] * y[w.indices[lo:hi], :]
         local_indptr = w.indptr[r0 : r1 + 1] - lo
         out[r0:r1] = _segment_sum(contrib, local_indptr, r1 - r0)
+        r0 = r1
     return out
 
 

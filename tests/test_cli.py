@@ -41,6 +41,23 @@ def test_generate_tsv(tmp_path, capsys):
     assert len(files) == 24
 
 
+def test_serve(capsys):
+    assert main(["serve", "144-24", "--requests", "16", "--request-cols", "2",
+                 "--max-batch", "16"]) == 0
+    out = capsys.readouterr().out
+    assert "served 16/16 requests" in out
+    assert "throughput" in out and "latency" in out
+
+
+def test_bench_serve(tmp_path, capsys):
+    out_file = tmp_path / "BENCH_serve.json"
+    assert main(["bench-serve", "144-24", "--requests", "6", "--request-cols", "2",
+                 "--max-batch", "12", "--out", str(out_file)]) == 0
+    out = capsys.readouterr().out
+    assert "speedup" in out
+    assert out_file.exists()
+
+
 def test_unknown_experiment_rejected():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["experiment", "table99"])

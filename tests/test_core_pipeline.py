@@ -58,6 +58,36 @@ def test_threshold_at_depth_is_plain_feedforward(bench):
     assert res.stats["n_centroids"] == 0
 
 
+def test_degenerate_threshold_skips_stages_2_to_4(bench):
+    """Regression: with threshold_layer == num_layers the engine used to
+    sample, prune, convert, and charge conversion kernels, then discard the
+    result.  Stages 2-4 must be skipped entirely: output bitwise equal to the
+    shared-kernel feed-forward, only pre-convergence kernels charged."""
+    from repro.baselines import XY2021
+    from repro.gpu.device import VirtualDevice
+
+    net, y0, _ = bench
+    dev = VirtualDevice()
+    res = SNICIT(net, SNICITConfig(threshold_layer=net.num_layers), device=dev).infer(y0)
+    ff = XY2021(net).infer(y0)
+    assert np.array_equal(res.y, ff.y)  # bitwise: same kernels, same order
+
+    assert res.stats["n_centroids"] == 0
+    assert len(res.stats["centroid_cols"]) == 0
+    assert len(res.stats["active_columns_trace"]) == 0
+
+    # cost model saw nothing but pre-convergence spMM kernels
+    assert {c.name for c in dev.cost.history} == {"pre_spmm"}
+    for stage in ("conversion", "post_convergence", "recovery"):
+        assert res.stage_seconds[stage] == 0.0
+        snap = res.modeled[stage]
+        assert snap.launches == 0 and snap.flops == 0 and snap.bytes_total == 0
+    # the stage-key contract is unchanged
+    assert set(res.stage_seconds) == {
+        "pre_convergence", "conversion", "post_convergence", "recovery",
+    }
+
+
 def test_threshold_clamped_to_depth(bench):
     net, y0, ref = bench
     cfg = SNICITConfig(threshold_layer=10_000)

@@ -165,3 +165,40 @@ def test_postconv_update_wrapper(rng):
     z = load_reduced_spmm(w, yhat, ne_idx)
     out2, _ = update_centroids_residues(z, bias, m, ne_idx, ymax)
     assert np.allclose(out, out2, atol=1e-12)
+
+
+def test_update_reuse_buffers_bitwise_identical(rng):
+    """The fresh-allocation path and the buffer-reuse path (``out``/``ne_rec``
+    passed in) must produce bitwise identical results — warm sessions rely on
+    swapping between them freely."""
+    y, yhat, m, ne_rec, w, wd, bias, y_next, ymax = setup_case(rng)
+    ne_idx = np.flatnonzero(ne_rec | (m == -1))
+    z = load_reduced_spmm(w, yhat, ne_idx)
+    fresh_out, fresh_ne = update_centroids_residues(z, bias, m, ne_idx, ymax, 0.1)
+    # garbage-filled reuse buffers: stale contents must be fully overwritten
+    out_buf = np.full_like(z, np.nan)
+    ne_buf = np.ones(z.shape[1], dtype=bool)
+    reused_out, reused_ne = update_centroids_residues(
+        z, bias, m, ne_idx, ymax, 0.1, out=out_buf, ne_rec=ne_buf
+    )
+    assert reused_out is out_buf and reused_ne is ne_buf
+    assert np.array_equal(fresh_out, reused_out)
+    assert np.array_equal(fresh_ne, reused_ne)
+
+
+def test_postconv_update_forwards_reuse_buffers(rng):
+    from repro.core.postconv import postconv_update
+    from repro.network import LayerSpec
+
+    y, yhat, m, ne_rec, w, wd, bias, y_next, ymax = setup_case(rng)
+    ne_idx = np.flatnonzero(ne_rec | (m == -1))
+    layer = LayerSpec(w, bias=bias)
+    out_buf = np.full_like(yhat, np.nan)
+    ne_buf = np.zeros(yhat.shape[1], dtype=bool)
+    out, ne2, active = postconv_update(
+        layer, None, yhat, m, ne_idx, ymax, out=out_buf, ne_rec=ne_buf
+    )
+    assert out is out_buf and ne2 is ne_buf
+    fresh, fresh_ne, _ = postconv_update(layer, None, yhat, m, ne_idx, ymax)
+    assert np.array_equal(out, fresh)
+    assert np.array_equal(ne2, fresh_ne)

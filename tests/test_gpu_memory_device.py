@@ -5,6 +5,7 @@ import pytest
 
 from repro.errors import DeviceError
 from repro.gpu.device import VirtualDevice
+from repro.gpu.memory import BufferPool
 
 
 def test_alloc_tracks_bytes(device):
@@ -75,3 +76,35 @@ def test_peak_allocation_tracking(device):
 def test_default_spec_is_a6000_scale(device):
     assert device.spec.memory_bytes == 48 * 1024**3
     assert device.spec.sm_count == 84
+
+
+def test_buffer_pool_reuses_by_shape():
+    pool = BufferPool()
+    a = pool.take((4, 3))
+    b = pool.take((4, 3))
+    assert a is b  # nothing to avoid: same retained buffer comes back
+    assert pool.owns(a)
+    c = pool.take((4, 3), avoid=a)
+    assert c is not a
+    assert pool.take((4, 3), avoid=c) is a  # ping-pong between the two slots
+    assert pool.stats()["buffers"] == 2
+
+
+def test_buffer_pool_shape_and_dtype_isolation():
+    pool = BufferPool()
+    a = pool.take((4, 3), np.float32)
+    b = pool.take((3, 4), np.float32)
+    c = pool.take((4, 3), np.float64)
+    assert a is not b and a is not c
+    assert a.dtype == np.float32 and c.dtype == np.float64
+    assert not pool.owns(np.zeros((4, 3), dtype=np.float32))
+
+
+def test_buffer_pool_slot_cap():
+    pool = BufferPool(slots_per_key=1)
+    a = pool.take((2, 2))
+    overflow = pool.take((2, 2), avoid=a)
+    assert not pool.owns(overflow)  # beyond the cap: allocated but not retained
+    assert pool.stats()["buffers"] == 1
+    with pytest.raises(DeviceError):
+        BufferPool(slots_per_key=0)

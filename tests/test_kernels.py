@@ -6,6 +6,7 @@ import pytest
 from repro.kernels import (
     DENSE_WEIGHT_THRESHOLD,
     LIVE_ROW_THRESHOLD,
+    StrategyMemo,
     baseline_spmm,
     champion_spmm,
     charge_for,
@@ -75,3 +76,38 @@ def test_charge_for_batch_parallel_vs_colwise():
 def test_thresholds_are_sane():
     assert 0 < LIVE_ROW_THRESHOLD <= 1
     assert 0 < DENSE_WEIGHT_THRESHOLD < 0.5
+
+
+def test_strategy_memo_replays_choice(rng):
+    net, d = make_net(rng, density=0.1)
+    y = np.zeros((20, 6), dtype=np.float32)
+    y[:3] = rng.random((3, 6))  # sparse activations -> masked
+    memo = StrategyMemo(n_buckets=8)
+    z1, _, s1 = champion_spmm(net, 0, y, memo=memo)
+    assert s1 == "masked"
+    assert memo.stats() == {"entries": 1, "hits": 0, "misses": 1}
+    z2, _, s2 = champion_spmm(net, 0, y, memo=memo)
+    assert s2 == s1 and memo.hits == 1
+    assert np.array_equal(z1, z2)
+    # same layer, very different liveness -> different bucket, fresh miss
+    dense_y = rng.random((20, 6)).astype(np.float32) + 0.1
+    _, _, s3 = champion_spmm(net, 0, dense_y, memo=memo)
+    assert s3 == "ell"
+    assert len(memo) == 2
+
+
+def test_strategy_memo_bucket_quantization():
+    memo = StrategyMemo(n_buckets=4)
+    assert memo.bucket(0.0) == 0
+    assert memo.bucket(0.24) == 0
+    assert memo.bucket(0.26) == 1
+    assert memo.bucket(1.0) == 3  # clamped into range
+
+
+def test_champion_out_buffer_reused(rng):
+    net, d = make_net(rng, density=0.1)
+    y = rng.random((20, 6)).astype(np.float32)
+    out = np.full((20, 6), np.nan, dtype=np.float32)
+    z, _, _ = champion_spmm(net, 0, y, out=out)
+    assert z is out
+    assert np.allclose(z, d @ y, atol=1e-4)

@@ -1,0 +1,221 @@
+"""Warm-session serving layer: EngineSession, MicroBatcher, InferenceServer."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, ServeOverflowError, ShapeError
+from repro.harness.experiments.common import sdgc_config
+from repro.radixnet import benchmark_input, build_benchmark
+from repro.serve import (
+    EngineSession,
+    InferenceServer,
+    MicroBatcher,
+    bench_serve,
+)
+
+
+@pytest.fixture(scope="module")
+def bench():
+    net = build_benchmark("144-24", seed=0)
+    cfg = sdgc_config(net.num_layers)
+    y0 = benchmark_input(net, 64, seed=1)
+    return net, cfg, y0
+
+
+class FakeClock:
+    """Deterministic clock for max-wait tests."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def make_session(bench) -> EngineSession:
+    net, cfg, _ = bench
+    return EngineSession(net, cfg)
+
+
+# -------------------------------------------------------------- EngineSession
+def test_session_runs_and_counts(bench):
+    net, cfg, y0 = bench
+    session = make_session(bench)
+    assert session.warmup_seconds > 0  # views were pre-built
+    r1 = session.run(y0)
+    r2 = session.run(y0)
+    assert np.array_equal(r1.y, r2.y)  # warm reruns are deterministic
+    stats = session.stats()
+    assert stats["calls"] == 2
+    assert stats["columns"] == 2 * y0.shape[1]
+    assert stats["columns_per_second"] > 0
+    assert set(r1.stage_seconds) <= set(stats["stage_seconds"])
+    assert stats["scratch"]["hits"] > 0  # pooled buffers actually recycled
+
+
+def test_session_matches_cold_engine(bench):
+    from repro.harness.runner import run_engine
+
+    net, cfg, y0 = bench
+    warm = make_session(bench).run(y0)
+    cold = run_engine("snicit", net, y0, snicit_config=cfg)
+    assert np.array_equal(warm.y, cold.result.y)
+
+
+def test_session_requires_config_for_snicit(bench):
+    net, _, _ = bench
+    with pytest.raises(ConfigError):
+        EngineSession(net, None)
+
+
+def test_session_baseline_engine(bench):
+    net, _, y0 = bench
+    session = EngineSession(net, kind="xy2021")
+    res = session.run(y0)
+    assert res.y.shape == (net.output_dim, y0.shape[1])
+    assert session.stats()["engine"] == "xy2021"
+
+
+# --------------------------------------------------------------- MicroBatcher
+def test_batcher_uneven_requests_match_single_block(bench):
+    """Requests of uneven widths packed into one block must slice back to
+    exactly the block run's columns, request by request."""
+    net, cfg, y0 = bench
+    widths = [1, 3, 5, 2, 4]
+    requests, lo = [], 0
+    for k in widths:
+        requests.append(y0[:, lo : lo + k])
+        lo += k
+
+    batcher = MicroBatcher(make_session(bench), max_batch=64, max_wait_s=60.0)
+    tickets = [batcher.submit(r) for r in requests]
+    assert not tickets[0].ready  # 15 columns < max_batch: still queued
+    assert batcher.drain() == 1  # everything fit one block
+
+    reference = make_session(bench).run(y0[:, :lo])
+    col = 0
+    for ticket, k in zip(tickets, widths):
+        assert ticket.ready
+        assert ticket.y.shape == (net.output_dim, k)
+        assert np.array_equal(ticket.y, reference.y[:, col : col + k])
+        assert ticket.batch_columns == lo
+        col += k
+
+
+def test_batcher_flushes_at_max_batch(bench):
+    batcher = MicroBatcher(make_session(bench), max_batch=8, max_wait_s=60.0)
+    tickets = [batcher.submit(np.ones((144, 4), dtype=np.float32)) for _ in range(3)]
+    # third submit crossed 8 columns -> first two rode out together
+    assert tickets[0].ready and tickets[1].ready
+    assert not tickets[2].ready
+    assert tickets[0].batch_columns == 8
+    stats = batcher.stats()
+    assert stats["batches"] == 1 and stats["pending_requests"] == 1
+
+
+def test_batcher_oversized_request_runs_alone(bench):
+    net, cfg, y0 = bench
+    batcher = MicroBatcher(make_session(bench), max_batch=4, max_wait_s=60.0)
+    ticket = batcher.submit(y0[:, :10])  # wider than max_batch
+    assert ticket.ready and ticket.batch_columns == 10
+
+
+def test_batcher_max_wait_flush(bench):
+    clock = FakeClock()
+    batcher = MicroBatcher(
+        make_session(bench), max_batch=64, max_wait_s=0.5, clock=clock
+    )
+    ticket = batcher.submit(np.ones((144, 2), dtype=np.float32))
+    assert batcher.poll() == 0  # just arrived: not due yet
+    clock.advance(0.4)
+    assert batcher.poll() == 0  # still under max_wait
+    clock.advance(0.2)
+    assert batcher.poll() == 1  # oldest aged past max_wait -> flushed
+    assert ticket.ready
+    assert ticket.latency_seconds == pytest.approx(0.6)
+    assert batcher.stats()["wait_flushes"] == 1
+
+
+def test_batcher_queue_overflow_rejects(bench):
+    batcher = MicroBatcher(
+        make_session(bench), max_batch=64, max_wait_s=60.0, max_pending=2
+    )
+    req = np.ones((144, 1), dtype=np.float32)
+    batcher.submit(req)
+    batcher.submit(req)
+    with pytest.raises(ServeOverflowError):
+        batcher.submit(req)
+    assert batcher.stats()["rejected"] == 1
+    assert batcher.stats()["pending_requests"] == 2  # nothing dropped
+    assert batcher.drain() == 1
+
+
+def test_batcher_rejects_bad_requests(bench):
+    batcher = MicroBatcher(make_session(bench), max_batch=8)
+    with pytest.raises(ShapeError):
+        batcher.submit(np.ones((7, 2), dtype=np.float32))  # wrong input dim
+    with pytest.raises(ShapeError):
+        batcher.submit(np.ones((144, 0), dtype=np.float32))  # empty request
+    with pytest.raises(ShapeError):
+        MicroBatcher(make_session(bench), max_batch=0)
+
+
+def test_ticket_access_before_resolution_raises(bench):
+    batcher = MicroBatcher(make_session(bench), max_batch=64, max_wait_s=60.0)
+    ticket = batcher.submit(np.ones((144, 1), dtype=np.float32))
+    with pytest.raises(ServeOverflowError):
+        _ = ticket.y
+    with pytest.raises(ServeOverflowError):
+        _ = ticket.latency_seconds
+
+
+# ------------------------------------------------------------ InferenceServer
+def test_server_serves_stream_and_reports(bench):
+    net, cfg, y0 = bench
+    requests = [y0[:, lo : lo + 2] for lo in range(0, 32, 2)]
+    server = InferenceServer(make_session(bench), max_batch=8, max_wait_s=60.0)
+    report = server.serve(iter(requests))
+    assert report.requests == len(requests)
+    assert len(report.served) == len(requests) and not report.rejected
+    assert report.columns == 32
+    assert report.requests_per_second > 0
+    quantiles = report.latency_quantiles()
+    assert quantiles["p50"] <= quantiles["p95"] <= quantiles["p100"]
+    summary = report.summary()
+    assert summary["served"] == len(requests)
+    assert server.stats()["batcher"]["batches"] >= 4
+
+
+def test_server_overflow_is_recorded_not_silent(bench):
+    net, cfg, y0 = bench
+    requests = [y0[:, lo : lo + 1] for lo in range(12)]
+    # queue of 2 and a batch the stream can never fill synchronously
+    server = InferenceServer(
+        make_session(bench), max_batch=64, max_wait_s=60.0, queue_limit=2
+    )
+    report = server.serve(iter(requests))
+    assert len(report.rejected) == 10
+    assert all(msg for _, msg in report.rejected)
+    assert len(report.served) == 2
+    assert all(t.ready for t in report.served)  # drained at end of stream
+
+
+# ------------------------------------------------------------------ bench JSON
+def test_bench_serve_writes_machine_readable_json(tmp_path):
+    out = tmp_path / "BENCH_serve.json"
+    result = bench_serve(
+        benchmark="144-24", requests=6, request_cols=2, max_batch=12, out=out
+    )
+    on_disk = json.loads(out.read_text())
+    assert on_disk["benchmark"] == "144-24"
+    assert on_disk["requests"] == 6
+    assert on_disk["cold"]["requests_per_second"] > 0
+    assert on_disk["warm"]["requests_per_second"] > 0
+    assert on_disk["speedup"] == pytest.approx(result["speedup"])
+    assert on_disk["categories_match"] is True
+    assert on_disk["warm"]["batcher"]["rejected"] == 0

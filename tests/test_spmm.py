@@ -50,6 +50,38 @@ def test_reduceat_chunking_consistent(rng, monkeypatch):
     assert np.array_equal(full, chunked)
 
 
+def test_reduceat_chunking_bounded_under_skew(rng, monkeypatch):
+    """Chunks are sized by actual nonzero spans, not mean nnz/row: a skewed
+    row distribution must never allocate scratch beyond the budget (one
+    irreducibly-wide row excepted)."""
+    import importlib
+
+    m = importlib.import_module("repro.sparse.spmm")
+    n_out, n_in, b = 40, 200, 5
+    w = np.zeros((n_out, n_in))
+    w[0, :] = 1.0  # one row holds half of all nonzeros
+    w[1:, :5] = rng.random((n_out - 1, 5))
+    w_csr = CSRMatrix.from_dense(w)
+    full = spmm_reduceat(w_csr, y := rng.random((n_in, b)).astype(np.float32))
+
+    budget = 400  # nnz budget = 400 // 5 = 80 < the 200-wide row
+    seen: list[int] = []
+    real_segment_sum = m._segment_sum
+
+    def spy(values, indptr, n_segments):
+        seen.append(values.shape[0] * values.shape[1])
+        return real_segment_sum(values, indptr, n_segments)
+
+    monkeypatch.setattr(m, "_SCRATCH_ELEMENTS", budget)
+    monkeypatch.setattr(m, "_segment_sum", spy)
+    chunked = spmm_reduceat(w_csr, y)
+    assert np.array_equal(full, chunked)
+    widest_row = int(np.diff(w_csr.indptr).max()) * b
+    assert max(seen) <= max(budget, widest_row)
+    # the skewed row ran alone; every other chunk stayed within budget
+    assert sum(1 for s in seen if s > budget) <= 1
+
+
 def test_ell_matches_dense(rng):
     w, w_csr, y = make_operands(rng)
     assert np.allclose(spmm_ell(ELLMatrix.from_csr(w_csr), y), w @ y, atol=1e-5)
