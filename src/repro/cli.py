@@ -4,20 +4,30 @@ Usage::
 
     python -m repro list                         # registry benchmarks
     python -m repro run 256-48 --engine snicit --batch 1000
+    python -m repro run 144-24 --trace trace.json --metrics
     python -m repro compare 256-48 --batch 1000  # SNICIT vs the champions
     python -m repro experiment table3 --scale 0.5
     python -m repro generate 256-24 out_dir/     # write SDGC .tsv layers
     python -m repro serve 144-24 --requests 128  # micro-batched serving demo
     python -m repro bench-serve 144-24           # cold vs warm throughput
+
+All human-facing output goes through the ``"repro"`` logger: ``--verbose``
+adds instrumentation chatter, ``--quiet`` keeps only warnings.  ``--trace``
+writes a Chrome trace-event file (open it in Perfetto or chrome://tracing);
+``--metrics`` prints the Prometheus text exposition after the command.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
 from repro._version import __version__
+from repro.obs import get_logger, setup_logging
+
+log = get_logger()
 
 EXPERIMENTS = (
     "table1", "table3", "table4", "fig1", "fig6", "fig7", "fig8", "fig9",
@@ -32,6 +42,24 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _make_obs(args):
+    """(tracer, registry) from the --trace/--metrics flags (None when off)."""
+    from repro.obs import MetricsRegistry, Tracer
+
+    tracer = Tracer() if getattr(args, "trace", None) else None
+    registry = MetricsRegistry() if getattr(args, "metrics", False) else None
+    return tracer, registry
+
+
+def _finish_obs(args, tracer, registry) -> None:
+    """Write the trace file / print the metrics exposition, if requested."""
+    if tracer is not None:
+        path = tracer.write_chrome(args.trace)
+        log.info(f"wrote Chrome trace to {path} ({len(tracer)} spans)")
+    if registry is not None:
+        log.info(registry.to_prometheus().rstrip("\n"))
+
+
 def _cmd_list(args) -> int:
     from repro.harness.report import TextTable
     from repro.radixnet.registry import list_benchmarks
@@ -40,7 +68,7 @@ def _cmd_list(args) -> int:
     for spec in list_benchmarks():
         table.add(spec.name, spec.paper_name, spec.neurons, spec.layers,
                   spec.bias, spec.connections)
-    print(table.render())
+    log.info(table.render())
     return 0
 
 
@@ -53,11 +81,18 @@ def _cmd_run(args) -> int:
     y0 = get_input(args.benchmark, args.batch)
     cfg = sdgc_config(net.num_layers, threshold_layer=args.threshold)\
         if args.threshold is not None else sdgc_config(net.num_layers)
-    run = run_engine(args.engine, net, y0, snicit_config=cfg)
-    print(f"{args.engine} on {args.benchmark} (B={args.batch}): "
-          f"{run.wall_ms:.1f} ms wall, {run.modeled_ms:.4f} ms modeled")
+    tracer, registry = _make_obs(args)
+    run = run_engine(
+        args.engine, net, y0, snicit_config=cfg, tracer=tracer, metrics=registry
+    )
+    log.info(f"{args.engine} on {args.benchmark} (B={args.batch}): "
+             f"{run.wall_ms:.1f} ms wall, {run.modeled_ms:.4f} ms modeled")
     for stage, seconds in run.result.stage_seconds.items():
-        print(f"  {stage:18s} {seconds * 1e3:9.1f} ms")
+        log.info(f"  {stage:18s} {seconds * 1e3:9.1f} ms")
+    if args.json:
+        # machine-facing report: always on stdout, regardless of log level
+        print(json.dumps(run.result.to_json(), indent=2))
+    _finish_obs(args, tracer, registry)
     return 0
 
 
@@ -70,10 +105,10 @@ def _cmd_compare(args) -> int:
     y0 = get_input(args.benchmark, args.batch)
     runs = run_comparison(net, y0, sdgc_config(net.num_layers))
     sn = runs["snicit"]
-    print(f"{args.benchmark} (B={args.batch}) — categories agree across engines")
+    log.info(f"{args.benchmark} (B={args.batch}) — categories agree across engines")
     for kind, run in runs.items():
-        print(f"  {kind:10s} {run.wall_ms:10.1f} ms   "
-              f"({run.wall_ms / sn.wall_ms:5.2f}x SNICIT)")
+        log.info(f"  {kind:10s} {run.wall_ms:10.1f} ms   "
+                 f"({run.wall_ms / sn.wall_ms:5.2f}x SNICIT)")
     return 0
 
 
@@ -82,7 +117,7 @@ def _cmd_experiment(args) -> int:
 
     module = importlib.import_module(f"repro.harness.experiments.{args.name}")
     report = module.run(scale=args.scale)
-    print(report.render())
+    log.info(report.render())
     if args.out:
         Path(args.out).write_text(report.render() + "\n")
     return 0
@@ -97,7 +132,7 @@ def _cmd_generate(args) -> int:
     out.mkdir(parents=True, exist_ok=True)
     for i, layer in enumerate(net.layers):
         save_layer_tsv(out / f"{args.benchmark}-l{i:04d}.tsv", layer.weight)
-    print(f"wrote {net.num_layers} layers to {out}/")
+    log.info(f"wrote {net.num_layers} layers to {out}/")
     return 0
 
 
@@ -114,7 +149,8 @@ def _cmd_serve(args) -> int:
         get_input(args.benchmark, args.requests * args.request_cols, args.seed),
         args.request_cols,
     )
-    session = EngineSession(net, cfg)
+    tracer, registry = _make_obs(args)
+    session = EngineSession(net, cfg, tracer=tracer, metrics=registry)
     server = InferenceServer(
         session,
         max_batch=args.max_batch,
@@ -123,20 +159,26 @@ def _cmd_serve(args) -> int:
     )
     report = server.serve(iter(stream))
     summary = report.summary()
-    print(f"served {summary['served']}/{summary['requests']} requests "
-          f"({summary['rejected']} rejected) on {args.benchmark} "
-          f"in {summary['wall_seconds'] * 1e3:.1f} ms")
-    print(f"  throughput   {summary['requests_per_second']:9.1f} req/s   "
-          f"{summary['columns_per_second']:9.1f} col/s")
+    log.info(f"served {summary['served']}/{summary['requests']} requests "
+             f"({summary['rejected']} rejected) on {args.benchmark} "
+             f"in {summary['wall_seconds'] * 1e3:.1f} ms")
+    log.info(f"  throughput   {summary['requests_per_second']:9.1f} req/s   "
+             f"{summary['columns_per_second']:9.1f} col/s")
     lat = summary["latency_seconds"]
-    print(f"  latency      p50 {lat['p50'] * 1e3:7.2f} ms   "
-          f"p95 {lat['p95'] * 1e3:7.2f} ms   max {lat['p100'] * 1e3:7.2f} ms")
+    log.info(f"  latency      p50 {lat['p50'] * 1e3:7.2f} ms   "
+             f"p95 {lat['p95'] * 1e3:7.2f} ms   max {lat['p100'] * 1e3:7.2f} ms")
     batcher = server.batcher.stats()
-    print(f"  batching     {batcher['batches']} blocks, "
-          f"mean fill {batcher['mean_fill']:.0%} of {batcher['max_batch']}")
+    log.info(f"  batching     {batcher['batches']} blocks, "
+             f"mean fill {batcher['mean_fill']:.0%} of {batcher['max_batch']}")
     stage = session.stats()["stage_seconds"]
     for name, seconds in stage.items():
-        print(f"  {name:18s} {seconds * 1e3:9.1f} ms")
+        log.info(f"  {name:18s} {seconds * 1e3:9.1f} ms")
+    # the session always keeps a registry; --metrics asks for the exposition
+    if args.metrics:
+        log.info(session.metrics.to_prometheus().rstrip("\n"))
+    if tracer is not None:
+        path = tracer.write_chrome(args.trace)
+        log.info(f"wrote Chrome trace to {path} ({len(tracer)} spans)")
     return 0
 
 
@@ -151,16 +193,32 @@ def _cmd_bench_serve(args) -> int:
         threshold=args.threshold,
         seed=args.seed,
         out=args.out,
+        trace=args.trace,
     )
     cold, warm = result["cold"], result["warm"]
-    print(f"bench-serve on {args.benchmark}: {result['requests']} requests "
-          f"x {result['request_cols']} columns")
-    print(f"  cold (engine per request) {cold['requests_per_second']:9.1f} req/s")
-    print(f"  warm (session + batching) {warm['requests_per_second']:9.1f} req/s")
-    print(f"  speedup {result['speedup']:.2f}x   "
-          f"categories_match={result['categories_match']}")
-    print(f"wrote {args.out}")
+    log.info(f"bench-serve on {args.benchmark}: {result['requests']} requests "
+             f"x {result['request_cols']} columns")
+    log.info(f"  cold (engine per request) {cold['requests_per_second']:9.1f} req/s")
+    log.info(f"  warm (session + batching) {warm['requests_per_second']:9.1f} req/s")
+    log.info(f"  speedup {result['speedup']:.2f}x   "
+             f"categories_match={result['categories_match']}")
+    if args.metrics:
+        log.info(json.dumps(result["metrics"], indent=2))
+    if args.trace:
+        log.info(f"wrote Chrome trace to {args.trace}")
+    log.info(f"wrote {args.out}")
     return 0
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write a Chrome trace-event file (Perfetto / chrome://tracing)",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="print the metrics exposition after the command",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -168,6 +226,10 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro", description="SNICIT reproduction command-line interface"
     )
     parser.add_argument("--version", action="version", version=__version__)
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="debug-level logging")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="warnings only (wins over --verbose)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list registry benchmarks").set_defaults(fn=_cmd_list)
@@ -178,6 +240,9 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=("snicit", "dense", "bf2019", "snig2020", "xy2021"))
     run_p.add_argument("--batch", type=int, default=1000)
     run_p.add_argument("--threshold", type=int, default=None)
+    run_p.add_argument("--json", action="store_true",
+                       help="print the full JSON-safe result report on stdout")
+    _add_obs_flags(run_p)
     run_p.set_defaults(fn=_cmd_run)
 
     cmp_p = sub.add_parser("compare", help="SNICIT vs the champion baselines")
@@ -208,6 +273,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument("--queue-limit", type=_positive_int, default=1024)
     serve_p.add_argument("--threshold", type=int, default=None)
     serve_p.add_argument("--seed", type=int, default=1)
+    _add_obs_flags(serve_p)
     serve_p.set_defaults(fn=_cmd_serve)
 
     bserve_p = sub.add_parser(
@@ -220,12 +286,14 @@ def build_parser() -> argparse.ArgumentParser:
     bserve_p.add_argument("--threshold", type=int, default=None)
     bserve_p.add_argument("--seed", type=int, default=1)
     bserve_p.add_argument("--out", default="BENCH_serve.json")
+    _add_obs_flags(bserve_p)
     bserve_p.set_defaults(fn=_cmd_bench_serve)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    setup_logging(verbose=args.verbose, quiet=args.quiet)
     return args.fn(args)
 
 

@@ -24,6 +24,7 @@ from repro.gpu.memory import BufferPool
 from repro.inference import InferenceResult
 from repro.kernels import StrategyMemo, champion_spmm, charge_for
 from repro.network import SparseNetwork
+from repro.obs import as_tracer
 
 __all__ = ["SNICIT"]
 
@@ -51,6 +52,15 @@ class SNICIT:
         the kernels' ``out=`` parameters instead of allocating a fresh
         ``(N, B)`` block per layer — the allocation amortization a
         persistent :class:`~repro.serve.EngineSession` relies on.
+    tracer:
+        Optional :class:`~repro.obs.Tracer`.  When given, every run emits a
+        request -> stage -> layer -> kernel span tree, with each kernel span
+        carrying its :class:`~repro.gpu.costmodel.KernelCharge` (modeled
+        flops/bytes next to wall time).  ``None`` means the shared no-op
+        tracer — the hot path pays nothing.
+    metrics:
+        Optional :class:`~repro.obs.MetricsRegistry` for strategy-decision
+        counters (``spmm_strategy_total``).
     """
 
     name = "SNICIT"
@@ -62,12 +72,16 @@ class SNICIT:
         device: VirtualDevice | None = None,
         memo: StrategyMemo | None = None,
         scratch: BufferPool | None = None,
+        tracer=None,
+        metrics=None,
     ):
         self.network = network
         self.config = config.for_network(network.num_layers)
         self.device = device or VirtualDevice()
         self.memo = memo
         self.scratch = scratch
+        self.tracer = as_tracer(tracer)
+        self.metrics = metrics
         # residue arithmetic (Eq. 4-6) needs a fixed activation width from the
         # threshold layer onward; reject shape-changing post-convergence
         # layers up front rather than failing mid-inference.  With
@@ -92,9 +106,21 @@ class SNICIT:
         """Run the full pipeline on input block ``Y(0)`` of shape (N, B)."""
         net = self.network
         cfg = self.config
+        tracer = self.tracer
         y0 = net.validate_input(y0).astype(np.float32, copy=True)
         t = cfg.threshold_layer
         batch = y0.shape[1]
+        with tracer.span(
+            "snicit.infer", cat="request", engine=self.name,
+            benchmark=net.name, batch=batch,
+        ) as req_span:
+            result = self._infer_traced(y0, t, batch, req_span)
+        return result
+
+    def _infer_traced(self, y0, t: int, batch: int, req_span) -> InferenceResult:
+        net = self.network
+        cfg = self.config
+        tracer = self.tracer
         layer_seconds = np.zeros(net.num_layers)
         stage_seconds: dict[str, float] = {}
         modeled: dict[str, object] = {}
@@ -115,13 +141,16 @@ class SNICIT:
                 probe_dim=cfg.downsample_dim or cfg.sample_size,
             )
             detector.observe(y)
-        for i in range(t):
-            lt0 = time.perf_counter()
-            y = self._feedforward_layer(i, y)
-            layer_seconds[i] = time.perf_counter() - lt0
-            if detector is not None and detector.observe(y):
-                t = i + 1  # converged early: convert here (paper §5 extension)
-                break
+        with tracer.span("pre_convergence", cat="stage") as stage_span:
+            for i in range(t):
+                lt0 = time.perf_counter()
+                with tracer.span(f"layer {i}", cat="layer", layer=i):
+                    y = self._feedforward_layer(i, y)
+                layer_seconds[i] = time.perf_counter() - lt0
+                if detector is not None and detector.observe(y):
+                    t = i + 1  # converged early: convert here (paper §5 extension)
+                    break
+            stage_span.set(layers=t, threshold_layer=t)
         stage_seconds["pre_convergence"] = time.perf_counter() - wall0
         modeled["pre_convergence"] = dev.snapshot() - mark
         mark = dev.snapshot()
@@ -134,8 +163,14 @@ class SNICIT:
         # timings of what is really a pure feed-forward run.
         if t >= net.num_layers:
             for name in ("conversion", "post_convergence", "recovery"):
-                stage_seconds[name] = 0.0
-                modeled[name] = dev.snapshot() - mark
+                # zero wall clock, zero modeled delta — but still advance the
+                # mark per stage so the ledger and the span tree agree on
+                # stage boundaries (each entry is its own empty window, not a
+                # cumulative diff against the pre-convergence mark)
+                with tracer.span(name, cat="stage", skipped=True):
+                    stage_seconds[name] = 0.0
+                    modeled[name] = dev.snapshot() - mark
+                    mark = dev.snapshot()
             # pooled buffers are recycled by the next call; detach the result
             if self.scratch is not None and self.scratch.owns(y):
                 y = y.copy()
@@ -148,6 +183,7 @@ class SNICIT:
                 "active_columns_trace": np.array([]),
                 "empty_columns_trace": np.array([]),
             }
+            req_span.set(threshold_layer=t, n_centroids=0, degenerate_threshold=True)
             return InferenceResult(
                 y=y,
                 stage_seconds=stage_seconds,
@@ -158,25 +194,31 @@ class SNICIT:
 
         # ---- stage 2: cluster-based conversion ---------------------------
         wall0 = time.perf_counter()
-        f0 = sample_columns(y, cfg.sample_size)
-        if cfg.downsample_dim is not None:
-            f = sum_downsample(f0, cfg.downsample_dim)
-        else:
-            f = f0
-        col_idx = prune_samples(f, cfg.eta, cfg.eps)
-        cent_cols = select_centroids(col_idx)
-        if len(cent_cols) == 0:  # degenerate but possible with eta=inf-like configs
-            cent_cols = np.array([0], dtype=np.int64)
-        yhat, m, ne_rec = convert(y, cent_cols, cfg.prune_threshold)
-        ne_idx = self._refresh_ne_idx(ne_rec, m)
-        dev.charge(
-            KernelCharge(
-                name="conversion",
-                flops=float(f.size * f.shape[1] + y.size * len(cent_cols)),
-                bytes_read=float(y.nbytes * 2),
-                bytes_written=float(yhat.nbytes),
+        with tracer.span("conversion", cat="stage") as stage_span:
+            f0 = sample_columns(y, cfg.sample_size)
+            if cfg.downsample_dim is not None:
+                f = sum_downsample(f0, cfg.downsample_dim)
+            else:
+                f = f0
+            col_idx = prune_samples(f, cfg.eta, cfg.eps)
+            cent_cols = select_centroids(col_idx)
+            if len(cent_cols) == 0:  # degenerate but possible with eta=inf-like configs
+                cent_cols = np.array([0], dtype=np.int64)
+            with tracer.span("conversion_kernel", cat="kernel") as kernel_span:
+                yhat, m, ne_rec = convert(y, cent_cols, cfg.prune_threshold)
+                ne_idx = self._refresh_ne_idx(ne_rec, m)
+                charge = KernelCharge(
+                    name="conversion",
+                    flops=float(f.size * f.shape[1] + y.size * len(cent_cols)),
+                    bytes_read=float(y.nbytes * 2),
+                    bytes_written=float(yhat.nbytes),
+                )
+                kernel_span.charge(charge, dev.charge(charge))
+            stage_span.set(
+                n_centroids=int(len(cent_cols)),
+                sampled_columns=int(f0.shape[1]),
+                active_columns=int(len(ne_idx)),
             )
-        )
         stage_seconds["conversion"] = time.perf_counter() - wall0
         modeled["conversion"] = dev.snapshot() - mark
         mark = dev.snapshot()
@@ -190,56 +232,72 @@ class SNICIT:
         wall0 = time.perf_counter()
         empties: list[int] = []
         active_trace: list[int] = []
-        sub = yhat[:, ne_idx]
-        is_cent = m[ne_idx] == -1
-        cent_pos = np.searchsorted(ne_idx, m[ne_idx[~is_cent]])
-        ne_rec_sub = np.ones(len(ne_idx), dtype=bool)
-        for i in range(t, net.num_layers):
-            lt0 = time.perf_counter()
-            layer = net.layers[i]
-            z_sub, work, strategy = champion_spmm(net, i, sub, memo=self.memo)
-            bias = layer.bias if isinstance(layer.bias, np.ndarray) else float(layer.bias)
-            sub, ne_rec_sub = update_compact(
-                z_sub, bias, is_cent, cent_pos, net.ymax, cfg.prune_threshold
+        with tracer.span("post_convergence", cat="stage") as stage_span:
+            sub = yhat[:, ne_idx]
+            is_cent = m[ne_idx] == -1
+            cent_pos = np.searchsorted(ne_idx, m[ne_idx[~is_cent]])
+            ne_rec_sub = np.ones(len(ne_idx), dtype=bool)
+            for i in range(t, net.num_layers):
+                lt0 = time.perf_counter()
+                layer = net.layers[i]
+                with tracer.span(
+                    f"layer {i}", cat="layer", layer=i, active_columns=int(len(ne_idx))
+                ) as layer_span:
+                    with tracer.span("load_reduced_spmm", cat="kernel", layer=i) as ks:
+                        z_sub, work, strategy = champion_spmm(
+                            net, i, sub, memo=self.memo, metrics=self.metrics
+                        )
+                        charge = charge_for(
+                            strategy, work, layer.n_out, len(ne_idx), "load_reduced_spmm"
+                        )
+                        ks.set(strategy=strategy, work=int(work))
+                        ks.charge(charge, dev.charge(charge))
+                    bias = layer.bias if isinstance(layer.bias, np.ndarray) else float(layer.bias)
+                    with tracer.span("update_centroids_residues", cat="kernel", layer=i) as ku:
+                        sub, ne_rec_sub = update_compact(
+                            z_sub, bias, is_cent, cent_pos, net.ymax, cfg.prune_threshold
+                        )
+                        charge = KernelCharge(
+                            name="update_centroids_residues",
+                            flops=float(4 * layer.n_out * len(ne_idx)),
+                            bytes_read=float(2 * layer.n_out * len(ne_idx) * 4),
+                            bytes_written=float(layer.n_out * len(ne_idx) * 4),
+                        )
+                        ku.charge(charge, dev.charge(charge))
+                    active_trace.append(len(ne_idx))
+                    empties.append(batch - int(ne_rec_sub.sum()))
+                    if (i - t) % cfg.ne_idx_interval == cfg.ne_idx_interval - 1:
+                        keep = ne_rec_sub | is_cent
+                        if not keep.all():
+                            ne_idx = ne_idx[keep]
+                            sub = sub[:, keep]
+                            is_cent = is_cent[keep]
+                            cent_pos = np.searchsorted(ne_idx, m[ne_idx[~is_cent]])
+                    layer_span.set(empty_columns=empties[-1])
+                layer_seconds[i] = time.perf_counter() - lt0
+            stage_span.set(
+                active_columns_start=active_trace[0] if active_trace else 0,
+                active_columns_end=int(len(ne_idx)),
+                residues_pruned=empties[-1] if empties else 0,
             )
-            dev.charge(
-                charge_for(strategy, work, layer.n_out, len(ne_idx), "load_reduced_spmm")
-            )
-            dev.charge(
-                KernelCharge(
-                    name="update_centroids_residues",
-                    flops=float(4 * layer.n_out * len(ne_idx)),
-                    bytes_read=float(2 * layer.n_out * len(ne_idx) * 4),
-                    bytes_written=float(layer.n_out * len(ne_idx) * 4),
-                )
-            )
-            active_trace.append(len(ne_idx))
-            empties.append(batch - int(ne_rec_sub.sum()))
-            if (i - t) % cfg.ne_idx_interval == cfg.ne_idx_interval - 1:
-                keep = ne_rec_sub | is_cent
-                if not keep.all():
-                    ne_idx = ne_idx[keep]
-                    sub = sub[:, keep]
-                    is_cent = is_cent[keep]
-                    cent_pos = np.searchsorted(ne_idx, m[ne_idx[~is_cent]])
-            layer_seconds[i] = time.perf_counter() - lt0
         stage_seconds["post_convergence"] = time.perf_counter() - wall0
         modeled["post_convergence"] = dev.snapshot() - mark
         mark = dev.snapshot()
 
         # ---- stage 4: final results recovery ------------------------------
         wall0 = time.perf_counter()
-        yhat = np.zeros((net.output_dim, batch), dtype=sub.dtype)
-        yhat[:, ne_idx] = sub
-        y_final = recover(yhat, m)
-        dev.charge(
-            KernelCharge(
-                name="recovery",
-                flops=float(y_final.size),
-                bytes_read=float(y_final.nbytes),
-                bytes_written=float(y_final.nbytes),
-            )
-        )
+        with tracer.span("recovery", cat="stage") as stage_span:
+            yhat = np.zeros((net.output_dim, batch), dtype=sub.dtype)
+            yhat[:, ne_idx] = sub
+            with tracer.span("recovery_kernel", cat="kernel") as kernel_span:
+                y_final = recover(yhat, m)
+                charge = KernelCharge(
+                    name="recovery",
+                    flops=float(y_final.size),
+                    bytes_read=float(y_final.nbytes),
+                    bytes_written=float(y_final.nbytes),
+                )
+                kernel_span.charge(charge, dev.charge(charge))
         stage_seconds["recovery"] = time.perf_counter() - wall0
         modeled["recovery"] = dev.snapshot() - mark
 
@@ -252,6 +310,12 @@ class SNICIT:
             "active_columns_trace": np.array(active_trace),
             "empty_columns_trace": np.array(empties),
         }
+        req_span.set(
+            threshold_layer=t,
+            n_centroids=int(len(cent_cols)),
+            active_columns_end=int(len(ne_idx)),
+            residues_pruned=empties[-1] if empties else 0,
+        )
         return InferenceResult(
             y=y_final,
             stage_seconds=stage_seconds,
@@ -275,9 +339,14 @@ class SNICIT:
         if self.scratch is not None:
             # ping-pong: never hand the kernel its own input as the output
             out = self.scratch.take((layer.n_out, y.shape[1]), y.dtype, avoid=y)
-        z, work, strategy = champion_spmm(net, i, y, memo=self.memo, out=out)
-        z += layer.bias_column()
-        self.device.charge(charge_for(strategy, work, layer.n_out, y.shape[1], "pre_spmm"))
+        with self.tracer.span("pre_spmm", cat="kernel", layer=i) as ks:
+            z, work, strategy = champion_spmm(
+                net, i, y, memo=self.memo, out=out, metrics=self.metrics
+            )
+            z += layer.bias_column()
+            charge = charge_for(strategy, work, layer.n_out, y.shape[1], "pre_spmm")
+            ks.set(strategy=strategy, work=int(work))
+            ks.charge(charge, self.device.charge(charge))
         return net.activation(z)
 
     def _refresh_ne_idx(self, ne_rec: np.ndarray, m: np.ndarray) -> np.ndarray:

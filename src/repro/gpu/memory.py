@@ -40,6 +40,32 @@ class BufferPool:
         self._bufs: dict[tuple, list[np.ndarray]] = {}
         self.hits = 0
         self.misses = 0
+        self._take_counter = None
+        self._hit_counter = None
+        self._alloc_counter = None
+        self._highwater_gauge = None
+
+    def bind_metrics(self, registry) -> "BufferPool":
+        """Publish pool activity on a :class:`~repro.obs.MetricsRegistry`.
+
+        ``pool_take_total``/``pool_hit_total``/``pool_alloc_total`` count
+        requests, recycled hands-back, and fresh allocations;
+        ``pool_bytes_highwater`` tracks the largest retained footprint.
+        """
+        self._take_counter = registry.counter(
+            "pool_take_total", help="buffer requests served by the pool"
+        )
+        self._hit_counter = registry.counter(
+            "pool_hit_total", help="buffer requests satisfied by a recycled array"
+        )
+        self._alloc_counter = registry.counter(
+            "pool_alloc_total", help="buffer requests that allocated a fresh array"
+        )
+        self._highwater_gauge = registry.gauge(
+            "pool_bytes_highwater", help="largest retained pool footprint in bytes"
+        )
+        self._highwater_gauge.set_max(self.nbytes)
+        return self
 
     def take(
         self,
@@ -51,14 +77,21 @@ class BufferPool:
             avoid = (avoid,)
         key = (tuple(int(s) for s in shape), np.dtype(dtype).str)
         bufs = self._bufs.setdefault(key, [])
+        if self._take_counter is not None:
+            self._take_counter.inc()
         for buf in bufs:
             if not any(buf is a for a in avoid or ()):
                 self.hits += 1
+                if self._hit_counter is not None:
+                    self._hit_counter.inc()
                 return buf
         self.misses += 1
         buf = np.empty(key[0], dtype=dtype)
         if len(bufs) < self.slots_per_key:
             bufs.append(buf)
+        if self._alloc_counter is not None:
+            self._alloc_counter.inc()
+            self._highwater_gauge.set_max(self.nbytes)
         return buf
 
     def owns(self, array: np.ndarray) -> bool:

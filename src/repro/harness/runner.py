@@ -60,17 +60,22 @@ def make_engine(
     snicit_config: SNICITConfig | None = None,
     memo=None,
     scratch=None,
+    tracer=None,
+    metrics=None,
 ):
     """Instantiate an engine by name ('snicit', 'dense', 'bf2019', ...).
 
     ``memo``/``scratch`` are forwarded to SNICIT so warm sessions
     (:class:`repro.serve.EngineSession`) can share strategy decisions and
-    output buffers across calls; the stateless baselines ignore them.
+    output buffers across calls; ``tracer``/``metrics`` hook the engine into
+    :mod:`repro.obs`.  The stateless baselines ignore all four.
     """
     if kind == "snicit":
         if snicit_config is None:
             raise ConfigError("snicit engine needs a SNICITConfig")
-        return SNICIT(net, snicit_config, memo=memo, scratch=scratch)
+        return SNICIT(
+            net, snicit_config, memo=memo, scratch=scratch, tracer=tracer, metrics=metrics
+        )
     try:
         return _ENGINES[kind](net)
     except KeyError:
@@ -83,15 +88,18 @@ def run_engine(
     y0: np.ndarray,
     snicit_config: SNICITConfig | None = None,
     engine=None,
+    tracer=None,
+    metrics=None,
 ) -> EngineRun:
     """Run one engine on one input block.
 
     Pass ``engine`` to reuse a prebuilt (warm) engine instead of
     constructing a fresh one per call — the cold-vs-warm distinction
-    ``bench-serve`` measures.
+    ``bench-serve`` measures.  ``tracer``/``metrics`` apply to freshly
+    constructed engines only; a prebuilt engine keeps its own hooks.
     """
     if engine is None:
-        engine = make_engine(kind, net, snicit_config)
+        engine = make_engine(kind, net, snicit_config, tracer=tracer, metrics=metrics)
     return EngineRun(engine=kind, result=engine.infer(y0))
 
 

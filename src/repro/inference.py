@@ -57,6 +57,29 @@ class InferenceResult:
     def modeled_seconds(self) -> float:
         return float(sum(s.modeled_seconds for s in self.modeled.values()))
 
+    def to_json(self, include_output: bool = False) -> dict[str, Any]:
+        """A ``json.dumps``-able view of the run.
+
+        ``stats`` holds NumPy arrays (``centroid_cols``,
+        ``active_columns_trace``, ``empty_columns_trace``) that crash a
+        naive ``json.dumps``; everything is converted here.  The dense
+        output block is excluded unless ``include_output`` — reports want
+        telemetry, not megabytes of activations.
+        """
+        from repro.obs import json_safe
+
+        out: dict[str, Any] = {
+            "stage_seconds": json_safe(self.stage_seconds),
+            "layer_seconds": json_safe(self.layer_seconds),
+            "modeled": json_safe(self.modeled),
+            "stats": json_safe(self.stats),
+            "total_seconds": self.total_seconds,
+            "modeled_seconds": self.modeled_seconds,
+        }
+        if include_output:
+            out["y"] = json_safe(self.y)
+        return out
+
 
 class Engine(Protocol):
     """Structural type implemented by SNICIT and every baseline."""

@@ -63,6 +63,26 @@ class StrategyMemo:
         self._choice: dict[tuple[int, int], str] = {}
         self.hits = 0
         self.misses = 0
+        self._hit_counter = None
+        self._miss_counter = None
+
+    def bind_metrics(self, registry) -> "StrategyMemo":
+        """Mirror hit/miss counts onto a :class:`~repro.obs.MetricsRegistry`.
+
+        The memo binds once (e.g. at :class:`~repro.serve.EngineSession`
+        construction); lookups then pay one extra ``inc`` instead of a
+        registry lookup per layer.  An ``entries`` gauge is published at
+        scrape time.
+        """
+        self._hit_counter = registry.counter(
+            "memo_hits_total", help="strategy memo lookups served from cache"
+        )
+        self._miss_counter = registry.counter(
+            "memo_misses_total", help="strategy memo lookups that re-derived"
+        )
+        gauge = registry.gauge("memo_entries", help="distinct (layer, bucket) choices")
+        registry.on_collect(lambda _reg: gauge.set(len(self._choice)))
+        return self
 
     def bucket(self, live_fraction: float) -> int:
         """Quantize a live fraction in [0, 1] to a bucket index."""
@@ -72,8 +92,12 @@ class StrategyMemo:
         strategy = self._choice.get((layer, self.bucket(live_fraction)))
         if strategy is None:
             self.misses += 1
+            if self._miss_counter is not None:
+                self._miss_counter.inc()
         else:
             self.hits += 1
+            if self._hit_counter is not None:
+                self._hit_counter.inc()
         return strategy
 
     def record(self, layer: int, live_fraction: float, strategy: str) -> None:
@@ -92,6 +116,7 @@ def champion_spmm(
     y: np.ndarray,
     memo: StrategyMemo | None = None,
     out: np.ndarray | None = None,
+    metrics=None,
 ) -> tuple[np.ndarray, int, str]:
     """Compute ``W(i) @ y`` with the best strategy for this block.
 
@@ -103,11 +128,15 @@ def champion_spmm(
 
     ``memo`` replays a previously recorded strategy for this layer's
     live-fraction bucket instead of re-deriving it; ``out`` is an optional
-    preallocated ``(n_out, B)`` result buffer (must not alias ``y``).
+    preallocated ``(n_out, B)`` result buffer (must not alias ``y``);
+    ``metrics`` (a :class:`~repro.obs.MetricsRegistry`) counts each strategy
+    decision under ``spmm_strategy_total{strategy=...}``.
     """
     layer = net.layers[i]
     if layer.weight.density >= DENSE_WEIGHT_THRESHOLD:
         z, nnz = spmm_colwise(net.dense(i), y, out=out)
+        if metrics is not None:
+            metrics.counter("spmm_strategy_total", strategy="colwise").inc()
         return z, nnz, "colwise"
     live = (y != 0).any(axis=1)
     frac = float(live.mean()) if live.size else 0.0
@@ -116,6 +145,8 @@ def champion_spmm(
         strategy = "masked" if frac < LIVE_ROW_THRESHOLD else "ell"
         if memo is not None:
             memo.record(i, frac, strategy)
+    if metrics is not None:
+        metrics.counter("spmm_strategy_total", strategy=strategy).inc()
     if strategy == "masked":
         z, active_nnz = spmm_masked(layer.weight, y, live, out=out)
         return z, active_nnz, "masked"

@@ -100,5 +100,9 @@ class Sequential(Module):
             losses.append(epoch_loss / max(1, n_batches))
             accs.append(epoch_correct / len(train))
             if verbose:  # pragma: no cover - logging only
-                print(f"[{self.name}] epoch {epoch}: loss={losses[-1]:.4f} acc={accs[-1]:.3f}")
+                from repro.obs import get_logger
+
+                get_logger("nn").info(
+                    f"[{self.name}] epoch {epoch}: loss={losses[-1]:.4f} acc={accs[-1]:.3f}"
+                )
         return TrainReport(losses, accs)

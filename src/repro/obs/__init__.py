@@ -1,0 +1,40 @@
+"""Observability: tracing, metrics, and logging for the whole hot path.
+
+``repro.obs`` is the cross-cutting layer every perf-facing PR reports
+through.  It is always importable and near-zero overhead when disabled:
+
+* :class:`~repro.obs.trace.Tracer` — nested spans (request -> stage ->
+  layer -> kernel) with Chrome-trace and JSONL exporters; the default
+  :data:`~repro.obs.trace.NULL_TRACER` turns every span site into a no-op.
+* :class:`~repro.obs.metrics.MetricsRegistry` — counters, gauges, and
+  histograms with Prometheus text exposition and a JSON snapshot.
+* :func:`~repro.obs.logs.setup_logging` — the ``"repro"`` logger behind the
+  CLI's ``--verbose``/``--quiet``.
+* :func:`~repro.obs.export.json_safe` — NumPy-tolerant JSON conversion used
+  by every exporter (and by ``InferenceResult.to_json``).
+"""
+
+from repro.obs.export import json_safe
+from repro.obs.logs import get_logger, setup_logging
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import NULL_TRACER, NullTracer, Span, Tracer, as_tracer
+
+__all__ = [
+    "Tracer",
+    "Span",
+    "NullTracer",
+    "NULL_TRACER",
+    "as_tracer",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "json_safe",
+    "get_logger",
+    "setup_logging",
+]

@@ -1,0 +1,39 @@
+"""JSON-safety helpers shared by the tracer, metrics, and engine reports.
+
+NumPy scalars and arrays crash ``json.dumps``; every exporter in
+:mod:`repro.obs` funnels through :func:`json_safe` so traces, metric
+snapshots, and :meth:`~repro.inference.InferenceResult.to_json` all emit
+plain Python containers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+import numpy as np
+
+__all__ = ["json_safe"]
+
+
+def json_safe(obj: Any) -> Any:
+    """Recursively convert ``obj`` into ``json.dumps``-able containers.
+
+    NumPy arrays become lists, NumPy scalars become Python scalars,
+    dataclasses become dicts, tuples/sets become lists.  Unknown objects
+    fall back to ``str`` rather than raising — an exporter must never crash
+    the run it is observing.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, np.generic):
+        return obj.item()
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, dict):
+        return {str(k): json_safe(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return [json_safe(v) for v in obj]
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {f.name: json_safe(getattr(obj, f.name)) for f in dataclasses.fields(obj)}
+    return str(obj)

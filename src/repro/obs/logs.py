@@ -1,0 +1,50 @@
+"""Logging for the ``repro`` CLI and library.
+
+Everything logs through the ``"repro"`` logger (child loggers per module via
+:func:`get_logger`).  The CLI calls :func:`setup_logging` once per
+invocation: plain ``%(message)s`` to stdout at INFO by default, DEBUG with
+``--verbose``, WARNING with ``--quiet`` — so instrumentation chatter is
+controllable without losing the machine-facing result lines.
+
+The handler is (re)bound to the *current* ``sys.stdout`` on every call,
+which keeps capture-based tests (pytest's ``capsys``) and shell redirection
+working no matter when the module was imported.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["get_logger", "setup_logging", "ROOT_LOGGER_NAME"]
+
+ROOT_LOGGER_NAME = "repro"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """The ``repro`` logger, or a dotted child (``repro.serve`` etc.)."""
+    if not name or name == ROOT_LOGGER_NAME:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    if name.startswith(ROOT_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def setup_logging(
+    verbose: bool = False, quiet: bool = False, stream=None
+) -> logging.Logger:
+    """Configure the CLI logger; returns it.
+
+    ``quiet`` wins over ``verbose`` when both are passed.  Re-running
+    replaces the previous handler rather than stacking duplicates.
+    """
+    logger = logging.getLogger(ROOT_LOGGER_NAME)
+    level = logging.WARNING if quiet else logging.DEBUG if verbose else logging.INFO
+    handler = logging.StreamHandler(stream if stream is not None else sys.stdout)
+    handler.setFormatter(logging.Formatter("%(message)s"))
+    for old in list(logger.handlers):
+        logger.removeHandler(old)
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    logger.propagate = False
+    return logger

@@ -1,0 +1,241 @@
+"""Counters, gauges, and histograms with Prometheus-style exposition.
+
+A :class:`MetricsRegistry` is the process-local home for serving and engine
+telemetry: queue depths, batch occupancy, strategy decisions, buffer-pool
+hit rates.  Metric objects are cheap mutable cells — hot paths bind them
+once (``registry.counter(...)`` is get-or-create) and increment without any
+lookup afterwards.  Two exports:
+
+* :meth:`MetricsRegistry.to_prometheus` — the text exposition format, so a
+  scrape endpoint or a CI artifact is one ``write_text`` away;
+* :meth:`MetricsRegistry.snapshot` — a JSON-safe dict, embedded verbatim in
+  ``BENCH_serve.json`` by :func:`repro.serve.bench.bench_serve`.
+
+Collect callbacks (:meth:`MetricsRegistry.on_collect`) let objects that
+already keep their own counters (``StrategyMemo``, ``BufferPool``,
+``EngineSession``) publish at scrape time instead of paying per-event
+updates.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.obs.export import json_safe
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_BUCKETS"]
+
+#: Default histogram buckets: latencies/fills in serving land between 1e-4
+#: and ~10 in whatever unit the caller observes (seconds or a ratio).
+DEFAULT_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    __slots__ = ("value",)
+    kind = "counter"
+
+    def __init__(self):
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            from repro.errors import ConfigError
+
+            raise ConfigError(f"counters only go up; got inc({amount})")
+        self.value += amount
+
+    def expose(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """Point-in-time value; ``set_max`` tracks a high-water mark."""
+
+    __slots__ = ("value",)
+    kind = "gauge"
+
+    def __init__(self):
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def set_max(self, value: float) -> None:
+        if value > self.value:
+            self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def expose(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus semantics).
+
+    ``buckets`` are upper bounds; an implicit ``+Inf`` bucket catches the
+    rest.  ``observe`` is O(len(buckets)) — fine for per-batch events, do
+    not put it on a per-element path.
+    """
+
+    __slots__ = ("buckets", "counts", "sum", "count")
+    kind = "histogram"
+
+    def __init__(self, buckets: Iterable[float] = DEFAULT_BUCKETS):
+        self.buckets = tuple(sorted(float(b) for b in buckets))
+        if not self.buckets:
+            from repro.errors import ConfigError
+
+            raise ConfigError("a histogram needs at least one bucket bound")
+        self.counts = [0] * (len(self.buckets) + 1)  # +1 for +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.sum += value
+        self.count += 1
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    def cumulative(self) -> list[tuple[str, int]]:
+        """(le, cumulative count) pairs, ending with ('+Inf', count)."""
+        out, running = [], 0
+        for bound, n in zip(self.buckets, self.counts):
+            running += n
+            out.append((format(bound, "g"), running))
+        out.append(("+Inf", self.count))
+        return out
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def expose(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "buckets": {le: n for le, n in self.cumulative()},
+        }
+
+
+def _label_key(labels: dict[str, str]) -> tuple:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _label_text(key: tuple) -> str:
+    if not key:
+        return ""
+    return "{" + ",".join(f'{k}="{v}"' for k, v in key) + "}"
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named metric series.
+
+    A series is ``(name, labels)``; all series of one name share a kind and
+    help string.  Asking for an existing name with a different kind is a
+    :class:`~repro.errors.ConfigError` — a name means one thing.
+    """
+
+    def __init__(self):
+        self._series: dict[tuple[str, tuple], Counter | Gauge | Histogram] = {}
+        self._kinds: dict[str, str] = {}
+        self._help: dict[str, str] = {}
+        self._collectors: list[Callable[[MetricsRegistry], None]] = []
+
+    # ------------------------------------------------------------- creation
+    def _get(self, cls, name: str, help: str, labels: dict[str, str], **kwargs):
+        kind = self._kinds.get(name)
+        if kind is not None and kind != cls.kind:
+            from repro.errors import ConfigError
+
+            raise ConfigError(f"metric {name!r} already registered as a {kind}")
+        key = (name, _label_key(labels))
+        metric = self._series.get(key)
+        if metric is None:
+            metric = cls(**kwargs)
+            self._series[key] = metric
+            self._kinds[name] = cls.kind
+            if help:
+                self._help[name] = help
+        return metric
+
+    def counter(self, name: str, help: str = "", **labels: str) -> Counter:
+        return self._get(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", **labels: str) -> Gauge:
+        return self._get(Gauge, name, help, labels)
+
+    def histogram(
+        self, name: str, buckets: Iterable[float] = DEFAULT_BUCKETS,
+        help: str = "", **labels: str,
+    ) -> Histogram:
+        return self._get(Histogram, name, help, labels, buckets=buckets)
+
+    # -------------------------------------------------------------- lookup
+    def series(self, name: str) -> list[tuple[dict[str, str], "Counter | Gauge | Histogram"]]:
+        """All (labels, metric) series registered under ``name``."""
+        return [
+            (dict(key), metric)
+            for (n, key), metric in self._series.items()
+            if n == name
+        ]
+
+    # ------------------------------------------------------------ callbacks
+    def on_collect(self, fn: Callable[["MetricsRegistry"], None]) -> None:
+        """Register a scrape-time publisher (runs before every export)."""
+        self._collectors.append(fn)
+
+    def _collect(self) -> None:
+        for fn in self._collectors:
+            fn(self)
+
+    # -------------------------------------------------------------- export
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-safe dict keyed ``name{label="v"}`` -> exposed value."""
+        self._collect()
+        out: dict[str, Any] = {}
+        for (name, key), metric in sorted(self._series.items()):
+            out[name + _label_text(key)] = json_safe(metric.expose())
+        return out
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition (one ``# TYPE`` block per name)."""
+        self._collect()
+        by_name: dict[str, list[tuple[tuple, Counter | Gauge | Histogram]]] = {}
+        for (name, key), metric in sorted(self._series.items()):
+            by_name.setdefault(name, []).append((key, metric))
+        lines: list[str] = []
+        for name, series in by_name.items():
+            if name in self._help:
+                lines.append(f"# HELP {name} {self._help[name]}")
+            lines.append(f"# TYPE {name} {self._kinds[name]}")
+            for key, metric in series:
+                if isinstance(metric, Histogram):
+                    for le, n in metric.cumulative():
+                        bucket_key = key + (("le", le),)
+                        lines.append(f"{name}_bucket{_label_text(bucket_key)} {n}")
+                    lines.append(f"{name}_sum{_label_text(key)} {metric.sum}")
+                    lines.append(f"{name}_count{_label_text(key)} {metric.count}")
+                else:
+                    lines.append(f"{name}{_label_text(key)} {metric.expose()}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._kinds

@@ -1,0 +1,275 @@
+"""Nested-span tracer with a no-op fast path and Chrome-trace export.
+
+The tracer produces the span tree the paper's own evaluation implies:
+request -> stage -> layer -> kernel, each span carrying wall-clock duration
+plus arbitrary attributes (SNICIT telemetry such as active-column counts, or
+the cost model's :class:`~repro.gpu.costmodel.KernelCharge` for modeled
+flops/bytes).  Two exporters make the tree consumable outside the process:
+
+* :meth:`Tracer.to_chrome` — the Chrome trace-event JSON format, loadable in
+  Perfetto or ``chrome://tracing`` (complete ``"X"`` events for spans, ``"i"``
+  for instants, ``"b"``/``"e"`` async pairs for request lifecycles);
+* :meth:`Tracer.to_jsonl` — one JSON object per line, grep/pandas friendly.
+
+When tracing is off the engines hold :data:`NULL_TRACER`, whose ``span()``
+returns one shared object with empty ``__enter__``/``__exit__`` — the hot
+path pays a method call and an attribute check, nothing else.  That is the
+"near-zero overhead when disabled" contract the serving benchmarks rely on.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro.obs.export import json_safe
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.gpu.costmodel import KernelCharge
+
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER", "as_tracer"]
+
+
+class Span:
+    """One timed region; also its own context manager.
+
+    Created via :meth:`Tracer.span`; entering records the start time and
+    pushes the span on the tracer's stack (establishing parenthood), exiting
+    records the end time.  ``args`` carries attributes; :meth:`charge`
+    attaches a kernel charge so the exported event links wall time to
+    modeled flops/bytes.
+    """
+
+    __slots__ = ("tracer", "name", "cat", "args", "t0", "t1", "parent")
+
+    def __init__(self, tracer: "Tracer", name: str, cat: str, args: dict[str, Any]):
+        self.tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.args = args
+        self.t0: float | None = None
+        self.t1: float | None = None
+        self.parent: Span | None = None
+
+    # ------------------------------------------------------------ lifecycle
+    def __enter__(self) -> "Span":
+        tracer = self.tracer
+        self.parent = tracer._stack[-1] if tracer._stack else None
+        tracer._stack.append(self)
+        tracer.spans.append(self)
+        self.t0 = tracer.clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.t1 = self.tracer.clock()
+        self.tracer._stack.pop()
+
+    # ----------------------------------------------------------- attributes
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes to the span (last write per key wins)."""
+        self.args.update(attrs)
+        return self
+
+    def charge(self, charge: "KernelCharge", modeled_seconds: float | None = None) -> "Span":
+        """Link a cost-model charge: modeled flops/bytes ride on the span."""
+        self.args.update(
+            kernel=charge.name,
+            flops=charge.flops,
+            bytes_read=charge.bytes_read,
+            bytes_written=charge.bytes_written,
+        )
+        if modeled_seconds is not None:
+            self.args["modeled_seconds"] = modeled_seconds
+        return self
+
+    # ------------------------------------------------------------- geometry
+    @property
+    def duration(self) -> float:
+        """Wall seconds, 0.0 while the span is still open."""
+        if self.t0 is None or self.t1 is None:
+            return 0.0
+        return self.t1 - self.t0
+
+    @property
+    def closed(self) -> bool:
+        return self.t1 is not None
+
+    @property
+    def children(self) -> list["Span"]:
+        return [s for s in self.tracer.spans if s.parent is self]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, cat={self.cat!r}, dur={self.duration * 1e3:.3f}ms)"
+
+
+class _NullSpan:
+    """Shared do-nothing span; every no-op ``with`` reuses this one object."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def charge(self, charge, modeled_seconds=None) -> "_NullSpan":
+        return self
+
+    duration = 0.0
+
+
+_SHARED_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Disabled tracer: records nothing, costs one call per span site."""
+
+    enabled = False
+    spans: tuple = ()
+    events: tuple = ()
+
+    def span(self, name: str, cat: str = "", **args: Any) -> _NullSpan:
+        return _SHARED_NULL_SPAN
+
+    def event(self, name: str, **args: Any) -> None:
+        return None
+
+    def begin_async(self, name: str, aid: int, **args: Any) -> None:
+        return None
+
+    def end_async(self, name: str, aid: int, **args: Any) -> None:
+        return None
+
+
+#: Process-wide disabled tracer; engines default to it.
+NULL_TRACER = NullTracer()
+
+
+def as_tracer(tracer: "Tracer | NullTracer | None") -> "Tracer | NullTracer":
+    """Normalize an optional tracer argument to a usable instance."""
+    return NULL_TRACER if tracer is None else tracer
+
+
+class Tracer:
+    """Collects a span tree plus instant/async events.
+
+    Single-threaded by design (the serving loop is synchronous); parenthood
+    comes from a span stack.  All timestamps are ``clock()`` readings
+    (``time.perf_counter`` by default) relative to the tracer's ``epoch``.
+    """
+
+    enabled = True
+
+    def __init__(self, clock=time.perf_counter, process_name: str = "repro"):
+        self.clock = clock
+        self.process_name = process_name
+        self.epoch = clock()
+        self.spans: list[Span] = []
+        #: instant ("i") and async ("b"/"e") events as raw trace-event dicts
+        self.events: list[dict[str, Any]] = []
+        self._stack: list[Span] = []
+
+    # ------------------------------------------------------------ recording
+    def span(self, name: str, cat: str = "", **args: Any) -> Span:
+        """Open a new child span of whatever span is currently entered."""
+        return Span(self, name, cat, args)
+
+    def event(self, name: str, **args: Any) -> None:
+        """Record an instant event at the current time."""
+        self.events.append(
+            {"name": name, "ph": "i", "ts": self._ts(self.clock()), "s": "t", "args": args}
+        )
+
+    def begin_async(self, name: str, aid: int, **args: Any) -> None:
+        """Open an async event (e.g. a request lifecycle spanning batches)."""
+        self.events.append(
+            {"name": name, "ph": "b", "id": aid, "ts": self._ts(self.clock()), "args": args}
+        )
+
+    def end_async(self, name: str, aid: int, **args: Any) -> None:
+        self.events.append(
+            {"name": name, "ph": "e", "id": aid, "ts": self._ts(self.clock()), "args": args}
+        )
+
+    # -------------------------------------------------------------- export
+    def _ts(self, t: float) -> float:
+        """Microseconds since the tracer epoch (the Chrome trace unit)."""
+        return (t - self.epoch) * 1e6
+
+    def _span_event(self, span: Span) -> dict[str, Any]:
+        args = json_safe(span.args)
+        modeled = args.get("modeled_seconds")
+        if modeled is not None and span.duration > 0:
+            # achieved-vs-modeled: >1 means the wall clock beat the roofline
+            # model, <1 means overheads the model does not see dominate
+            args["modeled_vs_wall"] = modeled / span.duration
+        return {
+            "name": span.name,
+            "cat": span.cat or "span",
+            "ph": "X",
+            "ts": self._ts(span.t0 if span.t0 is not None else self.epoch),
+            "dur": span.duration * 1e6,
+            "pid": 0,
+            "tid": 0,
+            "args": args,
+        }
+
+    def iter_events(self):
+        """All trace events (spans, instants, async) in recording order."""
+        for span in self.spans:
+            yield self._span_event(span)
+        for event in self.events:
+            yield {**event, "pid": 0, "tid": 0, "cat": event.get("cat", "event"),
+                   "args": json_safe(event.get("args", {}))}
+
+    def to_chrome(self) -> dict[str, Any]:
+        """The Chrome trace-event JSON object (Perfetto/chrome://tracing)."""
+        meta = {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": self.process_name},
+        }
+        return {
+            "traceEvents": [meta, *self.iter_events()],
+            "displayTimeUnit": "ms",
+        }
+
+    def write_chrome(self, path: str | Path) -> Path:
+        """Write the Chrome trace file; returns the path."""
+        path = Path(path)
+        path.write_text(json.dumps(self.to_chrome()) + "\n")
+        return path
+
+    def to_jsonl(self) -> str:
+        """One JSON object per line — the grep/pandas-friendly export."""
+        return "\n".join(json.dumps(e) for e in self.iter_events())
+
+    def write_jsonl(self, path: str | Path) -> Path:
+        path = Path(path)
+        text = self.to_jsonl()
+        path.write_text(text + "\n" if text else "")
+        return path
+
+    # ------------------------------------------------------------- queries
+    def roots(self) -> list[Span]:
+        """Top-level spans (no parent) in start order."""
+        return [s for s in self.spans if s.parent is None]
+
+    def find(self, cat: str | None = None, name: str | None = None) -> list[Span]:
+        """Spans filtered by category and/or exact name."""
+        return [
+            s
+            for s in self.spans
+            if (cat is None or s.cat == cat) and (name is None or s.name == name)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.spans)

@@ -13,6 +13,12 @@ This package keeps one engine warm and feeds it well-packed blocks:
   loop with graceful overflow rejection;
 * :func:`~repro.serve.bench.bench_serve` — the cold-vs-warm throughput
   benchmark behind ``python -m repro bench-serve``.
+
+The whole stack is instrumented through :mod:`repro.obs`: the session owns a
+:class:`~repro.obs.MetricsRegistry` (queue/batch/pool/memo/strategy series)
+and an optional :class:`~repro.obs.Tracer` whose spans cover request
+lifecycles, batch pack/execute/resolve, and every engine stage and kernel
+underneath.
 """
 
 from repro.serve.batcher import MicroBatcher, Ticket

@@ -32,9 +32,11 @@ __all__ = ["MicroBatcher", "Ticket"]
 class Ticket:
     """Handle for one submitted request; resolves when its batch runs."""
 
-    __slots__ = ("y0", "submitted_at", "completed_at", "batch_columns", "result", "_y")
+    __slots__ = (
+        "y0", "submitted_at", "completed_at", "batch_columns", "result", "_y", "aid",
+    )
 
-    def __init__(self, y0: np.ndarray, submitted_at: float):
+    def __init__(self, y0: np.ndarray, submitted_at: float, aid: int = 0):
         self.y0 = y0
         self.submitted_at = submitted_at
         self.completed_at: float | None = None
@@ -43,6 +45,8 @@ class Ticket:
         #: the shared InferenceResult of that block
         self.result: InferenceResult | None = None
         self._y: np.ndarray | None = None
+        #: async-trace id correlating this request's submit/resolve events
+        self.aid = aid
 
     @property
     def columns(self) -> int:
@@ -94,6 +98,7 @@ class MicroBatcher:
         self.clock = clock
         self._pending: deque[Ticket] = deque()
         self._pending_cols = 0
+        self._next_aid = 0
         self.counters = {
             "requests": 0,
             "rejected": 0,
@@ -101,6 +106,30 @@ class MicroBatcher:
             "batched_columns": 0,
             "wait_flushes": 0,
         }
+        # serving telemetry rides on the session's registry/tracer so one
+        # scrape (or one trace file) covers queue, blocks, and kernels
+        self.tracer = session.tracer
+        metrics = session.metrics
+        self._c_requests = metrics.counter(
+            "serve_requests_total", help="requests accepted into the pending queue"
+        )
+        self._c_rejected = metrics.counter(
+            "serve_rejected_total", help="requests rejected on queue overflow"
+        )
+        self._c_batches = metrics.counter(
+            "serve_batches_total", help="blocks flushed to the engine session"
+        )
+        self._c_batched_columns = metrics.counter(
+            "serve_batched_columns_total", help="columns packed into flushed blocks"
+        )
+        self._g_queue_depth = metrics.gauge(
+            "serve_queue_depth", help="requests currently pending in the batcher"
+        )
+        self._g_queue_columns = metrics.gauge(
+            "serve_queue_columns", help="columns currently pending in the batcher"
+        )
+        self._fill_buckets = (0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0)
+        self._metrics = metrics
 
     # -------------------------------------------------------------- intake
     @property
@@ -123,15 +152,20 @@ class MicroBatcher:
             raise ShapeError("a request needs at least one column")
         if len(self._pending) >= self.max_pending:
             self.counters["rejected"] += 1
+            self._c_rejected.inc()
             raise ServeOverflowError(
                 f"pending queue full ({self.max_pending} requests); request rejected"
             )
-        ticket = Ticket(y0, self.clock())
+        self._next_aid += 1
+        ticket = Ticket(y0, self.clock(), aid=self._next_aid)
         self._pending.append(ticket)
         self._pending_cols += ticket.columns
         self.counters["requests"] += 1
+        self._c_requests.inc()
+        self.tracer.begin_async("request", ticket.aid, columns=ticket.columns)
+        self._update_queue_gauges()
         while self._pending_cols >= self.max_batch:
-            self._flush_batch()
+            self._flush_batch(reason="full")
         return ticket
 
     # ------------------------------------------------------------ flushing
@@ -146,42 +180,75 @@ class MicroBatcher:
         if self.clock() - self._pending[0].submitted_at < self.max_wait_s:
             return 0
         self.counters["wait_flushes"] += 1
-        return self.drain()
+        return self._drain(reason="wait")
 
     def drain(self) -> int:
         """Flush every pending request; returns the number of blocks run."""
+        return self._drain(reason="drain")
+
+    def _drain(self, reason: str) -> int:
         n = 0
         while self._pending:
-            self._flush_batch()
+            self._flush_batch(reason=reason)
             n += 1
         return n
 
-    def _flush_batch(self) -> None:
+    def _flush_batch(self, reason: str = "full") -> None:
         """Pack and run one block of at most ``max_batch`` columns.
 
         Always takes at least one request, so a single request wider than
-        ``max_batch`` still runs (alone, as its own block).
+        ``max_batch`` still runs (alone, as its own block).  ``reason`` is
+        why the block flushed ('full', 'wait', or 'drain') and labels the
+        occupancy histogram — a fleet of 'wait' flushes at low fill means
+        the batcher is starved, 'full' at fill 1.0 means it is saturated.
         """
-        take: list[Ticket] = [self._pending.popleft()]
-        cols = take[0].columns
-        while self._pending and cols + self._pending[0].columns <= self.max_batch:
-            ticket = self._pending.popleft()
-            take.append(ticket)
-            cols += ticket.columns
-        self._pending_cols -= cols
-        block = take[0].y0 if len(take) == 1 else np.hstack([t.y0 for t in take])
-        result = self.session.run(block)
-        now = self.clock()
-        lo = 0
-        for ticket in take:
-            hi = lo + ticket.columns
-            ticket._y = result.y[:, lo:hi]
-            ticket.result = result
-            ticket.batch_columns = cols
-            ticket.completed_at = now
-            lo = hi
+        tracer = self.tracer
+        with tracer.span("batch.pack", cat="serve", reason=reason) as pack_span:
+            take: list[Ticket] = [self._pending.popleft()]
+            cols = take[0].columns
+            while self._pending and cols + self._pending[0].columns <= self.max_batch:
+                ticket = self._pending.popleft()
+                take.append(ticket)
+                cols += ticket.columns
+            self._pending_cols -= cols
+            block = take[0].y0 if len(take) == 1 else np.hstack([t.y0 for t in take])
+            pack_span.set(requests=len(take), columns=cols)
+        with tracer.span(
+            "batch.execute", cat="serve", reason=reason, requests=len(take), columns=cols
+        ):
+            result = self.session.run(block)
+        with tracer.span("batch.resolve", cat="serve", requests=len(take)):
+            now = self.clock()
+            lo = 0
+            for ticket in take:
+                hi = lo + ticket.columns
+                ticket._y = result.y[:, lo:hi]
+                ticket.result = result
+                ticket.batch_columns = cols
+                ticket.completed_at = now
+                tracer.end_async(
+                    "request", ticket.aid, batch_columns=cols, reason=reason
+                )
+                lo = hi
         self.counters["batches"] += 1
         self.counters["batched_columns"] += cols
+        self._c_batches.inc()
+        self._c_batched_columns.inc(cols)
+        self._metrics.histogram(
+            "serve_batch_fill",
+            buckets=self._fill_buckets,
+            help="block occupancy as a fraction of max_batch, per flush reason",
+            reason=reason,
+        ).observe(cols / self.max_batch)
+        self._metrics.histogram(
+            "serve_queue_wait_seconds",
+            help="submit-to-resolve wait per request",
+        ).observe(now - take[0].submitted_at)
+        self._update_queue_gauges()
+
+    def _update_queue_gauges(self) -> None:
+        self._g_queue_depth.set(len(self._pending))
+        self._g_queue_columns.set(self._pending_cols)
 
     # ------------------------------------------------------------- metrics
     def stats(self) -> dict:

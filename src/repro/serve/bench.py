@@ -19,6 +19,7 @@ import numpy as np
 from repro.harness.experiments.common import sdgc_config
 from repro.harness.runner import run_engine
 from repro.harness.workloads import get_benchmark, get_input
+from repro.obs import Tracer
 from repro.serve.server import InferenceServer
 from repro.serve.session import EngineSession
 
@@ -42,6 +43,7 @@ def bench_serve(
     threshold: int | None = None,
     seed: int = 1,
     out: str | Path | None = DEFAULT_BENCH_PATH,
+    trace: str | Path | None = None,
 ) -> dict:
     """Measure request throughput: cold per-request engines vs warm serving.
 
@@ -50,6 +52,12 @@ def bench_serve(
     pre-built before timing either path so the comparison isolates
     steady-state serving cost (engine construction + packing), not the
     one-time view build both paths share through the network cache.
+
+    The warm session's metrics snapshot is embedded under ``"metrics"`` so
+    ``BENCH_serve.json`` carries queue/batch/pool/strategy telemetry next to
+    the throughput numbers.  ``trace`` additionally writes a Chrome trace of
+    the warm serving run (note: span recording adds overhead to the warm
+    numbers; leave it off when comparing throughput across PRs).
     """
     net = get_benchmark(benchmark)
     overrides = {} if threshold is None else {"threshold_layer": threshold}
@@ -58,7 +66,8 @@ def bench_serve(
 
     # one warm session serves; its warmup also pre-builds the shared views
     # the cold path will hit through the network cache
-    session = EngineSession(net, cfg)
+    tracer = Tracer() if trace is not None else None
+    session = EngineSession(net, cfg, tracer=tracer)
     server = InferenceServer(
         session, max_batch=max_batch, max_wait_s=60.0, queue_limit=len(stream)
     )
@@ -98,12 +107,18 @@ def bench_serve(
             "batcher": server.batcher.stats(),
             "memo": session.memo.stats(),
             "scratch": session.scratch.stats(),
+            # telemetry of the last warm block (JSON-safe engine report)
+            "last_block": report.served[-1].result.to_json() if report.served else None,
         },
+        "metrics": session.metrics.snapshot(),
         "speedup": (
             cold_seconds / report.wall_seconds if report.wall_seconds > 0 else float("inf")
         ),
         "categories_match": bool((cold_cats == warm_cats).all()),
     }
+    if trace is not None and tracer is not None:
+        tracer.write_chrome(trace)
+        result["trace"] = str(trace)
     if out is not None:
         Path(out).write_text(json.dumps(result, indent=2) + "\n")
     return result

@@ -80,6 +80,8 @@ class InferenceServer:
         clock=time.monotonic,
     ):
         self.session = session
+        self.tracer = session.tracer
+        self.metrics = session.metrics
         self.batcher = MicroBatcher(
             session,
             max_batch=max_batch,
@@ -87,11 +89,15 @@ class InferenceServer:
             max_pending=queue_limit,
             clock=clock,
         )
+        self._c_overflow = self.metrics.counter(
+            "server_overflow_total", help="requests the serve loop turned into rejections"
+        )
 
     # ------------------------------------------------------------- serving
     def submit(self, y0: np.ndarray) -> Ticket:
         """Enqueue one request; raises on overflow (the queue is bounded)."""
-        return self.batcher.submit(y0)
+        with self.tracer.span("request.submit", cat="serve"):
+            return self.batcher.submit(y0)
 
     def step(self) -> int:
         """One loop iteration: flush if the oldest request waited too long."""
@@ -110,13 +116,21 @@ class InferenceServer:
         """
         report = ServeReport()
         t0 = time.perf_counter()
-        for index, y0 in enumerate(requests):
-            try:
-                report.served.append(self.submit(y0))
-            except ServeOverflowError as exc:
-                report.rejected.append((index, str(exc)))
-            self.step()
-        self.drain()
+        with self.tracer.span("serve.stream", cat="serve") as stream_span:
+            for index, y0 in enumerate(requests):
+                try:
+                    report.served.append(self.submit(y0))
+                except ServeOverflowError as exc:
+                    report.rejected.append((index, str(exc)))
+                    self._c_overflow.inc()
+                    self.tracer.event("request.rejected", index=index)
+                self.step()
+            self.drain()
+            stream_span.set(
+                requests=report.requests,
+                served=len(report.served),
+                rejected=len(report.rejected),
+            )
         report.wall_seconds = time.perf_counter() - t0
         return report
 
@@ -125,4 +139,5 @@ class InferenceServer:
         return {
             "session": self.session.stats(),
             "batcher": self.batcher.stats(),
+            "metrics": self.metrics.snapshot(),
         }

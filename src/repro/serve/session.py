@@ -24,6 +24,7 @@ from repro.harness.runner import make_engine
 from repro.inference import InferenceResult
 from repro.kernels import DENSE_WEIGHT_THRESHOLD, StrategyMemo
 from repro.network import SparseNetwork
+from repro.obs import MetricsRegistry, as_tracer
 
 __all__ = ["EngineSession"]
 
@@ -48,6 +49,16 @@ class EngineSession:
         still built lazily on first use, as before.
     memo_buckets:
         Live-fraction quantization of the strategy memo.
+    tracer:
+        Optional :class:`~repro.obs.Tracer`; every request the session runs
+        then emits a request -> stage -> layer -> kernel span tree.  Default
+        is the shared no-op tracer.
+    metrics:
+        Optional :class:`~repro.obs.MetricsRegistry` to share with other
+        sessions or a server; a private registry is created by default.  The
+        session's lifetime counters (calls, columns, busy/warmup seconds,
+        per-stage seconds) live on the registry; ``self.calls`` etc. read
+        through to it.
     """
 
     def __init__(
@@ -58,22 +69,64 @@ class EngineSession:
         device: VirtualDevice | None = None,
         warm: bool = True,
         memo_buckets: int = 16,
+        tracer=None,
+        metrics: MetricsRegistry | None = None,
     ):
         self.network = network
         self.kind = kind
         self.device = device or VirtualDevice()
-        self.memo = StrategyMemo(memo_buckets)
-        self.scratch = BufferPool()
+        self.tracer = as_tracer(tracer)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.memo = StrategyMemo(memo_buckets).bind_metrics(self.metrics)
+        self.scratch = BufferPool().bind_metrics(self.metrics)
         self.engine = make_engine(
-            kind, network, snicit_config=config, memo=self.memo, scratch=self.scratch
+            kind,
+            network,
+            snicit_config=config,
+            memo=self.memo,
+            scratch=self.scratch,
+            tracer=self.tracer,
+            metrics=self.metrics,
         )
-        self.warmup_seconds = 0.0
-        self.calls = 0
-        self.columns = 0
-        self.busy_seconds = 0.0
-        self.stage_seconds: dict[str, float] = {}
+        self._c_calls = self.metrics.counter(
+            "session_calls_total", help="inference calls served by this session"
+        )
+        self._c_columns = self.metrics.counter(
+            "session_columns_total", help="input columns pushed through the engine"
+        )
+        self._c_busy = self.metrics.counter(
+            "session_busy_seconds_total", help="wall seconds inside engine.infer"
+        )
+        self._c_warmup = self.metrics.counter(
+            "session_warmup_seconds_total", help="wall seconds building weight views"
+        )
         if warm:
             self.warmup()
+
+    # ----------------------------------------------------- registry-backed
+    @property
+    def calls(self) -> int:
+        return int(self._c_calls.value)
+
+    @property
+    def columns(self) -> int:
+        return int(self._c_columns.value)
+
+    @property
+    def busy_seconds(self) -> float:
+        return self._c_busy.value
+
+    @property
+    def warmup_seconds(self) -> float:
+        return self._c_warmup.value
+
+    @property
+    def stage_seconds(self) -> dict[str, float]:
+        """Cumulative engine seconds per stage, read from the registry."""
+        return {
+            labels["stage"]: metric.value
+            for labels, metric in self.metrics.series("session_stage_seconds_total")
+        }
 
     # ------------------------------------------------------------ lifecycle
     def warmup(self) -> float:
@@ -85,12 +138,13 @@ class EngineSession:
         """
         t0 = time.perf_counter()
         net = self.network
-        for i, layer in enumerate(net.layers):
-            if layer.weight.density >= DENSE_WEIGHT_THRESHOLD:
-                net.dense(i)
-            else:
-                net.ell(i)
-        self.warmup_seconds += time.perf_counter() - t0
+        with self.tracer.span("session.warmup", cat="serve", network=net.name):
+            for i, layer in enumerate(net.layers):
+                if layer.weight.density >= DENSE_WEIGHT_THRESHOLD:
+                    net.dense(i)
+                else:
+                    net.ell(i)
+        self._c_warmup.inc(time.perf_counter() - t0)
         return self.warmup_seconds
 
     # ------------------------------------------------------------- serving
@@ -98,11 +152,15 @@ class EngineSession:
         """One inference call on the warm engine, with counter accounting."""
         t0 = time.perf_counter()
         result = self.engine.infer(y0)
-        self.busy_seconds += time.perf_counter() - t0
-        self.calls += 1
-        self.columns += y0.shape[1]
+        self._c_busy.inc(time.perf_counter() - t0)
+        self._c_calls.inc()
+        self._c_columns.inc(y0.shape[1])
         for stage, seconds in result.stage_seconds.items():
-            self.stage_seconds[stage] = self.stage_seconds.get(stage, 0.0) + seconds
+            self.metrics.counter(
+                "session_stage_seconds_total",
+                help="cumulative engine seconds per pipeline stage",
+                stage=stage,
+            ).inc(seconds)
         return result
 
     # ------------------------------------------------------------- metrics

@@ -1,0 +1,255 @@
+"""Unit tests for the observability subsystem (repro.obs)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs import (
+    NULL_TRACER,
+    MetricsRegistry,
+    Tracer,
+    as_tracer,
+    json_safe,
+    setup_logging,
+)
+
+
+# ------------------------------------------------------------------- tracer
+def test_tracer_nests_spans_and_tracks_parenthood():
+    tracer = Tracer()
+    with tracer.span("request", cat="request") as req:
+        with tracer.span("stage", cat="stage") as stage:
+            with tracer.span("kernel", cat="kernel") as kernel:
+                pass
+    assert req.parent is None
+    assert stage.parent is req
+    assert kernel.parent is stage
+    assert tracer.roots() == [req]
+    assert req.children == [stage]
+    assert all(s.closed for s in tracer.spans)
+    assert req.duration >= stage.duration >= kernel.duration >= 0
+
+
+def test_tracer_sibling_spans_share_parent():
+    tracer = Tracer()
+    with tracer.span("root"):
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+    root = tracer.roots()[0]
+    assert [s.name for s in root.children] == ["a", "b"]
+
+
+def test_chrome_export_is_valid_json_with_microsecond_spans():
+    tracer = Tracer()
+    with tracer.span("work", cat="stage", layer=3):
+        pass
+    tracer.event("tick", k=1)
+    tracer.begin_async("request", 7, columns=4)
+    tracer.end_async("request", 7)
+    chrome = tracer.to_chrome()
+    text = json.dumps(chrome)  # must not raise
+    parsed = json.loads(text)
+    events = parsed["traceEvents"]
+    span_events = [e for e in events if e["ph"] == "X"]
+    assert len(span_events) == 1
+    ev = span_events[0]
+    assert ev["name"] == "work" and ev["cat"] == "stage"
+    assert isinstance(ev["ts"], float) and isinstance(ev["dur"], float)
+    assert ev["args"]["layer"] == 3
+    phases = {e["ph"] for e in events}
+    assert {"M", "X", "i", "b", "e"} <= phases
+
+
+def test_span_charge_links_kernel_cost_and_utilization():
+    from repro.gpu.costmodel import KernelCharge
+
+    tracer = Tracer()
+    with tracer.span("k", cat="kernel") as span:
+        span.charge(KernelCharge(name="spmm", flops=100.0, bytes_read=10.0), 0.5)
+    ev = next(e for e in tracer.iter_events() if e["ph"] == "X")
+    assert ev["args"]["kernel"] == "spmm"
+    assert ev["args"]["flops"] == 100.0
+    assert ev["args"]["modeled_seconds"] == 0.5
+    assert ev["args"]["modeled_vs_wall"] > 0  # wall duration was tiny but > 0
+
+
+def test_jsonl_export_one_object_per_line():
+    tracer = Tracer()
+    with tracer.span("a"):
+        pass
+    tracer.event("b")
+    lines = tracer.to_jsonl().splitlines()
+    assert len(lines) == 2
+    for line in lines:
+        json.loads(line)
+
+
+def test_jsonl_write_roundtrip(tmp_path):
+    tracer = Tracer()
+    with tracer.span("a", cat="stage"):
+        pass
+    path = tracer.write_jsonl(tmp_path / "t.jsonl")
+    rows = [json.loads(x) for x in path.read_text().splitlines()]
+    assert rows[0]["name"] == "a"
+
+
+def test_null_tracer_records_nothing_and_costs_nothing():
+    tracer = as_tracer(None)
+    assert tracer is NULL_TRACER
+    with tracer.span("x", cat="request", huge=list(range(100))) as s:
+        s.set(a=1).charge(None)
+    tracer.event("e")
+    tracer.begin_async("r", 1)
+    tracer.end_async("r", 1)
+    assert tracer.spans == ()
+    assert tracer.events == ()
+    # one shared span object: no per-call allocation of spans
+    assert tracer.span("y") is tracer.span("z")
+
+
+def test_tracer_find_filters_by_cat_and_name():
+    tracer = Tracer()
+    with tracer.span("a", cat="stage"):
+        with tracer.span("b", cat="kernel"):
+            pass
+    assert [s.name for s in tracer.find(cat="kernel")] == ["b"]
+    assert [s.name for s in tracer.find(name="a")] == ["a"]
+
+
+# ------------------------------------------------------------------ metrics
+def test_counter_and_gauge_basics():
+    reg = MetricsRegistry()
+    c = reg.counter("requests_total", help="requests")
+    c.inc()
+    c.inc(2)
+    assert c.value == 3
+    assert reg.counter("requests_total") is c  # get-or-create
+    g = reg.gauge("depth")
+    g.set(5)
+    g.set_max(3)
+    assert g.value == 5
+    g.set_max(9)
+    assert g.value == 9
+
+
+def test_counter_rejects_negative_increments():
+    reg = MetricsRegistry()
+    with pytest.raises(ConfigError):
+        reg.counter("c").inc(-1)
+
+
+def test_metric_kind_collision_rejected():
+    reg = MetricsRegistry()
+    reg.counter("x_total")
+    with pytest.raises(ConfigError):
+        reg.gauge("x_total")
+
+
+def test_labels_create_distinct_series():
+    reg = MetricsRegistry()
+    a = reg.counter("strategy_total", strategy="ell")
+    b = reg.counter("strategy_total", strategy="masked")
+    assert a is not b
+    a.inc()
+    snap = reg.snapshot()
+    assert snap['strategy_total{strategy="ell"}'] == 1.0
+    assert snap['strategy_total{strategy="masked"}'] == 0.0
+
+
+def test_histogram_buckets_are_cumulative():
+    reg = MetricsRegistry()
+    h = reg.histogram("lat", buckets=(0.1, 1.0))
+    for v in (0.05, 0.5, 0.7, 5.0):
+        h.observe(v)
+    assert h.count == 4
+    assert h.sum == pytest.approx(6.25)
+    assert h.cumulative() == [("0.1", 1), ("1", 3), ("+Inf", 4)]
+    assert h.mean == pytest.approx(6.25 / 4)
+
+
+def test_prometheus_exposition_format():
+    reg = MetricsRegistry()
+    reg.counter("reqs_total", help="total requests").inc(7)
+    reg.gauge("queue_depth").set(3)
+    reg.histogram("fill", buckets=(0.5, 1.0), reason="full").observe(0.75)
+    text = reg.to_prometheus()
+    assert "# HELP reqs_total total requests" in text
+    assert "# TYPE reqs_total counter" in text
+    assert "reqs_total 7.0" in text
+    assert "# TYPE queue_depth gauge" in text
+    assert 'fill_bucket{reason="full",le="+Inf"} 1' in text
+    assert 'fill_count{reason="full"} 1' in text
+
+
+def test_snapshot_is_json_safe():
+    reg = MetricsRegistry()
+    reg.counter("a").inc()
+    reg.histogram("h").observe(0.1)
+    json.dumps(reg.snapshot())  # must not raise
+
+
+def test_collect_callbacks_run_at_scrape_time():
+    reg = MetricsRegistry()
+    state = {"n": 0}
+    gauge = reg.gauge("live")
+    reg.on_collect(lambda _r: gauge.set(state["n"]))
+    state["n"] = 42
+    assert reg.snapshot()["live"] == 42.0
+
+
+def test_registry_series_lookup():
+    reg = MetricsRegistry()
+    reg.counter("s_total", stage="pre").inc(2)
+    reg.counter("s_total", stage="post").inc(3)
+    series = dict((labels["stage"], m.value) for labels, m in reg.series("s_total"))
+    assert series == {"pre": 2.0, "post": 3.0}
+
+
+# ---------------------------------------------------------------- json_safe
+def test_json_safe_converts_numpy_and_dataclasses():
+    from repro.gpu.costmodel import CostSnapshot
+
+    blob = {
+        "arr": np.arange(3, dtype=np.int64),
+        "scalar": np.float32(1.5),
+        "snap": CostSnapshot(launches=2, flops=10.0),
+        "nested": [np.bool_(True), (1, 2)],
+    }
+    safe = json_safe(blob)
+    json.dumps(safe)  # must not raise
+    assert safe["arr"] == [0, 1, 2]
+    assert safe["scalar"] == 1.5
+    assert safe["snap"]["launches"] == 2
+    assert safe["nested"] == [True, [1, 2]]
+
+
+def test_json_safe_falls_back_to_str_for_unknown_objects():
+    class Weird:
+        def __repr__(self):
+            return "weird"
+
+    assert json_safe({"w": Weird()}) == {"w": "weird"}
+
+
+# ------------------------------------------------------------------ logging
+def test_setup_logging_levels(capsys):
+    import logging
+
+    log = setup_logging()
+    assert log.level == logging.INFO
+    log.info("hello")
+    assert "hello" in capsys.readouterr().out
+    log = setup_logging(quiet=True)
+    log.info("dropped")
+    log.warning("kept")
+    out = capsys.readouterr().out
+    assert "dropped" not in out and "kept" in out
+    log = setup_logging(verbose=True)
+    log.debug("debugline")
+    assert "debugline" in capsys.readouterr().out
+    # no handler stacking on reconfiguration
+    assert len(log.handlers) == 1
