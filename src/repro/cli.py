@@ -9,7 +9,8 @@ Usage::
     python -m repro experiment table3 --scale 0.5
     python -m repro generate 256-24 out_dir/     # write SDGC .tsv layers
     python -m repro serve 144-24 --requests 128  # micro-batched serving demo
-    python -m repro bench-serve 144-24           # cold vs warm throughput
+    python -m repro bench-serve                  # tiered cold vs warm throughput
+    python -m repro bench-serve 144-24 --centroid-reuse --stream repeat
 
 All human-facing output goes through the ``"repro"`` logger: ``--verbose``
 adds instrumentation chatter, ``--quiet`` keeps only warnings.  ``--trace``
@@ -150,7 +151,10 @@ def _cmd_serve(args) -> int:
         args.request_cols,
     )
     tracer, registry = _make_obs(args)
-    session = EngineSession(net, cfg, tracer=tracer, metrics=registry)
+    session = EngineSession(
+        net, cfg, tracer=tracer, metrics=registry,
+        centroid_reuse=args.centroid_reuse, reuse_tolerance=args.reuse_tolerance,
+    )
     server = InferenceServer(
         session,
         max_batch=args.max_batch,
@@ -170,6 +174,12 @@ def _cmd_serve(args) -> int:
     batcher = server.batcher.stats()
     log.info(f"  batching     {batcher['batches']} blocks, "
              f"mean fill {batcher['mean_fill']:.0%} of {batcher['max_batch']}")
+    if session.reuse is not None:
+        cache = session.reuse.stats()
+        outcomes = batcher.get("reuse_blocks", {})
+        log.info(f"  reuse        {cache['hits']} hits / {cache['misses']} misses / "
+                 f"{sum(cache['invalidations'].values())} invalidations "
+                 f"(blocks: {outcomes or 'none'})")
     stage = session.stats()["stage_seconds"]
     for name, seconds in stage.items():
         log.info(f"  {name:18s} {seconds * 1e3:9.1f} ms")
@@ -185,6 +195,7 @@ def _cmd_serve(args) -> int:
 def _cmd_bench_serve(args) -> int:
     from repro.serve.bench import bench_serve
 
+    tiers = tuple(t.strip() for t in args.tiers.split(",")) if args.tiers else None
     result = bench_serve(
         benchmark=args.benchmark,
         requests=args.requests,
@@ -194,20 +205,48 @@ def _cmd_bench_serve(args) -> int:
         seed=args.seed,
         out=args.out,
         trace=args.trace,
+        tiers=tiers,
+        stream=args.stream,
+        centroid_reuse=args.centroid_reuse,
+        reuse_tolerance=args.reuse_tolerance,
     )
-    cold, warm = result["cold"], result["warm"]
-    log.info(f"bench-serve on {args.benchmark}: {result['requests']} requests "
-             f"x {result['request_cols']} columns")
-    log.info(f"  cold (engine per request) {cold['requests_per_second']:9.1f} req/s")
-    log.info(f"  warm (session + batching) {warm['requests_per_second']:9.1f} req/s")
-    log.info(f"  speedup {result['speedup']:.2f}x   "
-             f"categories_match={result['categories_match']}")
-    if args.metrics:
-        log.info(json.dumps(result["metrics"], indent=2))
+    for record in result["tiers"]:
+        cold, warm = record["cold"], record["warm"]
+        log.info(f"bench-serve [{record['tier']}] on {record['benchmark']} "
+                 f"({args.stream}): {record['requests']} requests "
+                 f"x {record['request_cols']} columns")
+        log.info(f"  cold (engine per request) {cold['requests_per_second']:9.1f} req/s")
+        log.info(f"  warm (session + batching) {warm['requests_per_second']:9.1f} req/s")
+        log.info(f"  speedup {record['speedup']:.2f}x   "
+                 f"categories_match={record['categories_match']}")
+        reuse = record.get("reuse")
+        if reuse is not None:
+            cache = reuse["cache"]
+            log.info(f"  reuse on ({cache['hits']} hits, "
+                     f"{sum(cache['invalidations'].values())} invalidations) "
+                     f"{reuse['warm']['requests_per_second']:9.1f} req/s   "
+                     f"{reuse['speedup_vs_warm']:.2f}x warm   "
+                     f"identical={reuse['outputs_identical']}")
+        if args.metrics:
+            log.info(json.dumps(record["metrics"], indent=2))
     if args.trace:
         log.info(f"wrote Chrome trace to {args.trace}")
     log.info(f"wrote {args.out}")
     return 0
+
+
+def _add_reuse_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--centroid-reuse", action="store_true",
+        help="carry layer-t centroids across blocks (assign-only conversion "
+             "on warm hits); bench-serve then records an A/B reuse pass",
+    )
+    parser.add_argument(
+        "--reuse-tolerance", type=float, default=0.5, metavar="T",
+        help="staleness budget: reused blocks must stay within "
+             "baseline*(1+T) assignment distance / residue density "
+             "(default 0.5; 0 admits only blocks as tight as the fill block)",
+    )
 
 
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
@@ -273,19 +312,36 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument("--queue-limit", type=_positive_int, default=1024)
     serve_p.add_argument("--threshold", type=int, default=None)
     serve_p.add_argument("--seed", type=int, default=1)
+    _add_reuse_flags(serve_p)
     _add_obs_flags(serve_p)
     serve_p.set_defaults(fn=_cmd_serve)
 
     bserve_p = sub.add_parser(
-        "bench-serve", help="cold vs warm serving throughput (writes BENCH_serve.json)"
+        "bench-serve",
+        help="tiered cold vs warm serving throughput (writes BENCH_serve.json)",
     )
-    bserve_p.add_argument("benchmark")
+    bserve_p.add_argument(
+        "benchmark", nargs="?", default=None,
+        help="single SDGC benchmark to run as an ad-hoc tier "
+             "(default: the built-in tier list)",
+    )
+    bserve_p.add_argument(
+        "--tiers", default=None,
+        help="comma-separated tier list (e.g. sdgc-shallow,medium-A); "
+             "mutually exclusive with the positional benchmark",
+    )
     bserve_p.add_argument("--requests", type=_positive_int, default=48)
     bserve_p.add_argument("--request-cols", type=_positive_int, default=4)
     bserve_p.add_argument("--max-batch", type=_positive_int, default=64)
     bserve_p.add_argument("--threshold", type=int, default=None)
     bserve_p.add_argument("--seed", type=int, default=1)
+    bserve_p.add_argument(
+        "--stream", default="mix", choices=("mix", "repeat", "drift"),
+        help="request-stream shape: distinct columns, identical blocks, "
+             "or a mid-stream amplitude shift",
+    )
     bserve_p.add_argument("--out", default="BENCH_serve.json")
+    _add_reuse_flags(bserve_p)
     _add_obs_flags(bserve_p)
     bserve_p.set_defaults(fn=_cmd_bench_serve)
     return parser

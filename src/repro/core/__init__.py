@@ -31,11 +31,14 @@ from repro.core.conversion import (
 )
 from repro.core.postconv import postconv_update, update_kernel
 from repro.core.recovery import recover
+from repro.core.reuse import CachedConversion, CentroidCache
 from repro.core.pipeline import SNICIT
 
 __all__ = [
     "SNICITConfig",
     "SNICIT",
+    "CachedConversion",
+    "CentroidCache",
     "sample_columns",
     "sum_downsample",
     "prune_samples",

@@ -16,13 +16,20 @@ from repro.core.config import SNICITConfig
 from repro.core.conversion import convert
 from repro.core.pruning import prune_samples, select_centroids
 from repro.core.recovery import recover
+from repro.core.reuse import CentroidCache
 from repro.core.sampling import sample_columns, sum_downsample
-from repro.core.postconv import update_compact
+from repro.core.postconv import update_compact, update_residues_external
 from repro.gpu.costmodel import KernelCharge
 from repro.gpu.device import VirtualDevice
 from repro.gpu.memory import BufferPool
 from repro.inference import InferenceResult
-from repro.kernels import StrategyMemo, champion_spmm, charge_for
+from repro.kernels import (
+    StrategyMemo,
+    assign_cached_centroids,
+    assign_charge,
+    champion_spmm,
+    charge_for,
+)
 from repro.network import SparseNetwork
 from repro.obs import as_tracer
 
@@ -61,6 +68,16 @@ class SNICIT:
     metrics:
         Optional :class:`~repro.obs.MetricsRegistry` for strategy-decision
         counters (``spmm_strategy_total``).
+    reuse:
+        Optional :class:`~repro.core.reuse.CentroidCache`.  A warm session
+        passes one so the layer-``t`` centroids (and their post-convergence
+        evolution) carry across consecutive blocks: stage 2 then becomes
+        *assign-only* on a cache hit — new columns are matched against the
+        cached centroids and only their residues are computed, skipping
+        sample pruning and the centroid feed-forward entirely.  The cache's
+        staleness policy forces a full re-conversion (which refills the
+        entry) when the block's assignment distance or residue density
+        drifts past the configured budget.
     """
 
     name = "SNICIT"
@@ -74,6 +91,7 @@ class SNICIT:
         scratch: BufferPool | None = None,
         tracer=None,
         metrics=None,
+        reuse: CentroidCache | None = None,
     ):
         self.network = network
         self.config = config.for_network(network.num_layers)
@@ -82,6 +100,7 @@ class SNICIT:
         self.scratch = scratch
         self.tracer = as_tracer(tracer)
         self.metrics = metrics
+        self.reuse = reuse
         # residue arithmetic (Eq. 4-6) needs a fixed activation width from the
         # threshold layer onward; reject shape-changing post-convergence
         # layers up front rather than failing mid-inference.  With
@@ -193,35 +212,68 @@ class SNICIT:
             )
 
         # ---- stage 2: cluster-based conversion ---------------------------
+        # With a centroid cache, try the cross-block assign-only path first:
+        # match the block against a previous conversion's centroids and keep
+        # only the residues, skipping sampling/pruning/centroid feed-forward.
         wall0 = time.perf_counter()
+        reused = None
+        reuse_info: dict | None = None
+        capture = False
         with tracer.span("conversion", cat="stage") as stage_span:
-            f0 = sample_columns(y, cfg.sample_size)
-            if cfg.downsample_dim is not None:
-                f = sum_downsample(f0, cfg.downsample_dim)
-            else:
-                f = f0
-            col_idx = prune_samples(f, cfg.eta, cfg.eps)
-            cent_cols = select_centroids(col_idx)
-            if len(cent_cols) == 0:  # degenerate but possible with eta=inf-like configs
-                cent_cols = np.array([0], dtype=np.int64)
-            with tracer.span("conversion_kernel", cat="kernel") as kernel_span:
-                yhat, m, ne_rec = convert(y, cent_cols, cfg.prune_threshold)
-                ne_idx = self._refresh_ne_idx(ne_rec, m)
-                charge = KernelCharge(
-                    name="conversion",
-                    flops=float(f.size * f.shape[1] + y.size * len(cent_cols)),
-                    bytes_read=float(y.nbytes * 2),
-                    bytes_written=float(yhat.nbytes),
+            if self.reuse is not None:
+                reused, reuse_info = self._try_reuse(y, t, stage_span)
+            if reused is None:
+                f0 = sample_columns(y, cfg.sample_size)
+                if cfg.downsample_dim is not None:
+                    f = sum_downsample(f0, cfg.downsample_dim)
+                else:
+                    f = f0
+                col_idx = prune_samples(f, cfg.eta, cfg.eps)
+                cent_cols = select_centroids(col_idx)
+                if len(cent_cols) == 0:  # degenerate but possible with eta=inf-like configs
+                    cent_cols = np.array([0], dtype=np.int64)
+                with tracer.span("conversion_kernel", cat="kernel") as kernel_span:
+                    yhat, m, ne_rec = convert(y, cent_cols, cfg.prune_threshold)
+                    ne_idx = self._refresh_ne_idx(ne_rec, m)
+                    charge = KernelCharge(
+                        name="conversion",
+                        flops=float(f.size * f.shape[1] + y.size * len(cent_cols)),
+                        bytes_read=float(y.nbytes * 2),
+                        bytes_written=float(yhat.nbytes),
+                    )
+                    kernel_span.charge(charge, dev.charge(charge))
+                capture = (
+                    self.reuse is not None
+                    and len(cent_cols) <= self.reuse.max_centroids
                 )
-                kernel_span.charge(charge, dev.charge(charge))
-            stage_span.set(
-                n_centroids=int(len(cent_cols)),
-                sampled_columns=int(f0.shape[1]),
-                active_columns=int(len(ne_idx)),
-            )
+                if capture:
+                    # fill-time staleness baseline: how far the block's own
+                    # columns sit from their chosen centroids (pre-prune L0)
+                    # and how dense their residues are post-prune
+                    nc_mask = m != -1
+                    if nc_mask.any():
+                        baseline_distance = float(
+                            (y[:, nc_mask] != y[:, m[nc_mask]]).mean()
+                        )
+                        baseline_density = float((yhat[:, nc_mask] != 0).mean())
+                    else:
+                        baseline_distance = 0.0
+                        baseline_density = 0.0
+                stage_span.set(
+                    n_centroids=int(len(cent_cols)),
+                    sampled_columns=int(f0.shape[1]),
+                    active_columns=int(len(ne_idx)),
+                )
         stage_seconds["conversion"] = time.perf_counter() - wall0
         modeled["conversion"] = dev.snapshot() - mark
         mark = dev.snapshot()
+
+        if reused is not None:
+            assign, residues, cached = reused
+            return self._finish_reused(
+                assign, residues, cached, t, batch, detector,
+                layer_seconds, stage_seconds, modeled, mark, req_span, reuse_info,
+            )
 
         # ---- stage 3: post-convergence update -----------------------------
         # The representation is kept *compacted*: only the ne_idx columns of
@@ -232,6 +284,7 @@ class SNICIT:
         wall0 = time.perf_counter()
         empties: list[int] = []
         active_trace: list[int] = []
+        trajectory: list[np.ndarray] = []
         with tracer.span("post_convergence", cat="stage") as stage_span:
             sub = yhat[:, ne_idx]
             is_cent = m[ne_idx] == -1
@@ -252,6 +305,11 @@ class SNICIT:
                         )
                         ks.set(strategy=strategy, work=int(work))
                         ks.charge(charge, dev.charge(charge))
+                    if capture:
+                        # centroid evolution for cross-block reuse: the spMM
+                        # output of the centroid columns, in sorted-centroid
+                        # order (the mask indexing copies)
+                        trajectory.append(z_sub[:, is_cent])
                     bias = layer.bias if isinstance(layer.bias, np.ndarray) else float(layer.bias)
                     with tracer.span("update_centroids_residues", cat="kernel", layer=i) as ku:
                         sub, ne_rec_sub = update_compact(
@@ -284,6 +342,17 @@ class SNICIT:
         modeled["post_convergence"] = dev.snapshot() - mark
         mark = dev.snapshot()
 
+        if capture:
+            # the next same-mix block can now convert assign-only
+            self.reuse.fill(
+                t,
+                cent_y=y[:, cent_cols],
+                z_cent=trajectory,
+                cent_final=sub[:, is_cent],
+                baseline_distance=baseline_distance,
+                baseline_density=baseline_density,
+            )
+
         # ---- stage 4: final results recovery ------------------------------
         wall0 = time.perf_counter()
         with tracer.span("recovery", cat="stage") as stage_span:
@@ -310,11 +379,190 @@ class SNICIT:
             "active_columns_trace": np.array(active_trace),
             "empty_columns_trace": np.array(empties),
         }
+        if reuse_info is not None:
+            stats["centroid_reuse"] = reuse_info
         req_span.set(
             threshold_layer=t,
             n_centroids=int(len(cent_cols)),
             active_columns_end=int(len(ne_idx)),
             residues_pruned=empties[-1] if empties else 0,
+        )
+        return InferenceResult(
+            y=y_final,
+            stage_seconds=stage_seconds,
+            layer_seconds=layer_seconds,
+            modeled=modeled,
+            stats=stats,
+        )
+
+    # ------------------------------------------------- cross-block reuse
+    def _try_reuse(self, y: np.ndarray, t: int, stage_span):
+        """Attempt assign-only conversion against the centroid cache.
+
+        Returns ``((assign, residues, entry), info)`` on a hit or
+        ``(None, info)`` when the cache is cold or the staleness policy
+        rejects the block; ``info`` is the JSON-safe record that lands in
+        ``result.stats['centroid_reuse']`` either way.
+        """
+        cfg = self.config
+        dev = self.device
+        tracer = self.tracer
+        cached = self.reuse.lookup(t, y.shape[0])
+        if cached is None:
+            stage_span.set(reuse="miss")
+            return None, {"enabled": True, "hit": False, "reason": "cold"}
+        with tracer.span(
+            "assign_cached_kernel", cat="kernel", n_centroids=cached.n_centroids
+        ) as ks:
+            assign, dist = assign_cached_centroids(y, cached.cent_y)
+            charge = assign_charge(y.shape[0], y.shape[1], cached.n_centroids)
+            ks.charge(charge, dev.charge(charge))
+        with tracer.span("reuse_residues_kernel", cat="kernel") as kr:
+            residues = y - cached.cent_y[:, assign]
+            if cfg.prune_threshold > 0:
+                residues[np.abs(residues) < cfg.prune_threshold] = 0
+            charge = KernelCharge(
+                name="reuse_residues",
+                flops=float(residues.size),
+                bytes_read=float(y.nbytes) * 2,
+                bytes_written=float(residues.nbytes),
+            )
+            kr.charge(charge, dev.charge(charge))
+        mean_distance = float(dist.mean()) / y.shape[0] if dist.size else 0.0
+        density = float((residues != 0).mean()) if residues.size else 0.0
+        info = {
+            "enabled": True,
+            "n_centroids": cached.n_centroids,
+            "assignment_distance": mean_distance,
+            "residue_density": density,
+        }
+        if not self.reuse.admit(cached, mean_distance, density):
+            stage_span.set(reuse="invalidated")
+            info.update(hit=False, reason="stale")
+            return None, info
+        info["hit"] = True
+        stage_span.set(reuse="hit", n_centroids=cached.n_centroids)
+        return (assign, residues, cached), info
+
+    def _finish_reused(
+        self, assign, residues, cached, t: int, batch: int, detector,
+        layer_seconds, stage_seconds, modeled, mark, req_span, reuse_info,
+    ) -> InferenceResult:
+        """Stages 3-4 of the assign-only path.
+
+        Every block column is a residue against an external cached centroid:
+        the post-convergence loop feeds only residues through the
+        load-reduced spMM and takes the centroid side of Eq. 5 from the
+        cached trajectory; recovery gathers the cached final centroids and
+        adds the surviving residues back.  With no in-block centroids there
+        is nothing to pin, so the active set can shrink all the way to
+        empty — the remaining layers then cost nothing.
+        """
+        net = self.network
+        cfg = self.config
+        tracer = self.tracer
+        dev = self.device
+
+        # ---- stage 3: post-convergence update (residues only) ------------
+        wall0 = time.perf_counter()
+        empties: list[int] = []
+        active_trace: list[int] = []
+        ne_idx = np.flatnonzero((residues != 0).any(axis=0)).astype(np.int64)
+        with tracer.span("post_convergence", cat="stage", reuse="hit") as stage_span:
+            sub = residues[:, ne_idx]
+            asg = assign[ne_idx]
+            for i in range(t, net.num_layers):
+                lt0 = time.perf_counter()
+                layer = net.layers[i]
+                with tracer.span(
+                    f"layer {i}", cat="layer", layer=i, active_columns=int(len(ne_idx))
+                ) as layer_span:
+                    if len(ne_idx):
+                        with tracer.span("load_reduced_spmm", cat="kernel", layer=i) as ks:
+                            z_sub, work, strategy = champion_spmm(
+                                net, i, sub, memo=self.memo, metrics=self.metrics
+                            )
+                            charge = charge_for(
+                                strategy, work, layer.n_out, len(ne_idx),
+                                "load_reduced_spmm",
+                            )
+                            ks.set(strategy=strategy, work=int(work))
+                            ks.charge(charge, dev.charge(charge))
+                        bias = (
+                            layer.bias if isinstance(layer.bias, np.ndarray)
+                            else float(layer.bias)
+                        )
+                        with tracer.span(
+                            "update_residues_external", cat="kernel", layer=i
+                        ) as ku:
+                            z_cent = cached.z_cent[i - t][:, asg]
+                            sub, ne_rec_sub = update_residues_external(
+                                z_sub, z_cent, bias, net.ymax, cfg.prune_threshold
+                            )
+                            charge = KernelCharge(
+                                name="update_residues_external",
+                                flops=float(4 * layer.n_out * len(ne_idx)),
+                                bytes_read=float(3 * layer.n_out * len(ne_idx) * 4),
+                                bytes_written=float(layer.n_out * len(ne_idx) * 4),
+                            )
+                            ku.charge(charge, dev.charge(charge))
+                        empty_now = batch - int(ne_rec_sub.sum())
+                        active_trace.append(len(ne_idx))
+                        empties.append(empty_now)
+                        if (i - t) % cfg.ne_idx_interval == cfg.ne_idx_interval - 1:
+                            if not ne_rec_sub.all():
+                                ne_idx = ne_idx[ne_rec_sub]
+                                sub = sub[:, ne_rec_sub]
+                                asg = asg[ne_rec_sub]
+                    else:
+                        empty_now = batch  # everything resolved to a centroid
+                        active_trace.append(0)
+                        empties.append(empty_now)
+                    layer_span.set(empty_columns=empty_now)
+                layer_seconds[i] = time.perf_counter() - lt0
+            stage_span.set(
+                active_columns_start=active_trace[0] if active_trace else 0,
+                active_columns_end=int(len(ne_idx)),
+                residues_pruned=empties[-1] if empties else 0,
+            )
+        stage_seconds["post_convergence"] = time.perf_counter() - wall0
+        modeled["post_convergence"] = dev.snapshot() - mark
+        mark = dev.snapshot()
+
+        # ---- stage 4: recovery from the cached final centroids -----------
+        wall0 = time.perf_counter()
+        with tracer.span("recovery", cat="stage", reuse="hit"):
+            with tracer.span("recovery_kernel", cat="kernel") as kernel_span:
+                y_final = cached.cent_final[:, assign]  # gather copies
+                if len(ne_idx):
+                    y_final[:, ne_idx] += sub
+                charge = KernelCharge(
+                    name="recovery",
+                    flops=float(y_final.size),
+                    bytes_read=float(y_final.nbytes) * 2,
+                    bytes_written=float(y_final.nbytes),
+                )
+                kernel_span.charge(charge, dev.charge(charge))
+        stage_seconds["recovery"] = time.perf_counter() - wall0
+        modeled["recovery"] = dev.snapshot() - mark
+
+        stats = {
+            "threshold_layer": t,
+            "auto_detected": detector is not None and t < cfg.threshold_layer,
+            "convergence_trace": list(detector.trace) if detector is not None else [],
+            "n_centroids": cached.n_centroids,
+            # centroids live in the cache, not the block
+            "centroid_cols": np.empty(0, np.int64),
+            "active_columns_trace": np.array(active_trace),
+            "empty_columns_trace": np.array(empties),
+            "centroid_reuse": reuse_info,
+        }
+        req_span.set(
+            threshold_layer=t,
+            n_centroids=cached.n_centroids,
+            active_columns_end=int(len(ne_idx)),
+            residues_pruned=empties[-1] if empties else 0,
+            centroid_reuse="hit",
         )
         return InferenceResult(
             y=y_final,

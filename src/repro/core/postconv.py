@@ -36,6 +36,7 @@ __all__ = [
     "load_reduced_spmm",
     "update_centroids_residues",
     "update_compact",
+    "update_residues_external",
     "postconv_update",
     "update_kernel",
 ]
@@ -152,6 +153,39 @@ def update_compact(
         if prune_threshold > 0:
             v[np.abs(v) < prune_threshold] = 0
         out[:, res] = v
+    ne_rec_sub = (out != 0).any(axis=0)
+    return out, ne_rec_sub
+
+
+def update_residues_external(
+    z_sub: np.ndarray,
+    z_cent: np.ndarray,
+    bias: np.ndarray | float,
+    ymax: float,
+    prune_threshold: float = 0.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Algorithm 3's residue branch against *externally cached* centroids.
+
+    The cross-block reuse path: every column of the block is a residue
+    against a centroid that lives in the :class:`~repro.core.reuse.
+    CentroidCache`, not in the block, so its spMM output ``z_cent``
+    (``W(i) @ Y*(i)``, one cached column gathered per block column, without
+    bias) is supplied instead of computed.  The arithmetic matches
+    :func:`update_compact`'s residue branch operation-for-operation, so a
+    block identical to the cache's fill block updates bitwise-identically.
+
+    Returns ``(Ŷ_sub(i+1), ne_rec_sub)``.
+    """
+    if z_sub.shape != z_cent.shape:
+        raise ShapeError(
+            f"residue block {z_sub.shape} and centroid block {z_cent.shape} disagree"
+        )
+    bias_col = bias[:, None] if isinstance(bias, np.ndarray) else bias
+    zc = z_cent + bias_col  # fresh array: the cached trajectory stays intact
+    out = clamped_relu(zc + z_sub, ymax)
+    out -= clamped_relu(zc, ymax)  # zc is dead after this, clamp in place
+    if prune_threshold > 0:
+        out[np.abs(out) < prune_threshold] = 0
     ne_rec_sub = (out != 0).any(axis=0)
     return out, ne_rec_sub
 

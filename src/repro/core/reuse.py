@@ -1,0 +1,257 @@
+"""Cross-block centroid reuse (the warm conversion cache).
+
+Under micro-batched serving every block pays the full SNICIT conversion —
+sampling, sum downsampling, sample pruning (Algorithm 1), closest-centroid
+residues (Algorithm 2) — even when consecutive blocks come from the same
+traffic mix and would produce near-identical centroids.  Caching structure
+across requests is the trick SNICIT itself plays *within* one inference;
+:class:`CentroidCache` extends it *across* inferences, the way cache-based
+early exit (:mod:`repro.related.cache_exit`) reuses historical activations
+and SparseDNN-style engines specialize to the observed sparsity pattern.
+
+One :class:`CachedConversion` entry stores, for a threshold layer ``t``:
+
+* the centroid activations ``Y*(t)`` fixed at conversion time,
+* their whole post-convergence evolution — the per-layer spMM outputs
+  ``z* = W(i) @ Y*(i)`` that residue columns need for Eq. 5, and the final
+  centroid activations ``Y*(l)`` that recovery (Eq. 6) adds back,
+* the fill-time quality baseline (mean assignment L0 distance and mean
+  post-prune residue density).
+
+A warm hit turns stage 2 into *assign-only*: new columns are matched
+against the cached centroids (the downsample-F / L0-distance machinery of
+Algorithms 1-2, batched in :func:`repro.kernels.assign_cached_centroids`)
+and only their residues are computed — sample pruning and the centroid
+feed-forward are skipped entirely.  Because the residue algebra of Eq. 4-6
+telescopes exactly for *any* centroid (``W(y* + r) = Wy* + Wr``), the
+assign-only path is lossless whenever residue pruning is off, and matches
+the paper's approximation quality otherwise.
+
+Quality is guarded by an explicit staleness policy: each reused block's
+mean assignment distance and residue density are compared against the
+fill-time baseline scaled by ``1 + tolerance``; drifting past either budget
+invalidates the entry and forces a full re-conversion (which refills the
+cache with the new mix).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = ["CachedConversion", "CentroidCache"]
+
+
+@dataclass
+class CachedConversion:
+    """One cached conversion: centroids, their evolution, and the baseline."""
+
+    #: threshold layer the entry was filled at
+    threshold_layer: int
+    #: centroid activations at the threshold layer, shape ``(N, C)``
+    cent_y: np.ndarray
+    #: per post-convergence layer: spMM output of the centroid columns
+    #: (``W(i) @ Y*(i)``, *without* bias), each shape ``(n_out, C)``
+    z_cent: list[np.ndarray] = field(default_factory=list)
+    #: centroid activations after the last layer, shape ``(N, C)``
+    cent_final: np.ndarray | None = None
+    #: fill-time mean L0 assignment distance (fraction of N) of the
+    #: non-centroid columns to their centroids
+    baseline_distance: float = 0.0
+    #: fill-time mean post-prune residue density of the non-centroid columns
+    baseline_density: float = 0.0
+    #: how many blocks this entry has served assign-only
+    served_blocks: int = 0
+
+    @property
+    def n_centroids(self) -> int:
+        return self.cent_y.shape[1]
+
+
+class CentroidCache:
+    """Warm conversion state shared across consecutive blocks of a session.
+
+    Parameters
+    ----------
+    tolerance:
+        Staleness budget.  A reused block is admitted while its mean
+        assignment distance and residue density stay within
+        ``baseline * (1 + tolerance)``; ``0`` admits only blocks that are at
+        least as close to the cached centroids as the fill block was to its
+        own (so an identical repeated stream still hits, but any drift
+        forces re-conversion).
+    max_centroids:
+        Entries with more centroids than this are not cached — assignment
+        against a huge centroid set costs more than it saves, and a
+        conversion that barely clustered has no structure worth reusing.
+    """
+
+    def __init__(self, tolerance: float = 0.5, max_centroids: int = 512):
+        if tolerance < 0:
+            raise ConfigError(f"reuse tolerance must be >= 0, got {tolerance}")
+        if max_centroids < 1:
+            raise ConfigError(f"max_centroids must be >= 1, got {max_centroids}")
+        self.tolerance = float(tolerance)
+        self.max_centroids = int(max_centroids)
+        self._entries: dict[int, CachedConversion] = {}
+        self.hits = 0
+        self.misses = 0
+        self.fills = 0
+        self.skipped_fills = 0
+        self.invalidations: dict[str, int] = {}
+        #: last observed per-block quality (None until the first reuse attempt)
+        self.last_distance: float | None = None
+        self.last_density: float | None = None
+        self._c_hits = None
+        self._c_misses = None
+        self._c_fills = None
+        self._c_invalidations = None
+        self._registry = None
+
+    # ----------------------------------------------------------- metrics
+    def bind_metrics(self, registry) -> "CentroidCache":
+        """Mirror cache activity onto a :class:`~repro.obs.MetricsRegistry`.
+
+        Publishes ``centroid_cache_{hits,misses,fills}_total``, per-reason
+        ``centroid_cache_invalidations_total{reason=...}``, an ``entries``
+        gauge, and gauges for the last observed assignment distance and
+        residue density (the staleness signals).
+        """
+        self._registry = registry
+        self._c_hits = registry.counter(
+            "centroid_cache_hits_total", help="blocks converted assign-only"
+        )
+        self._c_misses = registry.counter(
+            "centroid_cache_misses_total", help="blocks with no cached conversion"
+        )
+        self._c_fills = registry.counter(
+            "centroid_cache_fills_total", help="full conversions captured into the cache"
+        )
+        gauge = registry.gauge("centroid_cache_entries", help="cached conversions held")
+        registry.on_collect(lambda _reg: gauge.set(len(self._entries)))
+        return self
+
+    def _observe_quality(self, distance: float, density: float) -> None:
+        self.last_distance = float(distance)
+        self.last_density = float(density)
+        if self._registry is not None:
+            self._registry.gauge(
+                "centroid_reuse_assignment_distance",
+                help="mean L0 assignment distance (fraction of N) of the last reused block",
+            ).set(self.last_distance)
+            self._registry.gauge(
+                "centroid_reuse_residue_density",
+                help="mean residue density of the last reused block",
+            ).set(self.last_density)
+
+    # ------------------------------------------------------------ lookups
+    def lookup(self, threshold_layer: int, n_rows: int) -> CachedConversion | None:
+        """Entry for this threshold layer, or ``None`` (counted as a miss)."""
+        entry = self._entries.get(threshold_layer)
+        if entry is not None and entry.cent_y.shape[0] != n_rows:
+            # network width changed under us (defensive; sessions are
+            # single-network so this should not happen in practice)
+            self.invalidate(threshold_layer, reason="shape")
+            entry = None
+        if entry is None:
+            self.misses += 1
+            if self._c_misses is not None:
+                self._c_misses.inc()
+        return entry
+
+    def admit(
+        self, entry: CachedConversion, distance: float, density: float
+    ) -> bool:
+        """Staleness policy: admit the block or invalidate the entry.
+
+        ``distance`` is the block's mean L0 assignment distance as a
+        fraction of N; ``density`` its mean post-prune residue density.
+        Both are compared against the entry's fill-time baseline scaled by
+        ``1 + tolerance``.  Returns True on a hit; on a drift the entry is
+        dropped (counted under the drifting signal's reason) and the caller
+        falls back to a full conversion, which refills the cache.
+        """
+        self._observe_quality(distance, density)
+        slack = 1.0 + self.tolerance
+        if distance > entry.baseline_distance * slack + 1e-12:
+            self.invalidate(entry.threshold_layer, reason="distance")
+            return False
+        if density > entry.baseline_density * slack + 1e-12:
+            self.invalidate(entry.threshold_layer, reason="density")
+            return False
+        entry.served_blocks += 1
+        self.hits += 1
+        if self._c_hits is not None:
+            self._c_hits.inc()
+        return True
+
+    # ----------------------------------------------------------- mutation
+    def fill(
+        self,
+        threshold_layer: int,
+        cent_y: np.ndarray,
+        z_cent: list[np.ndarray],
+        cent_final: np.ndarray,
+        baseline_distance: float,
+        baseline_density: float,
+    ) -> bool:
+        """Capture a full conversion; returns False when it is not cacheable."""
+        if cent_y.shape[1] > self.max_centroids:
+            self.skipped_fills += 1
+            return False
+        self._entries[threshold_layer] = CachedConversion(
+            threshold_layer=threshold_layer,
+            cent_y=cent_y,
+            z_cent=z_cent,
+            cent_final=cent_final,
+            baseline_distance=float(baseline_distance),
+            baseline_density=float(baseline_density),
+        )
+        self.fills += 1
+        if self._c_fills is not None:
+            self._c_fills.inc()
+        return True
+
+    def invalidate(self, threshold_layer: int | None = None, reason: str = "manual") -> int:
+        """Drop one entry (or all), counting the reason.  Returns drops."""
+        if threshold_layer is None:
+            dropped = len(self._entries)
+            self._entries.clear()
+        else:
+            dropped = 1 if self._entries.pop(threshold_layer, None) is not None else 0
+        if dropped:
+            self.invalidations[reason] = self.invalidations.get(reason, 0) + dropped
+            if self._registry is not None:
+                self._registry.counter(
+                    "centroid_cache_invalidations_total",
+                    help="cache entries dropped, by staleness reason",
+                    reason=reason,
+                ).inc(dropped)
+        return dropped
+
+    # ------------------------------------------------------------ metrics
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> dict:
+        """Lifetime counters plus the last observed staleness signals."""
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "fills": self.fills,
+            "skipped_fills": self.skipped_fills,
+            "invalidations": dict(self.invalidations),
+            "tolerance": self.tolerance,
+            "last_distance": self.last_distance,
+            "last_density": self.last_density,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CentroidCache(entries={len(self._entries)}, hits={self.hits}, "
+            f"misses={self.misses}, tolerance={self.tolerance})"
+        )

@@ -62,19 +62,22 @@ def make_engine(
     scratch=None,
     tracer=None,
     metrics=None,
+    reuse=None,
 ):
     """Instantiate an engine by name ('snicit', 'dense', 'bf2019', ...).
 
-    ``memo``/``scratch`` are forwarded to SNICIT so warm sessions
-    (:class:`repro.serve.EngineSession`) can share strategy decisions and
-    output buffers across calls; ``tracer``/``metrics`` hook the engine into
-    :mod:`repro.obs`.  The stateless baselines ignore all four.
+    ``memo``/``scratch``/``reuse`` are forwarded to SNICIT so warm sessions
+    (:class:`repro.serve.EngineSession`) can share strategy decisions,
+    output buffers, and cached conversions across calls; ``tracer``/
+    ``metrics`` hook the engine into :mod:`repro.obs`.  The stateless
+    baselines ignore all five.
     """
     if kind == "snicit":
         if snicit_config is None:
             raise ConfigError("snicit engine needs a SNICITConfig")
         return SNICIT(
-            net, snicit_config, memo=memo, scratch=scratch, tracer=tracer, metrics=metrics
+            net, snicit_config, memo=memo, scratch=scratch,
+            tracer=tracer, metrics=metrics, reuse=reuse,
         )
     try:
         return _ENGINES[kind](net)

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import ConfigError, ShapeError
 from repro.gpu.costmodel import KernelCharge
 from repro.network import SparseNetwork
 from repro.sparse.spmm import spmm_colwise, spmm_ell, spmm_masked
@@ -30,6 +31,8 @@ __all__ = [
     "champion_spmm",
     "baseline_spmm",
     "charge_for",
+    "assign_cached_centroids",
+    "assign_charge",
     "StrategyMemo",
     "LIVE_ROW_THRESHOLD",
     "DENSE_WEIGHT_THRESHOLD",
@@ -133,20 +136,30 @@ def champion_spmm(
     decision under ``spmm_strategy_total{strategy=...}``.
     """
     layer = net.layers[i]
-    if layer.weight.density >= DENSE_WEIGHT_THRESHOLD:
-        z, nnz = spmm_colwise(net.dense(i), y, out=out)
-        if metrics is not None:
-            metrics.counter("spmm_strategy_total", strategy="colwise").inc()
-        return z, nnz, "colwise"
-    live = (y != 0).any(axis=1)
-    frac = float(live.mean()) if live.size else 0.0
+    dense_ish = layer.weight.density >= DENSE_WEIGHT_THRESHOLD
+    live = None
+    if dense_ish:
+        # the colwise decision is static per layer (weight density alone),
+        # so it memoizes under the full-liveness bucket without paying the
+        # live-row scan — the memo is still consulted every call, keeping
+        # warm-session hit counters honest on dense-ish networks
+        frac = 1.0
+    else:
+        live = (y != 0).any(axis=1)
+        frac = float(live.mean()) if live.size else 0.0
     strategy = memo.lookup(i, frac) if memo is not None else None
     if strategy is None:
-        strategy = "masked" if frac < LIVE_ROW_THRESHOLD else "ell"
+        if dense_ish:
+            strategy = "colwise"
+        else:
+            strategy = "masked" if frac < LIVE_ROW_THRESHOLD else "ell"
         if memo is not None:
             memo.record(i, frac, strategy)
     if metrics is not None:
         metrics.counter("spmm_strategy_total", strategy=strategy).inc()
+    if strategy == "colwise":
+        z, nnz = spmm_colwise(net.dense(i), y, out=out)
+        return z, nnz, "colwise"
     if strategy == "masked":
         z, active_nnz = spmm_masked(layer.weight, y, live, out=out)
         return z, active_nnz, "masked"
@@ -167,6 +180,53 @@ def baseline_spmm(net: SparseNetwork, i: int, y: np.ndarray) -> tuple[np.ndarray
         return z, nnz, "colwise"
     z = spmm_ell(net.ell(i), y)
     return z, layer.weight.nnz, "ell"
+
+
+def assign_cached_centroids(
+    y: np.ndarray, cents: np.ndarray, chunk: int = 512
+) -> tuple[np.ndarray, np.ndarray]:
+    """Batched closest-centroid assignment against *cached* centroids.
+
+    The cross-block twin of Algorithm 2's distance loop: every column of
+    ``y`` (``(N, B)``) is matched to its nearest column of ``cents``
+    (``(N, C)``, a previous block's centroid activations) by exact L0
+    distance (Eq. 3).  Ties resolve to the lowest centroid index, matching
+    :func:`repro.core.conversion.assign_centroids`, so a block identical to
+    the one that filled the cache reproduces its in-block assignment.
+
+    Returns ``(assign, dist)``: per-column centroid positions into ``cents``
+    and the L0 distances (element inequality counts) — the distances feed
+    the :class:`~repro.core.reuse.CentroidCache` staleness policy.
+    """
+    if y.ndim != 2 or cents.ndim != 2:
+        raise ShapeError("Y and centroids must be 2-D")
+    if y.shape[0] != cents.shape[0]:
+        raise ShapeError(
+            f"Y has {y.shape[0]} rows but cached centroids have {cents.shape[0]}"
+        )
+    if cents.shape[1] == 0:
+        raise ConfigError("need at least one cached centroid")
+    b = y.shape[1]
+    assign = np.empty(b, dtype=np.int64)
+    dist = np.empty(b, dtype=np.int64)
+    for lo in range(0, b, chunk):
+        hi = min(b, lo + chunk)
+        # (N, chunk, C) inequality count -> (chunk, C)
+        d = (y[:, lo:hi, None] != cents[:, None, :]).sum(axis=0)
+        idx = d.argmin(axis=1)
+        assign[lo:hi] = idx
+        dist[lo:hi] = d[np.arange(hi - lo), idx]
+    return assign, dist
+
+
+def assign_charge(n: int, batch: int, n_centroids: int) -> KernelCharge:
+    """Cost-model charge for one :func:`assign_cached_centroids` launch."""
+    return KernelCharge(
+        name="assign_cached_centroids",
+        flops=float(n) * batch * n_centroids,
+        bytes_read=float(n) * (batch + n_centroids) * 4,
+        bytes_written=float(batch) * 16,
+    )
 
 
 def charge_for(strategy: str, work: int, n_out: int, batch: int, name: str) -> KernelCharge:

@@ -11,8 +11,14 @@ This package keeps one engine warm and feeds it well-packed blocks:
   max-batch / max-wait flushing and per-request result splitting;
 * :class:`~repro.serve.server.InferenceServer` — the synchronous serving
   loop with graceful overflow rejection;
-* :func:`~repro.serve.bench.bench_serve` — the cold-vs-warm throughput
-  benchmark behind ``python -m repro bench-serve``.
+* :func:`~repro.serve.bench.bench_serve` — the tiered cold-vs-warm
+  throughput benchmark behind ``python -m repro bench-serve``, including the
+  centroid-reuse A/B pass.
+
+A session constructed with ``centroid_reuse=True`` additionally carries a
+:class:`~repro.core.reuse.CentroidCache`, so consecutive same-mix blocks
+skip sample pruning and the centroid feed-forward entirely (assign-only
+conversion) until the staleness policy detects drift.
 
 The whole stack is instrumented through :mod:`repro.obs`: the session owns a
 :class:`~repro.obs.MetricsRegistry` (queue/batch/pool/memo/strategy series)
@@ -22,7 +28,7 @@ underneath.
 """
 
 from repro.serve.batcher import MicroBatcher, Ticket
-from repro.serve.bench import bench_serve
+from repro.serve.bench import DEFAULT_TIERS, STREAM_MODES, bench_serve, load_bench_records
 from repro.serve.server import InferenceServer, ServeReport
 from repro.serve.session import EngineSession
 
@@ -33,4 +39,7 @@ __all__ = [
     "InferenceServer",
     "ServeReport",
     "bench_serve",
+    "load_bench_records",
+    "DEFAULT_TIERS",
+    "STREAM_MODES",
 ]

@@ -106,6 +106,9 @@ class MicroBatcher:
             "batched_columns": 0,
             "wait_flushes": 0,
         }
+        #: per-block centroid-reuse outcomes ('hit' / 'cold' / 'stale'),
+        #: populated only when the session's engine carries a CentroidCache
+        self.reuse_outcomes: dict[str, int] = {}
         # serving telemetry rides on the session's registry/tracer so one
         # scrape (or one trace file) covers queue, blocks, and kernels
         self.tracer = session.tracer
@@ -215,8 +218,18 @@ class MicroBatcher:
             pack_span.set(requests=len(take), columns=cols)
         with tracer.span(
             "batch.execute", cat="serve", reason=reason, requests=len(take), columns=cols
-        ):
+        ) as exec_span:
             result = self.session.run(block)
+            reuse_info = result.stats.get("centroid_reuse") if result.stats else None
+            if reuse_info is not None:
+                outcome = "hit" if reuse_info.get("hit") else reuse_info.get("reason", "miss")
+                self.reuse_outcomes[outcome] = self.reuse_outcomes.get(outcome, 0) + 1
+                self._metrics.counter(
+                    "serve_reuse_blocks_total",
+                    help="blocks served by centroid-reuse outcome",
+                    outcome=outcome,
+                ).inc()
+                exec_span.set(centroid_reuse=outcome)
         with tracer.span("batch.resolve", cat="serve", requests=len(take)):
             now = self.clock()
             lo = 0
@@ -259,10 +272,13 @@ class MicroBatcher:
             if batches
             else 0.0
         )
-        return {
+        out = {
             **self.counters,
             "pending_requests": self.pending_requests,
             "pending_columns": self.pending_columns,
             "max_batch": self.max_batch,
             "mean_fill": mean_fill,
         }
+        if self.reuse_outcomes:
+            out["reuse_blocks"] = dict(self.reuse_outcomes)
+        return out

@@ -6,16 +6,27 @@ stack this package adds: one :class:`~repro.serve.session.EngineSession`
 behind an :class:`~repro.serve.server.InferenceServer`, requests packed into
 SNICIT-sized blocks.  Results land in ``BENCH_serve.json`` so successive
 PRs accumulate a machine-readable perf trajectory.
+
+The bench runs a *tier list* (schema 2): two SDGC depths plus a trained
+medium-scale DNN, each measured independently so a perf change that only
+helps shallow nets cannot hide a regression on deep ones.  With
+``centroid_reuse=True`` every tier additionally runs an A/B pass — the same
+request stream through a second warm session with the
+:class:`~repro.core.reuse.CentroidCache` enabled — and records cache
+counters, per-block outcomes, and whether the reuse outputs match the
+reuse-off outputs bitwise.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import time
 from pathlib import Path
 
 import numpy as np
 
+from repro.errors import ConfigError
 from repro.harness.experiments.common import sdgc_config
 from repro.harness.runner import run_engine
 from repro.harness.workloads import get_benchmark, get_input
@@ -23,9 +34,31 @@ from repro.obs import Tracer
 from repro.serve.server import InferenceServer
 from repro.serve.session import EngineSession
 
-__all__ = ["bench_serve", "DEFAULT_BENCH_PATH"]
+__all__ = [
+    "bench_serve",
+    "load_bench_records",
+    "BENCH_SCHEMA",
+    "DEFAULT_BENCH_PATH",
+    "DEFAULT_TIERS",
+    "STREAM_MODES",
+]
 
 DEFAULT_BENCH_PATH = "BENCH_serve.json"
+
+#: current on-disk layout of ``BENCH_serve.json``
+BENCH_SCHEMA = 2
+
+#: tier name -> SDGC benchmark, or the sentinel ``"medium:<id>"``
+DEFAULT_TIERS = ("sdgc-shallow", "sdgc-deep", "medium-A")
+
+_TIER_SOURCES = {
+    "sdgc-shallow": "144-24",
+    "sdgc-deep": "144-48",
+    "medium-A": "medium:A",
+}
+
+#: request-stream shapes the bench can synthesize
+STREAM_MODES = ("mix", "repeat", "drift")
 
 
 def _split_requests(y0: np.ndarray, request_cols: int) -> list[np.ndarray]:
@@ -35,67 +68,116 @@ def _split_requests(y0: np.ndarray, request_cols: int) -> list[np.ndarray]:
     ]
 
 
-def bench_serve(
-    benchmark: str = "144-24",
-    requests: int = 48,
-    request_cols: int = 4,
-    max_batch: int = 64,
-    threshold: int | None = None,
-    seed: int = 1,
-    out: str | Path | None = DEFAULT_BENCH_PATH,
-    trace: str | Path | None = None,
-) -> dict:
-    """Measure request throughput: cold per-request engines vs warm serving.
+def _shape_stream(y0: np.ndarray, stream: str, max_batch: int) -> np.ndarray:
+    """Reshape the base column pool into one of the named traffic patterns.
 
-    Returns the result dict and, unless ``out`` is None, writes it as JSON.
-    Both paths run the same requests on the same network; weight views are
-    pre-built before timing either path so the comparison isolates
-    steady-state serving cost (engine construction + packing), not the
-    one-time view build both paths share through the network cache.
-
-    The warm session's metrics snapshot is embedded under ``"metrics"`` so
-    ``BENCH_serve.json`` carries queue/batch/pool/strategy telemetry next to
-    the throughput numbers.  ``trace`` additionally writes a Chrome trace of
-    the warm serving run (note: span recording adds overhead to the warm
-    numbers; leave it off when comparing throughput across PRs).
+    ``mix``
+        The pool as-is: every column distinct, one stable traffic mix.
+    ``repeat``
+        The first ``max_batch`` columns tiled across the whole stream, so
+        every packed block is identical — the best case for centroid reuse
+        and the configuration under which reuse must be *bitwise* lossless.
+    ``drift``
+        First half the base mix, second half the same columns with their
+        amplitude doubled — a deliberate input-distribution shift that must
+        trip the staleness policy and force a full re-conversion.
     """
-    net = get_benchmark(benchmark)
-    overrides = {} if threshold is None else {"threshold_layer": threshold}
-    cfg = sdgc_config(net.num_layers, **overrides)
-    stream = _split_requests(get_input(benchmark, requests * request_cols, seed), request_cols)
+    if stream == "mix":
+        return y0
+    if stream == "repeat":
+        block = y0[:, :max_batch]
+        reps = -(-y0.shape[1] // block.shape[1])  # ceil
+        return np.tile(block, reps)[:, : y0.shape[1]]
+    if stream == "drift":
+        half = y0.shape[1] // 2
+        drifted = y0.copy()
+        drifted[:, half:] = y0[:, half:] * 2.0
+        return drifted
+    raise ConfigError(f"unknown stream mode {stream!r}; known: {STREAM_MODES}")
 
-    # one warm session serves; its warmup also pre-builds the shared views
-    # the cold path will hit through the network cache
-    tracer = Tracer() if trace is not None else None
-    session = EngineSession(net, cfg, tracer=tracer)
+
+def _tier_workload(tier: str, total_cols: int, seed: int):
+    """Resolve one tier to ``(net, cfg, base column pool)``."""
+    source = _TIER_SOURCES.get(tier, tier)
+    if source.startswith("medium:"):
+        from repro.harness.experiments.table4 import medium_config
+        from repro.harness.medium import get_trained
+
+        tm = get_trained(source.split(":", 1)[1])
+        images = tm.test.images
+        reps = -(-total_cols // images.shape[0])
+        if reps > 1:
+            images = np.concatenate([images] * reps)
+        y0 = tm.stack.head(images[:total_cols])
+        return tm.stack.network, medium_config(tm.spec.sparse_layers), y0
+    net = get_benchmark(source)
+    return net, sdgc_config(net.num_layers), np.asarray(get_input(source, total_cols, seed))
+
+
+def _warm_pass(
+    net, cfg, stream, max_batch, tracer=None, centroid_reuse=False, reuse_tolerance=0.5
+):
+    """One full serve of ``stream`` through a fresh warm session."""
+    session = EngineSession(
+        net, cfg, tracer=tracer,
+        centroid_reuse=centroid_reuse, reuse_tolerance=reuse_tolerance,
+    )
     server = InferenceServer(
         session, max_batch=max_batch, max_wait_s=60.0, queue_limit=len(stream)
     )
+    report = server.serve(iter(stream))
+    return session, server, report
+
+
+def _run_tier(
+    tier: str,
+    benchmark_source: str,
+    requests: int,
+    request_cols: int,
+    max_batch: int,
+    threshold: int | None,
+    seed: int,
+    stream_mode: str,
+    centroid_reuse: bool,
+    reuse_tolerance: float,
+    tracer: Tracer | None,
+) -> dict:
+    """Measure one tier: cold pass, warm pass, and the optional reuse A/B."""
+    total_cols = requests * request_cols
+    net, cfg, pool = _tier_workload(benchmark_source, total_cols, seed)
+    if threshold is not None:
+        cfg = dataclasses.replace(cfg, threshold_layer=threshold)
+    pool = _shape_stream(pool, stream_mode, max_batch)
+    stream = _split_requests(pool, request_cols)
+
+    # the warm session's warmup also pre-builds the shared weight views the
+    # cold path will then hit through the network cache, so the comparison
+    # isolates steady-state serving cost (engine construction + packing)
+    session, server, report = _warm_pass(net, cfg, stream, max_batch, tracer=tracer)
 
     t0 = time.perf_counter()
-    cold_runs = [
-        run_engine("snicit", net, y0, snicit_config=cfg) for y0 in stream
-    ]
+    cold_runs = [run_engine("snicit", net, y0, snicit_config=cfg) for y0 in stream]
     cold_seconds = time.perf_counter() - t0
-
-    report = server.serve(iter(stream))
 
     cold_cats = np.concatenate([run.result.categories for run in cold_runs])
     warm_cats = np.concatenate([t.categories for t in report.served])
-    total_cols = sum(y0.shape[1] for y0 in stream)
 
-    result = {
-        "benchmark": benchmark,
+    record = {
+        "tier": tier,
+        "benchmark": net.name,
         "paper_name": net.meta.get("paper_name"),
         "requests": len(stream),
         "request_cols": request_cols,
-        "total_columns": total_cols,
+        "total_columns": sum(y0.shape[1] for y0 in stream),
         "max_batch": max_batch,
-        "threshold_layer": cfg.threshold_layer,
+        "threshold_layer": cfg.for_network(net.num_layers).threshold_layer,
+        "stream": stream_mode,
         "cold": {
             "seconds": cold_seconds,
             "requests_per_second": len(stream) / cold_seconds if cold_seconds else 0.0,
-            "columns_per_second": total_cols / cold_seconds if cold_seconds else 0.0,
+            "columns_per_second": (
+                sum(y0.shape[1] for y0 in stream) / cold_seconds if cold_seconds else 0.0
+            ),
         },
         "warm": {
             "seconds": report.wall_seconds,
@@ -115,6 +197,112 @@ def bench_serve(
             cold_seconds / report.wall_seconds if report.wall_seconds > 0 else float("inf")
         ),
         "categories_match": bool((cold_cats == warm_cats).all()),
+    }
+
+    if centroid_reuse:
+        r_session, r_server, r_report = _warm_pass(
+            net, cfg, stream, max_batch,
+            centroid_reuse=True, reuse_tolerance=reuse_tolerance,
+        )
+        off_y = np.hstack([t.y for t in report.served])
+        on_y = np.hstack([t.y for t in r_report.served])
+        on_cats = np.concatenate([t.categories for t in r_report.served])
+        record["reuse"] = {
+            "tolerance": reuse_tolerance,
+            "warm": {
+                "seconds": r_report.wall_seconds,
+                "requests_per_second": r_report.requests_per_second,
+                "columns_per_second": r_report.columns_per_second,
+                "latency_seconds": r_report.latency_quantiles(),
+            },
+            "cache": r_session.reuse.stats(),
+            "reuse_blocks": dict(r_server.batcher.reuse_outcomes),
+            "outputs_identical": bool(np.array_equal(on_y, off_y)),
+            "categories_match": bool((on_cats == warm_cats).all()),
+            "speedup_vs_warm": (
+                report.wall_seconds / r_report.wall_seconds
+                if r_report.wall_seconds > 0
+                else float("inf")
+            ),
+            "metrics": r_session.metrics.snapshot(),
+        }
+    return record
+
+
+def load_bench_records(data) -> list[dict]:
+    """Per-tier records from a loaded ``BENCH_serve.json`` object.
+
+    Accepts both the current schema-2 layout (``{"schema": 2, "tiers":
+    [...]}``) and the legacy single-benchmark dict from before the tier
+    split, which is wrapped as a one-record list (its ``tier`` defaults to
+    its benchmark name).
+    """
+    if not isinstance(data, dict):
+        raise ConfigError(f"expected a BENCH_serve dict, got {type(data).__name__}")
+    if "tiers" in data:
+        return list(data["tiers"])
+    if "benchmark" in data:  # legacy pre-schema shape
+        legacy = dict(data)
+        legacy.setdefault("tier", legacy["benchmark"])
+        return [legacy]
+    raise ConfigError("unrecognized BENCH_serve layout (no 'tiers' or 'benchmark' key)")
+
+
+def bench_serve(
+    benchmark: str | None = None,
+    requests: int = 48,
+    request_cols: int = 4,
+    max_batch: int = 64,
+    threshold: int | None = None,
+    seed: int = 1,
+    out: str | Path | None = DEFAULT_BENCH_PATH,
+    trace: str | Path | None = None,
+    tiers: tuple[str, ...] | None = None,
+    stream: str = "mix",
+    centroid_reuse: bool = False,
+    reuse_tolerance: float = 0.5,
+) -> dict:
+    """Measure request throughput: cold per-request engines vs warm serving.
+
+    Runs every tier in ``tiers`` (default :data:`DEFAULT_TIERS`); passing
+    ``benchmark`` instead runs that single SDGC benchmark as an ad-hoc tier.
+    Returns the schema-2 result dict and, unless ``out`` is None, writes it
+    as JSON.
+
+    ``stream`` picks the request-stream shape (see :func:`_shape_stream`);
+    ``centroid_reuse`` adds the A/B pass — the same stream served again with
+    the centroid cache on — whose record lands under each tier's ``"reuse"``
+    key.  ``trace`` writes a Chrome trace of the first tier's warm serving
+    run (note: span recording adds overhead to that tier's warm numbers;
+    leave it off when comparing throughput across PRs).
+    """
+    if tiers is None:
+        tiers = (benchmark,) if benchmark is not None else DEFAULT_TIERS
+    elif benchmark is not None:
+        raise ConfigError("pass either benchmark or tiers, not both")
+    tracer = Tracer() if trace is not None else None
+    records = []
+    for index, tier in enumerate(tiers):
+        records.append(
+            _run_tier(
+                tier=tier,
+                benchmark_source=tier,
+                requests=requests,
+                request_cols=request_cols,
+                max_batch=max_batch,
+                threshold=threshold,
+                seed=seed,
+                stream_mode=stream,
+                centroid_reuse=centroid_reuse,
+                reuse_tolerance=reuse_tolerance,
+                tracer=tracer if index == 0 else None,
+            )
+        )
+    result = {
+        "schema": BENCH_SCHEMA,
+        "stream": stream,
+        "centroid_reuse": centroid_reuse,
+        "tiers": records,
     }
     if trace is not None and tracer is not None:
         tracer.write_chrome(trace)

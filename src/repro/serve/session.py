@@ -18,6 +18,7 @@ import time
 import numpy as np
 
 from repro.core.config import SNICITConfig
+from repro.core.reuse import CentroidCache
 from repro.gpu.device import VirtualDevice
 from repro.gpu.memory import BufferPool
 from repro.harness.runner import make_engine
@@ -59,6 +60,17 @@ class EngineSession:
         session's lifetime counters (calls, columns, busy/warmup seconds,
         per-stage seconds) live on the registry; ``self.calls`` etc. read
         through to it.
+    centroid_reuse:
+        Carry layer-``t`` centroids across consecutive blocks through a
+        :class:`~repro.core.reuse.CentroidCache` (SNICIT engines only):
+        same-mix blocks then convert assign-only, skipping sample pruning
+        and the centroid feed-forward.  Off by default — reuse changes
+        numerics whenever residue pruning is on, so it is an explicit
+        serving-policy decision.
+    reuse_tolerance:
+        Staleness budget forwarded to the cache: a reused block is admitted
+        while its assignment distance / residue density stay within
+        ``baseline * (1 + tolerance)``.
     """
 
     def __init__(
@@ -71,6 +83,8 @@ class EngineSession:
         memo_buckets: int = 16,
         tracer=None,
         metrics: MetricsRegistry | None = None,
+        centroid_reuse: bool = False,
+        reuse_tolerance: float = 0.5,
     ):
         self.network = network
         self.kind = kind
@@ -79,6 +93,11 @@ class EngineSession:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.memo = StrategyMemo(memo_buckets).bind_metrics(self.metrics)
         self.scratch = BufferPool().bind_metrics(self.metrics)
+        self.reuse = (
+            CentroidCache(tolerance=reuse_tolerance).bind_metrics(self.metrics)
+            if centroid_reuse and kind == "snicit"
+            else None
+        )
         self.engine = make_engine(
             kind,
             network,
@@ -87,6 +106,7 @@ class EngineSession:
             scratch=self.scratch,
             tracer=self.tracer,
             metrics=self.metrics,
+            reuse=self.reuse,
         )
         self._c_calls = self.metrics.counter(
             "session_calls_total", help="inference calls served by this session"
@@ -166,7 +186,7 @@ class EngineSession:
     # ------------------------------------------------------------- metrics
     def stats(self) -> dict:
         """Lifetime counters: call/column throughput and per-stage seconds."""
-        return {
+        out = {
             "engine": self.kind,
             "network": self.network.name,
             "calls": self.calls,
@@ -180,6 +200,9 @@ class EngineSession:
             "memo": self.memo.stats(),
             "scratch": self.scratch.stats(),
         }
+        if self.reuse is not None:
+            out["centroid_cache"] = self.reuse.stats()
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

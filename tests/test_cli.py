@@ -58,6 +58,31 @@ def test_bench_serve(tmp_path, capsys):
     assert out_file.exists()
 
 
+def test_serve_centroid_reuse_flag(capsys):
+    assert main(["serve", "144-24", "--requests", "16", "--request-cols", "4",
+                 "--max-batch", "16", "--centroid-reuse"]) == 0
+    out = capsys.readouterr().out
+    assert "reuse" in out
+
+
+def test_bench_serve_reuse_ab(tmp_path, capsys):
+    out_file = tmp_path / "BENCH_serve.json"
+    assert main(["bench-serve", "144-24", "--requests", "8", "--request-cols", "2",
+                 "--max-batch", "8", "--stream", "repeat", "--centroid-reuse",
+                 "--reuse-tolerance", "0", "--out", str(out_file)]) == 0
+    out = capsys.readouterr().out
+    assert "reuse on" in out
+    assert "identical=True" in out
+
+
+def test_bench_serve_rejects_benchmark_plus_tiers(tmp_path):
+    from repro.errors import ConfigError
+
+    with pytest.raises(ConfigError):
+        main(["bench-serve", "144-24", "--tiers", "sdgc-deep",
+              "--out", str(tmp_path / "b.json")])
+
+
 def test_unknown_experiment_rejected():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["experiment", "table99"])

@@ -95,6 +95,61 @@ def test_select_centroids_sorted():
     assert list(select_centroids(np.array([5, -1, 2, -1, 0]))) == [0, 2, 5]
 
 
+# ------------------------------------------------------- edge cases (Alg. 1)
+def test_single_sample_column(device):
+    """s=1: the lone column is its own base and must survive."""
+    f = np.array([[3.0], [1.0]])
+    assert list(prune_samples(f, eta=0.1, eps=0.5)) == [0]
+    assert list(select_centroids(prune_samples(f, eta=0.1, eps=0.5))) == [0]
+    assert list(prune_samples_kernel(device, f, eta=0.1, eps=0.5)) == [0]
+
+
+def test_all_duplicate_columns_single_survivor(device):
+    """Every column identical: exactly one survivor (the first), rest merged."""
+    f = np.tile(np.array([[1.0], [2.0], [3.0]]), (1, 7))
+    col_idx = prune_samples(f, eta=0.01, eps=0.5)
+    assert list(col_idx) == [0] + [-1] * 6
+    assert list(select_centroids(col_idx)) == [0]
+    assert np.array_equal(prune_samples_kernel(device, f, eta=0.01, eps=0.5), col_idx)
+
+
+def test_huge_eta_merges_everything(device):
+    """eta above the data range: no element ever counts as dissimilar, so
+    the first base absorbs every column (prune-all-to-one)."""
+    rng = np.random.default_rng(0)
+    f = rng.random((5, 8))
+    col_idx = prune_samples(f, eta=1e9, eps=0.2)
+    assert list(col_idx) == [0] + [-1] * 7
+    assert np.array_equal(prune_samples_kernel(device, f, eta=1e9, eps=0.2), col_idx)
+
+
+def test_zero_eps_keeps_all(device):
+    """eps=0: the prune condition diff < n*eps can never hold — even exact
+    duplicates survive (keep-all)."""
+    f = np.tile(np.array([[1.0], [2.0]]), (1, 5))
+    col_idx = prune_samples(f, eta=0.5, eps=0.0)
+    assert list(col_idx) == [0, 1, 2, 3, 4]
+    assert np.array_equal(prune_samples_kernel(device, f, eta=0.5, eps=0.0), col_idx)
+
+
+def test_centroid_mapper_consistent_with_pruning(rng):
+    """End-to-end Alg. 1 -> Alg. 2 invariants on the centroid mapper M:
+    centroids map to -1 exactly at their own columns, every non-centroid
+    maps to a surviving centroid, and centroid + residue reconstructs Y."""
+    from repro.core.conversion import convert
+
+    y = np.round(rng.random((12, 10)) * 2, 1).astype(np.float32)
+    col_idx = prune_samples(y, eta=0.4, eps=0.3)
+    cent_cols = select_centroids(col_idx)
+    yhat, m, ne_rec = convert(y, cent_cols, prune_threshold=0.0)
+    assert set(np.flatnonzero(m == -1)) == set(cent_cols.tolist())
+    non_cent = m != -1
+    assert np.isin(m[non_cent], cent_cols).all()
+    recon = np.where(non_cent[None, :], yhat + y[:, np.where(m == -1, 0, m)], yhat)
+    assert np.array_equal(recon[:, non_cent], y[:, non_cent])
+    assert np.array_equal(yhat[:, ~non_cent], y[:, ~non_cent])
+
+
 @settings(max_examples=20, deadline=None)
 @given(seed=st.integers(0, 5000), s=st.integers(1, 10), n=st.integers(1, 6))
 def test_kernel_vectorized_equivalence_property(seed, s, n):

@@ -270,9 +270,10 @@ def test_bench_serve_embeds_metrics_snapshot(tmp_path):
         out=out, trace=trace,
     )
     on_disk = json.loads(out.read_text())
-    assert on_disk["metrics"]["serve_requests_total"] == 6.0
-    assert on_disk["metrics"]["session_calls_total"] > 0
-    assert on_disk["warm"]["last_block"]["stats"]["n_centroids"] >= 1
+    rec = on_disk["tiers"][0]
+    assert rec["metrics"]["serve_requests_total"] == 6.0
+    assert rec["metrics"]["session_calls_total"] > 0
+    assert rec["warm"]["last_block"]["stats"]["n_centroids"] >= 1
     assert on_disk["trace"] == str(trace)
     assert trace.exists()
-    assert result["speedup"] > 0
+    assert result["tiers"][0]["speedup"] > 0

@@ -1,0 +1,242 @@
+"""Cross-block centroid reuse: cache policy, assign kernel, pipeline paths."""
+
+import numpy as np
+import pytest
+
+from repro.core import CentroidCache, SNICIT
+from repro.core.postconv import update_residues_external
+from repro.core.reuse import CachedConversion
+from repro.errors import ConfigError, ShapeError
+from repro.harness.experiments.common import sdgc_config
+from repro.harness.workloads import get_benchmark, get_input
+from repro.kernels import assign_cached_centroids
+from repro.obs import MetricsRegistry
+
+
+@pytest.fixture(scope="module")
+def workload():
+    net = get_benchmark("144-24")
+    cfg = sdgc_config(net.num_layers)
+    y0 = np.asarray(get_input("144-24", 64, seed=1))
+    return net, cfg, y0
+
+
+def fresh_block(width=64, seed=2):
+    return np.asarray(get_input("144-24", width, seed=seed))
+
+
+# ----------------------------------------------------------- CentroidCache
+def test_cache_validates_config():
+    with pytest.raises(ConfigError):
+        CentroidCache(tolerance=-0.1)
+    with pytest.raises(ConfigError):
+        CentroidCache(max_centroids=0)
+
+
+def entry_kwargs(n=4, c=2):
+    """fill() keyword arguments for a toy (n, c) conversion."""
+    return dict(
+        cent_y=np.ones((n, c), dtype=np.float32),
+        z_cent=[np.ones((n, c), dtype=np.float32)],
+        cent_final=np.ones((n, c), dtype=np.float32),
+        baseline_distance=0.1,
+        baseline_density=0.1,
+    )
+
+
+def test_cache_fill_lookup_roundtrip():
+    cache = CentroidCache()
+    assert cache.lookup(3, 4) is None  # cold: counts a miss
+    assert cache.fill(3, **entry_kwargs())
+    entry = cache.lookup(3, 4)
+    assert isinstance(entry, CachedConversion)
+    assert entry.n_centroids == 2
+    stats = cache.stats()
+    assert stats == {
+        "entries": 1, "hits": 0, "misses": 1, "fills": 1, "skipped_fills": 0,
+        "invalidations": {}, "tolerance": 0.5,
+        "last_distance": None, "last_density": None,
+    }
+
+
+def test_cache_rejects_oversized_conversions():
+    cache = CentroidCache(max_centroids=1)
+    assert not cache.fill(3, **entry_kwargs(c=2))
+    assert cache.stats()["skipped_fills"] == 1
+    assert len(cache) == 0
+
+
+def test_cache_shape_mismatch_invalidates():
+    cache = CentroidCache()
+    cache.fill(3, **entry_kwargs(n=4))
+    assert cache.lookup(3, n_rows=5) is None  # width changed underneath
+    assert cache.stats()["invalidations"] == {"shape": 1}
+
+
+def test_admit_policy_tolerance_budget():
+    cache = CentroidCache(tolerance=0.5)
+    kw = entry_kwargs()
+    cache.fill(3, **kw)
+    entry = cache.lookup(3, 4)
+    assert cache.admit(entry, distance=0.14, density=0.1)  # within 0.1 * 1.5
+    assert entry.served_blocks == 1
+    assert not cache.admit(entry, distance=0.16, density=0.1)  # distance drift
+    assert cache.stats()["invalidations"] == {"distance": 1}
+    cache.fill(3, **kw)
+    entry = cache.lookup(3, 4)
+    assert not cache.admit(entry, distance=0.1, density=0.2)  # density drift
+    assert cache.stats()["invalidations"] == {"distance": 1, "density": 1}
+    assert cache.stats()["last_density"] == 0.2
+
+
+def test_admit_zero_tolerance_accepts_baseline_exactly():
+    cache = CentroidCache(tolerance=0.0)
+    cache.fill(3, **entry_kwargs())
+    entry = cache.lookup(3, 4)
+    assert cache.admit(entry, distance=0.1, density=0.1)  # == baseline: admitted
+
+
+def test_cache_metrics_binding():
+    registry = MetricsRegistry()
+    cache = CentroidCache().bind_metrics(registry)
+    cache.lookup(3, 4)
+    cache.fill(3, **entry_kwargs())
+    cache.admit(cache.lookup(3, 4), 0.1, 0.1)
+    cache.invalidate(3, reason="manual")
+    snap = registry.snapshot()
+    assert snap["centroid_cache_hits_total"] == 1
+    assert snap["centroid_cache_misses_total"] == 1
+    assert snap["centroid_cache_fills_total"] == 1
+    assert snap['centroid_cache_invalidations_total{reason="manual"}'] == 1
+    assert snap["centroid_cache_entries"] == 0  # scraped after the invalidation
+    assert snap["centroid_reuse_assignment_distance"] == 0.1
+    assert snap["centroid_reuse_residue_density"] == 0.1
+
+
+# -------------------------------------------------- assign_cached_centroids
+def test_assign_matches_bruteforce(rng):
+    y = np.round(rng.random((20, 17)) * 2, 1).astype(np.float32)
+    cents = np.round(rng.random((20, 5)) * 2, 1).astype(np.float32)
+    assign, dist = assign_cached_centroids(y, cents, chunk=4)
+    for j in range(y.shape[1]):
+        d = (y[:, j, None] != cents).sum(axis=0)
+        assert dist[j] == d.min()
+        assert assign[j] == d.argmin()  # argmin ties -> lowest index
+
+
+def test_assign_ties_resolve_to_lowest_index():
+    y = np.zeros((4, 3), dtype=np.float32)
+    cents = np.zeros((4, 2), dtype=np.float32)  # both centroids equidistant
+    assign, dist = assign_cached_centroids(y, cents)
+    assert list(assign) == [0, 0, 0]
+    assert list(dist) == [0, 0, 0]
+
+
+def test_assign_validates_shapes():
+    with pytest.raises(ShapeError):
+        assign_cached_centroids(np.zeros(4), np.zeros((4, 1)))
+    with pytest.raises(ShapeError):
+        assign_cached_centroids(np.zeros((4, 2)), np.zeros((5, 1)))
+    with pytest.raises(ConfigError):
+        assign_cached_centroids(np.zeros((4, 2)), np.zeros((4, 0)))
+
+
+# ------------------------------------------------ update_residues_external
+def test_update_residues_external_matches_algebra(rng):
+    n, b = 6, 5
+    z_sub = rng.standard_normal((n, b)).astype(np.float32)
+    z_cent = rng.standard_normal((n, b)).astype(np.float32)
+    bias = rng.standard_normal(n).astype(np.float32)
+    ymax = 0.9
+    out, ne = update_residues_external(z_sub, z_cent, bias, ymax)
+    zc = z_cent + bias[:, None]
+    expected = np.clip(zc + z_sub, 0, ymax) - np.clip(zc, 0, ymax)
+    assert np.allclose(out, expected)
+    assert np.array_equal(ne, (out != 0).any(axis=0))
+
+
+def test_update_residues_external_does_not_mutate_cached_trajectory(rng):
+    z_sub = rng.standard_normal((4, 3)).astype(np.float32)
+    z_cent = rng.standard_normal((4, 3)).astype(np.float32)
+    before = z_cent.copy()
+    update_residues_external(z_sub, z_cent, 0.5, 1.0, prune_threshold=0.1)
+    assert np.array_equal(z_cent, before)
+
+
+def test_update_residues_external_validates_shapes():
+    with pytest.raises(ShapeError):
+        update_residues_external(np.zeros((3, 2)), np.zeros((4, 2)), 0.0, 1.0)
+
+
+# ------------------------------------------------------- pipeline-level reuse
+def test_repeated_block_hits_and_is_bitwise_identical(workload):
+    net, cfg, y0 = workload
+    cache = CentroidCache(tolerance=0.0)
+    engine = SNICIT(net, cfg, reuse=cache)
+    reference = SNICIT(net, cfg).infer(y0)
+    first = engine.infer(y0)   # fill
+    second = engine.infer(y0)  # assign-only hit
+    assert first.stats["centroid_reuse"] == {"enabled": True, "hit": False, "reason": "cold"}
+    assert second.stats["centroid_reuse"]["hit"] is True
+    assert np.array_equal(first.y, reference.y)
+    assert np.array_equal(second.y, reference.y)
+    assert cache.stats()["hits"] == 1 and cache.stats()["fills"] == 1
+    # hit blocks carry no in-block centroids: they all live in the cache
+    assert second.stats["n_centroids"] == cache.lookup(
+        cfg.for_network(net.num_layers).threshold_layer, net.input_dim
+    ).n_centroids
+    assert second.stats["centroid_cols"].size == 0
+
+
+def test_same_mix_block_hits_with_matching_categories(workload):
+    from repro.inference import sdgc_categories
+
+    net, cfg, y0 = workload
+    other = fresh_block(seed=2)
+    engine = SNICIT(net, cfg, reuse=CentroidCache(tolerance=0.5))
+    engine.infer(y0)
+    hit = engine.infer(other)
+    assert hit.stats["centroid_reuse"]["hit"] is True
+    reference = SNICIT(net, cfg).infer(other)
+    assert np.array_equal(sdgc_categories(hit.y), sdgc_categories(reference.y))
+
+
+def test_reuse_is_lossless_without_pruning(workload):
+    net, _, y0 = workload
+    cfg = sdgc_config(net.num_layers, prune_threshold=0.0)
+    other = fresh_block(seed=3)
+    engine = SNICIT(net, cfg, reuse=CentroidCache(tolerance=1e9))
+    engine.infer(y0)
+    hit = engine.infer(other)
+    assert hit.stats["centroid_reuse"]["hit"] is True
+    reference = SNICIT(net, cfg).infer(other)
+    np.testing.assert_allclose(hit.y, reference.y, rtol=0, atol=1e-4)
+
+
+def test_drift_invalidates_and_falls_back(workload):
+    net, cfg, y0 = workload
+    drifted = (y0 * 2.0).astype(np.float32)  # amplitude shift
+    cache = CentroidCache(tolerance=0.5)
+    engine = SNICIT(net, cfg, reuse=cache)
+    engine.infer(y0)
+    result = engine.infer(drifted)
+    info = result.stats["centroid_reuse"]
+    assert info["hit"] is False and info["reason"] == "stale"
+    assert cache.stats()["invalidations"] == {"distance": 1}
+    # the fall-back full conversion is exactly the reuse-off path
+    reference = SNICIT(net, cfg).infer(drifted)
+    assert np.array_equal(result.y, reference.y)
+    # and it refilled the cache with the drifted mix
+    assert cache.stats()["fills"] == 2
+    assert engine.infer(drifted).stats["centroid_reuse"]["hit"] is True
+
+
+def test_oversized_conversion_not_captured(workload):
+    net, cfg, y0 = workload
+    cache = CentroidCache(max_centroids=1)
+    engine = SNICIT(net, cfg, reuse=cache)
+    engine.infer(y0)
+    assert len(cache) == 0  # conversion had more centroids than the cap
+    assert engine.infer(y0).stats["centroid_reuse"] == {
+        "enabled": True, "hit": False, "reason": "cold"
+    }
