@@ -9,6 +9,7 @@ Usage::
     python -m repro experiment table3 --scale 0.5
     python -m repro generate 256-24 out_dir/     # write SDGC .tsv layers
     python -m repro serve 144-24 --requests 128  # micro-batched serving demo
+    python -m repro serve 144-24 --async-transport --arrival-rate 500
     python -m repro bench-serve                  # tiered cold vs warm throughput
     python -m repro bench-serve 144-24 --centroid-reuse --stream repeat
 
@@ -140,8 +141,8 @@ def _cmd_generate(args) -> int:
 def _cmd_serve(args) -> int:
     from repro.harness.experiments.common import sdgc_config
     from repro.harness.workloads import get_benchmark, get_input
-    from repro.serve import EngineSession, InferenceServer
-    from repro.serve.bench import _split_requests
+    from repro.serve import AsyncInferenceServer, EngineSession, InferenceServer
+    from repro.serve.bench import _split_requests, poisson_interarrivals
 
     net = get_benchmark(args.benchmark)
     overrides = {} if args.threshold is None else {"threshold_layer": args.threshold}
@@ -150,27 +151,47 @@ def _cmd_serve(args) -> int:
         get_input(args.benchmark, args.requests * args.request_cols, args.seed),
         args.request_cols,
     )
+    interarrivals = None
+    if args.arrival_rate is not None:
+        interarrivals = poisson_interarrivals(len(stream), args.arrival_rate, args.seed)
     tracer, registry = _make_obs(args)
     session = EngineSession(
         net, cfg, tracer=tracer, metrics=registry,
         centroid_reuse=args.centroid_reuse, reuse_tolerance=args.reuse_tolerance,
     )
-    server = InferenceServer(
-        session,
-        max_batch=args.max_batch,
-        max_wait_s=args.max_wait_ms / 1e3,
-        queue_limit=args.queue_limit,
-    )
-    report = server.serve(iter(stream))
+    if args.async_transport:
+        server = AsyncInferenceServer(
+            session,
+            max_batch=args.max_batch,
+            max_wait_s=args.max_wait_ms / 1e3,
+            queue_limit=args.queue_limit,
+            on_full=args.on_full,
+        )
+    else:
+        server = InferenceServer(
+            session,
+            max_batch=args.max_batch,
+            max_wait_s=args.max_wait_ms / 1e3,
+            queue_limit=args.queue_limit,
+        )
+    report = server.serve(iter(stream), interarrivals=interarrivals)
     summary = report.summary()
+    transport = "async" if args.async_transport else "sync"
     log.info(f"served {summary['served']}/{summary['requests']} requests "
-             f"({summary['rejected']} rejected) on {args.benchmark} "
+             f"({summary['rejected']} rejected, status={summary['status']}) "
+             f"on {args.benchmark} [{transport}] "
              f"in {summary['wall_seconds'] * 1e3:.1f} ms")
     log.info(f"  throughput   {summary['requests_per_second']:9.1f} req/s   "
              f"{summary['columns_per_second']:9.1f} col/s")
     lat = summary["latency_seconds"]
-    log.info(f"  latency      p50 {lat['p50'] * 1e3:7.2f} ms   "
-             f"p95 {lat['p95'] * 1e3:7.2f} ms   max {lat['p100'] * 1e3:7.2f} ms")
+    if lat is not None:
+        log.info(f"  latency      p50 {lat['p50'] * 1e3:7.2f} ms   "
+                 f"p95 {lat['p95'] * 1e3:7.2f} ms   max {lat['p100'] * 1e3:7.2f} ms")
+    if args.async_transport:
+        log.info(f"  overlap      {summary['overlap_fraction']:.0%} of wall time busy "
+                 f"({summary['exec_seconds'] * 1e3:.1f} ms executing, "
+                 f"{summary['arrival_seconds'] * 1e3:.1f} ms arrival gaps, "
+                 f"{summary['failed']} failed)")
     batcher = server.batcher.stats()
     log.info(f"  batching     {batcher['batches']} blocks, "
              f"mean fill {batcher['mean_fill']:.0%} of {batcher['max_batch']}")
@@ -209,6 +230,8 @@ def _cmd_bench_serve(args) -> int:
         stream=args.stream,
         centroid_reuse=args.centroid_reuse,
         reuse_tolerance=args.reuse_tolerance,
+        async_ab=not args.no_async_ab,
+        arrival_rate=args.arrival_rate,
     )
     for record in result["tiers"]:
         cold, warm = record["cold"], record["warm"]
@@ -219,6 +242,14 @@ def _cmd_bench_serve(args) -> int:
         log.info(f"  warm (session + batching) {warm['requests_per_second']:9.1f} req/s")
         log.info(f"  speedup {record['speedup']:.2f}x   "
                  f"categories_match={record['categories_match']}")
+        ab = record.get("async")
+        if ab is not None:
+            log.info(f"  open loop @ {ab['arrival_rate_rps']:.0f} req/s: "
+                     f"sync {ab['sync']['requests_per_second']:9.1f} req/s   "
+                     f"async {ab['async']['requests_per_second']:9.1f} req/s   "
+                     f"({ab['speedup_vs_sync']:.2f}x, overlap "
+                     f"{ab['async']['overlap_fraction']:.0%}, "
+                     f"identical={ab['outputs_identical']})")
         reuse = record.get("reuse")
         if reuse is not None:
             cache = reuse["cache"]
@@ -312,6 +343,21 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument("--queue-limit", type=_positive_int, default=1024)
     serve_p.add_argument("--threshold", type=int, default=None)
     serve_p.add_argument("--seed", type=int, default=1)
+    serve_p.add_argument(
+        "--async-transport", action="store_true",
+        help="serve through the threaded AsyncInferenceServer: arrivals "
+             "overlap block execution and max-wait flushes partial blocks",
+    )
+    serve_p.add_argument(
+        "--arrival-rate", type=float, default=None, metavar="RPS",
+        help="open-loop Poisson arrival rate in requests/second (seeded); "
+             "default submits back-to-back (closed loop)",
+    )
+    serve_p.add_argument(
+        "--on-full", default="reject", choices=("reject", "block"),
+        help="async backpressure on a full intake queue: reject with "
+             "ServeOverflowError or block the producer (default reject)",
+    )
     _add_reuse_flags(serve_p)
     _add_obs_flags(serve_p)
     serve_p.set_defaults(fn=_cmd_serve)
@@ -341,6 +387,15 @@ def build_parser() -> argparse.ArgumentParser:
              "or a mid-stream amplitude shift",
     )
     bserve_p.add_argument("--out", default="BENCH_serve.json")
+    bserve_p.add_argument(
+        "--no-async-ab", action="store_true",
+        help="skip the per-tier open-loop sync-vs-async transport A/B",
+    )
+    bserve_p.add_argument(
+        "--arrival-rate", type=float, default=None, metavar="RPS",
+        help="Poisson arrival rate for the sync-vs-async A/B "
+             "(default: auto-paced to each tier's warm service rate)",
+    )
     _add_reuse_flags(bserve_p)
     _add_obs_flags(bserve_p)
     bserve_p.set_defaults(fn=_cmd_bench_serve)

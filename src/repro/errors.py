@@ -37,3 +37,7 @@ class ConvergenceError(ReproError, RuntimeError):
 
 class ServeOverflowError(ReproError, RuntimeError):
     """The serving queue is full; the request was rejected, never dropped silently."""
+
+
+class ServeClosedError(ReproError, RuntimeError):
+    """The serving transport is shut down; the request was not (or will not be) run."""

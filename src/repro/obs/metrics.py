@@ -15,10 +15,18 @@ Collect callbacks (:meth:`MetricsRegistry.on_collect`) let objects that
 already keep their own counters (``StrategyMemo``, ``BufferPool``,
 ``EngineSession``) publish at scrape time instead of paying per-event
 updates.
+
+Everything here is thread-safe: the async serving transport updates the
+same registry from producer threads and the consumer worker, so every
+metric mutation (``inc``/``set``/``observe``) holds a per-metric lock —
+``value += amount`` is three bytecodes and *does* lose updates under
+contention without one — and the registry serializes get-or-create and
+exports behind an RLock (collect callbacks re-enter it).
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Callable, Iterable
 
 from repro.obs.export import json_safe
@@ -34,20 +42,22 @@ DEFAULT_BUCKETS = (
 
 
 class Counter:
-    """Monotonically increasing value."""
+    """Monotonically increasing value; safe to ``inc`` from any thread."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
     kind = "counter"
 
     def __init__(self):
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             from repro.errors import ConfigError
 
             raise ConfigError(f"counters only go up; got inc({amount})")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def expose(self) -> float:
         return self.value
@@ -56,24 +66,29 @@ class Counter:
 class Gauge:
     """Point-in-time value; ``set_max`` tracks a high-water mark."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
     kind = "gauge"
 
     def __init__(self):
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = float(value)
-
-    def set_max(self, value: float) -> None:
-        if value > self.value:
+        with self._lock:
             self.value = float(value)
 
+    def set_max(self, value: float) -> None:
+        with self._lock:
+            if value > self.value:
+                self.value = float(value)
+
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dec(self, amount: float = 1.0) -> None:
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
 
     def expose(self) -> float:
         return self.value
@@ -87,7 +102,7 @@ class Histogram:
     not put it on a per-element path.
     """
 
-    __slots__ = ("buckets", "counts", "sum", "count")
+    __slots__ = ("buckets", "counts", "sum", "count", "_lock")
     kind = "histogram"
 
     def __init__(self, buckets: Iterable[float] = DEFAULT_BUCKETS):
@@ -99,16 +114,18 @@ class Histogram:
         self.counts = [0] * (len(self.buckets) + 1)  # +1 for +Inf
         self.sum = 0.0
         self.count = 0
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         value = float(value)
-        self.sum += value
-        self.count += 1
-        for i, bound in enumerate(self.buckets):
-            if value <= bound:
-                self.counts[i] += 1
-                return
-        self.counts[-1] += 1
+        with self._lock:
+            self.sum += value
+            self.count += 1
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self.counts[i] += 1
+                    return
+            self.counts[-1] += 1
 
     def cumulative(self) -> list[tuple[str, int]]:
         """(le, cumulative count) pairs, ending with ('+Inf', count)."""
@@ -155,23 +172,27 @@ class MetricsRegistry:
         self._kinds: dict[str, str] = {}
         self._help: dict[str, str] = {}
         self._collectors: list[Callable[[MetricsRegistry], None]] = []
+        # RLock: collect callbacks run under it and themselves call
+        # counter()/gauge() to publish, re-entering the registry
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------- creation
     def _get(self, cls, name: str, help: str, labels: dict[str, str], **kwargs):
-        kind = self._kinds.get(name)
-        if kind is not None and kind != cls.kind:
-            from repro.errors import ConfigError
+        with self._lock:
+            kind = self._kinds.get(name)
+            if kind is not None and kind != cls.kind:
+                from repro.errors import ConfigError
 
-            raise ConfigError(f"metric {name!r} already registered as a {kind}")
-        key = (name, _label_key(labels))
-        metric = self._series.get(key)
-        if metric is None:
-            metric = cls(**kwargs)
-            self._series[key] = metric
-            self._kinds[name] = cls.kind
-            if help:
-                self._help[name] = help
-        return metric
+                raise ConfigError(f"metric {name!r} already registered as a {kind}")
+            key = (name, _label_key(labels))
+            metric = self._series.get(key)
+            if metric is None:
+                metric = cls(**kwargs)
+                self._series[key] = metric
+                self._kinds[name] = cls.kind
+                if help:
+                    self._help[name] = help
+            return metric
 
     def counter(self, name: str, help: str = "", **labels: str) -> Counter:
         return self._get(Counter, name, help, labels)
@@ -188,16 +209,18 @@ class MetricsRegistry:
     # -------------------------------------------------------------- lookup
     def series(self, name: str) -> list[tuple[dict[str, str], "Counter | Gauge | Histogram"]]:
         """All (labels, metric) series registered under ``name``."""
-        return [
-            (dict(key), metric)
-            for (n, key), metric in self._series.items()
-            if n == name
-        ]
+        with self._lock:
+            return [
+                (dict(key), metric)
+                for (n, key), metric in self._series.items()
+                if n == name
+            ]
 
     # ------------------------------------------------------------ callbacks
     def on_collect(self, fn: Callable[["MetricsRegistry"], None]) -> None:
         """Register a scrape-time publisher (runs before every export)."""
-        self._collectors.append(fn)
+        with self._lock:
+            self._collectors.append(fn)
 
     def _collect(self) -> None:
         for fn in self._collectors:
@@ -206,18 +229,20 @@ class MetricsRegistry:
     # -------------------------------------------------------------- export
     def snapshot(self) -> dict[str, Any]:
         """JSON-safe dict keyed ``name{label="v"}`` -> exposed value."""
-        self._collect()
-        out: dict[str, Any] = {}
-        for (name, key), metric in sorted(self._series.items()):
-            out[name + _label_text(key)] = json_safe(metric.expose())
-        return out
+        with self._lock:
+            self._collect()
+            out: dict[str, Any] = {}
+            for (name, key), metric in sorted(self._series.items()):
+                out[name + _label_text(key)] = json_safe(metric.expose())
+            return out
 
     def to_prometheus(self) -> str:
         """Prometheus text exposition (one ``# TYPE`` block per name)."""
-        self._collect()
-        by_name: dict[str, list[tuple[tuple, Counter | Gauge | Histogram]]] = {}
-        for (name, key), metric in sorted(self._series.items()):
-            by_name.setdefault(name, []).append((key, metric))
+        with self._lock:
+            self._collect()
+            by_name: dict[str, list[tuple[tuple, Counter | Gauge | Histogram]]] = {}
+            for (name, key), metric in sorted(self._series.items()):
+                by_name.setdefault(name, []).append((key, metric))
         lines: list[str] = []
         for name, series in by_name.items():
             if name in self._help:

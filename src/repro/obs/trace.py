@@ -20,6 +20,7 @@ path pays a method call and an attribute check, nothing else.  That is the
 from __future__ import annotations
 
 import json
+import threading
 import time
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
@@ -42,7 +43,7 @@ class Span:
     modeled flops/bytes.
     """
 
-    __slots__ = ("tracer", "name", "cat", "args", "t0", "t1", "parent")
+    __slots__ = ("tracer", "name", "cat", "args", "t0", "t1", "parent", "tid")
 
     def __init__(self, tracer: "Tracer", name: str, cat: str, args: dict[str, Any]):
         self.tracer = tracer
@@ -52,19 +53,18 @@ class Span:
         self.t0: float | None = None
         self.t1: float | None = None
         self.parent: Span | None = None
+        #: dense per-tracer thread index of the thread that entered the span
+        self.tid: int = 0
 
     # ------------------------------------------------------------ lifecycle
     def __enter__(self) -> "Span":
-        tracer = self.tracer
-        self.parent = tracer._stack[-1] if tracer._stack else None
-        tracer._stack.append(self)
-        tracer.spans.append(self)
-        self.t0 = tracer.clock()
+        self.tracer._enter(self)
+        self.t0 = self.tracer.clock()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.t1 = self.tracer.clock()
-        self.tracer._stack.pop()
+        self.tracer._exit(self)
 
     # ----------------------------------------------------------- attributes
     def set(self, **attrs: Any) -> "Span":
@@ -159,9 +159,12 @@ def as_tracer(tracer: "Tracer | NullTracer | None") -> "Tracer | NullTracer":
 class Tracer:
     """Collects a span tree plus instant/async events.
 
-    Single-threaded by design (the serving loop is synchronous); parenthood
-    comes from a span stack.  All timestamps are ``clock()`` readings
-    (``time.perf_counter`` by default) relative to the tracer's ``epoch``.
+    Thread-aware: each thread nests spans on its own stack (parenthood never
+    crosses threads), and every span/event carries a dense per-tracer thread
+    index exported as the Chrome-trace ``tid`` — the async serving transport
+    records producer submits and worker block execution side by side.  All
+    timestamps are ``clock()`` readings (``time.perf_counter`` by default)
+    relative to the tracer's ``epoch``.
     """
 
     enabled = True
@@ -173,29 +176,66 @@ class Tracer:
         self.spans: list[Span] = []
         #: instant ("i") and async ("b"/"e") events as raw trace-event dicts
         self.events: list[dict[str, Any]] = []
-        self._stack: list[Span] = []
+        self._tls = threading.local()
+        self._lock = threading.Lock()
+        #: thread ident -> dense tid; insertion order names tid 0, 1, ...
+        self._tids: dict[int, int] = {}
+        self._tid_names: dict[int, str] = {}
+
+    # ------------------------------------------------------------- threading
+    def _thread_stack(self) -> list[Span]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    def _thread_tid(self) -> int:
+        ident = threading.get_ident()
+        tid = self._tids.get(ident)
+        if tid is None:
+            with self._lock:
+                tid = self._tids.get(ident)
+                if tid is None:
+                    tid = len(self._tids)
+                    self._tids[ident] = tid
+                    self._tid_names[tid] = threading.current_thread().name
+        return tid
+
+    def _enter(self, span: Span) -> None:
+        stack = self._thread_stack()
+        span.parent = stack[-1] if stack else None
+        span.tid = self._thread_tid()
+        stack.append(span)
+        with self._lock:
+            self.spans.append(span)
+
+    def _exit(self, span: Span) -> None:
+        self._thread_stack().pop()
 
     # ------------------------------------------------------------ recording
     def span(self, name: str, cat: str = "", **args: Any) -> Span:
-        """Open a new child span of whatever span is currently entered."""
+        """Open a new child span of the current thread's entered span."""
         return Span(self, name, cat, args)
 
     def event(self, name: str, **args: Any) -> None:
         """Record an instant event at the current time."""
-        self.events.append(
-            {"name": name, "ph": "i", "ts": self._ts(self.clock()), "s": "t", "args": args}
-        )
+        record = {"name": name, "ph": "i", "ts": self._ts(self.clock()),
+                  "s": "t", "tid": self._thread_tid(), "args": args}
+        with self._lock:
+            self.events.append(record)
 
     def begin_async(self, name: str, aid: int, **args: Any) -> None:
         """Open an async event (e.g. a request lifecycle spanning batches)."""
-        self.events.append(
-            {"name": name, "ph": "b", "id": aid, "ts": self._ts(self.clock()), "args": args}
-        )
+        record = {"name": name, "ph": "b", "id": aid, "ts": self._ts(self.clock()),
+                  "tid": self._thread_tid(), "args": args}
+        with self._lock:
+            self.events.append(record)
 
     def end_async(self, name: str, aid: int, **args: Any) -> None:
-        self.events.append(
-            {"name": name, "ph": "e", "id": aid, "ts": self._ts(self.clock()), "args": args}
-        )
+        record = {"name": name, "ph": "e", "id": aid, "ts": self._ts(self.clock()),
+                  "tid": self._thread_tid(), "args": args}
+        with self._lock:
+            self.events.append(record)
 
     # -------------------------------------------------------------- export
     def _ts(self, t: float) -> float:
@@ -216,29 +256,43 @@ class Tracer:
             "ts": self._ts(span.t0 if span.t0 is not None else self.epoch),
             "dur": span.duration * 1e6,
             "pid": 0,
-            "tid": 0,
+            "tid": span.tid,
             "args": args,
         }
 
     def iter_events(self):
         """All trace events (spans, instants, async) in recording order."""
-        for span in self.spans:
+        with self._lock:
+            spans = list(self.spans)
+            events = list(self.events)
+        for span in spans:
             yield self._span_event(span)
-        for event in self.events:
-            yield {**event, "pid": 0, "tid": 0, "cat": event.get("cat", "event"),
+        for event in events:
+            yield {**event, "pid": 0, "tid": event.get("tid", 0),
+                   "cat": event.get("cat", "event"),
                    "args": json_safe(event.get("args", {}))}
 
     def to_chrome(self) -> dict[str, Any]:
         """The Chrome trace-event JSON object (Perfetto/chrome://tracing)."""
-        meta = {
+        meta = [{
             "name": "process_name",
             "ph": "M",
             "pid": 0,
             "tid": 0,
             "args": {"name": self.process_name},
-        }
+        }]
+        with self._lock:
+            tid_names = dict(self._tid_names)
+        for tid, name in sorted(tid_names.items()):
+            meta.append({
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": tid,
+                "args": {"name": name},
+            })
         return {
-            "traceEvents": [meta, *self.iter_events()],
+            "traceEvents": [*meta, *self.iter_events()],
             "displayTimeUnit": "ms",
         }
 

@@ -11,9 +11,14 @@ This package keeps one engine warm and feeds it well-packed blocks:
   max-batch / max-wait flushing and per-request result splitting;
 * :class:`~repro.serve.server.InferenceServer` — the synchronous serving
   loop with graceful overflow rejection;
+* :class:`~repro.serve.async_server.AsyncInferenceServer` — the threaded
+  transport: thread-safe ``submit`` returning a future-like
+  :class:`~repro.serve.async_server.AsyncTicket`, a consumer worker that
+  packs and executes blocks while new arrivals accumulate, reject/block
+  backpressure, and drain/abort shutdown;
 * :func:`~repro.serve.bench.bench_serve` — the tiered cold-vs-warm
   throughput benchmark behind ``python -m repro bench-serve``, including the
-  centroid-reuse A/B pass.
+  centroid-reuse A/B pass and the open-loop sync-vs-async A/B.
 
 A session constructed with ``centroid_reuse=True`` additionally carries a
 :class:`~repro.core.reuse.CentroidCache`, so consecutive same-mix blocks
@@ -27,8 +32,20 @@ lifecycles, batch pack/execute/resolve, and every engine stage and kernel
 underneath.
 """
 
+from repro.serve.async_server import (
+    BACKPRESSURE_POLICIES,
+    AsyncInferenceServer,
+    AsyncServeReport,
+    AsyncTicket,
+)
 from repro.serve.batcher import MicroBatcher, Ticket
-from repro.serve.bench import DEFAULT_TIERS, STREAM_MODES, bench_serve, load_bench_records
+from repro.serve.bench import (
+    DEFAULT_TIERS,
+    STREAM_MODES,
+    bench_serve,
+    load_bench_records,
+    poisson_interarrivals,
+)
 from repro.serve.server import InferenceServer, ServeReport
 from repro.serve.session import EngineSession
 
@@ -38,8 +55,13 @@ __all__ = [
     "Ticket",
     "InferenceServer",
     "ServeReport",
+    "AsyncInferenceServer",
+    "AsyncServeReport",
+    "AsyncTicket",
+    "BACKPRESSURE_POLICIES",
     "bench_serve",
     "load_bench_records",
+    "poisson_interarrivals",
     "DEFAULT_TIERS",
     "STREAM_MODES",
 ]

@@ -1,0 +1,535 @@
+"""Asynchronous serving transport: arrivals overlap block execution.
+
+:class:`~repro.serve.server.InferenceServer` is a single-threaded loop —
+while a block runs, no new request can even enter the queue, so the
+``max_wait_s`` deadline of the :class:`~repro.serve.batcher.MicroBatcher`
+never fires and arrival time is pure dead time.  The paper's serving story
+(and At-Scale 2020's transfer/compute stream overlap) wants the opposite:
+the engine busy while the next block accumulates.
+
+:class:`AsyncInferenceServer` splits the two sides across threads:
+
+* **producers** call :meth:`~AsyncInferenceServer.submit` from any thread;
+  it enqueues into a bounded intake queue and returns a future-like
+  :class:`AsyncTicket` immediately.  A full queue either rejects with
+  :class:`~repro.errors.ServeOverflowError` (``on_full='reject'``, the
+  synchronous server's semantics) or blocks the producer until space frees
+  (``on_full='block'``);
+* **one consumer worker** drains the intake into the ``MicroBatcher``,
+  which packs blocks and executes them on the warm
+  :class:`~repro.serve.session.EngineSession`.  New arrivals land in the
+  intake *while* a block runs — the max-wait flush path becomes
+  load-bearing, and the overlap fraction (worker-busy seconds over wall
+  seconds) is an explicit metric.
+
+Failure routing: a block that raises mid-execution resolves exactly the
+tickets that rode in it with that exception (the server stays serviceable);
+:meth:`~AsyncInferenceServer.close` either drains every accepted ticket
+(``drain=True``) or aborts, resolving the not-yet-run remainder with
+:class:`~repro.errors.ServeClosedError` — accepted requests always resolve,
+one way or the other.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigError, ServeClosedError, ServeOverflowError
+from repro.inference import sdgc_categories
+from repro.serve.batcher import MicroBatcher, Ticket
+from repro.serve.server import ServeReport
+from repro.serve.session import EngineSession
+
+__all__ = [
+    "AsyncInferenceServer",
+    "AsyncServeReport",
+    "AsyncTicket",
+    "BACKPRESSURE_POLICIES",
+]
+
+#: what ``submit`` does on a full intake queue
+BACKPRESSURE_POLICIES = ("reject", "block")
+
+
+class AsyncTicket:
+    """Future-like handle for one request accepted by the async server.
+
+    Producers hold it; the worker thread resolves it exactly once — with the
+    request's output slice, with the exception that killed its block, or
+    with :class:`~repro.errors.ServeClosedError` on an aborted shutdown.
+    """
+
+    __slots__ = (
+        "y0", "index", "submitted_at", "dequeued_at", "completed_at",
+        "inner", "_error", "_done", "_resolutions",
+    )
+
+    def __init__(self, y0: np.ndarray, submitted_at: float, index: int = 0):
+        self.y0 = y0
+        #: arrival order within this server (0-based)
+        self.index = index
+        self.submitted_at = submitted_at
+        #: when the worker pulled it off the intake queue
+        self.dequeued_at: float | None = None
+        self.completed_at: float | None = None
+        #: the batcher's inner ticket, once the worker enqueued the request
+        self.inner: Ticket | None = None
+        self._error: BaseException | None = None
+        self._done = threading.Event()
+        #: times the worker resolved this ticket (the invariant is == 1)
+        self._resolutions = 0
+
+    # ------------------------------------------------------------ producer
+    @property
+    def columns(self) -> int:
+        return self.y0.shape[1]
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    @property
+    def ready(self) -> bool:
+        return self.done and self._error is None
+
+    @property
+    def failed(self) -> bool:
+        return self._error is not None
+
+    @property
+    def exception(self) -> BaseException | None:
+        return self._error
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until resolved (or ``timeout`` seconds); True when done."""
+        return self._done.wait(timeout)
+
+    def result(self, timeout: float | None = None) -> np.ndarray:
+        """Block for and return this request's output slice ``Y(l)``.
+
+        Raises the block's exception if execution failed, TimeoutError if
+        the ticket is still unresolved after ``timeout`` seconds.
+        """
+        if not self._done.wait(timeout):
+            raise TimeoutError(f"request {self.index} unresolved after {timeout}s")
+        if self._error is not None:
+            raise self._error
+        return self.inner.y
+
+    @property
+    def y(self) -> np.ndarray:
+        """Non-blocking output access (same contract as the sync Ticket)."""
+        if self._error is not None:
+            raise self._error
+        if not self.done:
+            raise ServeOverflowError(
+                "ticket not resolved yet; wait() on it or close(drain=True) the server"
+            )
+        return self.inner.y
+
+    @property
+    def categories(self) -> np.ndarray:
+        return sdgc_categories(self.y)
+
+    @property
+    def batch_columns(self) -> int | None:
+        return self.inner.batch_columns if self.inner is not None else None
+
+    @property
+    def latency_seconds(self) -> float:
+        """Submit-to-resolve wall time (includes the intake-queue wait)."""
+        if self.completed_at is None:
+            raise ServeOverflowError("ticket not resolved yet")
+        return self.completed_at - self.submitted_at
+
+    @property
+    def queue_wait_seconds(self) -> float:
+        """Time spent in the intake queue before the worker picked it up."""
+        if self.dequeued_at is None:
+            raise ServeOverflowError("ticket not dequeued yet")
+        return self.dequeued_at - self.submitted_at
+
+    # -------------------------------------------------------------- worker
+    def _resolve(self, now: float, error: BaseException | None = None) -> None:
+        """Worker-side completion; must fire exactly once per ticket."""
+        self._resolutions += 1
+        if self._resolutions > 1:  # pragma: no cover - guarded invariant
+            raise ServeClosedError(
+                f"ticket {self.index} resolved {self._resolutions} times"
+            )
+        self._error = error
+        self.completed_at = now
+        self._done.set()
+
+
+@dataclass
+class AsyncServeReport(ServeReport):
+    """Outcome of one open-loop stream through the async transport.
+
+    Extends :class:`~repro.serve.server.ServeReport` with the overlap
+    accounting: ``exec_seconds`` is the time the worker spent packing and
+    executing blocks, ``arrival_seconds`` the injected interarrival sleep.
+    ``overlap_fraction`` near 1.0 means the engine stayed busy for the whole
+    stream — arrivals were fully hidden behind execution; near 0.0 means the
+    worker mostly waited for traffic.
+    """
+
+    #: (stream index, error message) per accepted-then-failed request
+    failed: list[tuple[int, str]] = field(default_factory=list)
+    exec_seconds: float = 0.0
+    arrival_seconds: float = 0.0
+
+    @property
+    def overlap_fraction(self) -> float:
+        return self.exec_seconds / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    @property
+    def status(self) -> str:
+        if self.requests == 0:
+            return "no_traffic"
+        if not self.served:
+            return "all_rejected" if not self.failed else "all_failed"
+        return "ok"
+
+    @property
+    def requests(self) -> int:
+        return len(self.served) + len(self.rejected) + len(self.failed)
+
+    def summary(self) -> dict:
+        out = super().summary()
+        out["failed"] = len(self.failed)
+        out["exec_seconds"] = self.exec_seconds
+        out["arrival_seconds"] = self.arrival_seconds
+        out["overlap_fraction"] = self.overlap_fraction
+        return out
+
+
+class AsyncInferenceServer:
+    """Threaded serving front end over one warm session.
+
+    Parameters
+    ----------
+    session:
+        The warm :class:`~repro.serve.session.EngineSession` (or any object
+        with ``network``/``run``/``tracer``/``metrics``) blocks execute on.
+    max_batch / max_wait_s:
+        Forwarded to the :class:`~repro.serve.batcher.MicroBatcher`.  Under
+        this transport ``max_wait_s`` is load-bearing: a partial block
+        flushes once its oldest request ages past the deadline, even when no
+        further arrival ever comes.
+    queue_limit:
+        Bound of the producer-side intake queue (requests).
+    on_full:
+        ``'reject'`` raises :class:`~repro.errors.ServeOverflowError` on a
+        full queue (the synchronous server's semantics); ``'block'`` parks
+        the producer until the worker frees space or the server closes.
+    clock:
+        Timestamp source for ticket latencies (``time.monotonic`` default).
+    """
+
+    def __init__(
+        self,
+        session: EngineSession,
+        max_batch: int = 256,
+        max_wait_s: float = 0.002,
+        queue_limit: int = 1024,
+        on_full: str = "reject",
+        clock=time.monotonic,
+    ):
+        if on_full not in BACKPRESSURE_POLICIES:
+            raise ConfigError(
+                f"unknown backpressure policy {on_full!r}; known: {BACKPRESSURE_POLICIES}"
+            )
+        self.session = session
+        self.tracer = session.tracer
+        self.metrics = session.metrics
+        self.clock = clock
+        self.queue_limit = int(queue_limit)
+        self.on_full = on_full
+        # the intake queue is the serving bound; the batcher's own cap only
+        # backstops it (worker transfers then flushes, so its pending stays
+        # around one block's worth of requests)
+        self.batcher = MicroBatcher(
+            session,
+            max_batch=max_batch,
+            max_wait_s=max_wait_s,
+            max_pending=self.queue_limit + int(max_batch) + 1,
+            clock=clock,
+        )
+        self._lock = threading.Lock()
+        self._arrived = threading.Condition(self._lock)
+        self._space = threading.Condition(self._lock)
+        self._intake: deque[AsyncTicket] = deque()
+        self._inflight: deque[AsyncTicket] = deque()  # worker-private
+        self._closed = False
+        self._abort = False
+        self._accepted = 0
+        self._exec_seconds = 0.0
+        metrics = self.metrics
+        self._c_submitted = metrics.counter(
+            "async_submitted_total", help="requests accepted into the intake queue"
+        )
+        self._c_rejected = metrics.counter(
+            "async_rejected_total", help="requests rejected by intake backpressure"
+        )
+        self._c_failed = metrics.counter(
+            "async_failed_total", help="accepted requests resolved with an exception"
+        )
+        self._c_resolved = metrics.counter(
+            "async_resolved_total", help="tickets resolved back to their producers"
+        )
+        # sampled from both sides: producers set it on submit, the worker on
+        # every intake transfer — either thread observing depth publishes it
+        self._g_intake = metrics.gauge(
+            "async_intake_depth", help="requests waiting in the intake queue"
+        )
+        self._g_overlap = metrics.gauge(
+            "async_overlap_fraction",
+            help="worker busy seconds / wall seconds since the server started",
+        )
+        self._started_at = time.perf_counter()
+        self._worker = threading.Thread(
+            target=self._worker_loop, name="repro-serve-worker", daemon=True
+        )
+        self._worker.start()
+
+    # ------------------------------------------------------------- producer
+    def submit(self, y0: np.ndarray) -> AsyncTicket:
+        """Enqueue one ``(input_dim, k)`` request; returns immediately.
+
+        Thread-safe.  Raises :class:`~repro.errors.ServeOverflowError` on a
+        full queue under the ``'reject'`` policy and
+        :class:`~repro.errors.ServeClosedError` once the server is closed
+        (including producers woken from a ``'block'`` wait by shutdown).
+        """
+        # validate in the producer so shape errors surface synchronously,
+        # before the request occupies queue space
+        y0 = self.session.network.validate_input(np.asarray(y0))
+        if y0.shape[1] < 1:
+            from repro.errors import ShapeError
+
+            raise ShapeError("a request needs at least one column")
+        with self._lock:
+            if self._closed:
+                raise ServeClosedError("server is closed; request not accepted")
+            if len(self._intake) >= self.queue_limit:
+                if self.on_full == "reject":
+                    self._c_rejected.inc()
+                    self.tracer.event("async.rejected", depth=len(self._intake))
+                    raise ServeOverflowError(
+                        f"intake queue full ({self.queue_limit} requests); "
+                        "request rejected"
+                    )
+                while len(self._intake) >= self.queue_limit and not self._closed:
+                    self._space.wait()
+                if self._closed:
+                    raise ServeClosedError("server closed while waiting for queue space")
+            ticket = AsyncTicket(y0, self.clock(), index=self._accepted)
+            self._accepted += 1
+            self._intake.append(ticket)
+            self._g_intake.set(len(self._intake))
+            self._c_submitted.inc()
+            self.tracer.event(
+                "async.submit", index=ticket.index, columns=ticket.columns,
+                depth=len(self._intake),
+            )
+            self._arrived.notify()
+        return ticket
+
+    def close(self, drain: bool = True, timeout: float | None = None) -> bool:
+        """Shut the transport down; returns True once the worker exited.
+
+        ``drain=True`` runs every accepted request before stopping (no
+        accepted ticket is lost); ``drain=False`` aborts — requests that
+        have not started executing resolve with
+        :class:`~repro.errors.ServeClosedError`.  Blocked producers are
+        woken and raise.  Idempotent; an abort may follow a drain request
+        but not the other way around.
+        """
+        with self._lock:
+            self._closed = True
+            if not drain:
+                self._abort = True
+            self._arrived.notify_all()
+            self._space.notify_all()
+        self._worker.join(timeout)
+        self._publish_overlap()
+        return not self._worker.is_alive()
+
+    def __enter__(self) -> "AsyncInferenceServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(drain=exc_type is None)
+
+    # ------------------------------------------------------------ streaming
+    def serve(self, requests, interarrivals=None) -> AsyncServeReport:
+        """Submit an open-loop stream, drain, and report.
+
+        ``interarrivals`` (one float per request, e.g. Poisson gaps from
+        :func:`repro.serve.bench.poisson_interarrivals`) paces the stream:
+        the submitting thread sleeps each gap while the worker keeps
+        executing — the overlap the synchronous server cannot have.
+        """
+        report = AsyncServeReport()
+        gaps = iter(interarrivals) if interarrivals is not None else None
+        tickets: list[tuple[int, AsyncTicket]] = []
+        t0 = time.perf_counter()
+        for index, y0 in enumerate(requests):
+            if gaps is not None:
+                gap = float(next(gaps, 0.0))
+                if gap > 0:
+                    time.sleep(gap)
+                report.arrival_seconds += gap
+            try:
+                tickets.append((index, self.submit(y0)))
+            except (ServeOverflowError, ServeClosedError) as exc:
+                report.rejected.append((index, str(exc)))
+        self.close(drain=True)
+        for index, ticket in tickets:
+            if ticket.failed:
+                report.failed.append((index, str(ticket.exception)))
+            else:
+                report.served.append(ticket)
+        report.wall_seconds = time.perf_counter() - t0
+        report.exec_seconds = self.exec_seconds
+        return report
+
+    # -------------------------------------------------------------- worker
+    def _timed(self, fn) -> None:
+        """Run one batcher operation, accounting its wall time as busy."""
+        t0 = time.perf_counter()
+        try:
+            fn()
+        finally:
+            self._exec_seconds += time.perf_counter() - t0
+
+    def _worker_loop(self) -> None:
+        batcher = self.batcher
+        while True:
+            with self._lock:
+                while not self._intake and not self._closed:
+                    due = batcher.seconds_until_due()
+                    if due is not None and due <= 0:
+                        break
+                    self._arrived.wait(timeout=due)
+                items = list(self._intake)
+                self._intake.clear()
+                if items:
+                    self._g_intake.set(0)
+                    self._space.notify_all()
+                closing = self._closed and not items
+                abort = self._abort
+            if abort:
+                self._abort_pending(items)
+                return
+            now = self.clock()
+            for ticket in items:
+                ticket.dequeued_at = now
+                try:
+                    ticket.inner = batcher.enqueue(ticket.y0)
+                except Exception as exc:
+                    # cannot happen for validated requests under the sized
+                    # batcher cap, but an accepted ticket must still resolve
+                    ticket._resolve(self.clock(), error=exc)
+                    self._c_failed.inc()
+                    self._c_resolved.inc()
+                    continue
+                self._inflight.append(ticket)
+                self._run_guarded(batcher.flush_full)
+            self._run_guarded(batcher.poll)
+            if closing:
+                while batcher.pending_requests:
+                    self._run_guarded(batcher.drain)
+                with self._lock:
+                    abort = self._abort
+                if abort:
+                    self._abort_pending([])
+                self._sweep()
+                return
+
+    def _run_guarded(self, fn) -> None:
+        """Execute blocks; exceptions are already routed to their tickets."""
+        try:
+            self._timed(fn)
+        except Exception:
+            # MicroBatcher marked every ticket of the failing block with the
+            # exception before re-raising; _sweep below hands it to callers
+            pass
+        self._sweep()
+
+    def _sweep(self) -> None:
+        """Resolve every inflight ticket whose inner ticket is done.
+
+        Blocks always pack the FIFO prefix of the pending queue, so
+        done-ness is prefix-closed over ``_inflight``.
+        """
+        now = self.clock()
+        while self._inflight and self._inflight[0].inner.done:
+            ticket = self._inflight.popleft()
+            error = ticket.inner.error
+            ticket._resolve(now, error=error)
+            self._c_resolved.inc()
+            if error is not None:
+                self._c_failed.inc()
+            self.tracer.event(
+                "async.resolve", index=ticket.index,
+                outcome="failed" if error is not None else "served",
+            )
+        self._publish_overlap()
+
+    def _abort_pending(self, items: list[AsyncTicket]) -> None:
+        """Fail everything that has not finished: grabbed intake + inflight."""
+        now = self.clock()
+        error = ServeClosedError("server aborted before this request executed")
+        self._sweep()  # anything that did finish still resolves normally
+        for ticket in items:
+            ticket._resolve(now, error=error)
+            self._c_failed.inc()
+            self._c_resolved.inc()
+        while self._inflight:
+            self._inflight.popleft()._resolve(now, error=error)
+            self._c_failed.inc()
+            self._c_resolved.inc()
+        with self._lock:
+            leftovers = list(self._intake)
+            self._intake.clear()
+            self._g_intake.set(0)
+            self._space.notify_all()
+        for ticket in leftovers:
+            ticket._resolve(now, error=error)
+            self._c_failed.inc()
+            self._c_resolved.inc()
+
+    # ------------------------------------------------------------- metrics
+    @property
+    def exec_seconds(self) -> float:
+        """Worker seconds spent packing/executing blocks (the busy side)."""
+        return self._exec_seconds
+
+    @property
+    def overlap_fraction(self) -> float:
+        """Busy fraction of the server's lifetime so far."""
+        wall = time.perf_counter() - self._started_at
+        return self._exec_seconds / wall if wall > 0 else 0.0
+
+    def _publish_overlap(self) -> None:
+        self._g_overlap.set(self.overlap_fraction)
+
+    def stats(self) -> dict:
+        return {
+            "accepted": self._accepted,
+            "intake_depth": len(self._intake),
+            "queue_limit": self.queue_limit,
+            "on_full": self.on_full,
+            "closed": self._closed,
+            "exec_seconds": self.exec_seconds,
+            "overlap_fraction": self.overlap_fraction,
+            "session": self.session.stats() if hasattr(self.session, "stats") else {},
+            "batcher": self.batcher.stats(),
+        }

@@ -34,6 +34,7 @@ class Ticket:
 
     __slots__ = (
         "y0", "submitted_at", "completed_at", "batch_columns", "result", "_y", "aid",
+        "error",
     )
 
     def __init__(self, y0: np.ndarray, submitted_at: float, aid: int = 0):
@@ -47,6 +48,8 @@ class Ticket:
         self._y: np.ndarray | None = None
         #: async-trace id correlating this request's submit/resolve events
         self.aid = aid
+        #: the exception that killed this request's block, if its run failed
+        self.error: BaseException | None = None
 
     @property
     def columns(self) -> int:
@@ -57,8 +60,19 @@ class Ticket:
         return self._y is not None
 
     @property
+    def failed(self) -> bool:
+        return self.error is not None
+
+    @property
+    def done(self) -> bool:
+        """Resolved either way: output available or block execution failed."""
+        return self.ready or self.failed
+
+    @property
     def y(self) -> np.ndarray:
         """This request's slice of the block output ``Y(l)``."""
+        if self.error is not None:
+            raise self.error
         if self._y is None:
             raise ServeOverflowError("ticket not resolved yet; flush or drain the batcher")
         return self._y
@@ -102,6 +116,7 @@ class MicroBatcher:
         self.counters = {
             "requests": 0,
             "rejected": 0,
+            "failed": 0,
             "batches": 0,
             "batched_columns": 0,
             "wait_flushes": 0,
@@ -118,6 +133,9 @@ class MicroBatcher:
         )
         self._c_rejected = metrics.counter(
             "serve_rejected_total", help="requests rejected on queue overflow"
+        )
+        self._c_failed = metrics.counter(
+            "serve_failed_total", help="requests whose block raised during execution"
         )
         self._c_batches = metrics.counter(
             "serve_batches_total", help="blocks flushed to the engine session"
@@ -150,6 +168,17 @@ class MicroBatcher:
         queue is full — the caller decides whether to retry, shed load, or
         surface the error to the client.
         """
+        ticket = self.enqueue(y0)
+        self.flush_full()
+        return ticket
+
+    def enqueue(self, y0: np.ndarray) -> Ticket:
+        """:meth:`submit` minus the flush: queue the request, never run it.
+
+        The async transport uses this to hold the ticket *before* any block
+        executes, so a mid-block exception can still be routed to exactly
+        the requests that rode in the failing block.
+        """
         y0 = self.session.network.validate_input(np.asarray(y0))
         if y0.shape[1] < 1:
             raise ShapeError("a request needs at least one column")
@@ -167,11 +196,27 @@ class MicroBatcher:
         self._c_requests.inc()
         self.tracer.begin_async("request", ticket.aid, columns=ticket.columns)
         self._update_queue_gauges()
-        while self._pending_cols >= self.max_batch:
-            self._flush_batch(reason="full")
         return ticket
 
     # ------------------------------------------------------------ flushing
+    def flush_full(self) -> int:
+        """Run blocks while a full ``max_batch`` of columns is pending."""
+        n = 0
+        while self._pending_cols >= self.max_batch:
+            self._flush_batch(reason="full")
+            n += 1
+        return n
+    def seconds_until_due(self) -> float | None:
+        """Seconds until the oldest pending request ages past ``max_wait_s``.
+
+        ``None`` with nothing pending; zero or negative once a :meth:`poll`
+        would flush.  The async worker sleeps at most this long between
+        arrivals so the max-wait deadline holds without busy-polling.
+        """
+        if not self._pending:
+            return None
+        return self.max_wait_s - (self.clock() - self._pending[0].submitted_at)
+
     def poll(self) -> int:
         """Flush everything once the oldest request has waited long enough.
 
@@ -219,7 +264,23 @@ class MicroBatcher:
         with tracer.span(
             "batch.execute", cat="serve", reason=reason, requests=len(take), columns=cols
         ) as exec_span:
-            result = self.session.run(block)
+            try:
+                result = self.session.run(block)
+            except Exception as exc:
+                # the block died: its requests are already off the queue, so
+                # route the failure to exactly these tickets and leave the
+                # batcher serviceable for the next block
+                now = self.clock()
+                for ticket in take:
+                    ticket.error = exc
+                    ticket.completed_at = now
+                    tracer.end_async(
+                        "request", ticket.aid, error=type(exc).__name__, reason=reason
+                    )
+                self.counters["failed"] += len(take)
+                self._c_failed.inc(len(take))
+                self._update_queue_gauges()
+                raise
             reuse_info = result.stats.get("centroid_reuse") if result.stats else None
             if reuse_info is not None:
                 outcome = "hit" if reuse_info.get("hit") else reuse_info.get("reason", "miss")

@@ -31,12 +31,14 @@ from repro.harness.experiments.common import sdgc_config
 from repro.harness.runner import run_engine
 from repro.harness.workloads import get_benchmark, get_input
 from repro.obs import Tracer
+from repro.serve.async_server import AsyncInferenceServer
 from repro.serve.server import InferenceServer
 from repro.serve.session import EngineSession
 
 __all__ = [
     "bench_serve",
     "load_bench_records",
+    "poisson_interarrivals",
     "BENCH_SCHEMA",
     "DEFAULT_BENCH_PATH",
     "DEFAULT_TIERS",
@@ -59,6 +61,22 @@ _TIER_SOURCES = {
 
 #: request-stream shapes the bench can synthesize
 STREAM_MODES = ("mix", "repeat", "drift")
+
+
+def poisson_interarrivals(n: int, rate_rps: float, seed: int = 0) -> np.ndarray:
+    """``n`` exponential interarrival gaps for a Poisson stream of ``rate_rps``.
+
+    The open-loop arrival model: clients submit on their own clock, at
+    ``rate_rps`` requests/second on average, independent of how fast the
+    server drains.  A non-positive rate degenerates to a closed-loop stream
+    (all gaps zero).  Seeded, so sync and async A/B passes replay the exact
+    same schedule.
+    """
+    if n < 0:
+        raise ConfigError(f"need a non-negative request count, got {n}")
+    if rate_rps <= 0:
+        return np.zeros(n)
+    return np.random.default_rng(seed).exponential(1.0 / rate_rps, size=n)
 
 
 def _split_requests(y0: np.ndarray, request_cols: int) -> list[np.ndarray]:
@@ -129,6 +147,78 @@ def _warm_pass(
     return session, server, report
 
 
+def _async_ab(
+    net, cfg, stream, max_batch, seed: int, arrival_rate: float | None,
+    warm_wall: float, reference_served,
+) -> dict:
+    """Open-loop sync-vs-async A/B on one tier's stream.
+
+    Both transports replay the *same* seeded Poisson arrival schedule; the
+    synchronous loop serializes arrival gaps with block execution while the
+    async worker hides them behind it.  ``max_wait_s`` stays high so both
+    sides pack identical blocks — outputs must then match bitwise, and the
+    throughput delta is purely the overlap.
+    """
+    rate = arrival_rate
+    if rate is None:
+        # auto-pace: mean interarrival ~= the tier's warm per-request service
+        # time, so the arrival span is comparable to execution and the
+        # overlap is what separates the two transports
+        per_request = warm_wall / max(len(stream), 1)
+        rate = 1.0 / per_request if per_request > 0 else 1000.0
+    gaps = poisson_interarrivals(len(stream), rate, seed)
+
+    s_session = EngineSession(net, cfg)
+    s_server = InferenceServer(
+        s_session, max_batch=max_batch, max_wait_s=60.0, queue_limit=len(stream)
+    )
+    s_report = s_server.serve(iter(stream), interarrivals=gaps)
+
+    a_session = EngineSession(net, cfg)
+    a_server = AsyncInferenceServer(
+        a_session, max_batch=max_batch, max_wait_s=60.0, queue_limit=len(stream)
+    )
+    a_report = a_server.serve(iter(stream), interarrivals=gaps)
+
+    sync_y = np.hstack([t.y for t in s_report.served])
+    a_served = sorted(a_report.served, key=lambda t: t.index)
+    async_y = np.hstack([t.y for t in a_served])
+    sync_cats = np.concatenate([t.categories for t in s_report.served])
+    async_cats = np.concatenate([t.categories for t in a_served])
+    ref_cats = np.concatenate([t.categories for t in reference_served])
+    return {
+        "arrival_rate_rps": rate,
+        "arrival_seconds": float(gaps.sum()),
+        "sync": {
+            "seconds": s_report.wall_seconds,
+            "requests_per_second": s_report.requests_per_second,
+            "latency_seconds": s_report.latency_quantiles(),
+            "status": s_report.status,
+        },
+        "async": {
+            "seconds": a_report.wall_seconds,
+            "requests_per_second": a_report.requests_per_second,
+            "latency_seconds": a_report.latency_quantiles(),
+            "status": a_report.status,
+            "overlap_fraction": a_report.overlap_fraction,
+            "exec_seconds": a_report.exec_seconds,
+            "failed": len(a_report.failed),
+        },
+        "outputs_identical": bool(np.array_equal(async_y, sync_y)),
+        "categories_match": bool(
+            (async_cats == sync_cats).all() and (async_cats == ref_cats).all()
+        ),
+        "async_ge_sync": bool(
+            a_report.requests_per_second >= s_report.requests_per_second
+        ),
+        "speedup_vs_sync": (
+            s_report.wall_seconds / a_report.wall_seconds
+            if a_report.wall_seconds > 0
+            else float("inf")
+        ),
+    }
+
+
 def _run_tier(
     tier: str,
     benchmark_source: str,
@@ -141,6 +231,8 @@ def _run_tier(
     centroid_reuse: bool,
     reuse_tolerance: float,
     tracer: Tracer | None,
+    async_ab: bool = True,
+    arrival_rate: float | None = None,
 ) -> dict:
     """Measure one tier: cold pass, warm pass, and the optional reuse A/B."""
     total_cols = requests * request_cols
@@ -198,6 +290,12 @@ def _run_tier(
         ),
         "categories_match": bool((cold_cats == warm_cats).all()),
     }
+
+    if async_ab:
+        record["async"] = _async_ab(
+            net, cfg, stream, max_batch, seed, arrival_rate,
+            warm_wall=report.wall_seconds, reference_served=report.served,
+        )
 
     if centroid_reuse:
         r_session, r_server, r_report = _warm_pass(
@@ -261,6 +359,8 @@ def bench_serve(
     stream: str = "mix",
     centroid_reuse: bool = False,
     reuse_tolerance: float = 0.5,
+    async_ab: bool = True,
+    arrival_rate: float | None = None,
 ) -> dict:
     """Measure request throughput: cold per-request engines vs warm serving.
 
@@ -272,9 +372,13 @@ def bench_serve(
     ``stream`` picks the request-stream shape (see :func:`_shape_stream`);
     ``centroid_reuse`` adds the A/B pass — the same stream served again with
     the centroid cache on — whose record lands under each tier's ``"reuse"``
-    key.  ``trace`` writes a Chrome trace of the first tier's warm serving
-    run (note: span recording adds overhead to that tier's warm numbers;
-    leave it off when comparing throughput across PRs).
+    key.  ``async_ab`` (on by default) additionally replays each tier's
+    stream open-loop — seeded Poisson arrivals at ``arrival_rate`` req/s, or
+    auto-paced to the tier's warm service rate — through both the
+    synchronous and the async transport, recorded under ``"async"``.
+    ``trace`` writes a Chrome trace of the first tier's warm serving run
+    (note: span recording adds overhead to that tier's warm numbers; leave
+    it off when comparing throughput across PRs).
     """
     if tiers is None:
         tiers = (benchmark,) if benchmark is not None else DEFAULT_TIERS
@@ -296,12 +400,15 @@ def bench_serve(
                 centroid_reuse=centroid_reuse,
                 reuse_tolerance=reuse_tolerance,
                 tracer=tracer if index == 0 else None,
+                async_ab=async_ab,
+                arrival_rate=arrival_rate,
             )
         )
     result = {
         "schema": BENCH_SCHEMA,
         "stream": stream,
         "centroid_reuse": centroid_reuse,
+        "async_ab": async_ab,
         "tiers": records,
     }
     if trace is not None and tracer is not None:

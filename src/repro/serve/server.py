@@ -49,14 +49,32 @@ class ServeReport:
     def columns_per_second(self) -> float:
         return self.columns / self.wall_seconds if self.wall_seconds > 0 else 0.0
 
-    def latency_quantiles(self, qs=(0.5, 0.95, 1.0)) -> dict[str, float]:
+    @property
+    def status(self) -> str:
+        """``'ok'``, ``'all_rejected'``, or ``'no_traffic'``.
+
+        A zero ``requests_per_second`` is ambiguous on its own: an idle
+        stream and a stream shed entirely by backpressure both report 0.0.
+        The status names which one happened, so dashboards and tests can
+        tell "nothing arrived" from "everything was turned away".
+        """
+        if self.requests == 0:
+            return "no_traffic"
         if not self.served:
-            return {f"p{int(q * 100)}": 0.0 for q in qs}
+            return "all_rejected"
+        return "ok"
+
+    def latency_quantiles(self, qs=(0.5, 0.95, 1.0)) -> dict[str, float] | None:
+        """Latency quantiles of served requests; ``None`` when none served
+        (an all-rejected or idle stream has no latencies, not zero ones)."""
+        if not self.served:
+            return None
         lat = np.array([t.latency_seconds for t in self.served])
         return {f"p{int(q * 100)}": float(np.quantile(lat, q)) for q in qs}
 
     def summary(self) -> dict:
         return {
+            "status": self.status,
             "requests": self.requests,
             "served": len(self.served),
             "rejected": len(self.rejected),
@@ -107,17 +125,26 @@ class InferenceServer:
         """Flush every pending request (shutdown / end of stream)."""
         return self.batcher.drain()
 
-    def serve(self, requests) -> ServeReport:
+    def serve(self, requests, interarrivals=None) -> ServeReport:
         """Run a request stream to completion.
 
         ``requests`` yields ``(input_dim, k)`` blocks.  Overflowing requests
         are recorded as rejections with their error message; everything else
         resolves by the time the report is returned.
+
+        ``interarrivals`` (optional, one float per request) makes the stream
+        open-loop: the loop sleeps that long *before* each submit, modeling
+        client arrival gaps.  The synchronous loop cannot overlap those gaps
+        with block execution — that is exactly what the async transport's
+        A/B in ``bench-serve`` measures against.
         """
         report = ServeReport()
+        gaps = iter(interarrivals) if interarrivals is not None else None
         t0 = time.perf_counter()
         with self.tracer.span("serve.stream", cat="serve") as stream_span:
             for index, y0 in enumerate(requests):
+                if gaps is not None:
+                    time.sleep(next(gaps, 0.0))
                 try:
                     report.served.append(self.submit(y0))
                 except ServeOverflowError as exc:

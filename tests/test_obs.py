@@ -253,3 +253,123 @@ def test_setup_logging_levels(capsys):
     assert "debugline" in capsys.readouterr().out
     # no handler stacking on reconfiguration
     assert len(log.handlers) == 1
+
+
+# -------------------------------------------------------------- concurrency
+def test_metrics_no_lost_updates_from_two_threads():
+    """Counters and histograms mutated from two threads must not drop
+    updates: `value += x` is three bytecodes and races without the lock."""
+    import threading
+
+    registry = MetricsRegistry()
+    counter = registry.counter("thr_total")
+    gauge = registry.gauge("thr_gauge")
+    hist = registry.histogram("thr_hist", buckets=(0.5, 1.0))
+    rounds = 20_000
+
+    def pound():
+        for _ in range(rounds):
+            counter.inc()
+            gauge.inc()
+            hist.observe(0.25)
+
+    threads = [threading.Thread(target=pound) for _ in range(2)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(60)
+    assert counter.value == 2 * rounds
+    assert gauge.value == 2 * rounds
+    snap = registry.snapshot()
+    assert snap["thr_hist"]["count"] == 2 * rounds
+    assert snap["thr_hist"]["buckets"]["0.5"] == 2 * rounds
+
+
+def test_metrics_get_or_create_race_yields_one_series():
+    """Two threads asking for the same (name, labels) must share one cell."""
+    import threading
+
+    registry = MetricsRegistry()
+    seen = []
+    barrier = threading.Barrier(2)
+
+    def create():
+        barrier.wait()
+        for _ in range(1000):
+            seen.append(registry.counter("race_total", shard="a"))
+
+    threads = [threading.Thread(target=create) for _ in range(2)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(60)
+    assert len({id(c) for c in seen}) == 1
+    assert len(registry.series("race_total")) == 1
+
+
+def test_tracer_nests_spans_per_thread():
+    """Parenthood never crosses threads: each thread nests on its own stack,
+    and the Chrome export tags each thread's spans with its own tid."""
+    import threading
+
+    tracer = Tracer()
+    barrier = threading.Barrier(2)
+
+    def traced_worker(name):
+        barrier.wait()
+        with tracer.span(f"{name}.outer", cat="test"):
+            with tracer.span(f"{name}.inner", cat="test"):
+                tracer.event(f"{name}.tick")
+
+    threads = [
+        threading.Thread(target=traced_worker, args=(n,), name=f"worker-{n}")
+        for n in ("a", "b")
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(60)
+
+    spans = {s.name: s for s in tracer.spans}
+    assert spans["a.inner"].parent is spans["a.outer"]
+    assert spans["b.inner"].parent is spans["b.outer"]
+    assert spans["a.outer"].parent is None and spans["b.outer"].parent is None
+    assert spans["a.inner"].tid == spans["a.outer"].tid
+    assert spans["b.inner"].tid == spans["b.outer"].tid
+    assert spans["a.outer"].tid != spans["b.outer"].tid
+
+    chrome = tracer.to_chrome()
+    json.dumps(chrome)  # must not raise
+    events = chrome["traceEvents"]
+    thread_names = {
+        e["tid"]: e["args"]["name"]
+        for e in events
+        if e["ph"] == "M" and e["name"] == "thread_name"
+    }
+    assert set(thread_names.values()) >= {"worker-a", "worker-b"}
+    by_name = {e["name"]: e for e in events if e["ph"] == "X"}
+    assert by_name["a.inner"]["tid"] == by_name["a.outer"]["tid"]
+    assert by_name["b.inner"]["tid"] != by_name["a.inner"]["tid"]
+    # instants carry their emitting thread too
+    ticks = {e["name"]: e for e in events if e["ph"] == "i"}
+    assert ticks["a.tick"]["tid"] == by_name["a.outer"]["tid"]
+
+
+def test_tracer_concurrent_spans_all_recorded():
+    import threading
+
+    tracer = Tracer()
+    per_thread = 200
+
+    def burst(tag):
+        for i in range(per_thread):
+            with tracer.span(f"{tag}.{i}", cat="burst"):
+                pass
+
+    threads = [threading.Thread(target=burst, args=(t,)) for t in ("x", "y", "z")]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(60)
+    assert len(tracer.spans) == 3 * per_thread
+    assert all(s.closed for s in tracer.spans)

@@ -257,6 +257,51 @@ def test_server_overflow_is_recorded_not_silent(bench):
     assert all(t.ready for t in report.served)  # drained at end of stream
 
 
+def test_serve_report_status_distinguishes_idle_from_shed(bench):
+    from repro.serve import ServeReport
+
+    # no traffic: nothing arrived, so there is no latency distribution at all
+    idle = ServeReport(wall_seconds=1.0)
+    assert idle.status == "no_traffic"
+    assert idle.requests_per_second == 0.0
+    assert idle.latency_quantiles() is None
+    assert idle.summary()["status"] == "no_traffic"
+    assert idle.summary()["latency_seconds"] is None
+
+    # all rejected: traffic arrived but backpressure shed every request —
+    # same 0.0 rps, but the status must say why
+    shed = ServeReport(rejected=[(0, "full"), (1, "full")], wall_seconds=1.0)
+    assert shed.status == "all_rejected"
+    assert shed.requests == 2
+    assert shed.requests_per_second == 0.0
+    assert shed.latency_quantiles() is None
+    assert shed.summary()["status"] == "all_rejected"
+
+
+def test_serve_report_status_ok_when_anything_served(bench):
+    net, cfg, y0 = bench
+    server = InferenceServer(make_session(bench), max_batch=8, max_wait_s=60.0)
+    report = server.serve(iter([y0[:, :2]]))
+    assert report.status == "ok"
+    assert report.summary()["status"] == "ok"
+    assert report.latency_quantiles() is not None
+
+
+def test_server_all_rejected_stream_reports_status(bench):
+    net, cfg, y0 = bench
+    server = InferenceServer(
+        make_session(bench), max_batch=64, max_wait_s=60.0, queue_limit=1
+    )
+    # saturate the queue before the stream: every arrival then overflows
+    parked = server.submit(y0[:, :1])
+    report = server.serve(iter(y0[:, :1] for _ in range(3)))
+    assert parked.ready  # end-of-stream drain still resolves the old ticket
+    assert report.status == "all_rejected"
+    assert len(report.rejected) == 3 and not report.served
+    assert report.requests_per_second == 0.0
+    assert report.latency_quantiles() is None
+
+
 # ------------------------------------------------------------------ bench JSON
 def test_bench_serve_writes_machine_readable_json(tmp_path):
     out = tmp_path / "BENCH_serve.json"
