@@ -10,8 +10,10 @@ Usage::
     python -m repro generate 256-24 out_dir/     # write SDGC .tsv layers
     python -m repro serve 144-24 --requests 128  # micro-batched serving demo
     python -m repro serve 144-24 --async-transport --arrival-rate 500
+    python -m repro serve --model a=144-24 --model b=144-48 --memory-budget-mb 8
     python -m repro bench-serve                  # tiered cold vs warm throughput
     python -m repro bench-serve 144-24 --centroid-reuse --stream repeat
+    python -m repro bench-serve --multi --memory-budget-mb 8
 
 All human-facing output goes through the ``"repro"`` logger: ``--verbose``
 adds instrumentation chatter, ``--quiet`` keeps only warnings.  ``--trace``
@@ -138,12 +140,107 @@ def _cmd_generate(args) -> int:
     return 0
 
 
+def _serve_multi(args) -> int:
+    """Multi-model serving: route a mixed stream through the router."""
+    import numpy as np
+
+    from repro.harness.experiments.common import sdgc_config
+    from repro.harness.workloads import get_benchmark, get_input
+    from repro.serve import AsyncRouter, ModelRegistry, Router
+    from repro.serve.bench import _split_requests, poisson_interarrivals
+
+    models: list[tuple[str, str]] = []
+    for spec in args.model:
+        name, sep, benchmark = spec.partition("=")
+        if not sep or not name or not benchmark:
+            log.error(f"--model wants NAME=BENCHMARK, got {spec!r}")
+            return 2
+        models.append((name, benchmark))
+    budget_bytes = (
+        int(args.memory_budget_mb * 1024 * 1024)
+        if args.memory_budget_mb is not None
+        else None
+    )
+    tracer, _ = _make_obs(args)
+    registry = ModelRegistry(memory_budget_bytes=budget_bytes)
+    streams: dict[str, list] = {}
+    for name, benchmark in models:
+        net = get_benchmark(benchmark)
+        overrides = {} if args.threshold is None else {"threshold_layer": args.threshold}
+        cfg = sdgc_config(net.num_layers, **overrides)
+        registry.register(
+            name, net, config=cfg, warm=True, tracer=tracer,
+            centroid_reuse=args.centroid_reuse, reuse_tolerance=args.reuse_tolerance,
+        )
+        streams[name] = _split_requests(
+            np.asarray(get_input(benchmark, args.requests * args.request_cols, args.seed)),
+            args.request_cols,
+        )
+    # round-robin the tenants in block-sized chunks of requests
+    chunk = max(1, args.max_batch // args.request_cols)
+    mixed: list[tuple[str, np.ndarray]] = []
+    offset = 0
+    while any(offset < len(s) for s in streams.values()):
+        for name, s in streams.items():
+            for y0 in s[offset : offset + chunk]:
+                mixed.append((name, y0))
+        offset += chunk
+    if args.async_transport:
+        router = AsyncRouter(
+            registry, max_batch=args.max_batch, max_wait_s=args.max_wait_ms / 1e3,
+            queue_limit=args.queue_limit, on_full=args.on_full,
+        )
+        interarrivals = None
+        if args.arrival_rate is not None:
+            interarrivals = poisson_interarrivals(
+                len(mixed), args.arrival_rate, args.seed
+            )
+        report = router.serve(iter(mixed), interarrivals=interarrivals)
+    else:
+        if args.arrival_rate is not None:
+            log.warning("--arrival-rate needs --async-transport for multi-model; ignored")
+        router = Router(
+            registry, max_batch=args.max_batch, max_wait_s=args.max_wait_ms / 1e3,
+            queue_limit=args.queue_limit,
+        )
+        report = router.serve(iter(mixed))
+    summary = report.summary()
+    transport = "async" if args.async_transport else "sync"
+    log.info(f"served {summary['served']}/{summary['requests']} requests "
+             f"({summary['rejected']} rejected, status={summary['status']}) "
+             f"across {len(models)} models [{transport}] "
+             f"in {summary['wall_seconds'] * 1e3:.1f} ms")
+    for name, per in summary["models"].items():
+        lat = per["latency_seconds"]
+        p50 = f"{lat['p50'] * 1e3:7.2f} ms" if lat is not None else "   n/a"
+        log.info(f"  [{name}] {per['served']}/{per['requests']} served "
+                 f"(status={per['status']})  "
+                 f"{per['columns_per_second']:9.1f} col/s   p50 {p50}")
+    budget = registry.budget.stats()
+    if budget["limit_bytes"] is not None:
+        log.info(f"  budget       {budget['retained_bytes']} / {budget['limit_bytes']} "
+                 f"bytes retained (highwater {budget['highwater_bytes']}, "
+                 f"{budget['evictions']} warm-to-cold demotions: "
+                 f"{summary['demoted'] or 'none'})")
+    if args.metrics:
+        log.info(registry.metrics.to_prometheus().rstrip("\n"))
+    if tracer is not None:
+        path = tracer.write_chrome(args.trace)
+        log.info(f"wrote Chrome trace to {path} ({len(tracer)} spans)")
+    return 0
+
+
 def _cmd_serve(args) -> int:
     from repro.harness.experiments.common import sdgc_config
     from repro.harness.workloads import get_benchmark, get_input
     from repro.serve import AsyncInferenceServer, EngineSession, InferenceServer
     from repro.serve.bench import _split_requests, poisson_interarrivals
 
+    if args.model:
+        return _serve_multi(args)
+    if args.benchmark is None:
+        log.error("serve needs a benchmark, or at least one --model NAME=BENCHMARK")
+        return 2
     net = get_benchmark(args.benchmark)
     overrides = {} if args.threshold is None else {"threshold_layer": args.threshold}
     cfg = sdgc_config(net.num_layers, **overrides)
@@ -217,6 +314,11 @@ def _cmd_bench_serve(args) -> int:
     from repro.serve.bench import bench_serve
 
     tiers = tuple(t.strip() for t in args.tiers.split(",")) if args.tiers else None
+    multi_tiers = (
+        tuple(t.strip() for t in args.multi_tiers.split(","))
+        if args.multi_tiers
+        else None
+    )
     result = bench_serve(
         benchmark=args.benchmark,
         requests=args.requests,
@@ -232,6 +334,9 @@ def _cmd_bench_serve(args) -> int:
         reuse_tolerance=args.reuse_tolerance,
         async_ab=not args.no_async_ab,
         arrival_rate=args.arrival_rate,
+        multi=args.multi or multi_tiers is not None,
+        multi_tiers=multi_tiers,
+        memory_budget_mb=args.memory_budget_mb,
     )
     for record in result["tiers"]:
         cold, warm = record["cold"], record["warm"]
@@ -260,6 +365,23 @@ def _cmd_bench_serve(args) -> int:
                      f"identical={reuse['outputs_identical']}")
         if args.metrics:
             log.info(json.dumps(record["metrics"], indent=2))
+    mrec = result.get("multi")
+    if mrec is not None:
+        log.info(f"bench-serve [multi] {', '.join(mrec['tenants'])}: "
+                 f"{mrec['router']['served']}/{mrec['router']['requests']} served, "
+                 f"status={mrec['router']['status']}, "
+                 f"isolation_identical={mrec['isolation_identical']}")
+        for name, per in mrec["per_tenant"].items():
+            log.info(f"  [{name}] {per['columns_per_second']:9.1f} col/s mixed "
+                     f"vs {per['single_tenant_columns_per_second']:9.1f} col/s alone   "
+                     f"hol_stalls={per['hol_stalls']}   "
+                     f"identical={per['isolation_identical']}")
+        budget = mrec["budget"]
+        if budget["limit_bytes"] is not None:
+            log.info(f"  budget {budget['retained_bytes']} / {budget['limit_bytes']} "
+                     f"bytes (highwater {budget['highwater_bytes']}, "
+                     f"under_budget={mrec['under_budget']}, "
+                     f"{budget['evictions']} demotions)")
     if args.trace:
         log.info(f"wrote Chrome trace to {args.trace}")
     log.info(f"wrote {args.out}")
@@ -335,7 +457,21 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p = sub.add_parser(
         "serve", help="micro-batched serving loop over a synthetic request stream"
     )
-    serve_p.add_argument("benchmark")
+    serve_p.add_argument(
+        "benchmark", nargs="?", default=None,
+        help="single benchmark to serve; omit when routing with --model",
+    )
+    serve_p.add_argument(
+        "--model", action="append", default=None, metavar="NAME=BENCHMARK",
+        help="register a named tenant (repeatable); switches serve into "
+             "multi-model routing through a ModelRegistry + Router",
+    )
+    serve_p.add_argument(
+        "--memory-budget-mb", type=float, default=None, metavar="MB",
+        help="shared retained-bytes budget across all tenants; the router "
+             "demotes least-recently-served sessions warm-to-cold to stay "
+             "under it (default: unlimited)",
+    )
     serve_p.add_argument("--requests", type=_positive_int, default=128)
     serve_p.add_argument("--request-cols", type=_positive_int, default=2)
     serve_p.add_argument("--max-batch", type=_positive_int, default=64)
@@ -395,6 +531,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--arrival-rate", type=float, default=None, metavar="RPS",
         help="Poisson arrival rate for the sync-vs-async A/B "
              "(default: auto-paced to each tier's warm service rate)",
+    )
+    bserve_p.add_argument(
+        "--multi", action="store_true",
+        help="append the mixed-traffic multi-tenant record: round-robin "
+             "stream over several tenants with a per-tenant bitwise "
+             "isolation check against single-tenant references",
+    )
+    bserve_p.add_argument(
+        "--multi-tiers", default=None, metavar="TIERS",
+        help="comma-separated tenant tiers for --multi "
+             "(default: the built-in multi-tier pair); implies --multi",
+    )
+    bserve_p.add_argument(
+        "--memory-budget-mb", type=float, default=None, metavar="MB",
+        help="shared memory budget for the --multi record; the router "
+             "demotes LRU tenants to stay under it (default: unlimited)",
     )
     _add_reuse_flags(bserve_p)
     _add_obs_flags(bserve_p)

@@ -351,6 +351,7 @@ class SNICIT:
                 cent_final=sub[:, is_cent],
                 baseline_distance=baseline_distance,
                 baseline_density=baseline_density,
+                network=net,
             )
 
         # ---- stage 4: final results recovery ------------------------------
@@ -407,7 +408,7 @@ class SNICIT:
         cfg = self.config
         dev = self.device
         tracer = self.tracer
-        cached = self.reuse.lookup(t, y.shape[0])
+        cached = self.reuse.lookup(t, y.shape[0], network=self.network)
         if cached is None:
             stage_span.set(reuse="miss")
             return None, {"enabled": True, "hit": False, "reason": "cold"}

@@ -65,10 +65,22 @@ class CachedConversion:
     baseline_density: float = 0.0
     #: how many blocks this entry has served assign-only
     served_blocks: int = 0
+    #: scope of the filling network (its fingerprint); ``None`` for the
+    #: legacy unscoped cache — see :meth:`CentroidCache.lookup`
+    network_key: str | None = None
 
     @property
     def n_centroids(self) -> int:
         return self.cent_y.shape[1]
+
+    @property
+    def nbytes(self) -> int:
+        """Retained bytes: centroids, their trajectory, and the final state."""
+        total = self.cent_y.nbytes
+        total += sum(z.nbytes for z in self.z_cent)
+        if self.cent_final is not None:
+            total += self.cent_final.nbytes
+        return total
 
 
 class CentroidCache:
@@ -96,7 +108,12 @@ class CentroidCache:
             raise ConfigError(f"max_centroids must be >= 1, got {max_centroids}")
         self.tolerance = float(tolerance)
         self.max_centroids = int(max_centroids)
-        self._entries: dict[int, CachedConversion] = {}
+        #: (network scope, threshold layer) -> entry.  The network scope is
+        #: part of the key on purpose: a cache visible to two tenants with
+        #: the same threshold layer must never serve one network's centroids
+        #: to the other (the residue algebra would silently be computed
+        #: against foreign centroids).
+        self._entries: dict[tuple[str | None, int], CachedConversion] = {}
         self.hits = 0
         self.misses = 0
         self.fills = 0
@@ -148,13 +165,29 @@ class CentroidCache:
             ).set(self.last_density)
 
     # ------------------------------------------------------------ lookups
-    def lookup(self, threshold_layer: int, n_rows: int) -> CachedConversion | None:
-        """Entry for this threshold layer, or ``None`` (counted as a miss)."""
-        entry = self._entries.get(threshold_layer)
+    @staticmethod
+    def _scope(network) -> str | None:
+        """Cache scope for a network: its fingerprint (or a raw string key)."""
+        if network is None:
+            return None
+        return getattr(network, "fingerprint", network)
+
+    def lookup(
+        self, threshold_layer: int, n_rows: int, network=None
+    ) -> CachedConversion | None:
+        """Entry for ``(network, threshold_layer)``, or ``None`` (a miss).
+
+        ``network`` scopes the entry to one network identity (pass the
+        :class:`~repro.network.SparseNetwork`, or its fingerprint string);
+        ``None`` is the legacy single-network scope.  An entry filled under
+        one scope is invisible to every other — cross-tenant isolation is a
+        property of the key, not of caller discipline.
+        """
+        entry = self._entries.get((self._scope(network), threshold_layer))
         if entry is not None and entry.cent_y.shape[0] != n_rows:
-            # network width changed under us (defensive; sessions are
-            # single-network so this should not happen in practice)
-            self.invalidate(threshold_layer, reason="shape")
+            # network width changed under us (defensive; scopes are keyed by
+            # network identity so this should not happen in practice)
+            self._invalidate_entry(entry, reason="shape")
             entry = None
         if entry is None:
             self.misses += 1
@@ -177,10 +210,10 @@ class CentroidCache:
         self._observe_quality(distance, density)
         slack = 1.0 + self.tolerance
         if distance > entry.baseline_distance * slack + 1e-12:
-            self.invalidate(entry.threshold_layer, reason="distance")
+            self._invalidate_entry(entry, reason="distance")
             return False
         if density > entry.baseline_density * slack + 1e-12:
-            self.invalidate(entry.threshold_layer, reason="density")
+            self._invalidate_entry(entry, reason="density")
             return False
         entry.served_blocks += 1
         self.hits += 1
@@ -197,13 +230,19 @@ class CentroidCache:
         cent_final: np.ndarray,
         baseline_distance: float,
         baseline_density: float,
+        network=None,
     ) -> bool:
-        """Capture a full conversion; returns False when it is not cacheable."""
+        """Capture a full conversion; returns False when it is not cacheable.
+
+        ``network`` scopes the entry exactly as in :meth:`lookup`.
+        """
         if cent_y.shape[1] > self.max_centroids:
             self.skipped_fills += 1
             return False
-        self._entries[threshold_layer] = CachedConversion(
+        scope = self._scope(network)
+        self._entries[(scope, threshold_layer)] = CachedConversion(
             threshold_layer=threshold_layer,
+            network_key=scope,
             cent_y=cent_y,
             z_cent=z_cent,
             cent_final=cent_final,
@@ -215,31 +254,49 @@ class CentroidCache:
             self._c_fills.inc()
         return True
 
+    def _count_invalidations(self, dropped: int, reason: str) -> None:
+        self.invalidations[reason] = self.invalidations.get(reason, 0) + dropped
+        if self._registry is not None:
+            self._registry.counter(
+                "centroid_cache_invalidations_total",
+                help="cache entries dropped, by staleness reason",
+                reason=reason,
+            ).inc(dropped)
+
+    def _invalidate_entry(self, entry: CachedConversion, reason: str) -> None:
+        """Drop exactly one entry by its own key (scope-safe)."""
+        if self._entries.pop((entry.network_key, entry.threshold_layer), None) is not None:
+            self._count_invalidations(1, reason)
+
     def invalidate(self, threshold_layer: int | None = None, reason: str = "manual") -> int:
-        """Drop one entry (or all), counting the reason.  Returns drops."""
+        """Drop entries (all, or every scope's entry at one threshold layer),
+        counting the reason.  Returns the number of drops."""
         if threshold_layer is None:
             dropped = len(self._entries)
             self._entries.clear()
         else:
-            dropped = 1 if self._entries.pop(threshold_layer, None) is not None else 0
+            keys = [key for key in self._entries if key[1] == threshold_layer]
+            for key in keys:
+                del self._entries[key]
+            dropped = len(keys)
         if dropped:
-            self.invalidations[reason] = self.invalidations.get(reason, 0) + dropped
-            if self._registry is not None:
-                self._registry.counter(
-                    "centroid_cache_invalidations_total",
-                    help="cache entries dropped, by staleness reason",
-                    reason=reason,
-                ).inc(dropped)
+            self._count_invalidations(dropped, reason)
         return dropped
 
     # ------------------------------------------------------------ metrics
     def __len__(self) -> int:
         return len(self._entries)
 
+    @property
+    def nbytes(self) -> int:
+        """Bytes retained across every cached conversion (all scopes)."""
+        return sum(entry.nbytes for entry in self._entries.values())
+
     def stats(self) -> dict:
         """Lifetime counters plus the last observed staleness signals."""
         return {
             "entries": len(self._entries),
+            "nbytes": self.nbytes,
             "hits": self.hits,
             "misses": self.misses,
             "fills": self.fills,

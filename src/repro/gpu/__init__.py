@@ -25,7 +25,7 @@ from repro.gpu.kernel import (
     SYNC,
     launch_kernel,
 )
-from repro.gpu.memory import DeviceBuffer
+from repro.gpu.memory import BufferPool, DeviceBuffer, MemoryBudget
 from repro.gpu.stream import Task, TaskGraph, simulate_schedule
 
 __all__ = [
@@ -36,6 +36,8 @@ __all__ = [
     "VirtualDevice",
     "RTX_A6000_SCALED",
     "DeviceBuffer",
+    "BufferPool",
+    "MemoryBudget",
     "KernelContext",
     "GridDim",
     "BlockDim",

@@ -18,7 +18,7 @@ from repro.errors import DeviceError
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.gpu.device import VirtualDevice
 
-__all__ = ["DeviceBuffer", "BufferPool"]
+__all__ = ["DeviceBuffer", "BufferPool", "MemoryBudget"]
 
 
 class BufferPool:
@@ -98,6 +98,19 @@ class BufferPool:
         """True if ``array`` is one of the pool's retained buffers."""
         return any(array is buf for bufs in self._bufs.values() for buf in bufs)
 
+    def clear(self) -> int:
+        """Drop every retained buffer; returns the bytes released.
+
+        Safe at any point between blocks: pool contents are unspecified by
+        contract (kernels zero-fill their ``out=``), so clearing can never
+        change results — only the next block's allocation count.  This is
+        the warm-to-cold demotion hook a :class:`MemoryBudget` eviction
+        pulls.
+        """
+        freed = self.nbytes
+        self._bufs.clear()
+        return freed
+
     @property
     def nbytes(self) -> int:
         return sum(buf.nbytes for bufs in self._bufs.values() for buf in bufs)
@@ -110,6 +123,115 @@ class BufferPool:
             "hits": self.hits,
             "misses": self.misses,
         }
+
+
+class MemoryBudget:
+    """Process-wide accounting of retained bytes across named accounts.
+
+    A multi-model server runs many warm :class:`~repro.serve.EngineSession`\\ s,
+    each retaining scratch (its :class:`BufferPool`), pinned weight views
+    (:meth:`~repro.network.SparseNetwork.view_nbytes`), and cached
+    conversions (:attr:`~repro.core.reuse.CentroidCache.nbytes`).  The
+    budget meters the sum and tells the router *when* to demote; the router
+    decides *whom* (LRU) and performs the demotion, then reports the new
+    footprints back via :meth:`update`.  ``limit_bytes=None`` means
+    metering only — never over budget.
+
+    The budget itself holds no arrays, so it cannot leak: it is a ledger of
+    what the accounts said they retain, refreshed by the owner after every
+    request and after every eviction.
+    """
+
+    def __init__(self, limit_bytes: int | None = None):
+        if limit_bytes is not None and limit_bytes < 0:
+            raise DeviceError(f"limit_bytes must be >= 0, got {limit_bytes}")
+        self.limit_bytes = int(limit_bytes) if limit_bytes is not None else None
+        self._accounts: dict[str, int] = {}
+        self.evictions = 0
+        self.highwater_bytes = 0
+        self._g_retained = None
+        self._g_highwater = None
+        self._c_evictions = None
+
+    def bind_metrics(self, registry) -> "MemoryBudget":
+        """Publish the ledger on a :class:`~repro.obs.MetricsRegistry`.
+
+        ``memory_budget_limit_bytes`` / ``memory_budget_retained_bytes`` /
+        ``memory_budget_highwater_bytes`` gauges plus a
+        ``memory_budget_evictions_total`` counter.  The highwater gauge is
+        advanced by :meth:`publish` — the owner calls it *after* enforcement
+        so the published peak reflects steady state under the budget, not
+        the transient between a fill and the eviction it triggered.
+        """
+        registry.gauge(
+            "memory_budget_limit_bytes", help="configured retained-bytes budget (0 = unlimited)"
+        ).set(self.limit_bytes or 0)
+        self._g_retained = registry.gauge(
+            "memory_budget_retained_bytes", help="retained bytes across all accounts"
+        )
+        self._g_highwater = registry.gauge(
+            "memory_budget_highwater_bytes",
+            help="largest retained footprint observed after budget enforcement",
+        )
+        self._c_evictions = registry.counter(
+            "memory_budget_evictions_total", help="sessions demoted warm-to-cold by the budget"
+        )
+        return self
+
+    def update(self, name: str, nbytes: int) -> None:
+        """Set account ``name``'s retained footprint (absolute, not a delta)."""
+        self._accounts[name] = int(nbytes)
+
+    def drop(self, name: str) -> None:
+        """Forget an account entirely (the session was evicted/closed)."""
+        self._accounts.pop(name, None)
+
+    @property
+    def retained_bytes(self) -> int:
+        return sum(self._accounts.values())
+
+    @property
+    def over_budget(self) -> bool:
+        return self.limit_bytes is not None and self.retained_bytes > self.limit_bytes
+
+    def account_bytes(self) -> dict[str, int]:
+        """The ledger, account by account (a copy)."""
+        return dict(self._accounts)
+
+    def record_eviction(self, n: int = 1) -> None:
+        self.evictions += n
+        if self._c_evictions is not None:
+            self._c_evictions.inc(n)
+
+    def publish(self) -> int:
+        """Refresh gauges and the high-water mark; returns retained bytes.
+
+        Call after enforcement has settled so the high-water mark certifies
+        "stayed under budget" rather than recording the pre-eviction spike.
+        """
+        retained = self.retained_bytes
+        if retained > self.highwater_bytes:
+            self.highwater_bytes = retained
+        if self._g_retained is not None:
+            self._g_retained.set(retained)
+            self._g_highwater.set_max(self.highwater_bytes)
+        return retained
+
+    def stats(self) -> dict:
+        return {
+            "limit_bytes": self.limit_bytes,
+            "retained_bytes": self.retained_bytes,
+            "highwater_bytes": self.highwater_bytes,
+            "evictions": self.evictions,
+            "accounts": self.account_bytes(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        limit = "unlimited" if self.limit_bytes is None else self.limit_bytes
+        return (
+            f"MemoryBudget(retained={self.retained_bytes}, limit={limit}, "
+            f"accounts={len(self._accounts)})"
+        )
 
 
 class DeviceBuffer:

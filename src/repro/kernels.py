@@ -48,13 +48,21 @@ DENSE_WEIGHT_THRESHOLD = 0.2
 
 
 class StrategyMemo:
-    """Memoized champion choices per ``(layer, live-fraction bucket)``.
+    """Memoized champion choices per ``(network, layer, live-fraction bucket)``.
 
     A warm serving session sees the same layers with very similar activation
     liveness call after call, so the champion decision is stable within a
     coarse live-fraction bucket.  The memo records the first decision for
     each bucket and replays it afterwards — the hook SparseDNN-style
     pre-specialized engines use to stop re-deriving per-layer strategy.
+
+    Entries are scoped by the owning network's
+    :attr:`~repro.network.SparseNetwork.fingerprint`: a memo that is shared
+    across sessions (or persisted and resumed against a different network)
+    must never replay network A's champion for network B's same-index layer
+    — layer 3 of a 1 %-dense SDGC net and layer 3 of a 55 %-dense medium
+    net want opposite strategies.  Legacy callers that pass no network share
+    a single ``None`` scope, preserving the old single-network behavior.
     """
 
     def __init__(self, n_buckets: int = 16):
@@ -63,11 +71,18 @@ class StrategyMemo:
 
             raise ConfigError(f"n_buckets must be >= 1, got {n_buckets}")
         self.n_buckets = int(n_buckets)
-        self._choice: dict[tuple[int, int], str] = {}
+        self._choice: dict[tuple[str | None, int, int], str] = {}
         self.hits = 0
         self.misses = 0
         self._hit_counter = None
         self._miss_counter = None
+
+    @staticmethod
+    def _scope(network) -> str | None:
+        """Memo scope for a network: its fingerprint (or a raw string key)."""
+        if network is None:
+            return None
+        return getattr(network, "fingerprint", network)
 
     def bind_metrics(self, registry) -> "StrategyMemo":
         """Mirror hit/miss counts onto a :class:`~repro.obs.MetricsRegistry`.
@@ -83,7 +98,9 @@ class StrategyMemo:
         self._miss_counter = registry.counter(
             "memo_misses_total", help="strategy memo lookups that re-derived"
         )
-        gauge = registry.gauge("memo_entries", help="distinct (layer, bucket) choices")
+        gauge = registry.gauge(
+            "memo_entries", help="distinct (network, layer, bucket) choices"
+        )
         registry.on_collect(lambda _reg: gauge.set(len(self._choice)))
         return self
 
@@ -91,8 +108,9 @@ class StrategyMemo:
         """Quantize a live fraction in [0, 1] to a bucket index."""
         return min(int(live_fraction * self.n_buckets), self.n_buckets - 1)
 
-    def lookup(self, layer: int, live_fraction: float) -> str | None:
-        strategy = self._choice.get((layer, self.bucket(live_fraction)))
+    def lookup(self, layer: int, live_fraction: float, network=None) -> str | None:
+        key = (self._scope(network), layer, self.bucket(live_fraction))
+        strategy = self._choice.get(key)
         if strategy is None:
             self.misses += 1
             if self._miss_counter is not None:
@@ -103,8 +121,11 @@ class StrategyMemo:
                 self._hit_counter.inc()
         return strategy
 
-    def record(self, layer: int, live_fraction: float, strategy: str) -> None:
-        self._choice[(layer, self.bucket(live_fraction))] = strategy
+    def record(
+        self, layer: int, live_fraction: float, strategy: str, network=None
+    ) -> None:
+        key = (self._scope(network), layer, self.bucket(live_fraction))
+        self._choice[key] = strategy
 
     def __len__(self) -> int:
         return len(self._choice)
@@ -147,14 +168,14 @@ def champion_spmm(
     else:
         live = (y != 0).any(axis=1)
         frac = float(live.mean()) if live.size else 0.0
-    strategy = memo.lookup(i, frac) if memo is not None else None
+    strategy = memo.lookup(i, frac, network=net) if memo is not None else None
     if strategy is None:
         if dense_ish:
             strategy = "colwise"
         else:
             strategy = "masked" if frac < LIVE_ROW_THRESHOLD else "ell"
         if memo is not None:
-            memo.record(i, frac, strategy)
+            memo.record(i, frac, strategy, network=net)
     if metrics is not None:
         metrics.counter("spmm_strategy_total", strategy=strategy).inc()
     if strategy == "colwise":

@@ -16,6 +16,7 @@ fixed-fan-in Radix-Net kernels, CSC for active-column gathering).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -96,6 +97,7 @@ class SparseNetwork:
         self._ell_cache: dict[int, ELLMatrix] = {}
         self._csc_cache: dict[int, CSCMatrix] = {}
         self._dense_cache: dict[int, np.ndarray] = {}
+        self._fingerprint: str | None = None
 
     @property
     def num_layers(self) -> int:
@@ -138,6 +140,68 @@ class SparseNetwork:
         if i not in self._dense_cache:
             self._dense_cache[i] = self.layers[i].weight.to_dense().astype(np.float32)
         return self._dense_cache[i]
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity of this network: name, topology, and weight digest.
+
+        Caches that outlive a single network — a shared
+        :class:`~repro.kernels.StrategyMemo` or
+        :class:`~repro.core.reuse.CentroidCache` in a multi-model server —
+        key their entries by this, so two networks that happen to share a
+        layer index can never replay each other's state.  Shape and nnz
+        alone do not separate same-topology networks built from different
+        seeds, so the per-layer weight sums are folded in too.  Computed
+        once (O(total nnz)) and cached; layers are immutable after
+        construction.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.blake2b(digest_size=8)
+            digest.update(self.name.encode())
+            digest.update(np.float64(self.ymax).tobytes())
+            for layer in self.layers:
+                digest.update(
+                    np.array(
+                        [layer.n_in, layer.n_out, layer.weight.nnz], dtype=np.int64
+                    ).tobytes()
+                )
+                digest.update(np.float64(layer.weight.data.sum()).tobytes())
+                bias = layer.bias
+                bias_sum = bias.sum() if isinstance(bias, np.ndarray) else bias
+                digest.update(np.float64(bias_sum).tobytes())
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
+
+    # ------------------------------------------------- view-cache accounting
+    def view_nbytes(self) -> int:
+        """Bytes retained by the cached ELL/CSC/dense weight views.
+
+        This is the "pinned weight views" share of a warm serving session's
+        footprint — what a :class:`~repro.gpu.memory.MemoryBudget` meters
+        and :meth:`drop_views` releases on warm-to-cold demotion.
+        """
+        total = 0
+        for ell in self._ell_cache.values():
+            total += ell.idx.nbytes + ell.val.nbytes
+        for csc in self._csc_cache.values():
+            total += csc.indptr.nbytes + csc.indices.nbytes + csc.data.nbytes
+        for dense in self._dense_cache.values():
+            total += dense.nbytes
+        return total
+
+    def drop_views(self) -> int:
+        """Release every cached weight view; returns the bytes freed.
+
+        The CSR source of truth is untouched, so views rebuild lazily (and
+        identically) on next use — demotion is a perf event, never a
+        correctness one.  Note the caches live on the network object: if two
+        sessions share one network instance, dropping views cools both.
+        """
+        freed = self.view_nbytes()
+        self._ell_cache.clear()
+        self._csc_cache.clear()
+        self._dense_cache.clear()
+        return freed
 
     def validate_input(self, y0: np.ndarray) -> np.ndarray:
         y0 = np.asarray(y0)

@@ -20,6 +20,7 @@ from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
+    LabeledRegistry,
     MetricsRegistry,
 )
 from repro.obs.trace import NULL_TRACER, NullTracer, Span, Tracer, as_tracer
@@ -31,6 +32,7 @@ __all__ = [
     "NULL_TRACER",
     "as_tracer",
     "MetricsRegistry",
+    "LabeledRegistry",
     "Counter",
     "Gauge",
     "Histogram",

@@ -31,7 +31,14 @@ from typing import Any, Callable, Iterable
 
 from repro.obs.export import json_safe
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_BUCKETS"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LabeledRegistry",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+]
 
 #: Default histogram buckets: latencies/fills in serving land between 1e-4
 #: and ~10 in whatever unit the caller observes (seconds or a ratio).
@@ -264,3 +271,82 @@ class MetricsRegistry:
 
     def __contains__(self, name: str) -> bool:
         return name in self._kinds
+
+    # ------------------------------------------------------------- labeling
+    def labeled(self, **labels: str) -> "LabeledRegistry":
+        """A view of this registry that stamps ``labels`` on every series.
+
+        The canonical use is tenant isolation in multi-model serving: each
+        :class:`~repro.serve.session.EngineSession` takes
+        ``registry.labeled(model=name)`` so that two sessions sharing one
+        registry publish ``memo_hits_total{model="a"}`` and
+        ``memo_hits_total{model="b"}`` instead of double-counting a single
+        unlabeled series (and clobbering each other's ``on_collect`` gauges).
+        """
+        return LabeledRegistry(self, labels)
+
+
+class LabeledRegistry:
+    """A :class:`MetricsRegistry` facade with fixed labels pre-applied.
+
+    Everything an instrumented object needs from a registry — get-or-create
+    metric constructors, ``on_collect``, ``series`` — is forwarded to the
+    underlying registry with the view's labels merged in (call-site labels
+    win on conflict, so a view cannot silently re-route an explicit label).
+    Exports (``snapshot``/``to_prometheus``) expose the *whole* base
+    registry: one scrape covers every tenant, each under its own labels.
+    """
+
+    def __init__(self, registry: MetricsRegistry, labels: dict[str, str]):
+        self._registry = registry
+        self._labels = {str(k): str(v) for k, v in labels.items()}
+
+    @property
+    def base(self) -> MetricsRegistry:
+        """The unlabeled registry underneath (shared across all views)."""
+        base = self._registry
+        while isinstance(base, LabeledRegistry):
+            base = base._registry
+        return base
+
+    @property
+    def labels(self) -> dict[str, str]:
+        return dict(self._labels)
+
+    def _merge(self, labels: dict[str, str]) -> dict[str, str]:
+        return {**self._labels, **labels}
+
+    def counter(self, name: str, help: str = "", **labels: str) -> Counter:
+        return self._registry.counter(name, help, **self._merge(labels))
+
+    def gauge(self, name: str, help: str = "", **labels: str) -> Gauge:
+        return self._registry.gauge(name, help, **self._merge(labels))
+
+    def histogram(
+        self, name: str, buckets: Iterable[float] = DEFAULT_BUCKETS,
+        help: str = "", **labels: str,
+    ) -> Histogram:
+        return self._registry.histogram(name, buckets, help, **self._merge(labels))
+
+    def on_collect(self, fn: Callable[[MetricsRegistry], None]) -> None:
+        self._registry.on_collect(fn)
+
+    def series(self, name: str):
+        """Series under ``name`` whose labels include this view's labels."""
+        return [
+            (labels, metric)
+            for labels, metric in self._registry.series(name)
+            if all(labels.get(k) == v for k, v in self._labels.items())
+        ]
+
+    def labeled(self, **labels: str) -> "LabeledRegistry":
+        return LabeledRegistry(self._registry, self._merge(labels))
+
+    def snapshot(self) -> dict[str, Any]:
+        return self._registry.snapshot()
+
+    def to_prometheus(self) -> str:
+        return self._registry.to_prometheus()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LabeledRegistry({self._labels!r})"

@@ -16,6 +16,13 @@ This package keeps one engine warm and feeds it well-packed blocks:
   :class:`~repro.serve.async_server.AsyncTicket`, a consumer worker that
   packs and executes blocks while new arrivals accumulate, reject/block
   backpressure, and drain/abort shutdown;
+* :class:`~repro.serve.router.ModelRegistry` /
+  :class:`~repro.serve.router.Router` / :class:`~repro.serve.router.
+  AsyncRouter` — multi-network serving: named sessions behind one metrics
+  registry (per-tenant ``{model=...}`` labels), per-tenant batcher lanes so
+  blocks never mix tenants, per-tenant backpressure, and a process-wide
+  :class:`~repro.gpu.memory.MemoryBudget` that demotes least-recently-served
+  sessions warm-to-cold when the combined retained footprint exceeds it;
 * :func:`~repro.serve.bench.bench_serve` — the tiered cold-vs-warm
   throughput benchmark behind ``python -m repro bench-serve``, including the
   centroid-reuse A/B pass and the open-loop sync-vs-async A/B.
@@ -41,16 +48,22 @@ from repro.serve.async_server import (
 from repro.serve.batcher import MicroBatcher, Ticket
 from repro.serve.bench import (
     DEFAULT_TIERS,
+    MULTI_TIERS,
     STREAM_MODES,
     bench_serve,
     load_bench_records,
     poisson_interarrivals,
 )
+from repro.serve.router import AsyncRouter, ModelRegistry, Router, RouterReport
 from repro.serve.server import InferenceServer, ServeReport
 from repro.serve.session import EngineSession
 
 __all__ = [
     "EngineSession",
+    "ModelRegistry",
+    "Router",
+    "AsyncRouter",
+    "RouterReport",
     "MicroBatcher",
     "Ticket",
     "InferenceServer",
@@ -63,5 +76,6 @@ __all__ = [
     "load_bench_records",
     "poisson_interarrivals",
     "DEFAULT_TIERS",
+    "MULTI_TIERS",
     "STREAM_MODES",
 ]

@@ -270,7 +270,8 @@ class AsyncInferenceServer:
         self._abort = False
         self._accepted = 0
         self._exec_seconds = 0.0
-        metrics = self.metrics
+        # per-tenant labeled view when the session is named (multi-model)
+        metrics = getattr(session, "scoped", None) or self.metrics
         self._c_submitted = metrics.counter(
             "async_submitted_total", help="requests accepted into the intake queue"
         )

@@ -13,6 +13,15 @@ has waited ``max_wait_s`` (callers drive it from their loop), and ``drain``
 flushes everything.  The pending queue is bounded: past ``max_pending``
 requests, ``submit`` raises :class:`~repro.errors.ServeOverflowError` —
 rejected with an error, never dropped silently.
+
+Packing is strictly FIFO: a block takes the longest *prefix* of the queue
+that fits in ``max_batch`` columns, never skipping ahead to a narrower
+request further back.  That is a deliberate head-of-line trade — reordering
+would fill blocks better but break arrival-order latency fairness and make
+per-request latency depend on *other* tenants' request widths.  The cost is
+observable instead of hidden: when a block flushes under-filled while work
+is still queued (the head did not fit), the batcher counts a ``hol_stall``
+and the columns left empty, per tenant.
 """
 
 from __future__ import annotations
@@ -120,14 +129,18 @@ class MicroBatcher:
             "batches": 0,
             "batched_columns": 0,
             "wait_flushes": 0,
+            "hol_stalls": 0,
+            "hol_underfill_columns": 0,
         }
         #: per-block centroid-reuse outcomes ('hit' / 'cold' / 'stale'),
         #: populated only when the session's engine carries a CentroidCache
         self.reuse_outcomes: dict[str, int] = {}
         # serving telemetry rides on the session's registry/tracer so one
-        # scrape (or one trace file) covers queue, blocks, and kernels
+        # scrape (or one trace file) covers queue, blocks, and kernels; a
+        # named session hands back its per-tenant labeled view, so two
+        # batchers over one registry stay separable per model
         self.tracer = session.tracer
-        metrics = session.metrics
+        metrics = getattr(session, "scoped", None) or session.metrics
         self._c_requests = metrics.counter(
             "serve_requests_total", help="requests accepted into the pending queue"
         )
@@ -148,6 +161,14 @@ class MicroBatcher:
         )
         self._g_queue_columns = metrics.gauge(
             "serve_queue_columns", help="columns currently pending in the batcher"
+        )
+        self._c_hol_stalls = metrics.counter(
+            "serve_hol_stalls_total",
+            help="under-filled blocks flushed because the FIFO head did not fit",
+        )
+        self._c_hol_underfill = metrics.counter(
+            "serve_hol_underfill_columns_total",
+            help="block columns left empty by FIFO head-of-line packing",
         )
         self._fill_buckets = (0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0)
         self._metrics = metrics
@@ -249,6 +270,13 @@ class MicroBatcher:
         why the block flushed ('full', 'wait', or 'drain') and labels the
         occupancy histogram — a fleet of 'wait' flushes at low fill means
         the batcher is starved, 'full' at fill 1.0 means it is saturated.
+
+        Packing takes the FIFO *prefix* that fits and stops at the first
+        request that does not — it never searches past the head for a
+        narrower request that would.  The forgone fill is head-of-line
+        blocking, accepted for arrival-order fairness; each occurrence is
+        counted (``hol_stalls``, ``hol_underfill_columns``) so mixed-width
+        traffic can see what FIFO costs it.
         """
         tracer = self.tracer
         with tracer.span("batch.pack", cat="serve", reason=reason) as pack_span:
@@ -259,6 +287,15 @@ class MicroBatcher:
                 take.append(ticket)
                 cols += ticket.columns
             self._pending_cols -= cols
+            if self._pending and cols < self.max_batch:
+                # under-filled with work still queued: the next head is too
+                # wide for the gap and FIFO refuses to skip past it
+                underfill = self.max_batch - cols
+                self.counters["hol_stalls"] += 1
+                self.counters["hol_underfill_columns"] += underfill
+                self._c_hol_stalls.inc()
+                self._c_hol_underfill.inc(underfill)
+                pack_span.set(hol_underfill=underfill)
             block = take[0].y0 if len(take) == 1 else np.hstack([t.y0 for t in take])
             pack_span.set(requests=len(take), columns=cols)
         with tracer.span(

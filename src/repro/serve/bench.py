@@ -42,6 +42,7 @@ __all__ = [
     "BENCH_SCHEMA",
     "DEFAULT_BENCH_PATH",
     "DEFAULT_TIERS",
+    "MULTI_TIERS",
     "STREAM_MODES",
 ]
 
@@ -52,6 +53,10 @@ BENCH_SCHEMA = 2
 
 #: tier name -> SDGC benchmark, or the sentinel ``"medium:<id>"``
 DEFAULT_TIERS = ("sdgc-shallow", "sdgc-deep", "medium-A")
+
+#: tenants of the mixed-traffic multi-model record (two SDGC depths: fast
+#: enough for CI, different enough that conflated state would be caught)
+MULTI_TIERS = ("sdgc-shallow", "sdgc-deep")
 
 _TIER_SOURCES = {
     "sdgc-shallow": "144-24",
@@ -327,6 +332,120 @@ def _run_tier(
     return record
 
 
+def _run_multi(
+    tiers: tuple[str, ...],
+    requests: int,
+    request_cols: int,
+    max_batch: int,
+    seed: int,
+    memory_budget_mb: float | None,
+) -> dict:
+    """Mixed-traffic multi-tenant record: throughput, isolation, budget.
+
+    Each tier becomes one named tenant in a :class:`~repro.serve.router.
+    ModelRegistry`; the mixed stream round-robins the tenants in
+    block-sized chunks through the synchronous :class:`~repro.serve.router.
+    Router`.  Two properties are asserted into the record:
+
+    * **isolation** — every tenant's outputs are compared bitwise against a
+      single-tenant serve of the same stream (same batcher geometry).
+      Mixing tenants must change nothing, with or without budget-driven
+      warm-to-cold demotions mid-stream;
+    * **budget** — with ``memory_budget_mb`` set, the post-run high-water
+      mark must sit at or under the limit and the LRU demotions it took to
+      get there are recorded.
+    """
+    from repro.serve.router import ModelRegistry, Router
+
+    budget_bytes = (
+        int(memory_budget_mb * 1024 * 1024) if memory_budget_mb is not None else None
+    )
+    tenants: dict[str, dict] = {}
+    for tier in tiers:
+        net, cfg, pool = _tier_workload(tier, requests * request_cols, seed)
+        net.drop_views()  # a prior tier may share this network object warm
+        tenants[tier] = {
+            "net": net,
+            "cfg": cfg,
+            "stream": _split_requests(pool, request_cols),
+        }
+
+    # single-tenant references: same stream, same batcher geometry, no
+    # neighbors — the bar the mixed run must match bitwise
+    for name, tenant in tenants.items():
+        session, server, report = _warm_pass(
+            tenant["net"], tenant["cfg"], tenant["stream"], max_batch
+        )
+        tenant["reference"] = report
+        tenant["net"].drop_views()  # hand the views back cold to the router
+
+    registry = ModelRegistry(memory_budget_bytes=budget_bytes)
+    for name, tenant in tenants.items():
+        registry.register(name, tenant["net"], config=tenant["cfg"], warm=True)
+    router = Router(
+        registry, max_batch=max_batch, max_wait_s=60.0,
+        queue_limit=max(len(t["stream"]) for t in tenants.values()),
+    )
+
+    # round-robin in block-sized chunks so every tenant flushes full blocks
+    # and budget enforcement happens per block, not per request
+    chunk = max(1, max_batch // request_cols)
+    mixed: list[tuple[str, np.ndarray]] = []
+    offset = 0
+    while any(offset < len(t["stream"]) for t in tenants.values()):
+        for name, tenant in tenants.items():
+            for y0 in tenant["stream"][offset : offset + chunk]:
+                mixed.append((name, y0))
+        offset += chunk
+
+    report = router.serve(iter(mixed))
+
+    per_tenant = {}
+    for name, tenant in tenants.items():
+        ref, mine = tenant["reference"], report.per_model[name]
+        identical = len(ref.served) == len(mine.served) and all(
+            np.array_equal(t.y, rt.y) for t, rt in zip(mine.served, ref.served)
+        )
+        lane = router.lane(name).stats()
+        per_tenant[name] = {
+            "requests": mine.requests,
+            "served": len(mine.served),
+            "rejected": len(mine.rejected),
+            "columns": mine.columns,
+            "columns_per_second": mine.columns_per_second,
+            "latency_seconds": mine.latency_quantiles(),
+            "status": mine.status,
+            "isolation_identical": bool(identical),
+            "single_tenant_seconds": ref.wall_seconds,
+            "single_tenant_columns_per_second": ref.columns_per_second,
+            "hol_stalls": lane["hol_stalls"],
+            "hol_underfill_columns": lane["hol_underfill_columns"],
+            "batcher": lane,
+        }
+
+    budget_stats = registry.budget.stats()
+    return {
+        "tenants": list(tiers),
+        "requests_per_tenant": requests,
+        "request_cols": request_cols,
+        "max_batch": max_batch,
+        "memory_budget_mb": memory_budget_mb,
+        "router": report.summary(),
+        "per_tenant": per_tenant,
+        "isolation_identical": bool(
+            all(t["isolation_identical"] for t in per_tenant.values())
+        ),
+        "demoted": list(report.demoted),
+        "budget": budget_stats,
+        "under_budget": (
+            bool(budget_stats["highwater_bytes"] <= budget_stats["limit_bytes"])
+            if budget_stats["limit_bytes"] is not None
+            else None
+        ),
+        "metrics": registry.metrics.snapshot(),
+    }
+
+
 def load_bench_records(data) -> list[dict]:
     """Per-tier records from a loaded ``BENCH_serve.json`` object.
 
@@ -361,6 +480,9 @@ def bench_serve(
     reuse_tolerance: float = 0.5,
     async_ab: bool = True,
     arrival_rate: float | None = None,
+    multi: bool = False,
+    multi_tiers: tuple[str, ...] | None = None,
+    memory_budget_mb: float | None = None,
 ) -> dict:
     """Measure request throughput: cold per-request engines vs warm serving.
 
@@ -379,6 +501,14 @@ def bench_serve(
     ``trace`` writes a Chrome trace of the first tier's warm serving run
     (note: span recording adds overhead to that tier's warm numbers; leave
     it off when comparing throughput across PRs).
+
+    ``multi`` adds the mixed-traffic multi-tenant record (see
+    :func:`_run_multi`) under the result's ``"multi"`` key: the
+    ``multi_tiers`` (default :data:`MULTI_TIERS`) served together through
+    one :class:`~repro.serve.router.Router`, with per-tenant throughput, a
+    bitwise isolation check against single-tenant runs, and — when
+    ``memory_budget_mb`` bounds the combined footprint — LRU warm-to-cold
+    demotions plus the post-enforcement high-water mark.
     """
     if tiers is None:
         tiers = (benchmark,) if benchmark is not None else DEFAULT_TIERS
@@ -411,6 +541,15 @@ def bench_serve(
         "async_ab": async_ab,
         "tiers": records,
     }
+    if multi:
+        result["multi"] = _run_multi(
+            tiers=multi_tiers if multi_tiers is not None else MULTI_TIERS,
+            requests=requests,
+            request_cols=request_cols,
+            max_batch=max_batch,
+            seed=seed,
+            memory_budget_mb=memory_budget_mb,
+        )
     if trace is not None and tracer is not None:
         tracer.write_chrome(trace)
         result["trace"] = str(trace)

@@ -1,0 +1,676 @@
+"""Multi-network serving: a model registry, a router, and a memory budget.
+
+One serving process, many warm networks.  Three pieces compose the story:
+
+* :class:`ModelRegistry` owns named :class:`~repro.serve.session.
+  EngineSession`\\ s — ``register``/``evict`` by name, lazy or eager warmup —
+  all publishing into **one** :class:`~repro.obs.MetricsRegistry` through
+  per-tenant ``{model="..."}`` labeled views, so a single scrape separates
+  tenants instead of conflating them;
+* :class:`Router` / :class:`AsyncRouter` front the registry with one
+  :class:`~repro.serve.batcher.MicroBatcher` per tenant and route
+  ``submit(model, y0)`` by name.  Requests from different tenants are never
+  packed into one block — isolation is structural, not statistical — so each
+  tenant's outputs are bitwise identical to a single-tenant run of the same
+  stream.  The sync router is the :class:`~repro.serve.server.
+  InferenceServer` loop generalized; the async router keeps the threaded
+  transport's shape — producers enqueue from any thread, **one worker
+  drains all tenants** — with per-tenant intake bounds, so one tenant's
+  burst rejects (or blocks) only its own lane;
+* a :class:`~repro.gpu.memory.MemoryBudget` meters retained bytes across
+  every tenant's warm state (scratch pool, pinned weight views, cached
+  centroids).  When the sum exceeds the budget the registry demotes the
+  least-recently-served sessions warm-to-cold
+  (:meth:`~repro.serve.session.EngineSession.demote`) until it fits.
+  Demotion drops only rebuildable state — pool contents are unspecified by
+  contract, weight views rebuild bitwise identically from CSR, and a cold
+  centroid cache merely re-pays one conversion — so eviction is a
+  performance event, never a correctness one, and a demoted session keeps
+  serving (re-warming lazily).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigError, ServeClosedError, ServeOverflowError
+from repro.gpu.memory import MemoryBudget
+from repro.obs import MetricsRegistry
+from repro.serve.async_server import AsyncServeReport, AsyncTicket
+from repro.serve.batcher import MicroBatcher, Ticket
+from repro.serve.server import ServeReport
+from repro.serve.session import EngineSession
+
+__all__ = ["ModelRegistry", "Router", "AsyncRouter", "RouterReport"]
+
+
+class ModelRegistry:
+    """Named warm sessions behind one metrics registry and one byte budget.
+
+    Parameters
+    ----------
+    metrics:
+        The shared :class:`~repro.obs.MetricsRegistry` every tenant
+        publishes into (labeled per model); private one by default.
+    memory_budget_bytes:
+        Retained-bytes ceiling across *all* tenants' warm state; ``None``
+        meters without ever evicting.  Enforcement is LRU: the router calls
+        :meth:`enforce` after serving activity, and the registry demotes
+        least-recently-served sessions until the ledger fits.
+    clock:
+        Recency source for the LRU order (monotonic by default).
+    """
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry | None = None,
+        memory_budget_bytes: int | None = None,
+        clock=time.monotonic,
+    ):
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.budget = MemoryBudget(memory_budget_bytes).bind_metrics(self.metrics)
+        self.clock = clock
+        self._sessions: dict[str, EngineSession] = {}
+        self._last_served: dict[str, float] = {}
+        #: model names demoted by budget enforcement, in eviction order
+        self.demotions: list[str] = []
+
+    # ------------------------------------------------------------ lifecycle
+    def register(
+        self,
+        name: str,
+        network=None,
+        *,
+        config=None,
+        kind: str = "snicit",
+        warm: bool = False,
+        session: EngineSession | None = None,
+        **session_kwargs,
+    ) -> EngineSession:
+        """Add a named tenant; returns its session.
+
+        Either pass a ``network`` (+ engine options) to build an
+        :class:`~repro.serve.session.EngineSession` here — on the shared
+        metrics registry, labeled ``model=name`` — or hand in a prebuilt
+        ``session``.  ``warm=False`` registers cold (views build lazily on
+        first use); ``warm=True`` pins them eagerly.  Duplicate names are a
+        :class:`~repro.errors.ConfigError` — a name means one tenant.
+        """
+        if name in self._sessions:
+            raise ConfigError(f"model {name!r} is already registered")
+        if session is None:
+            if network is None:
+                raise ConfigError(f"model {name!r} needs a network or a session")
+            session = EngineSession(
+                network,
+                config,
+                kind=kind,
+                warm=warm,
+                metrics=self.metrics,
+                name=name,
+                **session_kwargs,
+            )
+        self._sessions[name] = session
+        self._last_served[name] = self.clock()
+        # an eagerly-warmed tenant can push the ledger over budget the
+        # moment it registers; enforce right away (protecting the newcomer)
+        # so the highwater gauge only ever records post-enforcement state
+        self.enforce(protect=(name,))
+        return session
+
+    def evict(self, name: str) -> EngineSession:
+        """Remove a tenant entirely (its account leaves the ledger too)."""
+        session = self.get(name)
+        del self._sessions[name]
+        del self._last_served[name]
+        self.budget.drop(name)
+        self.budget.publish()
+        return session
+
+    def get(self, name: str) -> EngineSession:
+        try:
+            return self._sessions[name]
+        except KeyError:
+            raise ConfigError(
+                f"unknown model {name!r}; registered: {sorted(self._sessions)}"
+            ) from None
+
+    def names(self) -> list[str]:
+        return list(self._sessions)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._sessions
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    # --------------------------------------------------------------- budget
+    def touch(self, name: str) -> None:
+        """Mark a tenant as just-served (moves it to the LRU tail)."""
+        self._last_served[name] = self.clock()
+
+    def refresh_accounts(self) -> int:
+        """Re-read every session's retained footprint into the ledger."""
+        for name, session in self._sessions.items():
+            self.budget.update(name, session.retained_nbytes())
+        return self.budget.retained_bytes
+
+    def enforce(self, protect=()) -> list[str]:
+        """Demote LRU sessions until the ledger fits the budget.
+
+        ``protect`` names tenants exempt this round (typically the one that
+        just served — demoting it would immediately re-warm).  Returns the
+        names demoted, oldest first.  The high-water gauge is published
+        *after* enforcement, so a run that stays within budget certifies it
+        via ``memory_budget_highwater_bytes <= memory_budget_limit_bytes``.
+        """
+        self.refresh_accounts()
+        demoted: list[str] = []
+        if self.budget.over_budget:
+            candidates = sorted(
+                (
+                    name
+                    for name, session in self._sessions.items()
+                    if name not in protect and session.retained_nbytes() > 0
+                ),
+                key=lambda name: self._last_served[name],
+            )
+            for name in candidates:
+                if not self.budget.over_budget:
+                    break
+                session = self._sessions[name]
+                session.demote()
+                self.budget.update(name, session.retained_nbytes())
+                self.budget.record_eviction()
+                self.metrics.counter(
+                    "memory_budget_demotions_total",
+                    help="warm-to-cold demotions, per tenant",
+                    model=name,
+                ).inc()
+                demoted.append(name)
+                self.demotions.append(name)
+        self.budget.publish()
+        return demoted
+
+    def stats(self) -> dict:
+        return {
+            "models": {name: s.stats() for name, s in self._sessions.items()},
+            "budget": self.budget.stats(),
+            "demotions": list(self.demotions),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ModelRegistry(models={sorted(self._sessions)}, "
+            f"retained={self.budget.retained_bytes})"
+        )
+
+
+@dataclass
+class RouterReport:
+    """Outcome of one mixed-traffic stream, per tenant plus merged.
+
+    The merged view honors each tenant's own
+    :attr:`~repro.serve.server.ServeReport.status` instead of judging
+    globally: an idle tenant (``no_traffic``) does not drag a healthy run,
+    and one fully-shed tenant does not hide behind another's successes —
+    mixed outcomes merge to ``'degraded'``, not ``'ok'``.
+    """
+
+    per_model: dict[str, ServeReport] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+    #: worker busy seconds (async transport only; 0.0 for the sync router)
+    exec_seconds: float = 0.0
+    #: tenants demoted warm-to-cold by budget enforcement during the stream
+    demoted: list[str] = field(default_factory=list)
+
+    # ----------------------------------------------------------- aggregates
+    @property
+    def requests(self) -> int:
+        return sum(r.requests for r in self.per_model.values())
+
+    @property
+    def served(self) -> int:
+        return sum(len(r.served) for r in self.per_model.values())
+
+    @property
+    def rejected(self) -> int:
+        return sum(len(r.rejected) for r in self.per_model.values())
+
+    @property
+    def columns(self) -> int:
+        return sum(r.columns for r in self.per_model.values())
+
+    @property
+    def columns_per_second(self) -> float:
+        return self.columns / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    @property
+    def status(self) -> str:
+        """Merged health: per-tenant statuses folded without masking.
+
+        ``no_traffic`` tenants are excluded from the judgment (idle is not
+        unhealthy); among the active ones, all-ok merges to ``'ok'``, all
+        turned-away (rejected or failed) to ``'all_rejected'``, and any mix
+        to ``'degraded'``.  No active tenant at all is ``'no_traffic'``.
+        """
+        active = [
+            r.status for r in self.per_model.values() if r.status != "no_traffic"
+        ]
+        if not active:
+            return "no_traffic"
+        if all(s == "ok" for s in active):
+            return "ok"
+        if all(s in ("all_rejected", "all_failed") for s in active):
+            return "all_rejected"
+        return "degraded"
+
+    def latency_quantiles(self, qs=(0.5, 0.95, 1.0)) -> dict[str, float] | None:
+        """Pooled quantiles over every tenant that actually served.
+
+        Tenants with nothing served contribute no samples (their ``None``
+        is not coerced to zero); with no served request anywhere the merged
+        view is ``None`` too, mirroring the single-tenant contract.
+        """
+        lat = [
+            t.latency_seconds
+            for report in self.per_model.values()
+            for t in report.served
+        ]
+        if not lat:
+            return None
+        arr = np.array(lat)
+        return {f"p{int(q * 100)}": float(np.quantile(arr, q)) for q in qs}
+
+    def summary(self) -> dict:
+        return {
+            "status": self.status,
+            "requests": self.requests,
+            "served": self.served,
+            "rejected": self.rejected,
+            "columns": self.columns,
+            "wall_seconds": self.wall_seconds,
+            "columns_per_second": self.columns_per_second,
+            "latency_seconds": self.latency_quantiles(),
+            "demoted": list(self.demoted),
+            "models": {
+                name: report.summary() for name, report in self.per_model.items()
+            },
+        }
+
+
+class Router:
+    """Synchronous multi-tenant front end: one batcher lane per model.
+
+    The single-tenant :class:`~repro.serve.server.InferenceServer` loop,
+    generalized: ``submit(model, y0)`` routes by name into the model's own
+    :class:`~repro.serve.batcher.MicroBatcher` (created on first use), so
+    blocks never mix tenants.  After every flush opportunity the registry's
+    memory budget is enforced, protecting the tenant that just served.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        max_batch: int = 256,
+        max_wait_s: float = 0.002,
+        queue_limit: int = 1024,
+        clock=time.monotonic,
+    ):
+        self.registry = registry
+        self.max_batch = int(max_batch)
+        self.max_wait_s = float(max_wait_s)
+        self.queue_limit = int(queue_limit)
+        self.clock = clock
+        self._lanes: dict[str, MicroBatcher] = {}
+
+    def lane(self, model: str) -> MicroBatcher:
+        """The model's batcher, created on first use (unknown name raises)."""
+        batcher = self._lanes.get(model)
+        if batcher is None:
+            batcher = MicroBatcher(
+                self.registry.get(model),
+                max_batch=self.max_batch,
+                max_wait_s=self.max_wait_s,
+                max_pending=self.queue_limit,
+                clock=self.clock,
+            )
+            self._lanes[model] = batcher
+        return batcher
+
+    # ------------------------------------------------------------- serving
+    def submit(self, model: str, y0: np.ndarray) -> Ticket:
+        """Route one request to its tenant's lane; may flush a block."""
+        ticket = self.lane(model).submit(y0)
+        self.registry.touch(model)
+        self.registry.enforce(protect={model})
+        return ticket
+
+    def step(self) -> int:
+        """Poll every lane's max-wait deadline; returns blocks flushed."""
+        n = 0
+        for model, batcher in self._lanes.items():
+            flushed = batcher.poll()
+            if flushed:
+                self.registry.touch(model)
+                self.registry.enforce(protect={model})
+            n += flushed
+        return n
+
+    def drain(self) -> int:
+        """Flush everything pending in every lane."""
+        n = 0
+        for model, batcher in self._lanes.items():
+            flushed = batcher.drain()
+            if flushed:
+                self.registry.touch(model)
+                self.registry.enforce(protect={model})
+            n += flushed
+        return n
+
+    def serve(self, requests) -> RouterReport:
+        """Run a mixed stream of ``(model, y0)`` pairs to completion."""
+        report = RouterReport()
+        demotions_before = len(self.registry.demotions)
+        t0 = time.perf_counter()
+        for index, (model, y0) in enumerate(requests):
+            per = report.per_model.setdefault(model, ServeReport())
+            try:
+                per.served.append(self.submit(model, y0))
+            except ServeOverflowError as exc:
+                per.rejected.append((index, str(exc)))
+            self.step()
+        self.drain()
+        report.wall_seconds = time.perf_counter() - t0
+        for per in report.per_model.values():
+            per.wall_seconds = report.wall_seconds
+        report.demoted = self.registry.demotions[demotions_before:]
+        return report
+
+    def stats(self) -> dict:
+        return {
+            "registry": self.registry.stats(),
+            "lanes": {name: b.stats() for name, b in self._lanes.items()},
+        }
+
+
+class _AsyncLane:
+    """Per-tenant state of the async router: intake, batcher, inflight."""
+
+    __slots__ = ("batcher", "intake", "inflight", "accepted")
+
+    def __init__(self, batcher: MicroBatcher):
+        self.batcher = batcher
+        self.intake: deque[AsyncTicket] = deque()
+        self.inflight: deque[AsyncTicket] = deque()
+        self.accepted = 0
+
+
+class AsyncRouter:
+    """Threaded multi-tenant front end: one worker drains all tenants.
+
+    The :class:`~repro.serve.async_server.AsyncInferenceServer` transport
+    generalized to many models: producers ``submit(model, y0)`` from any
+    thread into that tenant's own bounded intake lane — backpressure is per
+    tenant, so one tenant's burst rejects (``on_full='reject'``) or blocks
+    (``'block'``) only its own producers — while a single consumer worker
+    round-robins the lanes, packing and executing one tenant's block at a
+    time on its warm session.  Blocks never mix tenants; the memory budget
+    is enforced between blocks, protecting the tenant that just ran.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        max_batch: int = 256,
+        max_wait_s: float = 0.002,
+        queue_limit: int = 1024,
+        on_full: str = "reject",
+        clock=time.monotonic,
+    ):
+        from repro.serve.async_server import BACKPRESSURE_POLICIES
+
+        if on_full not in BACKPRESSURE_POLICIES:
+            raise ConfigError(
+                f"unknown backpressure policy {on_full!r}; known: {BACKPRESSURE_POLICIES}"
+            )
+        self.registry = registry
+        self.max_batch = int(max_batch)
+        self.max_wait_s = float(max_wait_s)
+        self.queue_limit = int(queue_limit)
+        self.on_full = on_full
+        self.clock = clock
+        self._lanes: dict[str, _AsyncLane] = {}
+        self._lock = threading.Lock()
+        self._arrived = threading.Condition(self._lock)
+        self._space = threading.Condition(self._lock)
+        self._closed = False
+        self._abort = False
+        self._exec_seconds = 0.0
+        self._worker = threading.Thread(
+            target=self._worker_loop, name="repro-router-worker", daemon=True
+        )
+        self._worker.start()
+
+    def _lane(self, model: str) -> _AsyncLane:
+        """Lane for a model (lock held by the caller)."""
+        lane = self._lanes.get(model)
+        if lane is None:
+            session = self.registry.get(model)
+            lane = _AsyncLane(
+                MicroBatcher(
+                    session,
+                    max_batch=self.max_batch,
+                    max_wait_s=self.max_wait_s,
+                    max_pending=self.queue_limit + self.max_batch + 1,
+                    clock=self.clock,
+                )
+            )
+            self._lanes[model] = lane
+        return lane
+
+    # ------------------------------------------------------------- producer
+    def submit(self, model: str, y0: np.ndarray) -> AsyncTicket:
+        """Enqueue into the model's lane; returns a future-like ticket.
+
+        Thread-safe.  A full *lane* (not the whole router) rejects under
+        ``'reject'`` or parks this producer under ``'block'`` — per-tenant
+        backpressure by construction.
+        """
+        session = self.registry.get(model)  # unknown names fail synchronously
+        y0 = session.network.validate_input(np.asarray(y0))
+        if y0.shape[1] < 1:
+            from repro.errors import ShapeError
+
+            raise ShapeError("a request needs at least one column")
+        with self._lock:
+            if self._closed:
+                raise ServeClosedError("router is closed; request not accepted")
+            lane = self._lane(model)
+            if len(lane.intake) >= self.queue_limit:
+                if self.on_full == "reject":
+                    raise ServeOverflowError(
+                        f"lane {model!r} full ({self.queue_limit} requests); "
+                        "request rejected"
+                    )
+                while len(lane.intake) >= self.queue_limit and not self._closed:
+                    self._space.wait()
+                if self._closed:
+                    raise ServeClosedError("router closed while waiting for lane space")
+            ticket = AsyncTicket(y0, self.clock(), index=lane.accepted)
+            lane.accepted += 1
+            lane.intake.append(ticket)
+            self._arrived.notify()
+        return ticket
+
+    def close(self, drain: bool = True, timeout: float | None = None) -> bool:
+        """Stop the worker; drain or abort, same contract as the transport."""
+        with self._lock:
+            self._closed = True
+            if not drain:
+                self._abort = True
+            self._arrived.notify_all()
+            self._space.notify_all()
+        self._worker.join(timeout)
+        return not self._worker.is_alive()
+
+    def __enter__(self) -> "AsyncRouter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(drain=exc_type is None)
+
+    # ------------------------------------------------------------ streaming
+    def serve(self, requests, interarrivals=None) -> RouterReport:
+        """Submit a mixed open-loop stream, drain, and report per tenant."""
+        report = RouterReport()
+        demotions_before = len(self.registry.demotions)
+        gaps = iter(interarrivals) if interarrivals is not None else None
+        tickets: list[tuple[str, int, AsyncTicket]] = []
+        t0 = time.perf_counter()
+        for index, (model, y0) in enumerate(requests):
+            if gaps is not None:
+                gap = float(next(gaps, 0.0))
+                if gap > 0:
+                    time.sleep(gap)
+            per = report.per_model.setdefault(model, AsyncServeReport())
+            try:
+                tickets.append((model, index, self.submit(model, y0)))
+            except (ServeOverflowError, ServeClosedError) as exc:
+                per.rejected.append((index, str(exc)))
+        self.close(drain=True)
+        for model, index, ticket in tickets:
+            per = report.per_model[model]
+            if ticket.failed:
+                per.failed.append((index, str(ticket.exception)))
+            else:
+                per.served.append(ticket)
+        report.wall_seconds = time.perf_counter() - t0
+        report.exec_seconds = self._exec_seconds
+        for per in report.per_model.values():
+            per.wall_seconds = report.wall_seconds
+        report.demoted = self.registry.demotions[demotions_before:]
+        return report
+
+    # -------------------------------------------------------------- worker
+    def _due(self) -> float | None:
+        """Earliest max-wait deadline across lanes (lock held)."""
+        due = None
+        for lane in self._lanes.values():
+            d = lane.batcher.seconds_until_due()
+            if d is not None and (due is None or d < due):
+                due = d
+        return due
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._lock:
+                while (
+                    not any(lane.intake for lane in self._lanes.values())
+                    and not self._closed
+                ):
+                    due = self._due()
+                    if due is not None and due <= 0:
+                        break
+                    self._arrived.wait(timeout=due)
+                grabbed: list[tuple[str, _AsyncLane, list[AsyncTicket]]] = []
+                for model, lane in self._lanes.items():
+                    items = list(lane.intake)
+                    lane.intake.clear()
+                    grabbed.append((model, lane, items))
+                if any(items for _, _, items in grabbed):
+                    self._space.notify_all()
+                closing = self._closed and not any(i for _, _, i in grabbed)
+                abort = self._abort
+            if abort:
+                self._abort_pending(grabbed)
+                return
+            now = self.clock()
+            for model, lane, items in grabbed:
+                for ticket in items:
+                    ticket.dequeued_at = now
+                    try:
+                        ticket.inner = lane.batcher.enqueue(ticket.y0)
+                    except Exception as exc:
+                        # cannot happen for validated requests under the
+                        # sized batcher cap, but an accepted ticket must
+                        # still resolve
+                        ticket._resolve(self.clock(), error=exc)
+                        continue
+                    lane.inflight.append(ticket)
+                    self._run_guarded(model, lane, lane.batcher.flush_full)
+                self._run_guarded(model, lane, lane.batcher.poll)
+            if closing:
+                for model, lane in self._lanes.items():
+                    while lane.batcher.pending_requests:
+                        self._run_guarded(model, lane, lane.batcher.drain)
+                with self._lock:
+                    abort = self._abort
+                if abort:
+                    self._abort_pending([])
+                return
+
+    def _run_guarded(self, model: str, lane: _AsyncLane, fn) -> None:
+        """Execute blocks for one lane, then enforce the byte budget."""
+        t0 = time.perf_counter()
+        ran = False
+        try:
+            ran = bool(fn())
+        except Exception:
+            # the batcher routed the exception to the failing block's
+            # tickets before re-raising; _sweep hands it to producers
+            ran = True
+        finally:
+            self._exec_seconds += time.perf_counter() - t0
+        self._sweep(lane)
+        if ran:
+            self.registry.touch(model)
+            self.registry.enforce(protect={model})
+
+    def _sweep(self, lane: _AsyncLane) -> None:
+        """Resolve the lane's inflight prefix whose inner tickets are done."""
+        now = self.clock()
+        while lane.inflight and lane.inflight[0].inner.done:
+            ticket = lane.inflight.popleft()
+            ticket._resolve(now, error=ticket.inner.error)
+
+    def _abort_pending(self, grabbed) -> None:
+        """Fail everything unfinished across every lane."""
+        now = self.clock()
+        error = ServeClosedError("router aborted before this request executed")
+        for _, lane, items in grabbed:
+            self._sweep(lane)
+            for ticket in items:
+                ticket._resolve(now, error=error)
+        with self._lock:
+            leftovers = []
+            for lane in self._lanes.values():
+                self._sweep(lane)
+                while lane.inflight:
+                    lane.inflight.popleft()._resolve(now, error=error)
+                leftovers.extend(lane.intake)
+                lane.intake.clear()
+            self._space.notify_all()
+        for ticket in leftovers:
+            ticket._resolve(now, error=error)
+
+    # ------------------------------------------------------------- metrics
+    @property
+    def exec_seconds(self) -> float:
+        return self._exec_seconds
+
+    def stats(self) -> dict:
+        return {
+            "registry": self.registry.stats(),
+            "on_full": self.on_full,
+            "closed": self._closed,
+            "exec_seconds": self._exec_seconds,
+            "lanes": {
+                name: lane.batcher.stats() for name, lane in self._lanes.items()
+            },
+        }

@@ -100,6 +100,8 @@ class InferenceServer:
         self.session = session
         self.tracer = session.tracer
         self.metrics = session.metrics
+        # per-tenant labeled view when the session is named (multi-model)
+        self.scoped = getattr(session, "scoped", None) or session.metrics
         self.batcher = MicroBatcher(
             session,
             max_batch=max_batch,
@@ -107,7 +109,7 @@ class InferenceServer:
             max_pending=queue_limit,
             clock=clock,
         )
-        self._c_overflow = self.metrics.counter(
+        self._c_overflow = self.scoped.counter(
             "server_overflow_total", help="requests the serve loop turned into rejections"
         )
 

@@ -60,6 +60,14 @@ class EngineSession:
         session's lifetime counters (calls, columns, busy/warmup seconds,
         per-stage seconds) live on the registry; ``self.calls`` etc. read
         through to it.
+    name:
+        Tenant identity for multi-model serving.  When set, every metric
+        the session (and its memo/pool/cache/engine) publishes goes through
+        ``metrics.labeled(model=name)`` — two sessions sharing one registry
+        then scrape as ``memo_hits_total{model="a"}`` vs ``{model="b"}``
+        instead of conflating into one unlabeled series (and stacking
+        ``on_collect`` gauges where the last writer wins).  Unnamed
+        sessions keep the legacy unlabeled series.
     centroid_reuse:
         Carry layer-``t`` centroids across consecutive blocks through a
         :class:`~repro.core.reuse.CentroidCache` (SNICIT engines only):
@@ -85,16 +93,21 @@ class EngineSession:
         metrics: MetricsRegistry | None = None,
         centroid_reuse: bool = False,
         reuse_tolerance: float = 0.5,
+        name: str | None = None,
     ):
         self.network = network
         self.kind = kind
+        self.name = name
         self.device = device or VirtualDevice()
         self.tracer = as_tracer(tracer)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
-        self.memo = StrategyMemo(memo_buckets).bind_metrics(self.metrics)
-        self.scratch = BufferPool().bind_metrics(self.metrics)
+        #: the session's metric surface: a per-tenant labeled view when
+        #: named, the raw registry otherwise (legacy unlabeled series)
+        self.scoped = self.metrics.labeled(model=name) if name is not None else self.metrics
+        self.memo = StrategyMemo(memo_buckets).bind_metrics(self.scoped)
+        self.scratch = BufferPool().bind_metrics(self.scoped)
         self.reuse = (
-            CentroidCache(tolerance=reuse_tolerance).bind_metrics(self.metrics)
+            CentroidCache(tolerance=reuse_tolerance).bind_metrics(self.scoped)
             if centroid_reuse and kind == "snicit"
             else None
         )
@@ -105,21 +118,23 @@ class EngineSession:
             memo=self.memo,
             scratch=self.scratch,
             tracer=self.tracer,
-            metrics=self.metrics,
+            metrics=self.scoped,
             reuse=self.reuse,
         )
-        self._c_calls = self.metrics.counter(
+        self._c_calls = self.scoped.counter(
             "session_calls_total", help="inference calls served by this session"
         )
-        self._c_columns = self.metrics.counter(
+        self._c_columns = self.scoped.counter(
             "session_columns_total", help="input columns pushed through the engine"
         )
-        self._c_busy = self.metrics.counter(
+        self._c_busy = self.scoped.counter(
             "session_busy_seconds_total", help="wall seconds inside engine.infer"
         )
-        self._c_warmup = self.metrics.counter(
+        self._c_warmup = self.scoped.counter(
             "session_warmup_seconds_total", help="wall seconds building weight views"
         )
+        #: True while the session holds warm state (views pinned / warmup run)
+        self.warmed = False
         if warm:
             self.warmup()
 
@@ -145,7 +160,7 @@ class EngineSession:
         """Cumulative engine seconds per stage, read from the registry."""
         return {
             labels["stage"]: metric.value
-            for labels, metric in self.metrics.series("session_stage_seconds_total")
+            for labels, metric in self.scoped.series("session_stage_seconds_total")
         }
 
     # ------------------------------------------------------------ lifecycle
@@ -165,7 +180,38 @@ class EngineSession:
                 else:
                     net.ell(i)
         self._c_warmup.inc(time.perf_counter() - t0)
+        self.warmed = True
         return self.warmup_seconds
+
+    def retained_nbytes(self) -> int:
+        """Warm-state footprint: scratch pool + pinned views + cached centroids.
+
+        This is the number a :class:`~repro.gpu.memory.MemoryBudget` accounts
+        for the session, and exactly what :meth:`demote` releases.
+        """
+        total = self.scratch.nbytes + self.network.view_nbytes()
+        if self.reuse is not None:
+            total += self.reuse.nbytes
+        return total
+
+    def demote(self) -> int:
+        """Warm-to-cold demotion: release retained state, keep the session.
+
+        Drops the scratch pool, the pinned weight views, and any cached
+        conversions; returns the bytes freed.  Correctness is untouched —
+        pool contents are unspecified by contract, views rebuild bitwise
+        identically from the CSR source of truth, and a cold centroid cache
+        just means the next block pays a full conversion again.  The session
+        keeps serving (lazily re-warming on demand); call :meth:`warmup` to
+        re-pin eagerly.
+        """
+        freed = self.scratch.clear()
+        freed += self.network.drop_views()
+        if self.reuse is not None and len(self.reuse):
+            freed += self.reuse.nbytes
+            self.reuse.invalidate(reason="evicted")
+        self.warmed = False
+        return freed
 
     # ------------------------------------------------------------- serving
     def run(self, y0: np.ndarray) -> InferenceResult:
@@ -176,7 +222,7 @@ class EngineSession:
         self._c_calls.inc()
         self._c_columns.inc(y0.shape[1])
         for stage, seconds in result.stage_seconds.items():
-            self.metrics.counter(
+            self.scoped.counter(
                 "session_stage_seconds_total",
                 help="cumulative engine seconds per pipeline stage",
                 stage=stage,
@@ -189,6 +235,9 @@ class EngineSession:
         out = {
             "engine": self.kind,
             "network": self.network.name,
+            "model": self.name,
+            "warmed": self.warmed,
+            "retained_nbytes": self.retained_nbytes(),
             "calls": self.calls,
             "columns": self.columns,
             "warmup_seconds": self.warmup_seconds,

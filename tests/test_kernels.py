@@ -96,6 +96,32 @@ def test_strategy_memo_replays_choice(rng):
     assert len(memo) == 2
 
 
+def test_strategy_memo_scoped_by_network(rng):
+    """A shared memo must not replay net A's champion for net B's layer 0.
+
+    Before network scoping the key was ``(layer, bucket)``: a 1 %-dense net
+    recording "masked" for layer 0 would make a same-index dense-ish layer
+    of another net replay "masked" too, even though its own derivation picks
+    "colwise".  The fingerprint in the key keeps each network's choices to
+    itself.
+    """
+    sparse_net, _ = make_net(rng, density=0.1)
+    dense_net, d = make_net(rng, density=0.6)
+    memo = StrategyMemo(n_buckets=8)
+    y = np.zeros((20, 6), dtype=np.float32)
+    y[:3] = rng.random((3, 6))
+    _, _, s_sparse = champion_spmm(sparse_net, 0, y, memo=memo)
+    assert s_sparse == "masked"
+    # same layer index, same memo: the dense net derives its own champion
+    z, _, s_dense = champion_spmm(dense_net, 0, y, memo=memo)
+    assert s_dense == "colwise"
+    assert np.allclose(z, d @ y, atol=1e-4)
+    assert len(memo) == 2  # one entry per network scope
+    # raw lookup never crosses scopes either
+    assert memo.lookup(0, 1.0, network=sparse_net) is None
+    assert memo.lookup(0, 1.0, network=dense_net) == "colwise"
+
+
 def test_strategy_memo_bucket_quantization():
     memo = StrategyMemo(n_buckets=4)
     assert memo.bucket(0.0) == 0

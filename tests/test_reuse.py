@@ -53,10 +53,13 @@ def test_cache_fill_lookup_roundtrip():
     assert entry.n_centroids == 2
     stats = cache.stats()
     assert stats == {
-        "entries": 1, "hits": 0, "misses": 1, "fills": 1, "skipped_fills": 0,
+        "entries": 1, "nbytes": entry.nbytes, "hits": 0, "misses": 1,
+        "fills": 1, "skipped_fills": 0,
         "invalidations": {}, "tolerance": 0.5,
         "last_distance": None, "last_density": None,
     }
+    # 3 float32 (4, 2) arrays: centroids, one trajectory layer, final state
+    assert entry.nbytes == 3 * 4 * 2 * 4
 
 
 def test_cache_rejects_oversized_conversions():
@@ -94,6 +97,43 @@ def test_admit_zero_tolerance_accepts_baseline_exactly():
     cache.fill(3, **entry_kwargs())
     entry = cache.lookup(3, 4)
     assert cache.admit(entry, distance=0.1, density=0.1)  # == baseline: admitted
+
+
+def test_cache_scopes_entries_by_network_identity():
+    """Two tenants sharing a cache and a threshold layer must not collide.
+
+    Before network scoping, ``_entries`` was keyed by ``threshold_layer``
+    alone: tenant B's fill at layer 3 silently replaced tenant A's entry,
+    and A's next lookup happily served B's centroids — foreign structure
+    that the Eq. 4-6 residue algebra would then be computed against.
+    """
+    cache = CentroidCache()
+    cache.fill(3, **entry_kwargs(c=2), network="net-a")
+    cache.fill(3, **entry_kwargs(c=1), network="net-b")  # same layer, other net
+    assert len(cache) == 2  # no clobber
+    a = cache.lookup(3, 4, network="net-a")
+    b = cache.lookup(3, 4, network="net-b")
+    assert a.n_centroids == 2 and a.network_key == "net-a"
+    assert b.n_centroids == 1 and b.network_key == "net-b"
+    # a scope never sees another scope's entry, even at the same layer
+    assert cache.lookup(3, 4, network="net-c") is None
+    assert cache.lookup(3, 4) is None  # legacy unscoped key is its own scope
+    # per-entry invalidation drops only the owning scope's entry
+    assert not cache.admit(a, distance=9.0, density=0.1)
+    assert cache.lookup(3, 4, network="net-a") is None
+    assert cache.lookup(3, 4, network="net-b") is not None
+    # layer-wide invalidation sweeps the layer across every scope
+    cache.fill(3, **entry_kwargs(), network="net-a")
+    assert cache.invalidate(3, reason="manual") == 2
+    assert len(cache) == 0
+
+
+def test_cache_scope_uses_network_fingerprint(workload):
+    net, _, _ = workload
+    cache = CentroidCache()
+    cache.fill(3, **entry_kwargs(), network=net)
+    assert cache.lookup(3, 4, network=net).network_key == net.fingerprint
+    assert cache.lookup(3, 4, network="somewhere-else") is None
 
 
 def test_cache_metrics_binding():
@@ -183,7 +223,7 @@ def test_repeated_block_hits_and_is_bitwise_identical(workload):
     assert cache.stats()["hits"] == 1 and cache.stats()["fills"] == 1
     # hit blocks carry no in-block centroids: they all live in the cache
     assert second.stats["n_centroids"] == cache.lookup(
-        cfg.for_network(net.num_layers).threshold_layer, net.input_dim
+        cfg.for_network(net.num_layers).threshold_layer, net.input_dim, network=net
     ).n_centroids
     assert second.stats["centroid_cols"].size == 0
 
