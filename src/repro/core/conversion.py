@@ -27,26 +27,24 @@ __all__ = ["assign_centroids", "build_residues", "convert", "construct_kernel"]
 
 
 def assign_centroids(
-    y: np.ndarray, cent_cols: np.ndarray, chunk: int = 512
+    y: np.ndarray, cent_cols: np.ndarray, chunk: int | None = None
 ) -> np.ndarray:
     """The centroid mapper ``M`` (Eq. 3): nearest centroid by L0 distance.
 
     Centroid columns map to -1.  Ties resolve to the first (lowest-index)
-    centroid, matching Algorithm 2's strict-less update.
+    centroid, matching Algorithm 2's strict-less update.  The distance work
+    runs through :func:`repro.kernels.l0_nearest`, which picks a cache-sized
+    column chunk automatically (``chunk`` overrides it).
     """
+    from repro.kernels import l0_nearest
+
     if y.ndim != 2:
         raise ShapeError(f"Y must be 2-D, got {y.ndim}-D")
     cent_cols = np.asarray(cent_cols, dtype=np.int64)
     if len(cent_cols) == 0:
         raise ConfigError("need at least one centroid")
-    b = y.shape[1]
-    cents = y[:, cent_cols]  # (N, C)
-    m = np.empty(b, dtype=np.int64)
-    for lo in range(0, b, chunk):
-        hi = min(b, lo + chunk)
-        # (N, chunk, C) inequality count -> (chunk, C)
-        d = (y[:, lo:hi, None] != cents[:, None, :]).sum(axis=0)
-        m[lo:hi] = cent_cols[d.argmin(axis=1)]
+    idx, _ = l0_nearest(y, y[:, cent_cols], chunk=chunk)
+    m = cent_cols[idx]
     m[cent_cols] = -1
     return m
 

@@ -15,8 +15,8 @@ import numpy as np
 from repro.core.config import SNICITConfig
 from repro.core.conversion import convert
 from repro.core.pruning import prune_samples, select_centroids
-from repro.core.recovery import recover
-from repro.core.reuse import CentroidCache
+from repro.core.recovery import recover_compact
+from repro.core.reuse import CentroidCache, degenerate_fill_baselines
 from repro.core.sampling import sample_columns, sum_downsample
 from repro.core.postconv import update_compact, update_residues_external
 from repro.gpu.costmodel import KernelCharge
@@ -78,6 +78,13 @@ class SNICIT:
         staleness policy forces a full re-conversion (which refills the
         entry) when the block's assignment distance or residue density
         drifts past the configured budget.
+    plan:
+        Optional :class:`~repro.core.plan.StrategyPlan` baked at session
+        warmup.  When set, every spMM dispatch goes through the plan's
+        frozen per-layer decision instead of the memoized champion — a tuple
+        index instead of a memo lookup per layer.  Strategy choice never
+        changes results (all spMM kernels accumulate identically), so a
+        planned engine stays bitwise identical to an unplanned one.
     """
 
     name = "SNICIT"
@@ -92,6 +99,7 @@ class SNICIT:
         tracer=None,
         metrics=None,
         reuse: CentroidCache | None = None,
+        plan=None,
     ):
         self.network = network
         self.config = config.for_network(network.num_layers)
@@ -101,6 +109,7 @@ class SNICIT:
         self.tracer = as_tracer(tracer)
         self.metrics = metrics
         self.reuse = reuse
+        self.plan = plan
         # residue arithmetic (Eq. 4-6) needs a fixed activation width from the
         # threshold layer onward; reject shape-changing post-convergence
         # layers up front rather than failing mid-inference.  With
@@ -257,8 +266,16 @@ class SNICIT:
                         )
                         baseline_density = float((yhat[:, nc_mask] != 0).mean())
                     else:
-                        baseline_distance = 0.0
-                        baseline_density = 0.0
+                        # degenerate conversion (every column its own
+                        # centroid): no residue columns to baseline against,
+                        # so fall back to the centroid set's own spacing —
+                        # zero baselines would mark every later mix block
+                        # stale and churn the cache
+                        baseline_distance, baseline_density = (
+                            degenerate_fill_baselines(
+                                y[:, cent_cols], cfg.prune_threshold
+                            )
+                        )
                 stage_span.set(
                     n_centroids=int(len(cent_cols)),
                     sampled_columns=int(f0.shape[1]),
@@ -297,9 +314,7 @@ class SNICIT:
                     f"layer {i}", cat="layer", layer=i, active_columns=int(len(ne_idx))
                 ) as layer_span:
                     with tracer.span("load_reduced_spmm", cat="kernel", layer=i) as ks:
-                        z_sub, work, strategy = champion_spmm(
-                            net, i, sub, memo=self.memo, metrics=self.metrics
-                        )
+                        z_sub, work, strategy = self._spmm(i, sub)
                         charge = charge_for(
                             strategy, work, layer.n_out, len(ne_idx), "load_reduced_spmm"
                         )
@@ -357,10 +372,10 @@ class SNICIT:
         # ---- stage 4: final results recovery ------------------------------
         wall0 = time.perf_counter()
         with tracer.span("recovery", cat="stage") as stage_span:
-            yhat = np.zeros((net.output_dim, batch), dtype=sub.dtype)
-            yhat[:, ne_idx] = sub
             with tracer.span("recovery_kernel", cat="kernel") as kernel_span:
-                y_final = recover(yhat, m)
+                # scatter + centroid add-back in one pass: the full-width
+                # Ŷ(L) never materializes separately from the result
+                y_final = recover_compact(sub, ne_idx, m, net.output_dim)
                 charge = KernelCharge(
                     name="recovery",
                     flops=float(y_final.size),
@@ -480,9 +495,7 @@ class SNICIT:
                 ) as layer_span:
                     if len(ne_idx):
                         with tracer.span("load_reduced_spmm", cat="kernel", layer=i) as ks:
-                            z_sub, work, strategy = champion_spmm(
-                                net, i, sub, memo=self.memo, metrics=self.metrics
-                            )
+                            z_sub, work, strategy = self._spmm(i, sub)
                             charge = charge_for(
                                 strategy, work, layer.n_out, len(ne_idx),
                                 "load_reduced_spmm",
@@ -574,6 +587,14 @@ class SNICIT:
         )
 
     # ------------------------------------------------------------- helpers
+    def _spmm(self, i: int, y: np.ndarray, out: np.ndarray | None = None):
+        """One spMM dispatch: baked plan when present, champion otherwise."""
+        if self.plan is not None:
+            return self.plan.dispatch(self.network, i, y, out=out)
+        return champion_spmm(
+            self.network, i, y, memo=self.memo, out=out, metrics=self.metrics
+        )
+
     def _feedforward_layer(self, i: int, y: np.ndarray) -> np.ndarray:
         """One pre-convergence layer.
 
@@ -589,9 +610,7 @@ class SNICIT:
             # ping-pong: never hand the kernel its own input as the output
             out = self.scratch.take((layer.n_out, y.shape[1]), y.dtype, avoid=y)
         with self.tracer.span("pre_spmm", cat="kernel", layer=i) as ks:
-            z, work, strategy = champion_spmm(
-                net, i, y, memo=self.memo, out=out, metrics=self.metrics
-            )
+            z, work, strategy = self._spmm(i, y, out=out)
             z += layer.bias_column()
             charge = charge_for(strategy, work, layer.n_out, y.shape[1], "pre_spmm")
             ks.set(strategy=strategy, work=int(work))

@@ -11,7 +11,7 @@ import numpy as np
 
 from repro.errors import ShapeError
 
-__all__ = ["recover"]
+__all__ = ["recover", "recover_compact"]
 
 
 def recover(yhat: np.ndarray, m: np.ndarray) -> np.ndarray:
@@ -23,4 +23,28 @@ def recover(yhat: np.ndarray, m: np.ndarray) -> np.ndarray:
     y = yhat.copy()
     nc = m != -1
     y[:, nc] += yhat[:, m[nc]]
+    return y
+
+
+def recover_compact(
+    sub: np.ndarray, ne_idx: np.ndarray, m: np.ndarray, n_rows: int
+) -> np.ndarray:
+    """Eq. 6 straight from the compacted post-convergence state.
+
+    ``sub`` holds only the ``ne_idx`` columns of ``Ŷ(L)`` (the paper's
+    size(ne_idx) launch); the full-width matrix exists only as this
+    function's output.  Equivalent to scattering ``sub`` into a zero
+    ``(n_rows, B)`` block and calling :func:`recover`, minus the extra
+    full-width copy that materializing ``Ŷ(L)`` first would cost.  Centroid
+    columns (``m == -1``) are disjoint from residue columns, and the
+    centroid gather copies before the add, so the in-place update is exact.
+    """
+    if sub.ndim != 2:
+        raise ShapeError("compacted Ŷ must be 2-D")
+    if sub.shape[1] != len(ne_idx):
+        raise ShapeError("ne_idx must have one entry per compacted column")
+    y = np.zeros((n_rows, len(m)), dtype=sub.dtype)
+    y[:, ne_idx] = sub
+    nc = m != -1
+    y[:, nc] += y[:, m[nc]]
     return y

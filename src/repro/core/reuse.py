@@ -42,7 +42,53 @@ import numpy as np
 
 from repro.errors import ConfigError
 
-__all__ = ["CachedConversion", "CentroidCache"]
+__all__ = ["CachedConversion", "CentroidCache", "degenerate_fill_baselines"]
+
+#: Cap (elements) on the pairwise scratch in degenerate_fill_baselines.
+_PAIRWISE_ELEMENTS = 2_000_000
+
+
+def degenerate_fill_baselines(
+    cent_y: np.ndarray, prune_threshold: float = 0.0
+) -> tuple[float, float]:
+    """Staleness baselines for a *degenerate* fill (every column a centroid).
+
+    The natural fill-time baseline — how far the block's residue columns sit
+    from their centroids — does not exist when sample pruning kept every
+    column: there are no residue columns, so the naive baselines are 0.0 and
+    the ``baseline * (1 + tolerance)`` budget admits nothing.  Every
+    same-mix block then invalidates the entry as "stale" and refills it,
+    block after block, which is exactly the medium-tier mix-stream churn
+    this helper fixes.
+
+    The self-consistent scale for such an entry is the centroid set's own
+    spacing: each centroid's L0 distance to its nearest *other* centroid
+    (and the post-prune density of that nearest-neighbour residue) is what a
+    same-mix column's assignment cost looks like.  Returns
+    ``(baseline_distance, baseline_density)`` — distance as a fraction of N,
+    matching :meth:`CentroidCache.admit`'s units.
+    """
+    n, c = cent_y.shape
+    if n == 0 or c < 2:
+        return 0.0, 0.0
+    nn = np.empty(c, dtype=np.int64)
+    nn_dist = np.empty(c, dtype=np.int64)
+    chunk = max(1, _PAIRWISE_ELEMENTS // max(1, n * c))
+    for lo in range(0, c, chunk):
+        hi = min(c, lo + chunk)
+        # (N, chunk, C) inequality count -> (chunk, C); mask self-distances
+        d = (cent_y[:, lo:hi, None] != cent_y[:, None, :]).sum(axis=0)
+        d[np.arange(hi - lo), np.arange(lo, hi)] = n + 1
+        best = d.argmin(axis=1)
+        nn[lo:hi] = best
+        nn_dist[lo:hi] = d[np.arange(hi - lo), best]
+    residues = cent_y - cent_y[:, nn]
+    if prune_threshold > 0:
+        residues[np.abs(residues) < prune_threshold] = 0
+    return (
+        float(nn_dist.mean()) / n,
+        float((residues != 0).mean()),
+    )
 
 
 @dataclass

@@ -25,12 +25,15 @@ import numpy as np
 from repro.errors import ConfigError, ShapeError
 from repro.gpu.costmodel import KernelCharge
 from repro.network import SparseNetwork
-from repro.sparse.spmm import spmm_colwise, spmm_ell, spmm_masked
+from repro.sparse.convert import preferred_spmm_format
+from repro.sparse.spmm import spmm_colwise, spmm_ell, spmm_masked, spmm_reduceat
 
 __all__ = [
     "champion_spmm",
+    "planned_spmm",
     "baseline_spmm",
     "charge_for",
+    "l0_nearest",
     "assign_cached_centroids",
     "assign_charge",
     "StrategyMemo",
@@ -172,8 +175,14 @@ def champion_spmm(
     if strategy is None:
         if dense_ish:
             strategy = "colwise"
+        elif frac < LIVE_ROW_THRESHOLD:
+            strategy = "masked"
         else:
-            strategy = "masked" if frac < LIVE_ROW_THRESHOLD else "ell"
+            # same format rule the baked plan uses, so a cold champion
+            # engine and a warm planned session accumulate identically
+            # (ELL and CSR row-split sum in different orders, so the
+            # format choice — unlike the strategy choice — changes bits)
+            strategy = preferred_spmm_format(layer.weight)
         if memo is not None:
             memo.record(i, frac, strategy, network=net)
     if metrics is not None:
@@ -184,8 +193,42 @@ def champion_spmm(
     if strategy == "masked":
         z, active_nnz = spmm_masked(layer.weight, y, live, out=out)
         return z, active_nnz, "masked"
-    z = spmm_ell(net.ell(i), y, out=out)
-    return z, layer.weight.nnz, "ell"
+    if strategy == "ell":
+        z = spmm_ell(net.ell(i), y, out=out)
+        return z, layer.weight.nnz, "ell"
+    z = spmm_reduceat(layer.weight, y, out=out)
+    return z, layer.weight.nnz, "csr"
+
+
+def planned_spmm(
+    net: SparseNetwork,
+    lp,
+    y: np.ndarray,
+    out: np.ndarray | None = None,
+) -> tuple[np.ndarray, int, str]:
+    """Compute ``W(i) @ y`` via a baked :class:`~repro.core.plan.LayerPlan`.
+
+    The pre-specialized twin of :func:`champion_spmm`: the layer's strategy
+    class and sparse format were decided once at warmup, so the per-block
+    work is a field read (plus the unavoidable live-row scan for dynamic
+    layers, whose masked-vs-batch-parallel choice genuinely depends on the
+    activations).  Same return contract and bitwise-identical results —
+    every kernel here accumulates in the same per-element order.
+    """
+    if lp.strategy == "colwise":
+        z, nnz = spmm_colwise(net.dense(lp.index), y, out=out)
+        return z, nnz, "colwise"
+    layer = net.layers[lp.index]
+    live = (y != 0).any(axis=1)
+    frac = float(live.mean()) if live.size else 0.0
+    if frac < lp.live_threshold:
+        z, active_nnz = spmm_masked(layer.weight, y, live, out=out)
+        return z, active_nnz, "masked"
+    if lp.format == "ell":
+        z = spmm_ell(net.ell(lp.index), y, out=out)
+        return z, layer.weight.nnz, "ell"
+    z = spmm_reduceat(layer.weight, y, out=out)
+    return z, layer.weight.nnz, "csr"
 
 
 def baseline_spmm(net: SparseNetwork, i: int, y: np.ndarray) -> tuple[np.ndarray, int, str]:
@@ -203,8 +246,42 @@ def baseline_spmm(net: SparseNetwork, i: int, y: np.ndarray) -> tuple[np.ndarray
     return z, layer.weight.nnz, "ell"
 
 
+#: Cap (elements) on the (N, chunk, C) inequality block built by l0_nearest;
+#: keeps the distance scratch cache-resident while amortizing the Python
+#: loop over usefully large column chunks.
+_ASSIGN_ELEMENTS = 2_000_000
+
+
+def l0_nearest(
+    y: np.ndarray, cents: np.ndarray, chunk: int | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Nearest column of ``cents`` for every column of ``y``, by L0 distance.
+
+    The one distance primitive behind both in-block assignment (Algorithm 2,
+    Eq. 3) and cross-block cached assignment: exact element inequality
+    counts, ties to the lowest centroid index (argmin), chunked over batch
+    columns so the ``(N, chunk, C)`` inequality scratch stays cache-sized.
+    Chunking never changes the result — each column's distance row is
+    computed independently.  Returns ``(idx, dist)`` arrays of length ``B``.
+    """
+    b = y.shape[1]
+    n_cents = cents.shape[1]
+    if chunk is None:
+        chunk = max(1, _ASSIGN_ELEMENTS // max(1, y.shape[0] * n_cents))
+    idx = np.empty(b, dtype=np.int64)
+    dist = np.empty(b, dtype=np.int64)
+    for lo in range(0, b, chunk):
+        hi = min(b, lo + chunk)
+        # (N, chunk, C) inequality count -> (chunk, C)
+        d = (y[:, lo:hi, None] != cents[:, None, :]).sum(axis=0)
+        best = d.argmin(axis=1)
+        idx[lo:hi] = best
+        dist[lo:hi] = d[np.arange(hi - lo), best]
+    return idx, dist
+
+
 def assign_cached_centroids(
-    y: np.ndarray, cents: np.ndarray, chunk: int = 512
+    y: np.ndarray, cents: np.ndarray, chunk: int | None = None
 ) -> tuple[np.ndarray, np.ndarray]:
     """Batched closest-centroid assignment against *cached* centroids.
 
@@ -227,17 +304,7 @@ def assign_cached_centroids(
         )
     if cents.shape[1] == 0:
         raise ConfigError("need at least one cached centroid")
-    b = y.shape[1]
-    assign = np.empty(b, dtype=np.int64)
-    dist = np.empty(b, dtype=np.int64)
-    for lo in range(0, b, chunk):
-        hi = min(b, lo + chunk)
-        # (N, chunk, C) inequality count -> (chunk, C)
-        d = (y[:, lo:hi, None] != cents[:, None, :]).sum(axis=0)
-        idx = d.argmin(axis=1)
-        assign[lo:hi] = idx
-        dist[lo:hi] = d[np.arange(hi - lo), idx]
-    return assign, dist
+    return l0_nearest(y, cents, chunk=chunk)
 
 
 def assign_charge(n: int, batch: int, n_centroids: int) -> KernelCharge:

@@ -172,6 +172,14 @@ class MicroBatcher:
         )
         self._fill_buckets = (0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0)
         self._metrics = metrics
+        # per-flush handles, resolved once per label value instead of a
+        # registry lookup on every block
+        self._h_queue_wait = metrics.histogram(
+            "serve_queue_wait_seconds",
+            help="submit-to-resolve wait per request",
+        )
+        self._h_fill: dict[str, object] = {}
+        self._c_reuse_blocks: dict[str, object] = {}
 
     # -------------------------------------------------------------- intake
     @property
@@ -322,11 +330,14 @@ class MicroBatcher:
             if reuse_info is not None:
                 outcome = "hit" if reuse_info.get("hit") else reuse_info.get("reason", "miss")
                 self.reuse_outcomes[outcome] = self.reuse_outcomes.get(outcome, 0) + 1
-                self._metrics.counter(
-                    "serve_reuse_blocks_total",
-                    help="blocks served by centroid-reuse outcome",
-                    outcome=outcome,
-                ).inc()
+                counter = self._c_reuse_blocks.get(outcome)
+                if counter is None:
+                    counter = self._c_reuse_blocks[outcome] = self._metrics.counter(
+                        "serve_reuse_blocks_total",
+                        help="blocks served by centroid-reuse outcome",
+                        outcome=outcome,
+                    )
+                counter.inc()
                 exec_span.set(centroid_reuse=outcome)
         with tracer.span("batch.resolve", cat="serve", requests=len(take)):
             now = self.clock()
@@ -345,16 +356,16 @@ class MicroBatcher:
         self.counters["batched_columns"] += cols
         self._c_batches.inc()
         self._c_batched_columns.inc(cols)
-        self._metrics.histogram(
-            "serve_batch_fill",
-            buckets=self._fill_buckets,
-            help="block occupancy as a fraction of max_batch, per flush reason",
-            reason=reason,
-        ).observe(cols / self.max_batch)
-        self._metrics.histogram(
-            "serve_queue_wait_seconds",
-            help="submit-to-resolve wait per request",
-        ).observe(now - take[0].submitted_at)
+        fill_hist = self._h_fill.get(reason)
+        if fill_hist is None:
+            fill_hist = self._h_fill[reason] = self._metrics.histogram(
+                "serve_batch_fill",
+                buckets=self._fill_buckets,
+                help="block occupancy as a fraction of max_batch, per flush reason",
+                reason=reason,
+            )
+        fill_hist.observe(cols / self.max_batch)
+        self._h_queue_wait.observe(now - take[0].submitted_at)
         self._update_queue_gauges()
 
     def _update_queue_gauges(self) -> None:

@@ -18,6 +18,7 @@ import time
 import numpy as np
 
 from repro.core.config import SNICITConfig
+from repro.core.plan import bake_plan
 from repro.core.reuse import CentroidCache
 from repro.gpu.device import VirtualDevice
 from repro.gpu.memory import BufferPool
@@ -133,6 +134,11 @@ class EngineSession:
         self._c_warmup = self.scoped.counter(
             "session_warmup_seconds_total", help="wall seconds building weight views"
         )
+        #: per-stage counters, resolved once per stage name instead of a
+        #: labelled registry lookup on every call
+        self._stage_counters: dict[str, object] = {}
+        #: baked per-layer strategy plan (SNICIT engines, set by warmup)
+        self.plan = None
         #: True while the session holds warm state (views pinned / warmup run)
         self.warmed = False
         if warm:
@@ -165,20 +171,28 @@ class EngineSession:
 
     # ------------------------------------------------------------ lifecycle
     def warmup(self) -> float:
-        """Pin every layer's preferred weight view (ELL or dense).
+        """Bake the per-layer strategy plan and pin its weight views.
 
-        The champion kernel picks the dense column-wise strategy for
-        dense-ish layers and ELL/CSR otherwise; building both lazily inside
-        the first request would charge its latency to that request.
+        For SNICIT engines the session bakes a
+        :class:`~repro.core.plan.StrategyPlan` — each layer's kernel
+        strategy and sparse format decided once, views pinned, metric
+        counters pre-resolved — and hands it to the engine, so the per-block
+        spMM path is a table lookup instead of a memo consult.  Other engine
+        kinds keep the view-pinning half (build ELL/dense eagerly rather
+        than charging the first request for the lazy conversion).
         """
         t0 = time.perf_counter()
         net = self.network
         with self.tracer.span("session.warmup", cat="serve", network=net.name):
-            for i, layer in enumerate(net.layers):
-                if layer.weight.density >= DENSE_WEIGHT_THRESHOLD:
-                    net.dense(i)
-                else:
-                    net.ell(i)
+            if self.kind == "snicit":
+                self.plan = bake_plan(net, metrics=self.scoped)
+                self.engine.plan = self.plan
+            else:
+                for i, layer in enumerate(net.layers):
+                    if layer.weight.density >= DENSE_WEIGHT_THRESHOLD:
+                        net.dense(i)
+                    else:
+                        net.ell(i)
         self._c_warmup.inc(time.perf_counter() - t0)
         self.warmed = True
         return self.warmup_seconds
@@ -210,6 +224,11 @@ class EngineSession:
         if self.reuse is not None and len(self.reuse):
             freed += self.reuse.nbytes
             self.reuse.invalidate(reason="evicted")
+        # drop the baked plan too: its layer table points at the released
+        # views, and a demoted session should re-decide at the next warmup
+        self.plan = None
+        if getattr(self.engine, "plan", None) is not None:
+            self.engine.plan = None
         self.warmed = False
         return freed
 
@@ -222,11 +241,14 @@ class EngineSession:
         self._c_calls.inc()
         self._c_columns.inc(y0.shape[1])
         for stage, seconds in result.stage_seconds.items():
-            self.scoped.counter(
-                "session_stage_seconds_total",
-                help="cumulative engine seconds per pipeline stage",
-                stage=stage,
-            ).inc(seconds)
+            counter = self._stage_counters.get(stage)
+            if counter is None:
+                counter = self._stage_counters[stage] = self.scoped.counter(
+                    "session_stage_seconds_total",
+                    help="cumulative engine seconds per pipeline stage",
+                    stage=stage,
+                )
+            counter.inc(seconds)
         return result
 
     # ------------------------------------------------------------- metrics
@@ -246,6 +268,7 @@ class EngineSession:
                 self.columns / self.busy_seconds if self.busy_seconds > 0 else 0.0
             ),
             "stage_seconds": dict(self.stage_seconds),
+            "plan": self.plan.stats() if self.plan is not None else None,
             "memo": self.memo.stats(),
             "scratch": self.scratch.stats(),
         }

@@ -10,7 +10,35 @@ from repro.sparse.csc import CSCMatrix
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.ell import ELLMatrix
 
-__all__ = ["to_csr", "to_csc", "csr_to_csc", "csc_to_csr", "random_sparse"]
+__all__ = [
+    "to_csr",
+    "to_csc",
+    "csr_to_csc",
+    "csc_to_csr",
+    "preferred_spmm_format",
+    "random_sparse",
+]
+
+#: An ELL view stores ``nrows * max_row_nnz`` slots; beyond this much padding
+#: relative to the real nnz, the gather passes touch more zeros than values
+#: and CSR wins.
+_ELL_PADDING_LIMIT = 1.5
+
+
+def preferred_spmm_format(w: CSRMatrix, padding_limit: float = _ELL_PADDING_LIMIT) -> str:
+    """Pick the storage format ('ell' or 'csr') for spMM over ``w``.
+
+    ELLPACK's fully-vectorized gather passes win when rows have near-uniform
+    fan-in (Radix-Net weights are exactly uniform, ratio 1.0); a skewed row
+    distribution pads the ELL slab with zeros that still cost gather+FMA
+    work, so past ``padding_limit`` the CSR row-split kernel is preferred.
+    """
+    w = to_csr(w)
+    if w.nnz == 0:
+        return "csr"
+    width = int(w.row_nnz.max())
+    padding_ratio = width * w.shape[0] / w.nnz
+    return "ell" if padding_ratio <= padding_limit else "csr"
 
 
 def to_csr(m) -> CSRMatrix:

@@ -13,6 +13,7 @@ from repro.kernels import (
 )
 from repro.network import LayerSpec, SparseNetwork
 from repro.sparse import CSRMatrix
+from repro.sparse.convert import preferred_spmm_format
 
 
 def make_net(rng, density, n=20):
@@ -40,10 +41,28 @@ def test_champion_picks_masked_for_sparse_activations(rng):
 
 
 def test_champion_picks_ell_for_dense_activations(rng):
-    net, d = make_net(rng, density=0.05)
+    # uniform fan-in (Radix-Net shape): ELL pads nothing, so the
+    # batch-parallel branch resolves to the ELL kernel
+    d = np.zeros((20, 20))
+    d[:, :3] = rng.random((20, 3)) + 0.1
+    net = SparseNetwork([LayerSpec(CSRMatrix.from_dense(d))], ymax=32.0)
     y = rng.random((20, 6)).astype(np.float32) + 0.1  # all rows live
     z, work, strategy = champion_spmm(net, 0, y)
     assert strategy == "ell"
+    assert work == net.layers[0].weight.nnz
+    assert np.allclose(z, d @ y, atol=1e-4)
+
+
+def test_champion_picks_csr_for_skewed_fanin(rng):
+    # one full row among fan-in-1 rows: ELL would pad ~20x, so the
+    # batch-parallel branch falls back to the CSR row-split kernel
+    d = np.zeros((20, 20))
+    d[0, :] = rng.random(20) + 0.1
+    d[1:, 0] = 0.5
+    net = SparseNetwork([LayerSpec(CSRMatrix.from_dense(d))], ymax=32.0)
+    y = rng.random((20, 6)).astype(np.float32) + 0.1  # all rows live
+    z, work, strategy = champion_spmm(net, 0, y)
+    assert strategy == "csr"
     assert work == net.layers[0].weight.nnz
     assert np.allclose(z, d @ y, atol=1e-4)
 
@@ -92,7 +111,8 @@ def test_strategy_memo_replays_choice(rng):
     # same layer, very different liveness -> different bucket, fresh miss
     dense_y = rng.random((20, 6)).astype(np.float32) + 0.1
     _, _, s3 = champion_spmm(net, 0, dense_y, memo=memo)
-    assert s3 == "ell"
+    # the batch-parallel format follows the layer's fan-in skew
+    assert s3 == preferred_spmm_format(net.layers[0].weight)
     assert len(memo) == 2
 
 

@@ -1,0 +1,103 @@
+"""tools/check_perf_budget.py — the hard CI perf gate."""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+_TOOL = Path(__file__).resolve().parents[1] / "tools" / "check_perf_budget.py"
+_spec = importlib.util.spec_from_file_location("check_perf_budget", _TOOL)
+cpb = importlib.util.module_from_spec(_spec)
+sys.modules.setdefault("check_perf_budget", cpb)
+_spec.loader.exec_module(cpb)
+
+
+def record(tier, woc=1.5, cps=100.0, identical=True, cats=True):
+    return {
+        "tier": tier,
+        "warm_over_cold": woc,
+        "outputs_identical": identical,
+        "categories_match": cats,
+        "warm": {"steady_state": {"columns_per_second": cps}},
+    }
+
+
+def bench(*records):
+    return {"tiers": list(records)}
+
+
+BUDGET = {
+    "baseline_ratio_floor": 0.75,
+    "tiers": {
+        "medium-A": {"min_warm_over_cold": 1.0, "require_outputs_identical": True},
+        "sdgc-shallow": {"min_warm_over_cold": 1.5},
+    },
+}
+
+
+def test_gate_passes_within_budget():
+    b = bench(record("medium-A"), record("sdgc-shallow", woc=3.0))
+    assert cpb.check_budget(b, b, BUDGET) == []
+
+
+def test_gate_fails_on_warm_over_cold_floor():
+    b = bench(record("medium-A", woc=0.88), record("sdgc-shallow", woc=3.0))
+    failures = cpb.check_budget(b, None, BUDGET)
+    assert len(failures) == 1
+    assert "medium-A" in failures[0] and "0.88" in failures[0]
+
+
+def test_gate_fails_on_missing_tier():
+    failures = cpb.check_budget(bench(record("medium-A")), None, BUDGET)
+    assert any("sdgc-shallow" in f and "missing" in f for f in failures)
+
+
+def test_gate_fails_on_bitwise_divergence():
+    b = bench(record("medium-A", identical=False), record("sdgc-shallow"))
+    failures = cpb.check_budget(b, None, BUDGET)
+    assert any("bitwise" in f for f in failures)
+    # sdgc has no bitwise requirement -> divergence there is not a breach
+    b2 = bench(record("medium-A"), record("sdgc-shallow", identical=False))
+    assert cpb.check_budget(b2, None, BUDGET) == []
+
+
+def test_gate_fails_on_category_mismatch():
+    b = bench(record("medium-A", cats=False), record("sdgc-shallow"))
+    assert any("categories" in f for f in cpb.check_budget(b, None, BUDGET))
+
+
+def test_gate_fails_on_baseline_throughput_ratio():
+    new = bench(record("medium-A", cps=50.0), record("sdgc-shallow"))
+    base = bench(record("medium-A", cps=100.0), record("sdgc-shallow"))
+    failures = cpb.check_budget(new, base, BUDGET)
+    assert any("below the committed baseline" in f for f in failures)
+    # exactly at the floor passes
+    at_floor = bench(record("medium-A", cps=75.0), record("sdgc-shallow"))
+    assert cpb.check_budget(at_floor, base, BUDGET) == []
+
+
+def test_steady_cps_falls_back_to_legacy_warm_shape():
+    legacy = {"tier": "x", "warm": {"columns_per_second": 42.0}}
+    assert cpb.steady_cps(legacy) == 42.0
+    assert cpb.steady_cps({"tier": "x", "warm": {}}) is None
+
+
+def test_load_records_accepts_legacy_single_benchmark():
+    recs = cpb.load_records({"benchmark": "144-24", "warm": {}})
+    assert list(recs) == ["144-24"]
+    with pytest.raises(ValueError):
+        cpb.load_records({"nope": 1})
+
+
+def test_main_exit_codes(tmp_path):
+    ok = bench(record("medium-A"), record("sdgc-shallow", woc=3.0))
+    bad = bench(record("medium-A", woc=0.5), record("sdgc-shallow", woc=3.0))
+    budget_p = tmp_path / "budget.json"
+    budget_p.write_text(json.dumps(BUDGET))
+    for payload, code in ((ok, 0), (bad, 1)):
+        bench_p = tmp_path / "bench.json"
+        bench_p.write_text(json.dumps(payload))
+        argv = ["--bench", str(bench_p), "--budget", str(budget_p)]
+        assert cpb.main(argv) == code

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Hard per-tier serving-perf budget gate for CI.
+
+Replaces the old warning-only ">25% below baseline" check: every tier named
+in the budget file must be present in the fresh bench output, meet its
+warm-over-cold floor, satisfy its bitwise-output requirement, and stay above
+the committed-baseline throughput ratio.  Any breach prints a GitHub
+``::error`` annotation and exits non-zero, failing the job (the workflow
+uploads the trace artifact regardless of outcome).
+
+Usage:
+    python tools/check_perf_budget.py \
+        --bench BENCH_new.json --baseline BENCH_serve.json \
+        --budget CI_perf_budget.json
+
+The tool is stdlib-only and standalone (no repo imports), so it runs before
+PYTHONPATH is set up and can be unit-tested in isolation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_records(data: dict) -> dict[str, dict]:
+    """Tier-name -> record from a BENCH_serve-shaped object.
+
+    Mirrors :func:`repro.serve.bench.load_bench_records` (schema-2 ``tiers``
+    list, or the legacy single-benchmark dict) without importing the repo.
+    """
+    if "tiers" in data:
+        return {rec.get("tier", rec.get("benchmark")): rec for rec in data["tiers"]}
+    if "benchmark" in data:
+        return {data.get("tier", data["benchmark"]): data}
+    raise ValueError("unrecognized BENCH_serve layout (no 'tiers' or 'benchmark' key)")
+
+
+def steady_cps(rec: dict) -> float | None:
+    """Steady-state warm columns/second, falling back for legacy records."""
+    steady = (rec.get("warm") or {}).get("steady_state")
+    if steady and steady.get("columns_per_second"):
+        return float(steady["columns_per_second"])
+    warm = rec.get("warm") or {}
+    cps = warm.get("columns_per_second")
+    return float(cps) if cps else None
+
+
+def check_budget(bench: dict, baseline: dict | None, budget: dict) -> list[str]:
+    """Every budget breach as a message; empty means the gate passes."""
+    failures: list[str] = []
+    records = load_records(bench)
+    base_records = load_records(baseline) if baseline else {}
+    floor = float(budget.get("baseline_ratio_floor", 0.75))
+    for tier, rules in budget.get("tiers", {}).items():
+        rec = records.get(tier)
+        if rec is None:
+            failures.append(f"{tier}: missing from the bench output")
+            continue
+        woc = rec.get("warm_over_cold")
+        min_woc = rules.get("min_warm_over_cold")
+        if min_woc is not None:
+            if woc is None:
+                failures.append(f"{tier}: record has no warm_over_cold metric")
+            elif woc < min_woc:
+                failures.append(
+                    f"{tier}: warm_over_cold {woc:.2f} below the budget floor "
+                    f"{min_woc:.2f} — the warm session loses to cold engines"
+                )
+        if rules.get("require_outputs_identical") and not rec.get("outputs_identical"):
+            failures.append(
+                f"{tier}: warm outputs are not bitwise identical to cold"
+            )
+        if rules.get("require_categories_match", True) and not rec.get(
+            "categories_match"
+        ):
+            failures.append(f"{tier}: warm serving changed output categories")
+        base_rec = base_records.get(tier)
+        if base_rec is not None:
+            new_cps = steady_cps(rec)
+            base_cps = steady_cps(base_rec)
+            if new_cps and base_cps:
+                ratio = new_cps / base_cps
+                if ratio < floor:
+                    failures.append(
+                        f"{tier}: steady-state columns/s {new_cps:.1f} is "
+                        f"{(1 - ratio) * 100:.0f}% below the committed baseline "
+                        f"{base_cps:.1f} (floor ratio {floor})"
+                    )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--bench", required=True, help="fresh bench JSON to gate")
+    parser.add_argument("--baseline", help="committed baseline bench JSON")
+    parser.add_argument("--budget", required=True, help="per-tier budget JSON")
+    args = parser.parse_args(argv)
+
+    with open(args.bench) as fh:
+        bench = json.load(fh)
+    baseline = None
+    if args.baseline:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+    with open(args.budget) as fh:
+        budget = json.load(fh)
+
+    for tier, rec in load_records(bench).items():
+        woc = rec.get("warm_over_cold")
+        cps = steady_cps(rec)
+        print(
+            f"[{tier}]",
+            f"warm_over_cold={woc:.2f}" if woc is not None else "warm_over_cold=n/a",
+            f"steady_columns/s={cps:.1f}" if cps else "steady_columns/s=n/a",
+            f"outputs_identical={rec.get('outputs_identical')}",
+        )
+
+    failures = check_budget(bench, baseline, budget)
+    for message in failures:
+        print(f"::error title=Serving perf budget breach::{message}")
+    if failures:
+        return 1
+    print(f"perf budget OK ({len(budget.get('tiers', {}))} tiers checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
