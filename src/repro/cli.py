@@ -11,6 +11,7 @@ Usage::
     python -m repro serve 144-24 --requests 128  # micro-batched serving demo
     python -m repro serve 144-24 --async-transport --arrival-rate 500
     python -m repro serve --model a=144-24 --model b=144-48 --memory-budget-mb 8
+    python -m repro serve --model a=144-24 --slo 'p99<50ms@60s/99%' --obs-port 9095
     python -m repro bench-serve                  # tiered cold vs warm throughput
     python -m repro bench-serve 144-24 --centroid-reuse --stream repeat
     python -m repro bench-serve --multi --memory-budget-mb 8
@@ -26,6 +27,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 
 from repro._version import __version__
@@ -62,6 +64,31 @@ def _finish_obs(args, tracer, registry) -> None:
         log.info(f"wrote Chrome trace to {path} ({len(tracer)} spans)")
     if registry is not None:
         log.info(registry.to_prometheus().rstrip("\n"))
+
+
+def _start_obs_endpoint(args, metrics, slo_provider=None):
+    """Scrape endpoint from ``--obs-port`` (None when the flag is off)."""
+    if getattr(args, "obs_port", None) is None:
+        return None
+    from repro.obs import ObsServer
+
+    server = ObsServer(metrics, slo_provider=slo_provider, port=args.obs_port)
+    log.info(f"obs endpoint at {server.url} (/metrics /slo /healthz)")
+    return server
+
+
+def _finish_obs_endpoint(args, server) -> None:
+    """Hold the endpoint open ``--obs-hold-s`` seconds, then shut it down."""
+    if server is None:
+        return
+    hold = getattr(args, "obs_hold_s", 0.0) or 0.0
+    if hold > 0:
+        log.info(f"holding obs endpoint open for {hold:g}s (ctrl-c to stop)")
+        try:
+            time.sleep(hold)
+        except KeyboardInterrupt:
+            pass
+    server.close()
 
 
 def _cmd_list(args) -> int:
@@ -171,11 +198,15 @@ def _serve_multi(args) -> int:
         registry.register(
             name, net, config=cfg, warm=True, tracer=tracer,
             centroid_reuse=args.centroid_reuse, reuse_tolerance=args.reuse_tolerance,
+            slo=args.slo,
         )
         streams[name] = _split_requests(
             np.asarray(get_input(benchmark, args.requests * args.request_cols, args.seed)),
             args.request_cols,
         )
+    obs_server = _start_obs_endpoint(
+        args, registry.metrics, slo_provider=registry.slo_report_json
+    )
     # round-robin the tenants in block-sized chunks of requests
     chunk = max(1, args.max_batch // args.request_cols)
     mixed: list[tuple[str, np.ndarray]] = []
@@ -216,6 +247,14 @@ def _serve_multi(args) -> int:
         log.info(f"  [{name}] {per['served']}/{per['requests']} served "
                  f"(status={per['status']})  "
                  f"{per['columns_per_second']:9.1f} col/s   p50 {p50}")
+    if report.slo:
+        for name, slo in report.slo.items():
+            est = slo["latency_estimate_s"]
+            est_text = f"{est * 1e3:.2f} ms" if est is not None else "n/a"
+            log.info(f"  [{name}] SLO {slo['policy']['describe']}: "
+                     f"p{slo['policy']['quantile'] * 100:g}≈{est_text}, "
+                     f"burn {slo['burn_rate']:.2f}, "
+                     f"compliant={slo['compliant']}")
     budget = registry.budget.stats()
     if budget["limit_bytes"] is not None:
         log.info(f"  budget       {budget['retained_bytes']} / {budget['limit_bytes']} "
@@ -227,6 +266,7 @@ def _serve_multi(args) -> int:
     if tracer is not None:
         path = tracer.write_chrome(args.trace)
         log.info(f"wrote Chrome trace to {path} ({len(tracer)} spans)")
+    _finish_obs_endpoint(args, obs_server)
     return 0
 
 
@@ -271,6 +311,26 @@ def _cmd_serve(args) -> int:
             max_wait_s=args.max_wait_ms / 1e3,
             queue_limit=args.queue_limit,
         )
+    slo_tracker = None
+    if args.slo:
+        from repro.obs import SloPolicy, SloTracker
+
+        slo_tracker = SloTracker(
+            SloPolicy.parse(args.slo),
+            metrics=getattr(session, "scoped", session.metrics),
+            name=args.benchmark,
+        )
+        # every resolved ticket (failures included) feeds the tracker
+        server.batcher.on_resolve = slo_tracker.record_ticket
+    obs_server = _start_obs_endpoint(
+        args,
+        session.metrics,
+        slo_provider=(
+            (lambda: {args.benchmark: slo_tracker.report().to_json()})
+            if slo_tracker is not None
+            else None
+        ),
+    )
     report = server.serve(iter(stream), interarrivals=interarrivals)
     summary = report.summary()
     transport = "async" if args.async_transport else "sync"
@@ -301,12 +361,20 @@ def _cmd_serve(args) -> int:
     stage = session.stats()["stage_seconds"]
     for name, seconds in stage.items():
         log.info(f"  {name:18s} {seconds * 1e3:9.1f} ms")
+    if slo_tracker is not None:
+        slo = slo_tracker.report()
+        est = slo.latency_estimate_s
+        est_text = f"{est * 1e3:.2f} ms" if est is not None else "n/a"
+        log.info(f"  SLO          {slo.policy.describe()}: "
+                 f"p{slo.policy.quantile * 100:g}≈{est_text}, "
+                 f"burn {slo.burn_rate:.2f}, compliant={slo.compliant}")
     # the session always keeps a registry; --metrics asks for the exposition
     if args.metrics:
         log.info(session.metrics.to_prometheus().rstrip("\n"))
     if tracer is not None:
         path = tracer.write_chrome(args.trace)
         log.info(f"wrote Chrome trace to {path} ({len(tracer)} spans)")
+    _finish_obs_endpoint(args, obs_server)
     return 0
 
 
@@ -319,6 +387,9 @@ def _cmd_bench_serve(args) -> int:
         if args.multi_tiers
         else None
     )
+    extra = {}
+    if args.slo is not None:
+        extra["slo"] = args.slo
     result = bench_serve(
         benchmark=args.benchmark,
         requests=args.requests,
@@ -337,6 +408,7 @@ def _cmd_bench_serve(args) -> int:
         multi=args.multi or multi_tiers is not None,
         multi_tiers=multi_tiers,
         memory_budget_mb=args.memory_budget_mb,
+        **extra,
     )
     for record in result["tiers"]:
         cold, warm = record["cold"], record["warm"]
@@ -376,6 +448,14 @@ def _cmd_bench_serve(args) -> int:
                      f"vs {per['single_tenant_columns_per_second']:9.1f} col/s alone   "
                      f"hol_stalls={per['hol_stalls']}   "
                      f"identical={per['isolation_identical']}")
+            slo = per.get("slo")
+            if slo is not None:
+                est = slo["latency_estimate_s"]
+                est_text = f"{est * 1e3:.2f} ms" if est is not None else "n/a"
+                log.info(f"  [{name}] SLO {slo['policy']['describe']}: "
+                         f"p{slo['policy']['quantile'] * 100:g}≈{est_text}, "
+                         f"burn {slo['burn_rate']:.2f}, "
+                         f"compliant={slo['compliant']}")
         budget = mrec["budget"]
         if budget["limit_bytes"] is not None:
             log.info(f"  budget {budget['retained_bytes']} / {budget['limit_bytes']} "
@@ -410,6 +490,19 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--metrics", action="store_true",
         help="print the metrics exposition after the command",
+    )
+
+
+def _add_endpoint_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--obs-port", type=int, default=None, metavar="PORT",
+        help="serve /metrics (Prometheus), /slo (JSON), and /healthz on "
+             "localhost:PORT while the command runs (0 picks a free port)",
+    )
+    parser.add_argument(
+        "--obs-hold-s", type=float, default=0.0, metavar="S",
+        help="keep the obs endpoint up S seconds after serving finishes, "
+             "so external scrapers (CI smoke jobs) can read the final state",
     )
 
 
@@ -494,8 +587,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="async backpressure on a full intake queue: reject with "
              "ServeOverflowError or block the producer (default reject)",
     )
+    serve_p.add_argument(
+        "--slo", default=None, metavar="SPEC",
+        help="latency SLO to track live, e.g. 'p99<50ms@60s/99%%'; applied "
+             "per tenant under --model, to the single benchmark otherwise",
+    )
     _add_reuse_flags(serve_p)
     _add_obs_flags(serve_p)
+    _add_endpoint_flags(serve_p)
     serve_p.set_defaults(fn=_cmd_serve)
 
     bserve_p = sub.add_parser(
@@ -547,6 +646,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--memory-budget-mb", type=float, default=None, metavar="MB",
         help="shared memory budget for the --multi record; the router "
              "demotes LRU tenants to stay under it (default: unlimited)",
+    )
+    bserve_p.add_argument(
+        "--slo", default=None, metavar="SPEC",
+        help="per-tenant SLO for the --multi record "
+             "(default: the built-in p99<250ms@30s/95%% policy)",
     )
     _add_reuse_flags(bserve_p)
     _add_obs_flags(bserve_p)

@@ -12,9 +12,18 @@ through.  It is always importable and near-zero overhead when disabled:
   CLI's ``--verbose``/``--quiet``.
 * :func:`~repro.obs.export.json_safe` — NumPy-tolerant JSON conversion used
   by every exporter (and by ``InferenceResult.to_json``).
+* :class:`~repro.obs.window.SlidingWindow` — streaming p50/p95/p99 over the
+  last N seconds (ring of bucketed sub-windows), the live-tail counterpart
+  of the cumulative :class:`~repro.obs.metrics.Histogram`.
+* :class:`~repro.obs.slo.SloPolicy` / :class:`~repro.obs.slo.SloTracker` —
+  per-tenant latency objectives with error-budget burn accounting and
+  trace-linked tail exemplars.
+* :class:`~repro.obs.http.ObsServer` — the ``/metrics`` + ``/slo`` +
+  ``/healthz`` scrape endpoint (stdlib ``http.server``, daemon thread).
 """
 
 from repro.obs.export import json_safe
+from repro.obs.http import ObsServer
 from repro.obs.logs import get_logger, setup_logging
 from repro.obs.metrics import (
     Counter,
@@ -23,7 +32,9 @@ from repro.obs.metrics import (
     LabeledRegistry,
     MetricsRegistry,
 )
+from repro.obs.slo import SloPolicy, SloReport, SloTracker
 from repro.obs.trace import NULL_TRACER, NullTracer, Span, Tracer, as_tracer
+from repro.obs.window import SlidingWindow, geometric_buckets
 
 __all__ = [
     "Tracer",
@@ -36,6 +47,12 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "SlidingWindow",
+    "geometric_buckets",
+    "SloPolicy",
+    "SloTracker",
+    "SloReport",
+    "ObsServer",
     "json_safe",
     "get_logger",
     "setup_logging",

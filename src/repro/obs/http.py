@@ -1,0 +1,151 @@
+"""Scrapeable observability endpoint over the stdlib ``http.server``.
+
+:class:`ObsServer` exposes a running serving process on three paths:
+
+* ``/metrics`` — the shared :class:`~repro.obs.metrics.MetricsRegistry`
+  rendered as Prometheus text (counters, gauges, histograms, and the
+  sliding-window summaries with per-tenant labels);
+* ``/slo`` — a JSON document of per-tenant :class:`~repro.obs.slo.SloReport`
+  blocks (windowed quantiles, budget burn, exemplar span ids), produced by
+  whatever callable the host registers — typically
+  ``ModelRegistry.slo_report_json``;
+* ``/healthz`` — liveness (200 ``ok`` while the server is up).
+
+The server is a daemon-threaded :class:`~http.server.ThreadingHTTPServer`
+bound to localhost by default, so a scrape never blocks serving and a crash
+of the serving loop cannot be masked by a still-answering endpoint of a
+different process.  Port 0 binds an ephemeral port (the bound port is
+re-read from the socket), which is what the tests and the CI smoke job use.
+
+This is deliberately the same surface a future multi-worker dispatcher
+merges: one ``/metrics`` + ``/slo`` pair per worker, aggregated upstream.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable
+
+from repro.obs.export import json_safe
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["ObsServer"]
+
+#: the Prometheus text exposition content type
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _ObsHandler(BaseHTTPRequestHandler):
+    """One request; all state lives on ``self.server`` (the ObsServer's inner)."""
+
+    server_version = "repro-obs/1"
+
+    # route table: path -> (content-type, body producer on the owning ObsServer)
+    def do_GET(self):  # noqa: N802 - http.server API
+        owner: "ObsServer" = self.server.owner
+        path = self.path.split("?", 1)[0]
+        if path == "/healthz":
+            self._reply(200, "text/plain; charset=utf-8", "ok\n")
+        elif path == "/metrics":
+            self._reply(200, PROMETHEUS_CONTENT_TYPE, owner.render_metrics())
+        elif path == "/slo":
+            self._reply(200, "application/json", owner.render_slo())
+        elif path == "/":
+            self._reply(
+                200,
+                "text/plain; charset=utf-8",
+                "repro obs endpoint: /metrics /slo /healthz\n",
+            )
+        else:
+            self._reply(404, "text/plain; charset=utf-8", f"unknown path {path}\n")
+
+    def _reply(self, status: int, content_type: str, body: str) -> None:
+        data = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def log_message(self, format, *args):  # noqa: A002 - http.server API
+        # scrapes are high-frequency; route them to the obs logger at debug
+        # instead of stderr
+        import logging
+
+        logging.getLogger("repro.obs.http").debug(
+            "%s %s", self.address_string(), format % args
+        )
+
+
+class ObsServer:
+    """Daemon-threaded scrape endpoint for one serving process.
+
+    Parameters
+    ----------
+    metrics:
+        The registry ``/metrics`` renders.  Scrapes call
+        :meth:`~repro.obs.metrics.MetricsRegistry.to_prometheus`, which takes
+        the registry lock — safe against concurrent serving threads.
+    slo_provider:
+        Zero-argument callable returning the JSON-safe object ``/slo``
+        serves (``{}`` when absent).  Evaluated per scrape so reports are
+        live; exceptions render as a 200 ``{"error": ...}`` body rather than
+        killing the scrape (an unhealthy reporter must not look like a dead
+        process).
+    host / port:
+        Bind address.  ``port=0`` picks an ephemeral port; read the
+        resolved one from :attr:`port` after construction.
+    """
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry,
+        slo_provider: Callable[[], Any] | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.metrics = metrics
+        self.slo_provider = slo_provider
+        self._httpd = ThreadingHTTPServer((host, port), _ObsHandler)
+        self._httpd.daemon_threads = True
+        self._httpd.owner = self
+        self.host, self.port = self._httpd.server_address[:2]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-obs-http", daemon=True
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------- rendering
+    def render_metrics(self) -> str:
+        return self.metrics.to_prometheus()
+
+    def render_slo(self) -> str:
+        if self.slo_provider is None:
+            return "{}\n"
+        try:
+            payload = json_safe(self.slo_provider())
+        except Exception as exc:
+            payload = {"error": f"{type(exc).__name__}: {exc}"}
+        return json.dumps(payload, indent=2) + "\n"
+
+    # ------------------------------------------------------------- lifecycle
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def close(self) -> None:
+        """Stop accepting scrapes and join the server thread."""
+        self._httpd.shutdown()
+        self._thread.join(timeout=5.0)
+        self._httpd.server_close()
+
+    def __enter__(self) -> "ObsServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ObsServer({self.url})"

@@ -30,6 +30,7 @@ import threading
 from typing import Any, Callable, Iterable
 
 from repro.obs.export import json_safe
+from repro.obs.window import DEFAULT_QUANTILES, WINDOW_BUCKETS, SlidingWindow
 
 __all__ = [
     "Counter",
@@ -160,10 +161,24 @@ def _label_key(labels: dict[str, str]) -> tuple:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Prometheus label-value escaping: backslash, double-quote, newline.
+
+    Tenant names come from user CLI input (``--model NAME=BENCH``), so a
+    quote or newline in a name must not corrupt the exposition.
+    """
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    """Prometheus HELP escaping: backslash and newline only."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _label_text(key: tuple) -> str:
     if not key:
         return ""
-    return "{" + ",".join(f'{k}="{v}"' for k, v in key) + "}"
+    return "{" + ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in key) + "}"
 
 
 class MetricsRegistry:
@@ -175,7 +190,9 @@ class MetricsRegistry:
     """
 
     def __init__(self):
-        self._series: dict[tuple[str, tuple], Counter | Gauge | Histogram] = {}
+        self._series: dict[
+            tuple[str, tuple], Counter | Gauge | Histogram | SlidingWindow
+        ] = {}
         self._kinds: dict[str, str] = {}
         self._help: dict[str, str] = {}
         self._collectors: list[Callable[[MetricsRegistry], None]] = []
@@ -212,6 +229,27 @@ class MetricsRegistry:
         help: str = "", **labels: str,
     ) -> Histogram:
         return self._get(Histogram, name, help, labels, buckets=buckets)
+
+    def window(
+        self, name: str, help: str = "", window_s: float = 60.0,
+        slots: int = 12, buckets: Iterable[float] = WINDOW_BUCKETS,
+        quantiles: Iterable[float] = DEFAULT_QUANTILES,
+        target: float | None = None, **labels: str,
+    ) -> SlidingWindow:
+        """Get-or-create a :class:`~repro.obs.window.SlidingWindow` series.
+
+        Windows expose as Prometheus ``summary`` series — one
+        ``name{quantile="..."}`` line per configured quantile plus windowed
+        ``_sum``/``_count`` — and as a quantile/exemplar dict in
+        :meth:`snapshot`.  Like histogram buckets, the window geometry is
+        fixed by the first creation; later get-or-create calls with
+        different parameters return the existing series unchanged.
+        """
+        return self._get(
+            SlidingWindow, name, help, labels,
+            window_s=window_s, slots=slots, buckets=buckets,
+            quantiles=quantiles, target=target,
+        )
 
     # -------------------------------------------------------------- lookup
     def series(self, name: str) -> list[tuple[dict[str, str], "Counter | Gauge | Histogram"]]:
@@ -253,7 +291,7 @@ class MetricsRegistry:
         lines: list[str] = []
         for name, series in by_name.items():
             if name in self._help:
-                lines.append(f"# HELP {name} {self._help[name]}")
+                lines.append(f"# HELP {name} {_escape_help(self._help[name])}")
             lines.append(f"# TYPE {name} {self._kinds[name]}")
             for key, metric in series:
                 if isinstance(metric, Histogram):
@@ -262,6 +300,16 @@ class MetricsRegistry:
                         lines.append(f"{name}_bucket{_label_text(bucket_key)} {n}")
                     lines.append(f"{name}_sum{_label_text(key)} {metric.sum}")
                     lines.append(f"{name}_count{_label_text(key)} {metric.count}")
+                elif isinstance(metric, SlidingWindow):
+                    snap = metric.snapshot()
+                    for q in metric.quantiles:
+                        value = snap["quantiles"].get(f"p{q * 100:g}")
+                        if value is None:
+                            continue
+                        q_key = key + (("quantile", format(q, "g")),)
+                        lines.append(f"{name}{_label_text(q_key)} {value}")
+                    lines.append(f"{name}_sum{_label_text(key)} {snap['sum']}")
+                    lines.append(f"{name}_count{_label_text(key)} {snap['count']}")
                 else:
                     lines.append(f"{name}{_label_text(key)} {metric.expose()}")
         return "\n".join(lines) + ("\n" if lines else "")
@@ -327,6 +375,13 @@ class LabeledRegistry:
         help: str = "", **labels: str,
     ) -> Histogram:
         return self._registry.histogram(name, buckets, help, **self._merge(labels))
+
+    def window(self, name: str, help: str = "", **kwargs) -> SlidingWindow:
+        labels = {
+            k: kwargs.pop(k) for k in list(kwargs)
+            if k not in ("window_s", "slots", "buckets", "quantiles", "target")
+        }
+        return self._registry.window(name, help, **kwargs, **self._merge(labels))
 
     def on_collect(self, fn: Callable[[MetricsRegistry], None]) -> None:
         self._registry.on_collect(fn)

@@ -154,6 +154,27 @@ class AsyncTicket:
             raise ServeOverflowError("ticket not dequeued yet")
         return self.dequeued_at - self.submitted_at
 
+    @property
+    def aid(self) -> int | None:
+        """The inner ticket's async-trace span id (None before enqueue)."""
+        return self.inner.aid if self.inner is not None else None
+
+    def breakdown(self) -> dict:
+        """Latency attribution, intake wait included.
+
+        The inner :class:`~repro.serve.batcher.Ticket` knows batch wait,
+        block execute time, and per-stage seconds; this transport adds the
+        producer-side component it alone can see — ``queue_wait_seconds``,
+        the time between :meth:`~AsyncInferenceServer.submit` and the worker
+        pulling the request off the intake queue.
+        """
+        out = self.inner.breakdown() if self.inner is not None else {}
+        out["queue_wait_seconds"] = (
+            self.dequeued_at - self.submitted_at
+            if self.dequeued_at is not None else None
+        )
+        return out
+
     # -------------------------------------------------------------- worker
     def _resolve(self, now: float, error: BaseException | None = None) -> None:
         """Worker-side completion; must fire exactly once per ticket."""

@@ -43,7 +43,7 @@ class Ticket:
 
     __slots__ = (
         "y0", "submitted_at", "completed_at", "batch_columns", "result", "_y", "aid",
-        "error",
+        "error", "packed_at", "block_id", "execute_seconds", "stage_seconds",
     )
 
     def __init__(self, y0: np.ndarray, submitted_at: float, aid: int = 0):
@@ -59,6 +59,14 @@ class Ticket:
         self.aid = aid
         #: the exception that killed this request's block, if its run failed
         self.error: BaseException | None = None
+        #: when this request was packed into a block (batch wait ends here)
+        self.packed_at: float | None = None
+        #: 1-based id of the block it rode in (matches the block's span args)
+        self.block_id: int | None = None
+        #: wall seconds the block spent inside ``session.run``
+        self.execute_seconds: float | None = None
+        #: the block's per-pipeline-stage seconds (shared across its tickets)
+        self.stage_seconds: dict | None = None
 
     @property
     def columns(self) -> int:
@@ -95,6 +103,30 @@ class Ticket:
         if self.completed_at is None:
             raise ServeOverflowError("ticket not resolved yet; flush or drain the batcher")
         return self.completed_at - self.submitted_at
+
+    def breakdown(self) -> dict:
+        """Where this request's latency went (tail-latency attribution).
+
+        ``queue_wait_seconds`` is zero for the synchronous batcher — there
+        is no intake queue in front of it; the async transport overrides it
+        with the ticket's intake wait.  ``batch_wait_seconds`` is the time
+        spent pending before a block packed it (the head-of-line component),
+        ``execute_seconds`` the block's engine time, and ``stage_seconds``
+        splits that by pipeline stage.
+        """
+        out: dict = {
+            "queue_wait_seconds": 0.0,
+            "batch_wait_seconds": (
+                self.packed_at - self.submitted_at
+                if self.packed_at is not None else None
+            ),
+            "execute_seconds": self.execute_seconds,
+            "block_id": self.block_id,
+            "batch_columns": self.batch_columns,
+        }
+        if self.stage_seconds is not None:
+            out["stage_seconds"] = dict(self.stage_seconds)
+        return out
 
 
 class MicroBatcher:
@@ -178,8 +210,18 @@ class MicroBatcher:
             "serve_queue_wait_seconds",
             help="submit-to-resolve wait per request",
         )
+        # streaming tail view: per-request latency over the last minute, so
+        # a scrape reads "p99 right now" instead of a lifetime histogram
+        self._w_latency = metrics.window(
+            "serve_latency_seconds",
+            help="sliding-window submit-to-resolve latency per request",
+        )
         self._h_fill: dict[str, object] = {}
         self._c_reuse_blocks: dict[str, object] = {}
+        #: optional per-ticket resolution hook (SLO trackers subscribe here);
+        #: called with each resolved ticket, failures included.  Guarded —
+        #: observability must never take the serving path down.
+        self.on_resolve = None
 
     # -------------------------------------------------------------- intake
     @property
@@ -287,7 +329,10 @@ class MicroBatcher:
         traffic can see what FIFO costs it.
         """
         tracer = self.tracer
-        with tracer.span("batch.pack", cat="serve", reason=reason) as pack_span:
+        block_id = self.counters["batches"] + 1
+        with tracer.span(
+            "batch.pack", cat="serve", reason=reason, block_id=block_id
+        ) as pack_span:
             take: list[Ticket] = [self._pending.popleft()]
             cols = take[0].columns
             while self._pending and cols + self._pending[0].columns <= self.max_batch:
@@ -295,6 +340,10 @@ class MicroBatcher:
                 take.append(ticket)
                 cols += ticket.columns
             self._pending_cols -= cols
+            packed_at = self.clock()
+            for ticket in take:
+                ticket.packed_at = packed_at
+                ticket.block_id = block_id
             if self._pending and cols < self.max_batch:
                 # under-filled with work still queued: the next head is too
                 # wide for the gap and FIFO refuses to skip past it
@@ -307,25 +356,31 @@ class MicroBatcher:
             block = take[0].y0 if len(take) == 1 else np.hstack([t.y0 for t in take])
             pack_span.set(requests=len(take), columns=cols)
         with tracer.span(
-            "batch.execute", cat="serve", reason=reason, requests=len(take), columns=cols
+            "batch.execute", cat="serve", reason=reason, requests=len(take),
+            columns=cols, block_id=block_id,
         ) as exec_span:
+            exec_t0 = time.perf_counter()
             try:
                 result = self.session.run(block)
             except Exception as exc:
                 # the block died: its requests are already off the queue, so
                 # route the failure to exactly these tickets and leave the
                 # batcher serviceable for the next block
+                execute_seconds = time.perf_counter() - exec_t0
                 now = self.clock()
                 for ticket in take:
                     ticket.error = exc
                     ticket.completed_at = now
+                    ticket.execute_seconds = execute_seconds
                     tracer.end_async(
                         "request", ticket.aid, error=type(exc).__name__, reason=reason
                     )
                 self.counters["failed"] += len(take)
                 self._c_failed.inc(len(take))
+                self._notify_resolved(take)
                 self._update_queue_gauges()
                 raise
+            execute_seconds = time.perf_counter() - exec_t0
             reuse_info = result.stats.get("centroid_reuse") if result.stats else None
             if reuse_info is not None:
                 outcome = "hit" if reuse_info.get("hit") else reuse_info.get("reason", "miss")
@@ -348,6 +403,8 @@ class MicroBatcher:
                 ticket.result = result
                 ticket.batch_columns = cols
                 ticket.completed_at = now
+                ticket.execute_seconds = execute_seconds
+                ticket.stage_seconds = result.stage_seconds
                 tracer.end_async(
                     "request", ticket.aid, batch_columns=cols, reason=reason
                 )
@@ -366,7 +423,29 @@ class MicroBatcher:
             )
         fill_hist.observe(cols / self.max_batch)
         self._h_queue_wait.observe(now - take[0].submitted_at)
+        for ticket in take:
+            self._w_latency.observe(
+                ticket.latency_seconds,
+                columns=ticket.columns,
+                exemplar={
+                    "request_aid": ticket.aid,
+                    "block_id": block_id,
+                    "latency_seconds": ticket.latency_seconds,
+                    "breakdown": ticket.breakdown(),
+                },
+            )
+        self._notify_resolved(take)
         self._update_queue_gauges()
+
+    def _notify_resolved(self, tickets: list[Ticket]) -> None:
+        """Hand resolved tickets to the subscriber (SLO tracker), guarded."""
+        if self.on_resolve is None:
+            return
+        for ticket in tickets:
+            try:
+                self.on_resolve(ticket)
+            except Exception:  # pragma: no cover - observability must not break serving
+                pass
 
     def _update_queue_gauges(self) -> None:
         self._g_queue_depth.set(len(self._pending))

@@ -7,7 +7,7 @@ behind an :class:`~repro.serve.server.InferenceServer`, requests packed into
 SNICIT-sized blocks.  Results land in ``BENCH_serve.json`` so successive
 PRs accumulate a machine-readable perf trajectory.
 
-The bench runs a *tier list* (schema 2): two SDGC depths plus a trained
+The bench runs a *tier list* (schema 3): two SDGC depths plus a trained
 medium-scale DNN, each measured independently so a perf change that only
 helps shallow nets cannot hide a regression on deep ones.  With
 ``centroid_reuse=True`` every tier additionally runs an A/B pass — the same
@@ -43,13 +43,22 @@ __all__ = [
     "DEFAULT_BENCH_PATH",
     "DEFAULT_TIERS",
     "MULTI_TIERS",
+    "MULTI_SLO_SPEC",
     "STREAM_MODES",
 ]
 
 DEFAULT_BENCH_PATH = "BENCH_serve.json"
 
-#: current on-disk layout of ``BENCH_serve.json``
-BENCH_SCHEMA = 2
+#: current on-disk layout of ``BENCH_serve.json``.  Schema 3 added the
+#: multi-tenant record's per-tenant ``slo`` blocks (windowed quantiles,
+#: error-budget burn, trace-linked exemplars) and per-tenant latency
+#: quantiles in the router summary; schema 2 is still readable.
+BENCH_SCHEMA = 3
+
+#: SLO every multi-tenant bench tenant is registered under — loose enough
+#: that a healthy CI run is compliant, tight enough that the windowed
+#: estimator and budget arithmetic are exercised with real traffic
+MULTI_SLO_SPEC = "p99<250ms@30s/95%"
 
 #: tier name -> SDGC benchmark, or the sentinel ``"medium:<id>"``
 DEFAULT_TIERS = ("sdgc-shallow", "sdgc-deep", "medium-A")
@@ -380,8 +389,9 @@ def _run_multi(
     max_batch: int,
     seed: int,
     memory_budget_mb: float | None,
+    slo: str | None = MULTI_SLO_SPEC,
 ) -> dict:
-    """Mixed-traffic multi-tenant record: throughput, isolation, budget.
+    """Mixed-traffic multi-tenant record: throughput, isolation, budget, SLO.
 
     Each tier becomes one named tenant in a :class:`~repro.serve.router.
     ModelRegistry`; the mixed stream round-robins the tenants in
@@ -395,6 +405,14 @@ def _run_multi(
     * **budget** — with ``memory_budget_mb`` set, the post-run high-water
       mark must sit at or under the limit and the LRU demotions it took to
       get there are recorded.
+
+    Every tenant is additionally registered under the ``slo`` policy spec
+    (default :data:`MULTI_SLO_SPEC`; ``None`` disables), so the record
+    carries a live per-tenant SLO evaluation — windowed p50/p95/p99, budget
+    burn, and the slowest request's exemplar with its trace span id.  The
+    isolation check doubles as the proof that SLO instrumentation does not
+    change served outputs: the single-tenant references run *without*
+    trackers, and the mixed run must still match them bitwise.
     """
     from repro.serve.router import ModelRegistry, Router
 
@@ -422,7 +440,9 @@ def _run_multi(
 
     registry = ModelRegistry(memory_budget_bytes=budget_bytes)
     for name, tenant in tenants.items():
-        registry.register(name, tenant["net"], config=tenant["cfg"], warm=True)
+        registry.register(
+            name, tenant["net"], config=tenant["cfg"], warm=True, slo=slo
+        )
     router = Router(
         registry, max_batch=max_batch, max_wait_s=60.0,
         queue_limit=max(len(t["stream"]) for t in tenants.values()),
@@ -457,11 +477,18 @@ def _run_multi(
             "latency_seconds": mine.latency_quantiles(),
             "status": mine.status,
             "isolation_identical": bool(identical),
+            # same check, stated as the SLO-instrumentation invariant: the
+            # references ran without trackers, so a bitwise match proves the
+            # telemetry path never touched served outputs
+            "outputs_identical": bool(identical),
             "single_tenant_seconds": ref.wall_seconds,
             "single_tenant_columns_per_second": ref.columns_per_second,
             "hol_stalls": lane["hol_stalls"],
             "hol_underfill_columns": lane["hol_underfill_columns"],
             "batcher": lane,
+            # live SLO evaluation: windowed p50/p95/p99, burn rate, budget,
+            # and the slowest request's exemplar with its trace span id
+            "slo": (report.slo or {}).get(name),
         }
 
     budget_stats = registry.budget.stats()
@@ -471,7 +498,8 @@ def _run_multi(
         "request_cols": request_cols,
         "max_batch": max_batch,
         "memory_budget_mb": memory_budget_mb,
-        "router": report.summary(),
+        "slo_spec": slo,
+        "router": report.to_json(),
         "per_tenant": per_tenant,
         "isolation_identical": bool(
             all(t["isolation_identical"] for t in per_tenant.values())
@@ -490,10 +518,11 @@ def _run_multi(
 def load_bench_records(data) -> list[dict]:
     """Per-tier records from a loaded ``BENCH_serve.json`` object.
 
-    Accepts both the current schema-2 layout (``{"schema": 2, "tiers":
-    [...]}``) and the legacy single-benchmark dict from before the tier
-    split, which is wrapped as a one-record list (its ``tier`` defaults to
-    its benchmark name).
+    Accepts the current schema-3 layout (``{"schema": 3, "tiers": [...]}``,
+    same tier shape as schema 2 — the bump only added SLO blocks to the
+    ``multi`` record), schema 2, and the legacy single-benchmark dict from
+    before the tier split, which is wrapped as a one-record list (its
+    ``tier`` defaults to its benchmark name).
     """
     if not isinstance(data, dict):
         raise ConfigError(f"expected a BENCH_serve dict, got {type(data).__name__}")
@@ -524,12 +553,13 @@ def bench_serve(
     multi: bool = False,
     multi_tiers: tuple[str, ...] | None = None,
     memory_budget_mb: float | None = None,
+    slo: str | None = MULTI_SLO_SPEC,
 ) -> dict:
     """Measure request throughput: cold per-request engines vs warm serving.
 
     Runs every tier in ``tiers`` (default :data:`DEFAULT_TIERS`); passing
     ``benchmark`` instead runs that single SDGC benchmark as an ad-hoc tier.
-    Returns the schema-2 result dict and, unless ``out`` is None, writes it
+    Returns the schema-3 result dict and, unless ``out`` is None, writes it
     as JSON.
 
     ``stream`` picks the request-stream shape (see :func:`_shape_stream`);
@@ -549,7 +579,9 @@ def bench_serve(
     one :class:`~repro.serve.router.Router`, with per-tenant throughput, a
     bitwise isolation check against single-tenant runs, and — when
     ``memory_budget_mb`` bounds the combined footprint — LRU warm-to-cold
-    demotions plus the post-enforcement high-water mark.
+    demotions plus the post-enforcement high-water mark.  ``slo`` is the
+    per-tenant policy spec the multi record evaluates live (default
+    :data:`MULTI_SLO_SPEC`; ``None`` turns SLO tracking off).
     """
     if tiers is None:
         tiers = (benchmark,) if benchmark is not None else DEFAULT_TIERS
@@ -590,6 +622,7 @@ def bench_serve(
             max_batch=max_batch,
             seed=seed,
             memory_budget_mb=memory_budget_mb,
+            slo=slo,
         )
     if trace is not None and tracer is not None:
         tracer.write_chrome(trace)

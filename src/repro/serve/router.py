@@ -41,6 +41,8 @@ import numpy as np
 from repro.errors import ConfigError, ServeClosedError, ServeOverflowError
 from repro.gpu.memory import MemoryBudget
 from repro.obs import MetricsRegistry
+from repro.obs.export import json_safe
+from repro.obs.slo import SloPolicy, SloTracker
 from repro.serve.async_server import AsyncServeReport, AsyncTicket
 from repro.serve.batcher import MicroBatcher, Ticket
 from repro.serve.server import ServeReport
@@ -77,6 +79,7 @@ class ModelRegistry:
         self.clock = clock
         self._sessions: dict[str, EngineSession] = {}
         self._last_served: dict[str, float] = {}
+        self._slo: dict[str, SloTracker] = {}
         #: model names demoted by budget enforcement, in eviction order
         self.demotions: list[str] = []
 
@@ -90,6 +93,7 @@ class ModelRegistry:
         kind: str = "snicit",
         warm: bool = False,
         session: EngineSession | None = None,
+        slo: SloPolicy | str | None = None,
         **session_kwargs,
     ) -> EngineSession:
         """Add a named tenant; returns its session.
@@ -100,6 +104,11 @@ class ModelRegistry:
         ``session``.  ``warm=False`` registers cold (views build lazily on
         first use); ``warm=True`` pins them eagerly.  Duplicate names are a
         :class:`~repro.errors.ConfigError` — a name means one tenant.
+
+        ``slo`` attaches a per-tenant service-level objective — an
+        :class:`~repro.obs.slo.SloPolicy` or a compact spec string like
+        ``'p99<50ms@60s/99%'`` — whose tracker the routers feed with every
+        resolved request (see :meth:`set_slo`).
         """
         if name in self._sessions:
             raise ConfigError(f"model {name!r} is already registered")
@@ -117,6 +126,8 @@ class ModelRegistry:
             )
         self._sessions[name] = session
         self._last_served[name] = self.clock()
+        if slo is not None:
+            self.set_slo(name, slo)
         # an eagerly-warmed tenant can push the ledger over budget the
         # moment it registers; enforce right away (protecting the newcomer)
         # so the highwater gauge only ever records post-enforcement state
@@ -128,6 +139,7 @@ class ModelRegistry:
         session = self.get(name)
         del self._sessions[name]
         del self._last_served[name]
+        self._slo.pop(name, None)
         self.budget.drop(name)
         self.budget.publish()
         return session
@@ -142,6 +154,39 @@ class ModelRegistry:
 
     def names(self) -> list[str]:
         return list(self._sessions)
+
+    # ------------------------------------------------------------------ SLO
+    def set_slo(self, name: str, policy: SloPolicy | str) -> SloTracker:
+        """Attach (or replace) a tenant's SLO policy; returns its tracker.
+
+        The tracker publishes through the shared registry's per-tenant view
+        (``slo_latency_seconds{model=name, quantile=...}`` etc.), and the
+        routers feed it every resolved request for that tenant.  A spec
+        string like ``'p99<50ms@60s/99%'`` is parsed via
+        :meth:`~repro.obs.slo.SloPolicy.parse`.
+        """
+        self.get(name)  # unknown tenants fail loudly
+        if isinstance(policy, str):
+            policy = SloPolicy.parse(policy)
+        tracker = SloTracker(
+            policy, metrics=self.metrics.labeled(model=name), name=name
+        )
+        self._slo[name] = tracker
+        return tracker
+
+    def slo_tracker(self, name: str) -> SloTracker | None:
+        """The tenant's tracker, or ``None`` when it has no SLO policy."""
+        return self._slo.get(name)
+
+    def slo_report(self) -> dict:
+        """Live :class:`~repro.obs.slo.SloReport` per policied tenant."""
+        return {name: tracker.report() for name, tracker in self._slo.items()}
+
+    def slo_report_json(self) -> dict:
+        """JSON-safe ``/slo`` payload: one report block per policied tenant."""
+        return {
+            name: report.to_json() for name, report in self.slo_report().items()
+        }
 
     def __contains__(self, name: str) -> bool:
         return name in self._sessions
@@ -198,11 +243,14 @@ class ModelRegistry:
         return demoted
 
     def stats(self) -> dict:
-        return {
+        out = {
             "models": {name: s.stats() for name, s in self._sessions.items()},
             "budget": self.budget.stats(),
             "demotions": list(self.demotions),
         }
+        if self._slo:
+            out["slo"] = self.slo_report_json()
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -228,6 +276,9 @@ class RouterReport:
     exec_seconds: float = 0.0
     #: tenants demoted warm-to-cold by budget enforcement during the stream
     demoted: list[str] = field(default_factory=list)
+    #: per-tenant SLO evaluation (JSON blocks from the registry's trackers);
+    #: ``None`` when no tenant carries a policy
+    slo: dict[str, dict] | None = None
 
     # ----------------------------------------------------------- aggregates
     @property
@@ -270,8 +321,13 @@ class RouterReport:
             return "all_rejected"
         return "degraded"
 
-    def latency_quantiles(self, qs=(0.5, 0.95, 1.0)) -> dict[str, float] | None:
+    def latency_quantiles(self, qs=(0.5, 0.95, 0.99, 1.0)) -> dict[str, float] | None:
         """Pooled quantiles over every tenant that actually served.
+
+        Pooling is the *merged* view only — a quiet fast tenant and a
+        saturated slow one average into a number that describes neither, so
+        anything judging tenant health must read
+        :meth:`per_model_quantiles` instead.
 
         Tenants with nothing served contribute no samples (their ``None``
         is not coerced to zero); with no served request anywhere the merged
@@ -287,8 +343,17 @@ class RouterReport:
         arr = np.array(lat)
         return {f"p{int(q * 100)}": float(np.quantile(arr, q)) for q in qs}
 
-    def summary(self) -> dict:
+    def per_model_quantiles(
+        self, qs=(0.5, 0.95, 0.99, 1.0)
+    ) -> dict[str, dict[str, float] | None]:
+        """Each tenant's own latency quantiles — the unmasked per-tail view."""
         return {
+            name: report.latency_quantiles(qs)
+            for name, report in self.per_model.items()
+        }
+
+    def summary(self) -> dict:
+        out = {
             "status": self.status,
             "requests": self.requests,
             "served": self.served,
@@ -297,11 +362,19 @@ class RouterReport:
             "wall_seconds": self.wall_seconds,
             "columns_per_second": self.columns_per_second,
             "latency_seconds": self.latency_quantiles(),
+            "latency_seconds_per_model": self.per_model_quantiles(),
             "demoted": list(self.demoted),
             "models": {
                 name: report.summary() for name, report in self.per_model.items()
             },
         }
+        if self.slo is not None:
+            out["slo"] = self.slo
+        return out
+
+    def to_json(self) -> dict:
+        """:meth:`summary` coerced JSON-serializable (numpy scalars included)."""
+        return json_safe(self.summary())
 
 
 class Router:
@@ -340,6 +413,14 @@ class Router:
                 max_pending=self.queue_limit,
                 clock=self.clock,
             )
+            # the tracker is looked up per resolution, not captured: a
+            # policy set (or replaced) after the lane exists still applies
+            def feed_slo(ticket, model=model):
+                tracker = self.registry.slo_tracker(model)
+                if tracker is not None:
+                    tracker.record_ticket(ticket, model=model)
+
+            batcher.on_resolve = feed_slo
             self._lanes[model] = batcher
         return batcher
 
@@ -390,6 +471,7 @@ class Router:
         for per in report.per_model.values():
             per.wall_seconds = report.wall_seconds
         report.demoted = self.registry.demotions[demotions_before:]
+        report.slo = self.registry.slo_report_json() or None
         return report
 
     def stats(self) -> dict:
@@ -402,9 +484,10 @@ class Router:
 class _AsyncLane:
     """Per-tenant state of the async router: intake, batcher, inflight."""
 
-    __slots__ = ("batcher", "intake", "inflight", "accepted")
+    __slots__ = ("model", "batcher", "intake", "inflight", "accepted")
 
-    def __init__(self, batcher: MicroBatcher):
+    def __init__(self, model: str, batcher: MicroBatcher):
+        self.model = model
         self.batcher = batcher
         self.intake: deque[AsyncTicket] = deque()
         self.inflight: deque[AsyncTicket] = deque()
@@ -463,13 +546,14 @@ class AsyncRouter:
         if lane is None:
             session = self.registry.get(model)
             lane = _AsyncLane(
+                model,
                 MicroBatcher(
                     session,
                     max_batch=self.max_batch,
                     max_wait_s=self.max_wait_s,
                     max_pending=self.queue_limit + self.max_batch + 1,
                     clock=self.clock,
-                )
+                ),
             )
             self._lanes[model] = lane
         return lane
@@ -555,6 +639,7 @@ class AsyncRouter:
         for per in report.per_model.values():
             per.wall_seconds = report.wall_seconds
         report.demoted = self.registry.demotions[demotions_before:]
+        report.slo = self.registry.slo_report_json() or None
         return report
 
     # -------------------------------------------------------------- worker
@@ -635,9 +720,17 @@ class AsyncRouter:
     def _sweep(self, lane: _AsyncLane) -> None:
         """Resolve the lane's inflight prefix whose inner tickets are done."""
         now = self.clock()
+        tracker = self.registry.slo_tracker(lane.model)
         while lane.inflight and lane.inflight[0].inner.done:
             ticket = lane.inflight.popleft()
             ticket._resolve(now, error=ticket.inner.error)
+            # SLO accounting uses the outer ticket: its latency includes
+            # the intake wait the inner (batcher) ticket cannot see
+            if tracker is not None:
+                try:
+                    tracker.record_ticket(ticket, model=lane.model)
+                except Exception:  # pragma: no cover - obs must not kill the worker
+                    pass
 
     def _abort_pending(self, grabbed) -> None:
         """Fail everything unfinished across every lane."""

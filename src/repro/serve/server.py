@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import ServeOverflowError
+from repro.obs.export import json_safe
 from repro.serve.batcher import MicroBatcher, Ticket
 from repro.serve.session import EngineSession
 
@@ -64,7 +65,7 @@ class ServeReport:
             return "all_rejected"
         return "ok"
 
-    def latency_quantiles(self, qs=(0.5, 0.95, 1.0)) -> dict[str, float] | None:
+    def latency_quantiles(self, qs=(0.5, 0.95, 0.99, 1.0)) -> dict[str, float] | None:
         """Latency quantiles of served requests; ``None`` when none served
         (an all-rejected or idle stream has no latencies, not zero ones)."""
         if not self.served:
@@ -84,6 +85,15 @@ class ServeReport:
             "columns_per_second": self.columns_per_second,
             "latency_seconds": self.latency_quantiles(),
         }
+
+    def to_json(self) -> dict:
+        """:meth:`summary` with every value coerced JSON-serializable.
+
+        The quantiles come out of ``np.quantile`` as numpy scalars; this is
+        the path report consumers (bench records, the ``/slo`` endpoint)
+        must use before ``json.dumps``.
+        """
+        return json_safe(self.summary())
 
 
 class InferenceServer:

@@ -134,6 +134,12 @@ class EngineSession:
         self._c_warmup = self.scoped.counter(
             "session_warmup_seconds_total", help="wall seconds building weight views"
         )
+        # streaming view of per-block engine time: "how slow are blocks right
+        # now" for the scrape endpoint, next to the lifetime busy counter
+        self._w_block = self.scoped.window(
+            "session_block_seconds",
+            help="sliding-window wall seconds per engine.infer call",
+        )
         #: per-stage counters, resolved once per stage name instead of a
         #: labelled registry lookup on every call
         self._stage_counters: dict[str, object] = {}
@@ -237,7 +243,9 @@ class EngineSession:
         """One inference call on the warm engine, with counter accounting."""
         t0 = time.perf_counter()
         result = self.engine.infer(y0)
-        self._c_busy.inc(time.perf_counter() - t0)
+        elapsed = time.perf_counter() - t0
+        self._c_busy.inc(elapsed)
+        self._w_block.observe(elapsed, columns=y0.shape[1])
         self._c_calls.inc()
         self._c_columns.inc(y0.shape[1])
         for stage, seconds in result.stage_seconds.items():

@@ -185,6 +185,79 @@ def test_prometheus_exposition_format():
     assert 'fill_count{reason="full"} 1' in text
 
 
+def test_prometheus_label_values_are_escaped():
+    reg = MetricsRegistry()
+    # tenant names come from CLI input: quotes, backslashes, and newlines
+    # must not corrupt the exposition
+    reg.counter("req_total", model='evil"name').inc()
+    reg.counter("req_total", model="back\\slash").inc()
+    reg.counter("req_total", model="new\nline").inc()
+    text = reg.to_prometheus()
+    assert 'req_total{model="evil\\"name"} 1.0' in text
+    assert 'req_total{model="back\\\\slash"} 1.0' in text
+    assert 'req_total{model="new\\nline"} 1.0' in text
+    assert "\nline" not in text.replace("\\nline", "")  # no raw newline leaks
+
+
+def test_prometheus_help_is_escaped_and_one_type_block_per_name():
+    reg = MetricsRegistry()
+    reg.counter("a_total", help="first\nline with back\\slash", k="1").inc()
+    reg.counter("a_total", k="2").inc()
+    text = reg.to_prometheus()
+    assert "# HELP a_total first\\nline with back\\\\slash" in text
+    # two series of one name share a single HELP/TYPE block
+    assert text.count("# TYPE a_total counter") == 1
+    assert text.count("# HELP a_total") == 1
+
+
+def test_prometheus_histogram_buckets_are_monotone_and_consistent():
+    reg = MetricsRegistry()
+    h = reg.histogram("lat_seconds", buckets=(0.001, 0.01, 0.1, 1.0))
+    values = (0.0005, 0.005, 0.005, 0.05, 0.5, 5.0)
+    for v in values:
+        h.observe(v)
+    text = reg.to_prometheus()
+    counts = []
+    for line in text.splitlines():
+        if line.startswith("lat_seconds_bucket"):
+            counts.append(int(line.rsplit(" ", 1)[1]))
+    assert counts == sorted(counts), "cumulative buckets must be monotone"
+    assert counts[-1] == len(values)  # +Inf bucket equals _count
+    assert f"lat_seconds_count {len(values)}" in text
+    assert f"lat_seconds_sum {sum(values)}" in text
+
+
+def test_prometheus_window_exposes_summary_series():
+    reg = MetricsRegistry()
+    win = reg.window("tail_seconds", help="windowed tail", model="a")
+    for v in (0.001, 0.002, 0.004, 0.5):
+        win.observe(v)
+    text = reg.to_prometheus()
+    assert "# TYPE tail_seconds summary" in text
+    # model label sorts before the synthetic quantile label
+    assert 'tail_seconds{model="a",quantile="0.5"}' in text
+    assert 'tail_seconds{model="a",quantile="0.99"}' in text
+    assert 'tail_seconds_count{model="a"} 4' in text
+    assert f'tail_seconds_sum{{model="a"}} {0.001 + 0.002 + 0.004 + 0.5}' in text
+    # an idle window exposes no quantile samples but keeps _sum/_count
+    reg2 = MetricsRegistry()
+    reg2.window("idle_seconds")
+    text2 = reg2.to_prometheus()
+    assert "quantile=" not in text2
+    assert "idle_seconds_count 0" in text2
+
+
+def test_labeled_registry_window_forwards_geometry_and_labels():
+    reg = MetricsRegistry()
+    scoped = reg.labeled(model="t")
+    win = scoped.window("w_seconds", window_s=10.0, slots=5, target=0.1, extra="x")
+    assert win.window_s == 10.0 and win.slots == 5 and win.target == 0.1
+    # get-or-create through the base registry lands on the same series
+    assert reg.window("w_seconds", model="t", extra="x") is win
+    win.observe(0.05)
+    assert reg.snapshot()['w_seconds{extra="x",model="t"}']["count"] == 1
+
+
 def test_snapshot_is_json_safe():
     reg = MetricsRegistry()
     reg.counter("a").inc()

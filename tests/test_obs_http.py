@@ -1,0 +1,99 @@
+"""Tests for the scrapeable obs endpoint (repro.obs.http)."""
+
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.obs import MetricsRegistry, ObsServer
+from repro.obs.http import PROMETHEUS_CONTENT_TYPE
+
+
+def scrape(server, path):
+    with urllib.request.urlopen(f"{server.url}{path}", timeout=5.0) as resp:
+        return resp.status, resp.headers.get("Content-Type"), resp.read().decode()
+
+
+@pytest.fixture
+def registry():
+    reg = MetricsRegistry()
+    reg.counter("requests_total", help="requests seen").inc(3)
+    reg.window("latency_seconds", help="windowed latency").observe(0.01, columns=2)
+    return reg
+
+
+def test_healthz_and_index(registry):
+    with ObsServer(registry) as server:
+        assert server.port != 0  # ephemeral port resolved from the socket
+        status, ctype, body = scrape(server, "/healthz")
+        assert status == 200 and body == "ok\n"
+        status, _, body = scrape(server, "/")
+        assert status == 200 and "/metrics" in body
+
+
+def test_metrics_renders_prometheus_text(registry):
+    with ObsServer(registry) as server:
+        status, ctype, body = scrape(server, "/metrics")
+        assert status == 200
+        assert ctype == PROMETHEUS_CONTENT_TYPE
+        assert "# TYPE requests_total counter" in body
+        assert "requests_total 3" in body
+        assert "# TYPE latency_seconds summary" in body
+        assert 'latency_seconds{quantile="0.99"}' in body
+
+
+def test_slo_without_provider_is_empty_json(registry):
+    with ObsServer(registry) as server:
+        status, ctype, body = scrape(server, "/slo")
+        assert status == 200 and ctype == "application/json"
+        assert json.loads(body) == {}
+
+
+def test_slo_provider_is_evaluated_per_scrape(registry):
+    state = {"n": 0}
+
+    def provider():
+        state["n"] += 1
+        # numpy scalars must survive the json_safe path, not crash the scrape
+        return {"a": {"burn_rate": np.float64(0.5), "scrapes": state["n"]}}
+
+    with ObsServer(registry, slo_provider=provider) as server:
+        first = json.loads(scrape(server, "/slo")[2])
+        second = json.loads(scrape(server, "/slo")[2])
+    assert first["a"]["burn_rate"] == 0.5
+    assert second["a"]["scrapes"] == first["a"]["scrapes"] + 1
+
+
+def test_slo_provider_error_renders_as_body_not_crash(registry):
+    def provider():
+        raise RuntimeError("reporter wedged")
+
+    with ObsServer(registry, slo_provider=provider) as server:
+        status, _, body = scrape(server, "/slo")
+        assert status == 200  # the process is alive; the reporter is not
+        assert json.loads(body)["error"] == "RuntimeError: reporter wedged"
+        # ...and the liveness path is unaffected
+        assert scrape(server, "/healthz")[0] == 200
+
+
+def test_unknown_path_is_404(registry):
+    with ObsServer(registry) as server:
+        with pytest.raises(urllib.error.HTTPError) as exc_info:
+            scrape(server, "/nope")
+        assert exc_info.value.code == 404
+
+
+def test_query_strings_are_ignored_in_routing(registry):
+    with ObsServer(registry) as server:
+        assert scrape(server, "/healthz?probe=1")[0] == 200
+
+
+def test_close_stops_accepting_scrapes(registry):
+    server = ObsServer(registry)
+    url = server.url
+    assert scrape(server, "/healthz")[0] == 200
+    server.close()
+    with pytest.raises((urllib.error.URLError, ConnectionError, OSError)):
+        urllib.request.urlopen(f"{url}/healthz", timeout=1.0)

@@ -1,0 +1,230 @@
+"""Unit tests for the sliding-window quantile estimator (repro.obs.window)."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.window import (
+    DEFAULT_QUANTILES,
+    WINDOW_BUCKET_RATIO,
+    SlidingWindow,
+    geometric_buckets,
+)
+
+
+class FakeClock:
+    """Settable monotonic clock for deterministic rotation tests."""
+
+    def __init__(self, t=0.0):
+        self.t = float(t)
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+def make_window(**kwargs):
+    clock = FakeClock(100.0)
+    kwargs.setdefault("window_s", 60.0)
+    kwargs.setdefault("slots", 12)
+    return SlidingWindow(clock=clock, **kwargs), clock
+
+
+# --------------------------------------------------------------- validation
+def test_geometric_buckets_cover_range_and_grow_geometrically():
+    edges = geometric_buckets(lo=1e-3, hi=1.0, ratio=2.0)
+    assert edges[0] == 1e-3
+    assert edges[-1] >= 1.0
+    ratios = [b / a for a, b in zip(edges, edges[1:])]
+    assert all(r == pytest.approx(2.0) for r in ratios)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"lo": 0.0},
+        {"lo": -1.0},
+        {"lo": 2.0, "hi": 1.0},
+        {"ratio": 1.0},
+        {"ratio": 0.5},
+    ],
+)
+def test_geometric_buckets_reject_bad_geometry(kwargs):
+    with pytest.raises(ConfigError):
+        geometric_buckets(**kwargs)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"window_s": 0.0},
+        {"window_s": -1.0},
+        {"slots": 0},
+        {"buckets": ()},
+    ],
+)
+def test_sliding_window_rejects_bad_config(kwargs):
+    with pytest.raises(ConfigError):
+        SlidingWindow(**kwargs)
+
+
+# ----------------------------------------------------------------- rotation
+def test_empty_window_snapshot_shape():
+    win, _ = make_window(target=0.05)
+    snap = win.snapshot()
+    assert snap["count"] == 0
+    assert snap["quantiles"] == {}
+    assert snap["min"] is None and snap["max"] is None
+    assert snap["exemplar"] is None
+    assert snap["over_target"] == 0
+    assert win.quantile(0.99) is None
+
+
+def test_observations_expire_after_the_window():
+    win, clock = make_window(window_s=60.0, slots=12)
+    for _ in range(10):
+        win.observe(0.01)
+    assert win.count == 10
+    clock.advance(59.0)
+    # within the window: still live (possibly minus the oldest slot)
+    assert win.count > 0
+    clock.advance(61.0)
+    assert win.count == 0
+    assert win.quantile(0.5) is None
+
+
+def test_forgetting_happens_in_whole_slot_steps():
+    win, clock = make_window(window_s=10.0, slots=5)  # 2 s per slot
+    win.observe(1.0)  # lands in the slot owning t=100
+    clock.advance(2.0)
+    win.observe(2.0)
+    clock.advance(2.0)
+    win.observe(3.0)
+    assert win.count == 3
+    # advance until the first slot falls off the ring's live range
+    clock.advance(6.5)
+    assert win.count == 2
+    assert win.snapshot()["min"] == 2.0
+    clock.advance(2.0)
+    assert win.count == 1
+    assert win.snapshot()["min"] == 3.0
+
+
+def test_slot_reuse_resets_stale_history():
+    win, clock = make_window(window_s=10.0, slots=2)
+    win.observe(5.0)
+    # come back a full ring later: the same slot object is reused and must
+    # not leak the old observation into the new sub-window
+    clock.advance(10.0)
+    win.observe(1.0)
+    snap = win.snapshot()
+    assert snap["count"] == 1
+    assert snap["max"] == 1.0
+
+
+# ---------------------------------------------------------------- estimator
+def test_windowed_quantiles_match_numpy_within_bucket_error():
+    rng = np.random.default_rng(7)
+    win, _ = make_window(window_s=60.0, slots=12)
+    # lognormal latencies: heavy tail spanning several bucket decades
+    samples = rng.lognormal(mean=-5.0, sigma=1.2, size=4000)
+    for s in samples:
+        win.observe(float(s))
+    snap = win.snapshot()
+    # an estimate lands in the same geometric bucket as the exact quantile,
+    # so it is within ~ratio^2 of it (one bucket each side of the edge)
+    tol = WINDOW_BUCKET_RATIO**2
+    for q in DEFAULT_QUANTILES:
+        exact = float(np.quantile(samples, q))
+        est = snap["quantiles"][f"p{q * 100:g}"]
+        assert exact / tol <= est <= exact * tol, (
+            f"p{q}: estimate {est} vs exact {exact}"
+        )
+    # estimates never leave the observed value range
+    assert snap["min"] <= snap["quantiles"]["p50"] <= snap["max"]
+    assert snap["max"] == pytest.approx(float(samples.max()))
+    assert snap["sum"] == pytest.approx(float(samples.sum()))
+
+
+def test_quantile_method_agrees_with_snapshot():
+    win, _ = make_window()
+    for v in (0.001, 0.002, 0.004, 0.008, 0.5):
+        win.observe(v)
+    snap = win.snapshot()
+    assert win.quantile(0.5) == pytest.approx(snap["quantiles"]["p50"])
+    # the max quantile clamps to the window max
+    assert win.quantile(1.0) == pytest.approx(0.5)
+
+
+def test_single_observation_quantiles_are_exact():
+    win, _ = make_window()
+    win.observe(0.0123)
+    snap = win.snapshot()
+    for key in ("p50", "p95", "p99"):
+        assert snap["quantiles"][key] == pytest.approx(0.0123)
+
+
+# ------------------------------------------------------- breaches / exemplar
+def test_over_target_counts_breaches_exactly():
+    win, clock = make_window(window_s=10.0, slots=5, target=0.1)
+    for v in (0.05, 0.09, 0.10, 0.11, 0.5, 2.0):
+        win.observe(v)
+    # strictly-above semantics: 0.10 is not a breach
+    assert win.snapshot()["over_target"] == 3
+    clock.advance(11.0)
+    assert win.snapshot()["over_target"] == 0
+
+
+def test_no_target_means_no_breach_accounting():
+    win, _ = make_window()
+    win.observe(10.0)
+    assert win.snapshot()["over_target"] is None
+
+
+def test_exemplar_tracks_the_window_maximum():
+    win, clock = make_window(window_s=10.0, slots=5)
+    win.observe(0.01, exemplar={"aid": 1})
+    win.observe(0.50, exemplar={"aid": 2})
+    win.observe(0.02, exemplar={"aid": 3})
+    assert win.snapshot()["exemplar"] == {"aid": 2}
+    # spread across slots: the exemplar follows the global max
+    clock.advance(2.0)
+    win.observe(0.90, exemplar={"aid": 4})
+    assert win.snapshot()["exemplar"] == {"aid": 4}
+    # ...and is forgotten with its slot
+    clock.advance(10.5)
+    win.observe(0.001, exemplar={"aid": 5})
+    assert win.snapshot()["exemplar"] == {"aid": 5}
+
+
+def test_columns_accumulate_and_expire():
+    win, clock = make_window(window_s=10.0, slots=5)
+    win.observe(0.01, columns=4)
+    win.observe(0.01, columns=8)
+    assert win.snapshot()["columns"] == pytest.approx(12.0)
+    clock.advance(11.0)
+    assert win.snapshot()["columns"] == 0.0
+
+
+# ------------------------------------------------------------- thread safety
+def test_concurrent_observers_lose_no_updates():
+    win = SlidingWindow(window_s=3600.0, slots=4)
+    per_thread, n_threads = 500, 8
+
+    def worker(seed):
+        rng = np.random.default_rng(seed)
+        for _ in range(per_thread):
+            win.observe(float(rng.uniform(0.001, 0.1)), columns=1)
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    snap = win.snapshot()
+    assert snap["count"] == per_thread * n_threads
+    assert snap["columns"] == pytest.approx(per_thread * n_threads)

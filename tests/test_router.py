@@ -14,6 +14,7 @@ Three layers of coverage:
   scrape of the shared registry must keep tenants separable by label.
 """
 
+import json
 import threading
 import time
 from types import SimpleNamespace
@@ -536,3 +537,133 @@ def test_router_report_aggregates_and_summary():
     assert set(summary["models"]) == {"a", "b"}
     assert summary["models"]["a"]["rejected"] == 1
     assert summary["latency_seconds"]["p100"] == pytest.approx(0.2)
+
+
+def test_router_report_per_model_quantiles_unmask_pooled_tail():
+    """Satellite regression: the pooled view averages a quiet slow tenant
+    into a busy fast one; the per-model view must keep each tail visible."""
+    report = RouterReport(per_model={
+        "fast": _ok_report(latencies=(0.01,) * 99),
+        "slow": _ok_report(latencies=(1.0,)),
+        "shed": ServeReport(rejected=[(0, "full")]),
+    })
+    per = report.per_model_quantiles()
+    assert per["slow"]["p99"] == pytest.approx(1.0)
+    assert per["fast"]["p99"] == pytest.approx(0.01)
+    assert per["shed"] is None  # nothing served -> no latencies, not zeros
+    # the pooled p50 sits on the fast tenant and hides the slow one's tail
+    pooled = report.latency_quantiles()
+    assert pooled["p50"] == pytest.approx(0.01)
+    summary = report.summary()
+    assert summary["latency_seconds_per_model"]["slow"]["p99"] == pytest.approx(1.0)
+
+
+def test_router_report_to_json_is_json_dumpable_with_numpy_and_slo():
+    """Satellite regression: np.quantile emits numpy scalars; to_json must
+    coerce them (and an embedded SLO block) before json.dumps."""
+    report = RouterReport(
+        per_model={"a": _ok_report(latencies=(0.1, 0.3))}, wall_seconds=1.0
+    )
+    report.slo = {"a": {"burn_rate": np.float64(0.25), "count": np.int64(2)}}
+    summary = report.summary()
+    with pytest.raises(TypeError):
+        json.dumps(summary)  # the raw summary still carries numpy scalars
+    blob = json.dumps(report.to_json())  # the JSON path must not raise
+    parsed = json.loads(blob)
+    assert parsed["latency_seconds"]["p100"] == pytest.approx(0.3)
+    assert parsed["latency_seconds_per_model"]["a"]["p50"] == pytest.approx(0.2)
+    assert parsed["slo"]["a"]["burn_rate"] == pytest.approx(0.25)
+
+
+# ----------------------------------------------------------------- SLO feed
+def test_registry_set_slo_validates_parses_and_evicts():
+    registry = ModelRegistry()
+    with pytest.raises(ConfigError):
+        registry.set_slo("nope", "p99<50ms")  # unknown tenants fail loudly
+    registry.register("a", session=FakeRouterSession())
+    with pytest.raises(ConfigError):
+        registry.set_slo("a", "not-a-spec")
+    tracker = registry.set_slo("a", "p99<50ms@10s/99%")
+    assert registry.slo_tracker("a") is tracker
+    assert tracker.policy.latency_target_s == pytest.approx(0.05)
+    assert tracker.policy.window_s == 10.0
+    assert "slo" in registry.stats()
+    registry.evict("a")
+    assert registry.slo_tracker("a") is None
+    assert registry.slo_report_json() == {}
+
+
+def test_sync_router_feeds_slo_trackers_per_tenant():
+    registry = ModelRegistry()
+    registry.register("a", session=FakeRouterSession(), slo="p99<10s")
+    registry.register("b", session=FakeRouterSession())
+    router = Router(registry, max_batch=4, max_wait_s=60.0)
+    report = router.serve(iter([("a", req(2)), ("b", req(1)), ("a", req(1))]))
+    assert report.status == "ok"
+
+    tracker = registry.slo_tracker("a")
+    assert tracker.requests_total == 2
+    assert tracker.columns_total == pytest.approx(3.0)
+    # only policied tenants get an slo block; "b" has no policy
+    assert set(report.slo) == {"a"}
+    block = report.slo["a"]
+    assert block["requests_total"] == 2
+    assert block["compliant"] is True
+    exemplar = block["exemplar"]
+    assert exemplar["model"] == "a"
+    assert exemplar["request_aid"] >= 1
+    assert exemplar["breakdown"]["block_id"] >= 1
+    assert exemplar["breakdown"]["queue_wait_seconds"] == 0.0
+    # the shared scrape carries the per-tenant summary series
+    prom = registry.metrics.to_prometheus()
+    assert 'slo_latency_seconds{model="a",quantile="0.99"}' in prom
+    assert 'slo_requests_total{model="a"} 2' in prom
+    # ...and the report's JSON path carries the block verbatim
+    assert report.to_json()["slo"]["a"]["requests_total"] == 2
+
+
+def test_sync_router_applies_slo_attached_after_first_traffic():
+    """The lane hook resolves the tracker lazily, so a policy attached to a
+    live tenant starts measuring without rebuilding the lane."""
+    registry = ModelRegistry()
+    registry.register("a", session=FakeRouterSession())
+    router = Router(registry, max_batch=2, max_wait_s=60.0)
+    router.submit("a", req(2))
+    router.drain()
+    registry.set_slo("a", "p99<10s")
+    router.submit("a", req(2))
+    router.drain()
+    assert registry.slo_tracker("a").requests_total == 1
+
+
+def test_async_router_feeds_outer_tickets_with_intake_wait():
+    registry = ModelRegistry()
+    registry.register("a", session=FakeRouterSession(), slo="p99<10s")
+    router = AsyncRouter(registry, max_batch=4, max_wait_s=0.0)
+    report = router.serve(iter([("a", req(1)), ("a", req(2))]))
+    assert report.status == "ok"
+
+    tracker = registry.slo_tracker("a")
+    assert tracker.requests_total == 2
+    assert tracker.columns_total == pytest.approx(3.0)
+    exemplar = tracker.report().exemplar
+    # the async feed measures the OUTER ticket: latency includes the intake
+    # wait, and the breakdown reports it instead of the sync zero
+    assert exemplar["breakdown"]["queue_wait_seconds"] is not None
+    assert exemplar["breakdown"]["queue_wait_seconds"] >= 0.0
+    assert report.slo["a"]["requests_total"] == 2
+
+
+def test_slo_feed_failure_cannot_break_serving():
+    registry = ModelRegistry()
+    registry.register("a", session=FakeRouterSession(), slo="p99<10s")
+    tracker = registry.slo_tracker("a")
+
+    def explode(*a, **k):
+        raise RuntimeError("tracker wedged")
+
+    tracker.record_ticket = explode
+    router = Router(registry, max_batch=2, max_wait_s=60.0)
+    ticket = router.submit("a", req(2))
+    router.drain()
+    assert ticket.ready  # the request resolved despite the broken tracker

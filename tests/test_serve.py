@@ -327,7 +327,7 @@ def test_bench_serve_writes_machine_readable_json(tmp_path):
         benchmark="144-24", requests=6, request_cols=2, max_batch=6, out=out
     )
     on_disk = json.loads(out.read_text())
-    assert on_disk["schema"] == 2
+    assert on_disk["schema"] == 3
     records = load_bench_records(on_disk)
     assert len(records) == 1
     rec = records[0]
@@ -395,3 +395,112 @@ def test_bench_serve_drift_stream_invalidates(tmp_path):
     # stale blocks fall back to full conversion: categories stay correct
     assert reuse["categories_match"] is True
     assert load_bench_records(result)[0]["categories_match"] is True
+
+
+# ------------------------------------------------------- latency attribution
+def test_ticket_breakdown_attributes_latency(bench):
+    net, cfg, y0 = bench
+    batcher = MicroBatcher(make_session(bench), max_batch=8, max_wait_s=60.0)
+    t1 = batcher.submit(y0[:, :2])
+    t2 = batcher.submit(y0[:, 2:4])
+    batcher.drain()
+    for ticket in (t1, t2):
+        b = ticket.breakdown()
+        assert b["queue_wait_seconds"] == 0.0  # no intake queue in sync mode
+        assert b["batch_wait_seconds"] >= 0.0
+        assert b["execute_seconds"] > 0.0
+        assert b["block_id"] == 1
+        assert b["batch_columns"] == 4
+        assert b["stage_seconds"]  # the block's per-stage split rides along
+    # both tickets rode one block: they share its execute/stage accounting
+    assert t1.execute_seconds == t2.execute_seconds
+    assert t1.stage_seconds == t2.stage_seconds
+
+
+def test_ticket_breakdown_before_packing_has_no_block_fields(bench):
+    net, cfg, y0 = bench
+    batcher = MicroBatcher(make_session(bench), max_batch=64, max_wait_s=60.0)
+    ticket = batcher.submit(y0[:, :1])  # pending, nothing flushed yet
+    b = ticket.breakdown()
+    assert b["batch_wait_seconds"] is None
+    assert b["execute_seconds"] is None and b["block_id"] is None
+    batcher.drain()
+
+
+def test_block_ids_are_sequential_across_flushes(bench):
+    net, cfg, y0 = bench
+    batcher = MicroBatcher(make_session(bench), max_batch=2, max_wait_s=60.0)
+    t1 = batcher.submit(y0[:, :2])   # fills block 1
+    t2 = batcher.submit(y0[:, 2:4])  # fills block 2
+    assert (t1.block_id, t2.block_id) == (1, 2)
+
+
+# ------------------------------------------------------------ resolve hook
+def test_on_resolve_sees_every_resolved_ticket(bench):
+    net, cfg, y0 = bench
+    batcher = MicroBatcher(make_session(bench), max_batch=4, max_wait_s=60.0)
+    seen = []
+    batcher.on_resolve = seen.append
+    tickets = [batcher.submit(y0[:, i : i + 1]) for i in range(3)]
+    batcher.drain()
+    assert seen == tickets
+    assert all(t.ready for t in seen)
+
+
+def test_on_resolve_failure_cannot_break_serving(bench):
+    net, cfg, y0 = bench
+    batcher = MicroBatcher(make_session(bench), max_batch=4, max_wait_s=60.0)
+
+    def explode(ticket):
+        raise RuntimeError("subscriber wedged")
+
+    batcher.on_resolve = explode
+    ticket = batcher.submit(y0[:, :2])
+    batcher.drain()
+    assert ticket.ready  # the guarded hook swallowed the subscriber's crash
+
+
+class _DoomedSession:
+    """Session stand-in whose every block dies mid-execution."""
+
+    def __init__(self):
+        from types import SimpleNamespace
+
+        from repro.obs import MetricsRegistry, as_tracer
+
+        self.tracer = as_tracer(None)
+        self.metrics = MetricsRegistry()
+        self.network = SimpleNamespace(
+            validate_input=lambda y0: np.asarray(y0, dtype=np.float64)
+        )
+
+    def run(self, block):
+        raise RuntimeError("engine died")
+
+
+def test_on_resolve_sees_failed_tickets_too():
+    batcher = MicroBatcher(_DoomedSession(), max_batch=4, max_wait_s=60.0)
+    seen = []
+    batcher.on_resolve = seen.append
+    ticket = batcher.enqueue(np.ones((4, 2)))
+    with pytest.raises(RuntimeError):
+        batcher.drain()
+    # the failure was routed to the ticket AND to the subscriber, with the
+    # execute time stamped so a failed request is still attributable
+    assert seen == [ticket]
+    assert ticket.failed and ticket.execute_seconds is not None
+    assert ticket.breakdown()["execute_seconds"] is not None
+
+
+# -------------------------------------------------------------- JSON export
+def test_serve_report_to_json_is_json_dumpable(bench):
+    net, cfg, y0 = bench
+    server = InferenceServer(make_session(bench), max_batch=8, max_wait_s=60.0)
+    report = server.serve(iter([y0[:, :2], y0[:, 2:4]]))
+    assert report.status == "ok"
+    # consumers go through to_json: everything (numpy scalars included)
+    # must be plain JSON by the time json.dumps sees it
+    parsed = json.loads(json.dumps(report.to_json()))
+    assert parsed["status"] == "ok"
+    assert parsed["served"] == 2
+    assert isinstance(parsed["latency_seconds"]["p99"], float)

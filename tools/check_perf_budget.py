@@ -27,8 +27,9 @@ import sys
 def load_records(data: dict) -> dict[str, dict]:
     """Tier-name -> record from a BENCH_serve-shaped object.
 
-    Mirrors :func:`repro.serve.bench.load_bench_records` (schema-2 ``tiers``
-    list, or the legacy single-benchmark dict) without importing the repo.
+    Mirrors :func:`repro.serve.bench.load_bench_records` (schema-2/3
+    ``tiers`` list, or the legacy single-benchmark dict) without importing
+    the repo.
     """
     if "tiers" in data:
         return {rec.get("tier", rec.get("benchmark")): rec for rec in data["tiers"]}
