@@ -270,12 +270,102 @@ def _serve_multi(args) -> int:
     return 0
 
 
+def _serve_fleet(args) -> int:
+    """Multi-process serving: shard tenant streams across N workers."""
+    import numpy as np
+
+    from repro.harness.workloads import get_input
+    from repro.serve.bench import _split_requests
+    from repro.serve.fleet import FleetDispatcher, TenantSpec
+
+    tenants: list[tuple[str, str]] = []
+    if args.model:
+        for spec in args.model:
+            name, sep, benchmark = spec.partition("=")
+            if not sep or not name or not benchmark:
+                log.error(f"--model wants NAME=BENCHMARK, got {spec!r}")
+                return 2
+            tenants.append((name, benchmark))
+    else:
+        tenants.append((args.benchmark, args.benchmark))
+    if args.arrival_rate is not None:
+        log.warning("--arrival-rate is not supported with --workers; ignored")
+    specs = [
+        TenantSpec(
+            name, benchmark, threshold=args.threshold, slo=args.slo,
+            centroid_reuse=args.centroid_reuse,
+            reuse_tolerance=args.reuse_tolerance,
+        )
+        for name, benchmark in tenants
+    ]
+    budget_bytes = (
+        int(args.memory_budget_mb * 1024 * 1024)
+        if args.memory_budget_mb is not None
+        else None
+    )
+    fleet = FleetDispatcher(
+        specs,
+        workers=args.workers,
+        max_batch=args.max_batch,
+        max_wait_s=args.max_wait_ms / 1e3,
+        queue_limit=args.queue_limit,
+        memory_budget_bytes=budget_bytes,
+        worker_obs=args.obs_port is not None,
+    )
+    obs_server = None
+    if args.obs_port is not None:
+        obs_server = fleet.obs_endpoint(port=args.obs_port)
+        log.info(f"obs endpoint at {obs_server.url} "
+                 f"(/metrics /slo /healthz, merged across workers)")
+    for name, benchmark in tenants:
+        pool = np.asarray(
+            get_input(benchmark, args.requests * args.request_cols, args.seed)
+        )
+        for j, y0 in enumerate(_split_requests(pool, args.request_cols)):
+            fleet.submit(name, y0, stream=f"{name}/{j % args.streams}")
+    report = fleet.join()
+    summary = report.summary()
+    log.info(f"served {summary['served']}/{summary['requests']} requests "
+             f"({summary['rejected']} rejected, {summary['failed']} failed, "
+             f"status={summary['status']}) across {args.workers} workers "
+             f"in {summary['wall_seconds'] * 1e3:.1f} ms")
+    cap = summary["capacity_columns_per_second"]
+    log.info(f"  throughput   {summary['columns_per_second']:9.1f} col/s wall   "
+             f"{cap:9.1f} col/s capacity" if cap else
+             f"  throughput   {summary['columns_per_second']:9.1f} col/s wall")
+    for per in summary["per_worker"]:
+        rep = per["report"] or {}
+        log.info(f"  [worker {per['worker']}] "
+                 f"{rep.get('requests', '?')} requests, "
+                 f"{len(rep.get('streams') or [])} streams, "
+                 f"cpu {1e3 * (rep.get('cpu_seconds') or 0):.1f} ms, "
+                 f"restarts={per['restarts']}")
+    if args.slo:
+        for key, slo in sorted(fleet.merged_slo().items()):
+            est = slo["latency_estimate_s"]
+            est_text = f"{est * 1e3:.2f} ms" if est is not None else "n/a"
+            log.info(f"  [{key}] SLO {slo['policy']['describe']}: "
+                     f"p{slo['policy']['quantile'] * 100:g}≈{est_text}, "
+                     f"burn {slo['burn_rate']:.2f}, "
+                     f"compliant={slo['compliant']}")
+    if args.metrics:
+        log.info(fleet.render_merged_metrics().rstrip("\n"))
+    _finish_obs_endpoint(args, obs_server)
+    fleet.close()
+    return 0
+
+
 def _cmd_serve(args) -> int:
     from repro.harness.experiments.common import sdgc_config
     from repro.harness.workloads import get_benchmark, get_input
     from repro.serve import AsyncInferenceServer, EngineSession, InferenceServer
     from repro.serve.bench import _split_requests, poisson_interarrivals
 
+    if args.workers:
+        if args.benchmark is None and not args.model:
+            log.error("serve --workers needs a benchmark or --model NAME=BENCHMARK")
+            return 2
+        return _serve_fleet(args)
     if args.model:
         return _serve_multi(args)
     if args.benchmark is None:
@@ -381,7 +471,17 @@ def _cmd_serve(args) -> int:
 def _cmd_bench_serve(args) -> int:
     from repro.serve.bench import bench_serve
 
-    tiers = tuple(t.strip() for t in args.tiers.split(",")) if args.tiers else None
+    if args.tiers == "none":
+        tiers = ()  # scale-out-only capture: skip the per-tier records
+    elif args.tiers:
+        tiers = tuple(t.strip() for t in args.tiers.split(","))
+    else:
+        tiers = None
+    scale_out = (
+        tuple(int(n) for n in args.scale_out.split(","))
+        if args.scale_out
+        else None
+    )
     multi_tiers = (
         tuple(t.strip() for t in args.multi_tiers.split(","))
         if args.multi_tiers
@@ -408,6 +508,8 @@ def _cmd_bench_serve(args) -> int:
         multi=args.multi or multi_tiers is not None,
         multi_tiers=multi_tiers,
         memory_budget_mb=args.memory_budget_mb,
+        scale_out=scale_out,
+        scale_out_requests=args.scale_out_requests,
         **extra,
     )
     for record in result["tiers"]:
@@ -462,6 +564,28 @@ def _cmd_bench_serve(args) -> int:
                      f"bytes (highwater {budget['highwater_bytes']}, "
                      f"under_budget={mrec['under_budget']}, "
                      f"{budget['evictions']} demotions)")
+    srec = result.get("scale_out")
+    if srec is not None:
+        log.info(f"bench-serve [scale-out] {srec['benchmark']}: "
+                 f"{srec['requests']} requests over {srec['streams']} streams "
+                 f"(host cpu_count={srec['cpu_count']})")
+        for entry in srec["workers"]:
+            cap = entry["capacity"]
+            log.info(f"  {entry['workers']}w  "
+                     f"wall {entry['wall_columns_per_second']:9.1f} col/s "
+                     f"({entry['wall_speedup_vs_single']:.2f}x)   "
+                     f"capacity {cap['columns_per_second']:9.1f} col/s "
+                     f"({cap['speedup_vs_single']:.2f}x)   "
+                     f"identical={entry['outputs_identical']}   "
+                     f"restarts={entry['restarts']}")
+        crash = srec.get("crash")
+        if crash is not None:
+            log.info(f"  crash@{crash['workers']}w (worker {crash['victim']} "
+                     f"SIGKILLed mid-stream): recovered={crash['recovered']}, "
+                     f"restarts={crash['restarts']}, "
+                     f"replayed={sum(crash['replayed'])}, "
+                     f"failed={crash['failed']}, "
+                     f"identical={crash['outputs_identical']}")
     if args.trace:
         log.info(f"wrote Chrome trace to {args.trace}")
     log.info(f"wrote {args.out}")
@@ -565,6 +689,19 @@ def build_parser() -> argparse.ArgumentParser:
              "demotes least-recently-served sessions warm-to-cold to stay "
              "under it (default: unlimited)",
     )
+    serve_p.add_argument(
+        "--workers", type=_positive_int, default=None, metavar="N",
+        help="serve through a multi-process fleet of N supervised workers "
+             "(spawn-safe): streams shard stably to workers, crashed workers "
+             "restart with stream replay, and telemetry is merged into one "
+             "scrape (see repro.serve.fleet)",
+    )
+    serve_p.add_argument(
+        "--streams", type=_positive_int, default=8, metavar="S",
+        help="synthetic stream count per tenant for --workers serving; "
+             "requests round-robin over streams and each stream pins to one "
+             "worker, keeping per-stream outputs bitwise deterministic",
+    )
     serve_p.add_argument("--requests", type=_positive_int, default=128)
     serve_p.add_argument("--request-cols", type=_positive_int, default=2)
     serve_p.add_argument("--max-batch", type=_positive_int, default=64)
@@ -609,7 +746,21 @@ def build_parser() -> argparse.ArgumentParser:
     bserve_p.add_argument(
         "--tiers", default=None,
         help="comma-separated tier list (e.g. sdgc-shallow,medium-A); "
+             "'none' skips the per-tier records (scale-out-only capture); "
              "mutually exclusive with the positional benchmark",
+    )
+    bserve_p.add_argument(
+        "--scale-out", default=None, metavar="COUNTS",
+        help="comma-separated worker counts (e.g. 1,2,4): append the "
+             "schema-4 multi-process fleet curve — per-count wall and "
+             "capacity throughput, bitwise output checks against a "
+             "single-process reference, and a crash-recovery run at the "
+             "largest count",
+    )
+    bserve_p.add_argument(
+        "--scale-out-requests", type=_positive_int, default=None, metavar="R",
+        help="request count for the scale-out record (default: "
+             "max(--requests, 192), so per-worker fixed costs amortize)",
     )
     bserve_p.add_argument("--requests", type=_positive_int, default=48)
     bserve_p.add_argument("--request-cols", type=_positive_int, default=4)

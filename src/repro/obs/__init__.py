@@ -20,11 +20,16 @@ through.  It is always importable and near-zero overhead when disabled:
   trace-linked tail exemplars.
 * :class:`~repro.obs.http.ObsServer` — the ``/metrics`` + ``/slo`` +
   ``/healthz`` scrape endpoint (stdlib ``http.server``, daemon thread).
+* :func:`~repro.obs.merge.merge_snapshots` /
+  :func:`~repro.obs.merge.merge_prometheus` — fleet telemetry merging: union
+  per-worker JSON snapshots / Prometheus exposition under an injected
+  ``worker=`` label, keeping every worker's series separable.
 """
 
 from repro.obs.export import json_safe
 from repro.obs.http import ObsServer
 from repro.obs.logs import get_logger, setup_logging
+from repro.obs.merge import inject_label, merge_prometheus, merge_snapshots
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -53,6 +58,9 @@ __all__ = [
     "SloTracker",
     "SloReport",
     "ObsServer",
+    "inject_label",
+    "merge_snapshots",
+    "merge_prometheus",
     "json_safe",
     "get_logger",
     "setup_logging",

@@ -15,10 +15,15 @@ The server is a daemon-threaded :class:`~http.server.ThreadingHTTPServer`
 bound to localhost by default, so a scrape never blocks serving and a crash
 of the serving loop cannot be masked by a still-answering endpoint of a
 different process.  Port 0 binds an ephemeral port (the bound port is
-re-read from the socket), which is what the tests and the CI smoke job use.
+re-read from the socket and reported via :attr:`ObsServer.port` /
+:attr:`ObsServer.url`), which is what the tests, the CI smoke job, and
+every fleet worker use — N workers on one host can never collide.
 
-This is deliberately the same surface a future multi-worker dispatcher
-merges: one ``/metrics`` + ``/slo`` pair per worker, aggregated upstream.
+The same surface serves both halves of the multi-process fleet
+(:mod:`repro.serve.fleet`): each worker exposes its own registry with
+``ObsServer(metrics)``, while the dispatcher exposes the *merged* fleet
+scrape by passing ``metrics_provider`` — a callable producing the already
+rendered exposition (see :mod:`repro.obs.merge`) — instead of a registry.
 """
 
 from __future__ import annotations
@@ -87,13 +92,19 @@ class ObsServer:
     metrics:
         The registry ``/metrics`` renders.  Scrapes call
         :meth:`~repro.obs.metrics.MetricsRegistry.to_prometheus`, which takes
-        the registry lock — safe against concurrent serving threads.
+        the registry lock — safe against concurrent serving threads.  May be
+        ``None`` when ``metrics_provider`` is given.
     slo_provider:
         Zero-argument callable returning the JSON-safe object ``/slo``
         serves (``{}`` when absent).  Evaluated per scrape so reports are
         live; exceptions render as a 200 ``{"error": ...}`` body rather than
         killing the scrape (an unhealthy reporter must not look like a dead
         process).
+    metrics_provider:
+        Zero-argument callable returning the *rendered* exposition text for
+        ``/metrics``, overriding ``metrics`` — this is how the fleet
+        dispatcher serves a merged multi-worker scrape.  Exceptions render
+        as a comment line, never a dead endpoint.
     host / port:
         Bind address.  ``port=0`` picks an ephemeral port; read the
         resolved one from :attr:`port` after construction.
@@ -101,13 +112,19 @@ class ObsServer:
 
     def __init__(
         self,
-        metrics: MetricsRegistry,
+        metrics: MetricsRegistry | None,
         slo_provider: Callable[[], Any] | None = None,
         host: str = "127.0.0.1",
         port: int = 0,
+        metrics_provider: Callable[[], str] | None = None,
     ):
+        if metrics is None and metrics_provider is None:
+            from repro.errors import ConfigError
+
+            raise ConfigError("ObsServer needs a registry or a metrics_provider")
         self.metrics = metrics
         self.slo_provider = slo_provider
+        self.metrics_provider = metrics_provider
         self._httpd = ThreadingHTTPServer((host, port), _ObsHandler)
         self._httpd.daemon_threads = True
         self._httpd.owner = self
@@ -119,6 +136,11 @@ class ObsServer:
 
     # ------------------------------------------------------------- rendering
     def render_metrics(self) -> str:
+        if self.metrics_provider is not None:
+            try:
+                return self.metrics_provider()
+            except Exception as exc:
+                return f"# metrics provider failed: {type(exc).__name__}: {exc}\n"
         return self.metrics.to_prometheus()
 
     def render_slo(self) -> str:

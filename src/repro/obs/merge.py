@@ -1,0 +1,122 @@
+"""Cross-process telemetry merge for the multi-worker serving fleet.
+
+Every fleet worker owns a private :class:`~repro.obs.metrics.MetricsRegistry`
+(its sessions, batcher lanes, and SLO trackers publish there), so the
+dispatcher sees N independent scrapes.  This module folds them into one:
+
+* :func:`merge_snapshots` — JSON snapshots (``name{label="v"} -> value``)
+  relabeled with a ``worker="i"`` label and unioned.  Per-worker series stay
+  separate on purpose: counters from different processes measure different
+  traffic, and summing them here would hide a dead or lopsided worker —
+  exactly what the fleet report must surface.  Aggregation across workers
+  is the scrape consumer's job (PromQL ``sum by``), as in any multi-replica
+  deployment.
+* :func:`merge_prometheus` — text expositions merged the same way: every
+  series line gains the ``worker`` label, ``# HELP``/``# TYPE`` headers are
+  deduplicated (first worker wins), and series of one metric stay grouped
+  under their header.
+
+Both are pure functions over already-collected payloads; scraping the
+workers (HTTP to their per-process :class:`~repro.obs.http.ObsServer`, or
+the final report a worker ships at drain) is the dispatcher's concern.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["merge_snapshots", "merge_prometheus", "inject_label"]
+
+#: one exposition series line: name, optional {labels}, value.  The label
+#: group is greedy because label *values* may contain escaped quotes or
+#: braces; the trailing value is the last whitespace-separated token.
+_SERIES_RE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{.*\})?\s+(\S+)$")
+
+#: series-name suffixes that belong to a composite metric's header
+_COMPOSITE_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def inject_label(key: str, label: str, value: str) -> str:
+    """Add ``label="value"`` as the *first* label of a snapshot-style key.
+
+    ``key`` is the snapshot form — ``name`` or ``name{a="x",b="y"}`` — as
+    produced by :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`.
+    """
+    if "{" in key:
+        name, rest = key.split("{", 1)
+        return f'{name}{{{label}="{value}",{rest}'
+    return f'{key}{{{label}="{value}"}}'
+
+
+def merge_snapshots(
+    snapshots: dict[str, dict], label: str = "worker"
+) -> dict[str, float]:
+    """Union per-worker metric snapshots under a ``worker=...`` label.
+
+    ``snapshots`` maps a worker id (stringified into the label value) to
+    that worker's :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` dict.
+    Key collisions are impossible after relabeling, so the union is exact.
+    """
+    merged: dict[str, float] = {}
+    for worker, snap in snapshots.items():
+        for key, value in (snap or {}).items():
+            merged[inject_label(key, label, str(worker))] = value
+    return dict(sorted(merged.items()))
+
+
+def _base_name(series_name: str) -> str:
+    """Metric name a series line's header was emitted under."""
+    for suffix in _COMPOSITE_SUFFIXES:
+        if series_name.endswith(suffix):
+            return series_name[: -len(suffix)]
+    return series_name
+
+
+def merge_prometheus(expositions: dict[str, str], label: str = "worker") -> str:
+    """One Prometheus text exposition from many per-worker ones.
+
+    Every series line gains ``label="<worker>"`` as its first label;
+    ``# HELP`` / ``# TYPE`` headers are kept once per metric (duplicates
+    across workers are identical by construction — same code emitted them)
+    and all workers' series of a metric are grouped under its header, as
+    the exposition format requires.  Unparseable lines are dropped rather
+    than corrupting the merged scrape.
+    """
+    headers: dict[str, list[str]] = {}
+    series: dict[str, list[str]] = {}
+    order: list[str] = []
+
+    def bucket(base: str) -> None:
+        if base not in headers and base not in series:
+            order.append(base)
+
+    for worker, text in expositions.items():
+        for line in (text or "").splitlines():
+            if not line.strip():
+                continue
+            if line.startswith("#"):
+                parts = line.split(None, 3)
+                if len(parts) >= 3 and parts[1] in ("HELP", "TYPE"):
+                    base = _base_name(parts[2])
+                    bucket(base)
+                    lines = headers.setdefault(base, [])
+                    if line not in lines:
+                        lines.append(line)
+                continue
+            match = _SERIES_RE.match(line)
+            if match is None:
+                continue
+            name, labels, value = match.groups()
+            base = _base_name(name)
+            bucket(base)
+            if labels:
+                relabeled = f'{name}{{{label}="{worker}",{labels[1:]}'
+            else:
+                relabeled = f'{name}{{{label}="{worker}"}}'
+            series.setdefault(base, []).append(f"{relabeled} {value}")
+
+    out: list[str] = []
+    for base in order:
+        out.extend(headers.get(base, []))
+        out.extend(series.get(base, []))
+    return "\n".join(out) + ("\n" if out else "")

@@ -23,9 +23,21 @@ This package keeps one engine warm and feeds it well-packed blocks:
   blocks never mix tenants, per-tenant backpressure, and a process-wide
   :class:`~repro.gpu.memory.MemoryBudget` that demotes least-recently-served
   sessions warm-to-cold when the combined retained footprint exceeds it;
+* :class:`~repro.serve.fleet.FleetDispatcher` — multi-process scale-out:
+  N supervised worker processes (stdlib ``multiprocessing``, spawn-safe),
+  each owning its own warm :class:`~repro.serve.router.ModelRegistry` behind
+  an :class:`~repro.serve.router.AsyncRouter` loop; requests shard by
+  *stream* (stable :func:`~repro.serve.fleet.stream_shard` hash) so every
+  stream's packing order — and therefore its outputs, bitwise — matches a
+  single process; crashed workers are restarted and their streams replayed,
+  and per-worker reports/metrics/SLO merge into one
+  :class:`~repro.serve.fleet.FleetReport` and one ``/metrics`` + ``/slo``
+  scrape (``worker=`` label kept separable);
 * :func:`~repro.serve.bench.bench_serve` — the tiered cold-vs-warm
   throughput benchmark behind ``python -m repro bench-serve``, including the
-  centroid-reuse A/B pass and the open-loop sync-vs-async A/B.
+  centroid-reuse A/B pass, the open-loop sync-vs-async A/B, and the
+  ``--scale-out`` fleet curve (wall + capacity speedups, crash-injection
+  recovery record).
 
 A session constructed with ``centroid_reuse=True`` additionally carries a
 :class:`~repro.core.reuse.CentroidCache`, so consecutive same-mix blocks
@@ -47,12 +59,21 @@ from repro.serve.async_server import (
 )
 from repro.serve.batcher import MicroBatcher, Ticket
 from repro.serve.bench import (
+    DEFAULT_SCALE_OUT,
     DEFAULT_TIERS,
     MULTI_TIERS,
     STREAM_MODES,
     bench_serve,
     load_bench_records,
     poisson_interarrivals,
+)
+from repro.serve.fleet import (
+    FleetDispatcher,
+    FleetReport,
+    FleetTicket,
+    TenantSpec,
+    WorkerCrashError,
+    stream_shard,
 )
 from repro.serve.router import AsyncRouter, ModelRegistry, Router, RouterReport
 from repro.serve.server import InferenceServer, ServeReport
@@ -72,9 +93,16 @@ __all__ = [
     "AsyncServeReport",
     "AsyncTicket",
     "BACKPRESSURE_POLICIES",
+    "FleetDispatcher",
+    "FleetReport",
+    "FleetTicket",
+    "TenantSpec",
+    "WorkerCrashError",
+    "stream_shard",
     "bench_serve",
     "load_bench_records",
     "poisson_interarrivals",
+    "DEFAULT_SCALE_OUT",
     "DEFAULT_TIERS",
     "MULTI_TIERS",
     "STREAM_MODES",

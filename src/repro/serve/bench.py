@@ -15,12 +15,20 @@ request stream through a second warm session with the
 :class:`~repro.core.reuse.CentroidCache` enabled — and records cache
 counters, per-block outcomes, and whether the reuse outputs match the
 reuse-off outputs bitwise.
+
+Schema 4 adds the ``scale_out`` record: the same stream population served
+through :class:`~repro.serve.fleet.FleetDispatcher` at increasing worker
+counts, with per-count wall *and* capacity throughput (see
+:mod:`repro.serve.fleet` on why both are reported), bitwise
+``outputs_identical`` checks against a single-process reference, and a
+crash-injection run proving supervised recovery mid-stream.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
+import os
 import time
 from pathlib import Path
 
@@ -41,6 +49,7 @@ __all__ = [
     "poisson_interarrivals",
     "BENCH_SCHEMA",
     "DEFAULT_BENCH_PATH",
+    "DEFAULT_SCALE_OUT",
     "DEFAULT_TIERS",
     "MULTI_TIERS",
     "MULTI_SLO_SPEC",
@@ -49,11 +58,16 @@ __all__ = [
 
 DEFAULT_BENCH_PATH = "BENCH_serve.json"
 
-#: current on-disk layout of ``BENCH_serve.json``.  Schema 3 added the
-#: multi-tenant record's per-tenant ``slo`` blocks (windowed quantiles,
-#: error-budget burn, trace-linked exemplars) and per-tenant latency
-#: quantiles in the router summary; schema 2 is still readable.
-BENCH_SCHEMA = 3
+#: current on-disk layout of ``BENCH_serve.json``.  Schema 4 added the
+#: top-level ``scale_out`` record (multi-process fleet curve + crash-recovery
+#: run); schema 3 added the multi-tenant record's per-tenant ``slo`` blocks
+#: (windowed quantiles, error-budget burn, trace-linked exemplars) and
+#: per-tenant latency quantiles in the router summary; schemas 2 and 3 are
+#: still readable.
+BENCH_SCHEMA = 4
+
+#: worker counts of the default scale-out curve
+DEFAULT_SCALE_OUT = (1, 2, 4)
 
 #: SLO every multi-tenant bench tenant is registered under — loose enough
 #: that a healthy CI run is compliant, tight enough that the windowed
@@ -515,14 +529,228 @@ def _run_multi(
     }
 
 
+def _balanced_streams(count: int, workers: int) -> list[str]:
+    """``count`` stream names sharding evenly over ``workers`` fleet slots.
+
+    :func:`~repro.serve.fleet.stream_shard` is a hash, so a tiny stream
+    population can land lopsided by luck; the bench picks names that fill
+    every slot of the *largest* measured worker count evenly (divisor
+    counts then inherit balance, since ``h % d == (h % w) % d`` when ``d``
+    divides ``w``).  Real deployments get the same effect from stream
+    population size; the curve should measure scaling, not hash variance.
+    """
+    from repro.serve.fleet import stream_shard
+
+    per_slot = -(-count // workers)  # ceil
+    filled = dict.fromkeys(range(workers), 0)
+    names: list[str] = []
+    n = 0
+    while len(names) < count:
+        name = f"s{n}"
+        n += 1
+        slot = stream_shard(name, workers)
+        if filled[slot] < per_slot:
+            filled[slot] += 1
+            names.append(name)
+    return names
+
+
+def _single_process_reference(net, cfg, items, max_batch) -> dict:
+    """Per-stream hstacked outputs from one in-process stream-lane router."""
+    from repro.serve.router import AsyncRouter, ModelRegistry
+
+    net.drop_views()
+    registry = ModelRegistry()
+    registry.register("m", net, config=cfg, warm=True)
+    router = AsyncRouter(
+        registry, max_batch=max_batch, max_wait_s=60.0,
+        queue_limit=len(items) + 1,
+    )
+    tickets = [
+        (stream, router.submit(model, y0, stream=stream))
+        for model, stream, y0 in items
+    ]
+    router.close(drain=True)
+    outputs: dict[str, list] = {}
+    for stream, ticket in tickets:
+        outputs.setdefault(stream, []).append(ticket.y)
+    net.drop_views()  # hand the memoized network back cold
+    return {s: np.hstack(parts) for s, parts in outputs.items()}
+
+
+def _fleet_pass(spec, items, workers, max_batch, kill: int | None = None):
+    """One fleet serve of ``items``; optionally SIGKILL a worker mid-stream."""
+    from repro.serve.fleet import FleetDispatcher
+
+    fleet = FleetDispatcher(
+        [spec], workers=workers, max_batch=max_batch, max_wait_s=60.0,
+        queue_limit=len(items) + 1,
+    )
+    try:
+        for model, stream, y0 in items:
+            fleet.submit(model, y0, stream=stream)
+        if kill is not None:
+            fleet.kill_worker(kill)
+        return fleet.join()
+    finally:
+        fleet.close()
+
+
+def _streams_identical(report, reference, streams) -> bool:
+    return all(
+        stream in reference
+        and np.array_equal(report.stream_output(stream), reference[stream])
+        for stream in streams
+    )
+
+
+def _run_scale_out(
+    worker_counts,
+    tier: str,
+    requests: int,
+    request_cols: int,
+    seed: int,
+    streams: int = 8,
+    max_batch: int = 16,
+) -> dict:
+    """Schema-4 scale-out curve: one tier through the fleet at rising N.
+
+    The same ``requests`` (round-robined over a fixed stream population)
+    are served by a :class:`~repro.serve.fleet.FleetDispatcher` at every
+    worker count, and every run's per-stream outputs are compared bitwise
+    against a single-process stream-lane reference — scale-out must be
+    numerically free.  Each entry records *wall* throughput (this host,
+    possibly core-limited) and *capacity* throughput (total columns over
+    the critical-path worker's CPU seconds — what the shard layout sustains
+    with a core per worker); ``speedup_vs_single`` under ``capacity`` is
+    the headline the CI gate checks.  A final crash run at the largest
+    count SIGKILLs one worker mid-stream and must recover: victim restarted
+    (restart counters surfaced), streams replayed, every output still
+    bitwise identical, no request failed anywhere.
+    """
+    from repro.serve.fleet import TenantSpec, stream_shard
+
+    counts = sorted({int(n) for n in worker_counts})
+    if not counts or counts[0] < 1:
+        raise ConfigError(f"worker counts must be >= 1, got {list(worker_counts)}")
+    source = _TIER_SOURCES.get(tier, tier)
+    net, cfg, pool = _tier_workload(tier, requests * request_cols, seed)
+    slices = _split_requests(pool, request_cols)
+    names = _balanced_streams(streams, counts[-1])
+    items = [
+        ("m", names[j % len(names)], y0) for j, y0 in enumerate(slices)
+    ]
+    total_columns = sum(y0.shape[1] for _, _, y0 in items)
+    reference = _single_process_reference(net, cfg, items, max_batch)
+    spec = TenantSpec("m", source)
+
+    entries = []
+    baseline = None  # the single-worker (smallest-count) entry
+    merged_metrics = None
+    for n in counts:
+        report = _fleet_pass(spec, items, n, max_batch)
+        per_worker = []
+        for i, rep in enumerate(report.worker_reports):
+            per_worker.append({
+                "worker": i,
+                "requests": (rep or {}).get("requests"),
+                "columns": (rep or {}).get("columns"),
+                "streams": len((rep or {}).get("streams") or []),
+                "cpu_seconds": (rep or {}).get("cpu_seconds"),
+                "busy_seconds": (rep or {}).get("busy_seconds"),
+            })
+        entry = {
+            "workers": n,
+            "served": len(report.served),
+            "rejected": len(report.rejected),
+            "failed": len(report.failed),
+            "restarts": report.restart_total,
+            "outputs_identical": _streams_identical(report, reference, names),
+            "wall_seconds": report.wall_seconds,
+            "wall_columns_per_second": report.columns_per_second,
+            "latency_seconds": report.latency_quantiles(),
+            "capacity": {
+                "critical_path_cpu_seconds": report.critical_path_cpu_seconds,
+                "columns_per_second": report.capacity_columns_per_second,
+            },
+            "per_worker": per_worker,
+        }
+        if baseline is None:
+            baseline = entry
+        base_wall = baseline["wall_columns_per_second"]
+        base_cap = baseline["capacity"]["columns_per_second"]
+        entry["wall_speedup_vs_single"] = (
+            entry["wall_columns_per_second"] / base_wall if base_wall else None
+        )
+        entry["capacity"]["speedup_vs_single"] = (
+            entry["capacity"]["columns_per_second"] / base_cap
+            if base_cap
+            else None
+        )
+        entries.append(entry)
+        if n == counts[-1]:
+            merged_metrics = report.merged_metrics()
+
+    crash = None
+    if counts[-1] >= 2:
+        n = counts[-1]
+        victim = stream_shard(items[0][1], n)
+        report = _fleet_pass(spec, items, n, max_batch, kill=victim)
+        other_streams = [s for s in names if stream_shard(s, n) != victim]
+        victim_streams = [s for s in names if stream_shard(s, n) == victim]
+        crash = {
+            "workers": n,
+            "victim": victim,
+            "restarts": list(report.restarts),
+            "restart_total": report.restart_total,
+            "replayed": list(report.replayed),
+            "served": len(report.served),
+            "failed": len(report.failed),
+            "rejected": len(report.rejected),
+            "outputs_identical": _streams_identical(report, reference, names),
+            "other_workers_identical": _streams_identical(
+                report, reference, other_streams
+            ),
+            "victim_streams_identical": _streams_identical(
+                report, reference, victim_streams
+            ),
+            "recovered": bool(
+                report.restart_total >= 1
+                and not report.failed
+                and len(report.served) == len(items)
+                and _streams_identical(report, reference, names)
+            ),
+        }
+
+    return {
+        "tier": tier,
+        "benchmark": net.name,
+        "source": source,
+        "streams": len(names),
+        "stream_names": names,
+        "requests": len(items),
+        "request_cols": request_cols,
+        "total_columns": total_columns,
+        "max_batch": max_batch,
+        "cpu_count": os.cpu_count(),
+        "workers": entries,
+        "crash": crash,
+        "metrics": merged_metrics,
+    }
+
+
 def load_bench_records(data) -> list[dict]:
     """Per-tier records from a loaded ``BENCH_serve.json`` object.
 
-    Accepts the current schema-3 layout (``{"schema": 3, "tiers": [...]}``,
-    same tier shape as schema 2 — the bump only added SLO blocks to the
-    ``multi`` record), schema 2, and the legacy single-benchmark dict from
-    before the tier split, which is wrapped as a one-record list (its
-    ``tier`` defaults to its benchmark name).
+    Accepts every on-disk generation: the current schema-4 layout
+    (``{"schema": 4, "tiers": [...], "scale_out": {...}}``) and schema 3
+    before it (same ``tiers`` shape — those bumps added the ``multi`` SLO
+    blocks and the ``scale_out`` record without touching the per-tier
+    records), schema 2, a scale-out-only capture (``tiers`` absent — an
+    empty record list, *not* an error, so perf tooling pointed at such a
+    file skips tier gating instead of crashing), and the legacy
+    single-benchmark dict from before the tier split, which is wrapped as a
+    one-record list (its ``tier`` defaults to its benchmark name).
     """
     if not isinstance(data, dict):
         raise ConfigError(f"expected a BENCH_serve dict, got {type(data).__name__}")
@@ -532,7 +760,12 @@ def load_bench_records(data) -> list[dict]:
         legacy = dict(data)
         legacy.setdefault("tier", legacy["benchmark"])
         return [legacy]
-    raise ConfigError("unrecognized BENCH_serve layout (no 'tiers' or 'benchmark' key)")
+    if "scale_out" in data:  # scale-out-only capture (e.g. CI smoke)
+        return []
+    raise ConfigError(
+        "unrecognized BENCH_serve layout (no 'tiers', 'benchmark', or "
+        "'scale_out' key)"
+    )
 
 
 def bench_serve(
@@ -554,6 +787,11 @@ def bench_serve(
     multi_tiers: tuple[str, ...] | None = None,
     memory_budget_mb: float | None = None,
     slo: str | None = MULTI_SLO_SPEC,
+    scale_out: tuple[int, ...] | None = None,
+    scale_out_tier: str = "sdgc-shallow",
+    scale_out_streams: int = 8,
+    scale_out_max_batch: int = 16,
+    scale_out_requests: int | None = None,
 ) -> dict:
     """Measure request throughput: cold per-request engines vs warm serving.
 
@@ -582,6 +820,19 @@ def bench_serve(
     demotions plus the post-enforcement high-water mark.  ``slo`` is the
     per-tenant policy spec the multi record evaluates live (default
     :data:`MULTI_SLO_SPEC`; ``None`` turns SLO tracking off).
+
+    ``scale_out`` — a tuple of worker counts like ``(1, 2, 4)`` — adds the
+    schema-4 fleet curve under the result's ``"scale_out"`` key (see
+    :func:`_run_scale_out`): ``scale_out_tier``'s stream population served
+    through a multi-process :class:`~repro.serve.fleet.FleetDispatcher` at
+    every count, with wall + capacity throughput, bitwise output checks
+    against a single-process reference, and a crash-recovery run at the
+    largest count.  ``scale_out_requests`` defaults to ``max(requests,
+    192)``: the scale-out record needs enough traffic per worker that fixed
+    per-process costs (poll wakeups, queue plumbing) amortize, or the curve
+    measures overhead instead of sharding.  An empty ``tiers`` tuple (CLI:
+    ``--tiers none``) skips the per-tier records entirely for
+    scale-out-only captures.
     """
     if tiers is None:
         tiers = (benchmark,) if benchmark is not None else DEFAULT_TIERS
@@ -623,6 +874,20 @@ def bench_serve(
             seed=seed,
             memory_budget_mb=memory_budget_mb,
             slo=slo,
+        )
+    if scale_out:
+        result["scale_out"] = _run_scale_out(
+            scale_out,
+            tier=scale_out_tier,
+            requests=(
+                scale_out_requests
+                if scale_out_requests is not None
+                else max(requests, 192)
+            ),
+            request_cols=request_cols,
+            seed=seed,
+            streams=scale_out_streams,
+            max_batch=scale_out_max_batch,
         )
     if trace is not None and tracer is not None:
         tracer.write_chrome(trace)

@@ -8,11 +8,17 @@ One serving process, many warm networks.  Three pieces compose the story:
   per-tenant ``{model="..."}`` labeled views, so a single scrape separates
   tenants instead of conflating them;
 * :class:`Router` / :class:`AsyncRouter` front the registry with one
-  :class:`~repro.serve.batcher.MicroBatcher` per tenant and route
-  ``submit(model, y0)`` by name.  Requests from different tenants are never
-  packed into one block — isolation is structural, not statistical — so each
-  tenant's outputs are bitwise identical to a single-tenant run of the same
-  stream.  The sync router is the :class:`~repro.serve.server.
+  :class:`~repro.serve.batcher.MicroBatcher` per lane and route
+  ``submit(model, y0, stream=...)`` by name.  A lane is keyed by
+  ``(model, stream)``: requests from different tenants — or from different
+  *streams* of the same tenant — are never packed into one block, so
+  isolation is structural, not statistical, and each stream's outputs are
+  bitwise identical to a single-stream run of the same request sequence.
+  Stream lanes are what lets the multi-process fleet
+  (:mod:`repro.serve.fleet`) shard replicated tenants across workers
+  without perturbing outputs: a stream's packing depends only on its own
+  request order, never on which process serves it or what its neighbors
+  do.  The sync router is the :class:`~repro.serve.server.
   InferenceServer` loop generalized; the async router keeps the threaded
   transport's shape — producers enqueue from any thread, **one worker
   drains all tenants** — with per-tenant intake bounds, so one tenant's
@@ -49,6 +55,19 @@ from repro.serve.server import ServeReport
 from repro.serve.session import EngineSession
 
 __all__ = ["ModelRegistry", "Router", "AsyncRouter", "RouterReport"]
+
+
+def _unpack_request(item):
+    """``(model, y0)`` or ``(model, stream, y0)`` -> ``(model, stream, y0)``."""
+    if len(item) == 3:
+        return item[0], item[1], item[2]
+    model, y0 = item
+    return model, None, y0
+
+
+def _lane_label(model: str, stream: str | None) -> str:
+    """Stable display key for a lane in stats dicts."""
+    return model if stream is None else f"{model}@{stream}"
 
 
 class ModelRegistry:
@@ -400,11 +419,18 @@ class Router:
         self.max_wait_s = float(max_wait_s)
         self.queue_limit = int(queue_limit)
         self.clock = clock
-        self._lanes: dict[str, MicroBatcher] = {}
+        self._lanes: dict[tuple[str, str | None], MicroBatcher] = {}
 
-    def lane(self, model: str) -> MicroBatcher:
-        """The model's batcher, created on first use (unknown name raises)."""
-        batcher = self._lanes.get(model)
+    def lane(self, model: str, stream: str | None = None) -> MicroBatcher:
+        """The ``(model, stream)`` batcher, created on first use.
+
+        ``stream=None`` is the tenant's default lane (the pre-fleet
+        behavior).  Distinct streams of one tenant get distinct batchers, so
+        their blocks never mix — the structural invariant behind per-stream
+        bitwise determinism.  Unknown model names raise.
+        """
+        key = (model, stream)
+        batcher = self._lanes.get(key)
         if batcher is None:
             batcher = MicroBatcher(
                 self.registry.get(model),
@@ -421,13 +447,13 @@ class Router:
                     tracker.record_ticket(ticket, model=model)
 
             batcher.on_resolve = feed_slo
-            self._lanes[model] = batcher
+            self._lanes[key] = batcher
         return batcher
 
     # ------------------------------------------------------------- serving
-    def submit(self, model: str, y0: np.ndarray) -> Ticket:
-        """Route one request to its tenant's lane; may flush a block."""
-        ticket = self.lane(model).submit(y0)
+    def submit(self, model: str, y0: np.ndarray, stream: str | None = None) -> Ticket:
+        """Route one request to its ``(model, stream)`` lane; may flush a block."""
+        ticket = self.lane(model, stream).submit(y0)
         self.registry.touch(model)
         self.registry.enforce(protect={model})
         return ticket
@@ -435,7 +461,7 @@ class Router:
     def step(self) -> int:
         """Poll every lane's max-wait deadline; returns blocks flushed."""
         n = 0
-        for model, batcher in self._lanes.items():
+        for (model, _stream), batcher in self._lanes.items():
             flushed = batcher.poll()
             if flushed:
                 self.registry.touch(model)
@@ -446,7 +472,7 @@ class Router:
     def drain(self) -> int:
         """Flush everything pending in every lane."""
         n = 0
-        for model, batcher in self._lanes.items():
+        for (model, _stream), batcher in self._lanes.items():
             flushed = batcher.drain()
             if flushed:
                 self.registry.touch(model)
@@ -455,14 +481,15 @@ class Router:
         return n
 
     def serve(self, requests) -> RouterReport:
-        """Run a mixed stream of ``(model, y0)`` pairs to completion."""
+        """Run a mixed stream of ``(model, y0)`` or ``(model, stream, y0)``."""
         report = RouterReport()
         demotions_before = len(self.registry.demotions)
         t0 = time.perf_counter()
-        for index, (model, y0) in enumerate(requests):
+        for index, item in enumerate(requests):
+            model, stream, y0 = _unpack_request(item)
             per = report.per_model.setdefault(model, ServeReport())
             try:
-                per.served.append(self.submit(model, y0))
+                per.served.append(self.submit(model, y0, stream=stream))
             except ServeOverflowError as exc:
                 per.rejected.append((index, str(exc)))
             self.step()
@@ -477,17 +504,21 @@ class Router:
     def stats(self) -> dict:
         return {
             "registry": self.registry.stats(),
-            "lanes": {name: b.stats() for name, b in self._lanes.items()},
+            "lanes": {
+                _lane_label(model, stream): b.stats()
+                for (model, stream), b in self._lanes.items()
+            },
         }
 
 
 class _AsyncLane:
-    """Per-tenant state of the async router: intake, batcher, inflight."""
+    """Per-``(model, stream)`` state of the async router."""
 
-    __slots__ = ("model", "batcher", "intake", "inflight", "accepted")
+    __slots__ = ("model", "stream", "batcher", "intake", "inflight", "accepted")
 
-    def __init__(self, model: str, batcher: MicroBatcher):
+    def __init__(self, model: str, stream: str | None, batcher: MicroBatcher):
         self.model = model
+        self.stream = stream
         self.batcher = batcher
         self.intake: deque[AsyncTicket] = deque()
         self.inflight: deque[AsyncTicket] = deque()
@@ -528,7 +559,7 @@ class AsyncRouter:
         self.queue_limit = int(queue_limit)
         self.on_full = on_full
         self.clock = clock
-        self._lanes: dict[str, _AsyncLane] = {}
+        self._lanes: dict[tuple[str, str | None], _AsyncLane] = {}
         self._lock = threading.Lock()
         self._arrived = threading.Condition(self._lock)
         self._space = threading.Condition(self._lock)
@@ -540,13 +571,15 @@ class AsyncRouter:
         )
         self._worker.start()
 
-    def _lane(self, model: str) -> _AsyncLane:
-        """Lane for a model (lock held by the caller)."""
-        lane = self._lanes.get(model)
+    def _lane(self, model: str, stream: str | None = None) -> _AsyncLane:
+        """Lane for ``(model, stream)`` (lock held by the caller)."""
+        key = (model, stream)
+        lane = self._lanes.get(key)
         if lane is None:
             session = self.registry.get(model)
             lane = _AsyncLane(
                 model,
+                stream,
                 MicroBatcher(
                     session,
                     max_batch=self.max_batch,
@@ -555,16 +588,18 @@ class AsyncRouter:
                     clock=self.clock,
                 ),
             )
-            self._lanes[model] = lane
+            self._lanes[key] = lane
         return lane
 
     # ------------------------------------------------------------- producer
-    def submit(self, model: str, y0: np.ndarray) -> AsyncTicket:
-        """Enqueue into the model's lane; returns a future-like ticket.
+    def submit(
+        self, model: str, y0: np.ndarray, stream: str | None = None
+    ) -> AsyncTicket:
+        """Enqueue into the ``(model, stream)`` lane; returns a future ticket.
 
         Thread-safe.  A full *lane* (not the whole router) rejects under
         ``'reject'`` or parks this producer under ``'block'`` — per-tenant
-        backpressure by construction.
+        (and per-stream) backpressure by construction.
         """
         session = self.registry.get(model)  # unknown names fail synchronously
         y0 = session.network.validate_input(np.asarray(y0))
@@ -575,12 +610,12 @@ class AsyncRouter:
         with self._lock:
             if self._closed:
                 raise ServeClosedError("router is closed; request not accepted")
-            lane = self._lane(model)
+            lane = self._lane(model, stream)
             if len(lane.intake) >= self.queue_limit:
                 if self.on_full == "reject":
                     raise ServeOverflowError(
-                        f"lane {model!r} full ({self.queue_limit} requests); "
-                        "request rejected"
+                        f"lane {_lane_label(model, stream)!r} full "
+                        f"({self.queue_limit} requests); request rejected"
                     )
                 while len(lane.intake) >= self.queue_limit and not self._closed:
                     self._space.wait()
@@ -617,14 +652,15 @@ class AsyncRouter:
         gaps = iter(interarrivals) if interarrivals is not None else None
         tickets: list[tuple[str, int, AsyncTicket]] = []
         t0 = time.perf_counter()
-        for index, (model, y0) in enumerate(requests):
+        for index, item in enumerate(requests):
+            model, stream, y0 = _unpack_request(item)
             if gaps is not None:
                 gap = float(next(gaps, 0.0))
                 if gap > 0:
                     time.sleep(gap)
             per = report.per_model.setdefault(model, AsyncServeReport())
             try:
-                tickets.append((model, index, self.submit(model, y0)))
+                tickets.append((model, index, self.submit(model, y0, stream=stream)))
             except (ServeOverflowError, ServeClosedError) as exc:
                 per.rejected.append((index, str(exc)))
         self.close(drain=True)
@@ -663,20 +699,20 @@ class AsyncRouter:
                     if due is not None and due <= 0:
                         break
                     self._arrived.wait(timeout=due)
-                grabbed: list[tuple[str, _AsyncLane, list[AsyncTicket]]] = []
-                for model, lane in self._lanes.items():
+                grabbed: list[tuple[_AsyncLane, list[AsyncTicket]]] = []
+                for lane in self._lanes.values():
                     items = list(lane.intake)
                     lane.intake.clear()
-                    grabbed.append((model, lane, items))
-                if any(items for _, _, items in grabbed):
+                    grabbed.append((lane, items))
+                if any(items for _, items in grabbed):
                     self._space.notify_all()
-                closing = self._closed and not any(i for _, _, i in grabbed)
+                closing = self._closed and not any(i for _, i in grabbed)
                 abort = self._abort
             if abort:
                 self._abort_pending(grabbed)
                 return
             now = self.clock()
-            for model, lane, items in grabbed:
+            for lane, items in grabbed:
                 for ticket in items:
                     ticket.dequeued_at = now
                     try:
@@ -688,12 +724,12 @@ class AsyncRouter:
                         ticket._resolve(self.clock(), error=exc)
                         continue
                     lane.inflight.append(ticket)
-                    self._run_guarded(model, lane, lane.batcher.flush_full)
-                self._run_guarded(model, lane, lane.batcher.poll)
+                    self._run_guarded(lane.model, lane, lane.batcher.flush_full)
+                self._run_guarded(lane.model, lane, lane.batcher.poll)
             if closing:
-                for model, lane in self._lanes.items():
+                for lane in self._lanes.values():
                     while lane.batcher.pending_requests:
-                        self._run_guarded(model, lane, lane.batcher.drain)
+                        self._run_guarded(lane.model, lane, lane.batcher.drain)
                 with self._lock:
                     abort = self._abort
                 if abort:
@@ -736,7 +772,7 @@ class AsyncRouter:
         """Fail everything unfinished across every lane."""
         now = self.clock()
         error = ServeClosedError("router aborted before this request executed")
-        for _, lane, items in grabbed:
+        for lane, items in grabbed:
             self._sweep(lane)
             for ticket in items:
                 ticket._resolve(now, error=error)
@@ -764,6 +800,7 @@ class AsyncRouter:
             "closed": self._closed,
             "exec_seconds": self._exec_seconds,
             "lanes": {
-                name: lane.batcher.stats() for name, lane in self._lanes.items()
+                _lane_label(model, stream): lane.batcher.stats()
+                for (model, stream), lane in self._lanes.items()
             },
         }

@@ -101,3 +101,153 @@ def test_main_exit_codes(tmp_path):
         bench_p.write_text(json.dumps(payload))
         argv = ["--bench", str(bench_p), "--budget", str(budget_p)]
         assert cpb.main(argv) == code
+
+
+# ---------------------------------------------------------------------------
+# schema-4 scale-out gating
+
+
+def scale_entry(workers, speedup=2.0, identical=True, failed=0):
+    return {
+        "workers": workers,
+        "served": 192,
+        "failed": failed,
+        "restarts": [0] * workers,
+        "outputs_identical": identical,
+        "capacity": {"speedup_vs_single": speedup},
+    }
+
+
+def scale_record(*entries, crash="recovered"):
+    rec = {"workers": list(entries)}
+    if crash is not None:
+        rec["crash"] = {
+            "workers": 2,
+            "recovered": crash == "recovered",
+            "restarts": [1, 0],
+            "failed": 0,
+            "outputs_identical": True,
+        }
+    return rec
+
+
+SCALE_BUDGET = {
+    "scale_out": {
+        "min_capacity_speedup": {"2": 1.2, "4": 1.5},
+        "require_outputs_identical": True,
+        "require_crash_recovery": True,
+    }
+}
+
+
+def test_scale_out_gate_passes_within_budget():
+    b = {"scale_out": scale_record(scale_entry(1, 1.0), scale_entry(2, 1.8))}
+    assert cpb.check_budget(b, None, SCALE_BUDGET) == []
+
+
+def test_scale_out_gate_fails_below_capacity_floor():
+    b = {"scale_out": scale_record(scale_entry(1, 1.0), scale_entry(2, 1.1))}
+    failures = cpb.check_budget(b, None, SCALE_BUDGET)
+    assert any("2-worker capacity speedup" in f for f in failures)
+
+
+def test_scale_out_gate_skips_unmeasured_counts():
+    # budget lists a 4-worker floor; a job measuring only 1,2 must pass
+    b = {"scale_out": scale_record(scale_entry(1, 1.0), scale_entry(2, 1.8))}
+    assert cpb.check_budget(b, None, SCALE_BUDGET) == []
+
+
+def test_scale_out_gate_fails_on_divergence_or_failures():
+    diverged = {
+        "scale_out": scale_record(scale_entry(1, 1.0), scale_entry(2, 1.8, identical=False))
+    }
+    assert any(
+        "bitwise" in f for f in cpb.check_budget(diverged, None, SCALE_BUDGET)
+    )
+    dropped = {
+        "scale_out": scale_record(scale_entry(1, 1.0), scale_entry(2, 1.8, failed=3))
+    }
+    assert any(
+        "failed" in f for f in cpb.check_budget(dropped, None, SCALE_BUDGET)
+    )
+
+
+def test_scale_out_gate_requires_crash_recovery():
+    missing = {"scale_out": scale_record(scale_entry(1, 1.0), crash=None)}
+    assert any(
+        "crash" in f for f in cpb.check_budget(missing, None, SCALE_BUDGET)
+    )
+    failed = {"scale_out": scale_record(scale_entry(1, 1.0), crash="failed")}
+    assert any(
+        "did not recover" in f for f in cpb.check_budget(failed, None, SCALE_BUDGET)
+    )
+
+
+def test_scale_out_gate_absent_sections_are_not_breaches():
+    # tier-only bench under a tier-only budget: no scale_out rules, no breach
+    b = bench(record("medium-A"), record("sdgc-shallow", woc=3.0))
+    assert cpb.check_budget(b, b, BUDGET, only="all") == []
+    # scale_out rules but --only tiers: the scale-out half is not consulted
+    b2 = bench(record("medium-A"), record("sdgc-shallow", woc=3.0))
+    assert cpb.check_budget(b2, None, {**BUDGET, **SCALE_BUDGET}, only="tiers") == []
+
+
+def test_load_records_tolerates_scale_out_only_capture():
+    # a --tiers none bench file has no tier records; the tool must return
+    # an empty mapping (so --only scale_out jobs run) rather than crash
+    assert cpb.load_records({"schema": 4, "scale_out": scale_record()}) == {}
+
+
+def test_main_only_scale_out_on_tiers_none_capture(tmp_path):
+    ok = {"schema": 4, "scale_out": scale_record(scale_entry(1, 1.0), scale_entry(2, 1.8))}
+    bad = {"schema": 4, "scale_out": scale_record(scale_entry(1, 1.0), scale_entry(2, 1.05))}
+    budget_p = tmp_path / "budget.json"
+    budget_p.write_text(json.dumps(SCALE_BUDGET))
+    for payload, code in ((ok, 0), (bad, 1)):
+        bench_p = tmp_path / "bench.json"
+        bench_p.write_text(json.dumps(payload))
+        argv = [
+            "--bench", str(bench_p), "--budget", str(budget_p),
+            "--only", "scale_out",
+        ]
+        assert cpb.main(argv) == code
+
+
+# ---------------------------------------------------------------------------
+# the in-repo loader must accept the same generations (satellite: schema
+# round-trip so the gate never silently drops tiers)
+
+
+def test_repro_load_bench_records_round_trips_all_schemas():
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+    from repro.errors import ConfigError
+    from repro.serve.bench import load_bench_records
+
+    tier_rec = record("sdgc-shallow")
+    # schema 2/3/4 share the "tiers" list; 4 adds the scale_out sibling
+    for payload in (
+        {"schema": 2, "tiers": [tier_rec]},
+        {"schema": 3, "tiers": [tier_rec], "multi": {}},
+        {"schema": 4, "tiers": [tier_rec], "scale_out": scale_record()},
+    ):
+        recs = load_bench_records(payload)
+        assert [r["tier"] for r in recs] == ["sdgc-shallow"]
+    # legacy single-benchmark dict wraps to one record
+    legacy = load_bench_records({"benchmark": "144-24", "warm": {}})
+    assert [r["tier"] for r in legacy] == ["144-24"]
+    # scale-out-only capture: empty, not an error
+    assert load_bench_records({"schema": 4, "scale_out": scale_record()}) == []
+    with pytest.raises(ConfigError):
+        load_bench_records({"nope": 1})
+    with pytest.raises(ConfigError):
+        load_bench_records([tier_rec])
+
+    # both loaders agree on every shape (the tool mirrors the repo loader)
+    for payload in (
+        {"schema": 4, "tiers": [tier_rec], "scale_out": scale_record()},
+        {"benchmark": "144-24", "warm": {}},
+        {"schema": 4, "scale_out": scale_record()},
+    ):
+        tool_view = cpb.load_records(payload)
+        repo_view = {r["tier"]: r for r in load_bench_records(payload)}
+        assert set(tool_view) == set(repo_view)

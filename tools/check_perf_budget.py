@@ -1,17 +1,26 @@
 #!/usr/bin/env python3
-"""Hard per-tier serving-perf budget gate for CI.
+"""Hard serving-perf budget gate for CI: per-tier floors + scale-out curve.
 
 Replaces the old warning-only ">25% below baseline" check: every tier named
 in the budget file must be present in the fresh bench output, meet its
 warm-over-cold floor, satisfy its bitwise-output requirement, and stay above
-the committed-baseline throughput ratio.  Any breach prints a GitHub
+the committed-baseline throughput ratio.  A ``scale_out`` budget section
+additionally gates the schema-4 fleet record: per-worker-count *capacity*
+speedup floors (capacity — total columns over the critical-path worker's
+CPU seconds — is used instead of wall-clock so the gate is stable across
+runners with different core counts), bitwise ``outputs_identical`` at every
+count, and a successful crash-recovery run.  Any breach prints a GitHub
 ``::error`` annotation and exits non-zero, failing the job (the workflow
 uploads the trace artifact regardless of outcome).
 
 Usage:
     python tools/check_perf_budget.py \
         --bench BENCH_new.json --baseline BENCH_serve.json \
-        --budget CI_perf_budget.json
+        --budget CI_perf_budget.json [--only tiers|scale_out|all]
+
+``--only`` lets split CI jobs gate their own half: the tier smoke passes
+``--only tiers`` and the scale-out smoke ``--only scale_out`` (whose bench
+file, produced with ``--tiers none``, has no tier records at all).
 
 The tool is stdlib-only and standalone (no repo imports), so it runs before
 PYTHONPATH is set up and can be unit-tested in isolation.
@@ -27,15 +36,22 @@ import sys
 def load_records(data: dict) -> dict[str, dict]:
     """Tier-name -> record from a BENCH_serve-shaped object.
 
-    Mirrors :func:`repro.serve.bench.load_bench_records` (schema-2/3
-    ``tiers`` list, or the legacy single-benchmark dict) without importing
-    the repo.
+    Mirrors :func:`repro.serve.bench.load_bench_records` without importing
+    the repo: the schema-2/3/4 ``tiers`` list, the legacy single-benchmark
+    dict, or a scale-out-only capture (``tiers`` absent entirely — an empty
+    mapping, not an error, so ``--only scale_out`` runs can gate a bench
+    file produced with ``--tiers none``).
     """
     if "tiers" in data:
         return {rec.get("tier", rec.get("benchmark")): rec for rec in data["tiers"]}
     if "benchmark" in data:
         return {data.get("tier", data["benchmark"]): data}
-    raise ValueError("unrecognized BENCH_serve layout (no 'tiers' or 'benchmark' key)")
+    if "scale_out" in data:
+        return {}
+    raise ValueError(
+        "unrecognized BENCH_serve layout (no 'tiers', 'benchmark', or "
+        "'scale_out' key)"
+    )
 
 
 def steady_cps(rec: dict) -> float | None:
@@ -48,8 +64,8 @@ def steady_cps(rec: dict) -> float | None:
     return float(cps) if cps else None
 
 
-def check_budget(bench: dict, baseline: dict | None, budget: dict) -> list[str]:
-    """Every budget breach as a message; empty means the gate passes."""
+def check_tiers(bench: dict, baseline: dict | None, budget: dict) -> list[str]:
+    """Per-tier budget breaches; empty means the tier gate passes."""
     failures: list[str] = []
     records = load_records(bench)
     base_records = load_records(baseline) if baseline else {}
@@ -92,11 +108,79 @@ def check_budget(bench: dict, baseline: dict | None, budget: dict) -> list[str]:
     return failures
 
 
+def check_scale_out(bench: dict, budget: dict) -> list[str]:
+    """Scale-out budget breaches; empty means the fleet gate passes."""
+    rules = budget.get("scale_out")
+    if not rules:
+        return []
+    failures: list[str] = []
+    record = bench.get("scale_out")
+    if not record:
+        return ["scale_out: missing from the bench output"]
+    entries = {int(e["workers"]): e for e in record.get("workers", [])}
+    for count, min_speedup in (rules.get("min_capacity_speedup") or {}).items():
+        entry = entries.get(int(count))
+        if entry is None:
+            # budgets list every count any job might run; a job that only
+            # measured 1,2 must not fail the 4-worker floor
+            continue
+        speedup = (entry.get("capacity") or {}).get("speedup_vs_single")
+        if speedup is None:
+            failures.append(
+                f"scale_out: {count}-worker entry has no capacity speedup"
+            )
+        elif speedup < float(min_speedup):
+            failures.append(
+                f"scale_out: {count}-worker capacity speedup {speedup:.2f} "
+                f"below the budget floor {float(min_speedup):.2f}"
+            )
+    if rules.get("require_outputs_identical"):
+        for count, entry in sorted(entries.items()):
+            if not entry.get("outputs_identical"):
+                failures.append(
+                    f"scale_out: {count}-worker outputs are not bitwise "
+                    f"identical to the single-process reference"
+                )
+        for count, entry in sorted(entries.items()):
+            if entry.get("failed"):
+                failures.append(
+                    f"scale_out: {count}-worker run failed "
+                    f"{entry['failed']} requests"
+                )
+    if rules.get("require_crash_recovery"):
+        crash = record.get("crash")
+        if not crash:
+            failures.append("scale_out: no crash-recovery run in the record")
+        elif not crash.get("recovered"):
+            failures.append(
+                f"scale_out: crash run did not recover (restarts="
+                f"{crash.get('restarts')}, failed={crash.get('failed')}, "
+                f"identical={crash.get('outputs_identical')})"
+            )
+    return failures
+
+
+def check_budget(
+    bench: dict, baseline: dict | None, budget: dict, only: str = "all"
+) -> list[str]:
+    """Every budget breach as a message; empty means the gate passes."""
+    failures: list[str] = []
+    if only in ("all", "tiers"):
+        failures.extend(check_tiers(bench, baseline, budget))
+    if only in ("all", "scale_out"):
+        failures.extend(check_scale_out(bench, budget))
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--bench", required=True, help="fresh bench JSON to gate")
     parser.add_argument("--baseline", help="committed baseline bench JSON")
     parser.add_argument("--budget", required=True, help="per-tier budget JSON")
+    parser.add_argument(
+        "--only", choices=("all", "tiers", "scale_out"), default="all",
+        help="gate only one budget section (default: all)",
+    )
     args = parser.parse_args(argv)
 
     with open(args.bench) as fh:
@@ -108,22 +192,38 @@ def main(argv: list[str] | None = None) -> int:
     with open(args.budget) as fh:
         budget = json.load(fh)
 
-    for tier, rec in load_records(bench).items():
-        woc = rec.get("warm_over_cold")
-        cps = steady_cps(rec)
-        print(
-            f"[{tier}]",
-            f"warm_over_cold={woc:.2f}" if woc is not None else "warm_over_cold=n/a",
-            f"steady_columns/s={cps:.1f}" if cps else "steady_columns/s=n/a",
-            f"outputs_identical={rec.get('outputs_identical')}",
-        )
+    if args.only in ("all", "tiers"):
+        for tier, rec in load_records(bench).items():
+            woc = rec.get("warm_over_cold")
+            cps = steady_cps(rec)
+            print(
+                f"[{tier}]",
+                f"warm_over_cold={woc:.2f}" if woc is not None else "warm_over_cold=n/a",
+                f"steady_columns/s={cps:.1f}" if cps else "steady_columns/s=n/a",
+                f"outputs_identical={rec.get('outputs_identical')}",
+            )
+    if args.only in ("all", "scale_out"):
+        for entry in (bench.get("scale_out") or {}).get("workers", []):
+            cap = entry.get("capacity") or {}
+            speedup = cap.get("speedup_vs_single")
+            print(
+                f"[scale-out {entry.get('workers')}w]",
+                f"capacity_speedup={speedup:.2f}" if speedup else "capacity_speedup=n/a",
+                f"outputs_identical={entry.get('outputs_identical')}",
+                f"restarts={entry.get('restarts')}",
+            )
 
-    failures = check_budget(bench, baseline, budget)
+    failures = check_budget(bench, baseline, budget, only=args.only)
     for message in failures:
         print(f"::error title=Serving perf budget breach::{message}")
     if failures:
         return 1
-    print(f"perf budget OK ({len(budget.get('tiers', {}))} tiers checked)")
+    sections = []
+    if args.only in ("all", "tiers"):
+        sections.append(f"{len(budget.get('tiers', {}))} tiers")
+    if args.only in ("all", "scale_out") and budget.get("scale_out"):
+        sections.append("scale_out")
+    print(f"perf budget OK ({', '.join(sections) or 'nothing'} checked)")
     return 0
 
 
