@@ -15,6 +15,9 @@ Usage::
     python -m repro bench-serve                  # tiered cold vs warm throughput
     python -m repro bench-serve 144-24 --centroid-reuse --stream repeat
     python -m repro bench-serve --multi --memory-budget-mb 8
+    python -m repro warmup 144-24 --centroid-reuse --save warm.npz
+    python -m repro warmup 144-24 --centroid-reuse --load warm.npz  # verify
+    python -m repro serve 144-24 --workers 2 --warm-state warm.npz
 
 All human-facing output goes through the ``"repro"`` logger: ``--verbose``
 adds instrumentation chatter, ``--quiet`` keeps only warnings.  ``--trace``
@@ -197,7 +200,9 @@ def _serve_multi(args) -> int:
         cfg = sdgc_config(net.num_layers, **overrides)
         registry.register(
             name, net, config=cfg, warm=True, tracer=tracer,
+            warm_state=args.warm_state,
             centroid_reuse=args.centroid_reuse, reuse_tolerance=args.reuse_tolerance,
+            revise_ratio=args.revise_ratio,
             slo=args.slo,
         )
         streams[name] = _split_requests(
@@ -295,6 +300,8 @@ def _serve_fleet(args) -> int:
             name, benchmark, threshold=args.threshold, slo=args.slo,
             centroid_reuse=args.centroid_reuse,
             reuse_tolerance=args.reuse_tolerance,
+            revise_ratio=args.revise_ratio,
+            warm_state=args.warm_state,
         )
         for name, benchmark in tenants
     ]
@@ -384,8 +391,16 @@ def _cmd_serve(args) -> int:
     tracer, registry = _make_obs(args)
     session = EngineSession(
         net, cfg, tracer=tracer, metrics=registry,
+        warm=args.warm_state is None,
         centroid_reuse=args.centroid_reuse, reuse_tolerance=args.reuse_tolerance,
+        revise_ratio=args.revise_ratio,
     )
+    if args.warm_state is not None:
+        manifest = session.load_warm_state(args.warm_state)
+        log.info(f"booted warm from {args.warm_state} "
+                 f"({manifest['dense_views']} dense / {manifest['ell_views']} ELL "
+                 f"views, {manifest['cache_entries']} cache fills) in "
+                 f"{session.warmup_seconds * 1e3:.1f} ms")
     if args.async_transport:
         server = AsyncInferenceServer(
             session,
@@ -468,6 +483,63 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_warmup(args) -> int:
+    """Save a warm-state artifact, or verify one loads (``--load``)."""
+    import dataclasses
+
+    from repro.serve import EngineSession, InferenceServer
+    from repro.serve.bench import _shape_stream, _split_requests, _tier_workload
+
+    if (args.save is None) == (args.load is None):
+        log.error("warmup wants exactly one of --save PATH or --load PATH")
+        return 2
+    prime = max(args.prime, 0) if args.save is not None else 0
+    net, cfg, pool = _tier_workload(
+        args.benchmark, max(prime, 1) * args.request_cols, args.seed
+    )
+    if args.threshold is not None:
+        cfg = dataclasses.replace(cfg, threshold_layer=args.threshold)
+    net.drop_views()
+    session = EngineSession(
+        net, cfg, warm=args.save is not None,
+        centroid_reuse=args.centroid_reuse,
+        reuse_tolerance=args.reuse_tolerance,
+        revise_ratio=args.revise_ratio,
+    )
+
+    if args.load is not None:
+        t0 = time.perf_counter()
+        manifest = session.load_warm_state(args.load)
+        log.info(f"loaded {args.load} ({manifest['size_bytes']} bytes) in "
+                 f"{(time.perf_counter() - t0) * 1e3:.1f} ms: "
+                 f"{manifest['dense_views']} dense / {manifest['ell_views']} ELL "
+                 f"views, {manifest['plan_layers']} plan layers, "
+                 f"{manifest['memo_choices']} memo choices, "
+                 f"{manifest['memo_costs']} cost baselines, "
+                 f"{manifest['cache_entries']} cache fills adopted "
+                 f"({manifest['cache_skipped']} skipped)")
+        return 0
+
+    if prime > 0:
+        # priming traffic teaches the session what warmup alone cannot:
+        # centroid-cache fills with staleness baselines, per-bucket costs
+        shaped = _shape_stream(pool, "repeat", args.max_batch)
+        server = InferenceServer(
+            session, max_batch=args.max_batch, max_wait_s=60.0,
+            queue_limit=prime,
+        )
+        server.serve(iter(_split_requests(shaped, args.request_cols)))
+    manifest = session.save_warm_state(args.save)
+    log.info(f"saved {args.save} ({manifest['size_bytes']} bytes) for "
+             f"{net.name} [{manifest['fingerprint']}]: "
+             f"{manifest['dense_views']} dense / {manifest['ell_views']} ELL "
+             f"views, {manifest['plan_layers']} plan layers, "
+             f"{manifest['memo_costs']} cost baselines, "
+             f"{manifest['cache_entries']} cache fills "
+             f"({prime} priming requests)")
+    return 0
+
+
 def _cmd_bench_serve(args) -> int:
     from repro.serve.bench import bench_serve
 
@@ -510,6 +582,7 @@ def _cmd_bench_serve(args) -> int:
         memory_budget_mb=args.memory_budget_mb,
         scale_out=scale_out,
         scale_out_requests=args.scale_out_requests,
+        warm_boot=args.warm_boot,
         **extra,
     )
     for record in result["tiers"]:
@@ -564,6 +637,16 @@ def _cmd_bench_serve(args) -> int:
                      f"bytes (highwater {budget['highwater_bytes']}, "
                      f"under_budget={mrec['under_budget']}, "
                      f"{budget['evictions']} demotions)")
+    wrec = result.get("warm_boot")
+    if wrec is not None:
+        log.info(f"bench-serve [warm-boot] {wrec['benchmark']}: cold ready "
+                 f"{wrec['cold']['ready_seconds'] * 1e3:.1f} ms "
+                 f"(warmup {wrec['cold']['warmup_seconds'] * 1e3:.1f} + prime "
+                 f"{wrec['cold']['prime_seconds'] * 1e3:.1f}) vs artifact load "
+                 f"{wrec['artifact']['load_seconds'] * 1e3:.1f} ms "
+                 f"({wrec['artifact']['size_bytes']} bytes) — "
+                 f"{wrec['speedup']:.1f}x, "
+                 f"identical={wrec['outputs_identical']}")
     srec = result.get("scale_out")
     if srec is not None:
         log.info(f"bench-serve [scale-out] {srec['benchmark']}: "
@@ -603,6 +686,13 @@ def _add_reuse_flags(parser: argparse.ArgumentParser) -> None:
         help="staleness budget: reused blocks must stay within "
              "baseline*(1+T) assignment distance / residue density "
              "(default 0.5; 0 admits only blocks as tight as the fill block)",
+    )
+    parser.add_argument(
+        "--revise-ratio", type=float, default=None, metavar="R",
+        help="arm the strategy memo's measure-and-revise loop: when a "
+             "bucket's observed cost EWMA drifts past baseline*R (R > 1), "
+             "its memoized kernel choice is re-derived (default: replay "
+             "the first decision forever)",
     )
 
 
@@ -729,6 +819,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="latency SLO to track live, e.g. 'p99<50ms@60s/99%%'; applied "
              "per tenant under --model, to the single benchmark otherwise",
     )
+    serve_p.add_argument(
+        "--warm-state", default=None, metavar="PATH",
+        help="boot warm from a repro-warmstore artifact (see 'repro warmup "
+             "--save') instead of baking at startup; fingerprint-checked, "
+             "and under --workers every worker — including crash-restarted "
+             "ones — loads the same file",
+    )
     _add_reuse_flags(serve_p)
     _add_obs_flags(serve_p)
     _add_endpoint_flags(serve_p)
@@ -803,9 +900,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-tenant SLO for the --multi record "
              "(default: the built-in p99<250ms@30s/95%% policy)",
     )
+    bserve_p.add_argument(
+        "--warm-boot", dest="warm_boot", action="store_true", default=None,
+        help="force the schema-5 persistent-warmup record (artifact boot vs "
+             "cold warmup + priming; default: on whenever tiers run)",
+    )
+    bserve_p.add_argument(
+        "--no-warm-boot", dest="warm_boot", action="store_false",
+        help="skip the persistent-warmup record",
+    )
     _add_reuse_flags(bserve_p)
     _add_obs_flags(bserve_p)
     bserve_p.set_defaults(fn=_cmd_bench_serve)
+
+    warm_p = sub.add_parser(
+        "warmup",
+        help="save (or verify) a persistent warm-state artifact for a benchmark",
+    )
+    warm_p.add_argument(
+        "benchmark",
+        help="SDGC benchmark name (e.g. 144-24), a bench tier name, or "
+             "'medium:<id>' for a trained medium-scale model",
+    )
+    warm_p.add_argument(
+        "--save", default=None, metavar="PATH",
+        help="warm a session (bake + optional priming traffic) and snapshot "
+             "its state to PATH as a repro-warmstore artifact",
+    )
+    warm_p.add_argument(
+        "--load", default=None, metavar="PATH",
+        help="boot a cold session from the artifact at PATH and report what "
+             "it restored (fingerprint/version checked) — a deploy preflight",
+    )
+    warm_p.add_argument(
+        "--prime", type=int, default=16, metavar="N",
+        help="requests of seeded priming traffic to serve before saving, so "
+             "the artifact carries centroid-cache fills and measured cost "
+             "baselines, not just baked views (0 saves bake-only state)",
+    )
+    warm_p.add_argument("--request-cols", type=_positive_int, default=4)
+    warm_p.add_argument("--max-batch", type=_positive_int, default=64)
+    warm_p.add_argument("--threshold", type=int, default=None)
+    warm_p.add_argument("--seed", type=int, default=1)
+    _add_reuse_flags(warm_p)
+    warm_p.set_defaults(fn=_cmd_warmup)
     return parser
 
 

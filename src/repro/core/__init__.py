@@ -32,6 +32,7 @@ from repro.core.conversion import (
 from repro.core.postconv import postconv_update, update_kernel
 from repro.core.recovery import recover
 from repro.core.reuse import CachedConversion, CentroidCache
+from repro.core.warmstore import WARMSTORE_VERSION, load_warm_state, save_warm_state
 from repro.core.pipeline import SNICIT
 
 __all__ = [
@@ -39,6 +40,9 @@ __all__ = [
     "SNICIT",
     "CachedConversion",
     "CentroidCache",
+    "WARMSTORE_VERSION",
+    "save_warm_state",
+    "load_warm_state",
     "sample_columns",
     "sum_downsample",
     "prune_samples",

@@ -35,7 +35,7 @@ from repro.kernels import DENSE_WEIGHT_THRESHOLD, LIVE_ROW_THRESHOLD, planned_sp
 from repro.network import SparseNetwork
 from repro.sparse.convert import preferred_spmm_format
 
-__all__ = ["LayerPlan", "StrategyPlan", "bake_plan"]
+__all__ = ["LayerPlan", "StrategyPlan", "bake_plan", "plan_layer"]
 
 
 @dataclass(frozen=True)
@@ -63,7 +63,15 @@ class StrategyPlan:
     density re-check, no counter-label resolution.
     """
 
-    __slots__ = ("network_fingerprint", "layers", "baked_seconds", "calls", "_counters")
+    __slots__ = (
+        "network_fingerprint",
+        "layers",
+        "baked_seconds",
+        "calls",
+        "revisions",
+        "_counters",
+        "_memo",
+    )
 
     def __init__(
         self,
@@ -75,7 +83,9 @@ class StrategyPlan:
         self.layers = tuple(layers)
         self.baked_seconds = float(baked_seconds)
         self.calls = 0
+        self.revisions = 0
         self._counters: dict[str, object] = {}
+        self._memo = None
 
     def bind_metrics(self, registry) -> "StrategyPlan":
         """Pre-resolve the ``spmm_strategy_total`` counters once.
@@ -91,10 +101,35 @@ class StrategyPlan:
             )
         return self
 
+    def enable_revision(self, memo) -> "StrategyPlan":
+        """Attach a measure-and-revise :class:`~repro.kernels.StrategyMemo`.
+
+        Every :meth:`dispatch` then reports its wall time to the memo; when
+        the memo signals cost drift for a layer's bucket, the layer's plan is
+        re-derived from the same static champion rules :func:`bake_plan`
+        used (re-pinning its view), and :attr:`revisions` counts the event.
+        Re-derivation is deterministic in the network alone, so a revision
+        can refresh a decision but never change outputs — the bitwise
+        guarantee survives the autotune loop.
+        """
+        self._memo = memo
+        return self
+
     def dispatch(self, net: SparseNetwork, i: int, y, out=None):
         """``W(i) @ y`` via the baked decision; mirrors ``champion_spmm``."""
         self.calls += 1
-        z, work, strategy = planned_spmm(net, self.layers[i], y, out=out)
+        memo = self._memo
+        if memo is None:
+            z, work, strategy, _ = planned_spmm(net, self.layers[i], y, out=out)
+        else:
+            t0 = time.perf_counter()
+            z, work, strategy, frac = planned_spmm(net, self.layers[i], y, out=out)
+            if memo.observe(
+                i, frac, strategy, time.perf_counter() - t0, network=net
+            ):
+                revised = plan_layer(net, i, self.layers[i].live_threshold)
+                self.layers = self.layers[:i] + (revised,) + self.layers[i + 1:]
+                self.revisions += 1
         counter = self._counters.get(strategy)
         if counter is not None:
             counter.inc()
@@ -110,8 +145,55 @@ class StrategyPlan:
             "layers": len(self.layers),
             "calls": self.calls,
             "baked_seconds": self.baked_seconds,
+            "revisions": self.revisions,
             "strategies": strategies,
         }
+
+    # ------------------------------------------------------------ persistence
+    def to_state(self) -> dict:
+        """JSON-safe layer table (for the warmstore header)."""
+        return {
+            "network_fingerprint": self.network_fingerprint,
+            "baked_seconds": self.baked_seconds,
+            "layers": [
+                [lp.index, lp.strategy, lp.format, lp.live_threshold]
+                for lp in self.layers
+            ],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "StrategyPlan":
+        """Rebuild a plan from :meth:`to_state` (views re-pinned by caller)."""
+        layers = tuple(
+            LayerPlan(int(index), str(strategy), str(fmt), float(thr))
+            for index, strategy, fmt, thr in state["layers"]
+        )
+        return cls(
+            state["network_fingerprint"],
+            layers,
+            baked_seconds=float(state.get("baked_seconds", 0.0)),
+        )
+
+
+def plan_layer(
+    net: SparseNetwork, i: int, live_threshold: float = LIVE_ROW_THRESHOLD
+) -> LayerPlan:
+    """Derive (and pin the view for) one layer's champion decision.
+
+    The single source of truth for the static half of the champion rules:
+    :func:`bake_plan` calls it per layer at warmup, and
+    :meth:`StrategyPlan.dispatch` calls it again when the measure-and-revise
+    memo reports cost drift.  Deterministic in the network alone, so a
+    re-derivation after drift lands on a decision the original bake could
+    have made — never on new numerics.
+    """
+    if net.layers[i].weight.density >= DENSE_WEIGHT_THRESHOLD:
+        net.dense(i)  # pin
+        return LayerPlan(i, "colwise", "dense", live_threshold)
+    fmt = preferred_spmm_format(net.layers[i].weight)
+    if fmt == "ell":
+        net.ell(i)  # pin
+    return LayerPlan(i, "dynamic", fmt, live_threshold)
 
 
 def bake_plan(
@@ -131,16 +213,7 @@ def bake_plan(
     if not 0.0 <= live_threshold <= 1.0:
         raise ConfigError(f"live_threshold must be in [0, 1], got {live_threshold}")
     t0 = time.perf_counter()
-    layers = []
-    for i, layer in enumerate(net.layers):
-        if layer.weight.density >= DENSE_WEIGHT_THRESHOLD:
-            net.dense(i)  # pin
-            layers.append(LayerPlan(i, "colwise", "dense", live_threshold))
-            continue
-        fmt = preferred_spmm_format(layer.weight)
-        if fmt == "ell":
-            net.ell(i)  # pin
-        layers.append(LayerPlan(i, "dynamic", fmt, live_threshold))
+    layers = [plan_layer(net, i, live_threshold) for i in range(len(net.layers))]
     plan = StrategyPlan(
         getattr(net, "fingerprint", net.name),
         tuple(layers),

@@ -300,6 +300,22 @@ class CentroidCache:
             self._c_fills.inc()
         return True
 
+    def export_entries(self) -> list[CachedConversion]:
+        """Every cached conversion, in deterministic key order (for warmstore)."""
+        return [
+            self._entries[key]
+            for key in sorted(self._entries, key=lambda k: (k[0] or "", k[1]))
+        ]
+
+    def adopt(self, entry: CachedConversion) -> None:
+        """Insert a restored entry under its own scope without counting a fill.
+
+        The warmstore load path uses this so a resumed session's ``fills``
+        counter reflects conversions *it* performed, not history replay; the
+        entry keeps its fill-time baselines and ``served_blocks`` tally.
+        """
+        self._entries[(entry.network_key, entry.threshold_layer)] = entry
+
     def _count_invalidations(self, dropped: int, reason: str) -> None:
         self.invalidations[reason] = self.invalidations.get(reason, 0) + dropped
         if self._registry is not None:

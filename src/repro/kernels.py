@@ -20,6 +20,8 @@ not kernel differences.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.errors import ConfigError, ShapeError
@@ -66,19 +68,50 @@ class StrategyMemo:
     — layer 3 of a 1 %-dense SDGC net and layer 3 of a 55 %-dense medium
     net want opposite strategies.  Legacy callers that pass no network share
     a single ``None`` scope, preserving the old single-network behavior.
+
+    With ``revise_ratio`` set the memo goes beyond replay-first-decision to
+    *measure-and-revise* (XY-2021's ``explore='measure'`` idiom): every
+    dispatch reports its wall time via :meth:`observe`, which keeps an EWMA
+    per bucket against a baseline frozen after ``min_samples`` observations.
+    When the EWMA drifts past ``baseline * revise_ratio`` the recorded
+    choice is dropped, forcing the next call through the champion tournament
+    again, and the cost record resets so the new champion earns a fresh
+    baseline.  Revision only ever discards a *decision* — every candidate
+    kernel accumulates in the same per-element order (the format half of the
+    decision is static per layer), so outputs are bitwise unaffected; only
+    the ``strategy_revised_total`` counter moves.  Cost records persist
+    through :meth:`export_state`/:meth:`import_state` so a restored session
+    resumes with the baselines it measured, not a blank slate.
     """
 
-    def __init__(self, n_buckets: int = 16):
+    def __init__(
+        self,
+        n_buckets: int = 16,
+        revise_ratio: float | None = None,
+        min_samples: int = 3,
+        ewma_alpha: float = 0.25,
+    ):
         if n_buckets < 1:
-            from repro.errors import ConfigError
-
             raise ConfigError(f"n_buckets must be >= 1, got {n_buckets}")
+        if revise_ratio is not None and revise_ratio <= 1.0:
+            # a ratio at or below 1 would revise on any jitter and could
+            # thrash forever; > 1 guarantees convergence under stable costs
+            raise ConfigError(f"revise_ratio must be > 1, got {revise_ratio}")
+        if min_samples < 1:
+            raise ConfigError(f"min_samples must be >= 1, got {min_samples}")
         self.n_buckets = int(n_buckets)
+        self.revise_ratio = None if revise_ratio is None else float(revise_ratio)
+        self.min_samples = int(min_samples)
+        self.ewma_alpha = float(ewma_alpha)
         self._choice: dict[tuple[str | None, int, int], str] = {}
+        #: per-key ``[count, ewma_seconds, baseline_seconds]`` cost records
+        self._cost: dict[tuple[str | None, int, int], list[float]] = {}
         self.hits = 0
         self.misses = 0
+        self.revisions = 0
         self._hit_counter = None
         self._miss_counter = None
+        self._revise_counter = None
 
     @staticmethod
     def _scope(network) -> str | None:
@@ -100,6 +133,10 @@ class StrategyMemo:
         )
         self._miss_counter = registry.counter(
             "memo_misses_total", help="strategy memo lookups that re-derived"
+        )
+        self._revise_counter = registry.counter(
+            "strategy_revised_total",
+            help="memoized strategy choices dropped after cost drift",
         )
         gauge = registry.gauge(
             "memo_entries", help="distinct (network, layer, bucket) choices"
@@ -130,11 +167,105 @@ class StrategyMemo:
         key = (self._scope(network), layer, self.bucket(live_fraction))
         self._choice[key] = strategy
 
+    def observe(
+        self,
+        layer: int,
+        live_fraction: float,
+        strategy: str,
+        seconds: float,
+        network=None,
+    ) -> bool:
+        """Feed one measured dispatch cost; returns True if it revised.
+
+        The EWMA for the bucket updates on every observation; once
+        ``min_samples`` have accumulated the current EWMA freezes as the
+        bucket's baseline.  With :attr:`revise_ratio` enabled, an EWMA that
+        drifts past ``baseline * revise_ratio`` drops the memoized choice
+        (the next lookup misses and re-runs the champion tournament) and
+        resets the record — so after any drift event, stable costs settle a
+        new baseline and revisions stop.  ``strategy`` is accepted for
+        symmetry with :meth:`record` and future per-strategy records; the
+        cost key is the same ``(scope, layer, bucket)`` as the choice key.
+        """
+        del strategy  # cost records are keyed per bucket, not per strategy
+        key = (self._scope(network), layer, self.bucket(live_fraction))
+        rec = self._cost.get(key)
+        if rec is None:
+            rec = self._cost[key] = [0.0, 0.0, 0.0]
+        count = int(rec[0]) + 1
+        ewma = (
+            float(seconds)
+            if count == 1
+            else (1.0 - self.ewma_alpha) * rec[1] + self.ewma_alpha * float(seconds)
+        )
+        baseline = ewma if count == self.min_samples else rec[2]
+        rec[0], rec[1], rec[2] = float(count), ewma, baseline
+        if (
+            self.revise_ratio is not None
+            and count > self.min_samples
+            and baseline > 0.0
+            and ewma > baseline * self.revise_ratio
+        ):
+            self._choice.pop(key, None)
+            rec[0] = rec[1] = rec[2] = 0.0
+            self.revisions += 1
+            if self._revise_counter is not None:
+                self._revise_counter.inc()
+            return True
+        return False
+
+    # ------------------------------------------------------------ persistence
+    def export_state(self) -> dict:
+        """JSON-safe snapshot of choices and cost baselines (for warmstore)."""
+        return {
+            "n_buckets": self.n_buckets,
+            "choices": [
+                [scope, layer, bucket, strategy]
+                for (scope, layer, bucket), strategy in sorted(
+                    self._choice.items(), key=lambda kv: (kv[0][0] or "", kv[0][1:])
+                )
+            ],
+            "costs": [
+                [scope, layer, bucket, rec[0], rec[1], rec[2]]
+                for (scope, layer, bucket), rec in sorted(
+                    self._cost.items(), key=lambda kv: (kv[0][0] or "", kv[0][1:])
+                )
+            ],
+        }
+
+    def import_state(self, state: dict) -> None:
+        """Restore an :meth:`export_state` snapshot into this memo.
+
+        Bucket indices are only meaningful at the quantization they were
+        recorded under, so a bucket-count mismatch is a configuration error,
+        not something to silently rebucket.
+        """
+        n_buckets = int(state.get("n_buckets", self.n_buckets))
+        if n_buckets != self.n_buckets:
+            raise ConfigError(
+                f"memo state has {n_buckets} buckets but this session uses "
+                f"{self.n_buckets}"
+            )
+        for scope, layer, bucket, strategy in state.get("choices", []):
+            self._choice[(scope, int(layer), int(bucket))] = str(strategy)
+        for scope, layer, bucket, count, ewma, baseline in state.get("costs", []):
+            self._cost[(scope, int(layer), int(bucket))] = [
+                float(count),
+                float(ewma),
+                float(baseline),
+            ]
+
     def __len__(self) -> int:
         return len(self._choice)
 
     def stats(self) -> dict[str, int]:
-        return {"entries": len(self._choice), "hits": self.hits, "misses": self.misses}
+        return {
+            "entries": len(self._choice),
+            "hits": self.hits,
+            "misses": self.misses,
+            "revisions": self.revisions,
+            "cost_entries": len(self._cost),
+        }
 
 
 def champion_spmm(
@@ -187,17 +318,24 @@ def champion_spmm(
             memo.record(i, frac, strategy, network=net)
     if metrics is not None:
         metrics.counter("spmm_strategy_total", strategy=strategy).inc()
+    t0 = time.perf_counter() if memo is not None else 0.0
     if strategy == "colwise":
-        z, nnz = spmm_colwise(net.dense(i), y, out=out)
-        return z, nnz, "colwise"
-    if strategy == "masked":
-        z, active_nnz = spmm_masked(layer.weight, y, live, out=out)
-        return z, active_nnz, "masked"
-    if strategy == "ell":
+        z, work = spmm_colwise(net.dense(i), y, out=out)
+    elif strategy == "masked":
+        if live is None:  # memo replayed 'masked' from a dense-ish bucket
+            live = (y != 0).any(axis=1)
+        z, work = spmm_masked(layer.weight, y, live, out=out)
+    elif strategy == "ell":
         z = spmm_ell(net.ell(i), y, out=out)
-        return z, layer.weight.nnz, "ell"
-    z = spmm_reduceat(layer.weight, y, out=out)
-    return z, layer.weight.nnz, "csr"
+        work = layer.weight.nnz
+    else:
+        z = spmm_reduceat(layer.weight, y, out=out)
+        work = layer.weight.nnz
+    if memo is not None:
+        # feed the measure-and-revise loop; with revise_ratio unset this
+        # only accumulates the cost baselines the warmstore persists
+        memo.observe(i, frac, strategy, time.perf_counter() - t0, network=net)
+    return z, work, strategy
 
 
 def planned_spmm(
@@ -205,30 +343,33 @@ def planned_spmm(
     lp,
     y: np.ndarray,
     out: np.ndarray | None = None,
-) -> tuple[np.ndarray, int, str]:
+) -> tuple[np.ndarray, int, str, float]:
     """Compute ``W(i) @ y`` via a baked :class:`~repro.core.plan.LayerPlan`.
 
     The pre-specialized twin of :func:`champion_spmm`: the layer's strategy
     class and sparse format were decided once at warmup, so the per-block
     work is a field read (plus the unavoidable live-row scan for dynamic
     layers, whose masked-vs-batch-parallel choice genuinely depends on the
-    activations).  Same return contract and bitwise-identical results —
-    every kernel here accumulates in the same per-element order.
+    activations).  Bitwise-identical results — every kernel here accumulates
+    in the same per-element order.  Returns ``(z, work, strategy, frac)``;
+    the extra live-fraction element (vs :func:`champion_spmm`'s 3-tuple)
+    lets :meth:`~repro.core.plan.StrategyPlan.dispatch` feed the
+    measure-and-revise memo without paying a second live-row scan.
     """
     if lp.strategy == "colwise":
         z, nnz = spmm_colwise(net.dense(lp.index), y, out=out)
-        return z, nnz, "colwise"
+        return z, nnz, "colwise", 1.0
     layer = net.layers[lp.index]
     live = (y != 0).any(axis=1)
     frac = float(live.mean()) if live.size else 0.0
     if frac < lp.live_threshold:
         z, active_nnz = spmm_masked(layer.weight, y, live, out=out)
-        return z, active_nnz, "masked"
+        return z, active_nnz, "masked", frac
     if lp.format == "ell":
         z = spmm_ell(net.ell(lp.index), y, out=out)
-        return z, layer.weight.nnz, "ell"
+        return z, layer.weight.nnz, "ell", frac
     z = spmm_reduceat(layer.weight, y, out=out)
-    return z, layer.weight.nnz, "csr"
+    return z, layer.weight.nnz, "csr", frac
 
 
 def baseline_spmm(net: SparseNetwork, i: int, y: np.ndarray) -> tuple[np.ndarray, int, str]:

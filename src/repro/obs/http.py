@@ -9,7 +9,11 @@
   blocks (windowed quantiles, budget burn, exemplar span ids), produced by
   whatever callable the host registers — typically
   ``ModelRegistry.slo_report_json``;
-* ``/healthz`` — liveness (200 ``ok`` while the server is up).
+* ``/healthz`` — health.  Plain liveness (200 ``ok``) by default; a host
+  that knows more passes ``health_provider`` and the endpoint turns into a
+  readiness probe — 200 while the provider reports healthy, 503 with a JSON
+  diagnostic once it reports degraded (the fleet dispatcher wires this to
+  "any worker slot dead past its restart budget").
 
 The server is a daemon-threaded :class:`~http.server.ThreadingHTTPServer`
 bound to localhost by default, so a scrape never blocks serving and a crash
@@ -52,7 +56,8 @@ class _ObsHandler(BaseHTTPRequestHandler):
         owner: "ObsServer" = self.server.owner
         path = self.path.split("?", 1)[0]
         if path == "/healthz":
-            self._reply(200, "text/plain; charset=utf-8", "ok\n")
+            status, content_type, body = owner.render_health()
+            self._reply(status, content_type, body)
         elif path == "/metrics":
             self._reply(200, PROMETHEUS_CONTENT_TYPE, owner.render_metrics())
         elif path == "/slo":
@@ -105,6 +110,15 @@ class ObsServer:
         ``/metrics``, overriding ``metrics`` — this is how the fleet
         dispatcher serves a merged multi-worker scrape.  Exceptions render
         as a comment line, never a dead endpoint.
+    health_provider:
+        Zero-argument callable returning a dict with a boolean ``healthy``
+        key (extra keys are diagnostic payload).  ``/healthz`` then answers
+        200 with the JSON while healthy and **503** with the same JSON once
+        degraded — process liveness alone must not report a fleet that can
+        no longer serve part of its streams as healthy.  A provider that
+        raises renders as 200 ``ok`` (the probe answers for *this* process;
+        a broken reporter must not fake a dead one).  ``None`` keeps the
+        legacy pure-liveness 200 ``ok``.
     host / port:
         Bind address.  ``port=0`` picks an ephemeral port; read the
         resolved one from :attr:`port` after construction.
@@ -117,6 +131,7 @@ class ObsServer:
         host: str = "127.0.0.1",
         port: int = 0,
         metrics_provider: Callable[[], str] | None = None,
+        health_provider: Callable[[], dict] | None = None,
     ):
         if metrics is None and metrics_provider is None:
             from repro.errors import ConfigError
@@ -125,6 +140,7 @@ class ObsServer:
         self.metrics = metrics
         self.slo_provider = slo_provider
         self.metrics_provider = metrics_provider
+        self.health_provider = health_provider
         self._httpd = ThreadingHTTPServer((host, port), _ObsHandler)
         self._httpd.daemon_threads = True
         self._httpd.owner = self
@@ -142,6 +158,21 @@ class ObsServer:
             except Exception as exc:
                 return f"# metrics provider failed: {type(exc).__name__}: {exc}\n"
         return self.metrics.to_prometheus()
+
+    def render_health(self) -> tuple[int, str, str]:
+        """``(status, content_type, body)`` for ``/healthz`` (see class doc)."""
+        if self.health_provider is None:
+            return 200, "text/plain; charset=utf-8", "ok\n"
+        try:
+            payload = json_safe(self.health_provider())
+            healthy = bool(payload.get("healthy", False))
+        except Exception:
+            return 200, "text/plain; charset=utf-8", "ok\n"
+        return (
+            200 if healthy else 503,
+            "application/json",
+            json.dumps(payload, indent=2) + "\n",
+        )
 
     def render_slo(self) -> str:
         if self.slo_provider is None:

@@ -22,6 +22,16 @@ counts, with per-count wall *and* capacity throughput (see
 :mod:`repro.serve.fleet` on why both are reported), bitwise
 ``outputs_identical`` checks against a single-process reference, and a
 crash-injection run proving supervised recovery mid-stream.
+
+Schema 5 adds the ``warm_boot`` record (see :mod:`repro.core.warmstore`):
+one tier booted cold — plan baked, then a priming pass that fills the
+centroid cache and cost baselines from traffic — then snapshotted and
+re-booted from the artifact with a single ``load_warm_state`` call.  The
+record compares time-to-warm for both boot modes and asserts the identity
+triangle (loaded == freshly warmed == cold, bitwise).  The scale-out
+crash run additionally boots its workers from a saved artifact, so the
+SIGKILLed worker's replacement incarnation demonstrates the crash-restart
+path the artifact exists for.
 """
 
 from __future__ import annotations
@@ -29,6 +39,8 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
+import shutil
+import tempfile
 import time
 from pathlib import Path
 
@@ -58,13 +70,15 @@ __all__ = [
 
 DEFAULT_BENCH_PATH = "BENCH_serve.json"
 
-#: current on-disk layout of ``BENCH_serve.json``.  Schema 4 added the
-#: top-level ``scale_out`` record (multi-process fleet curve + crash-recovery
-#: run); schema 3 added the multi-tenant record's per-tenant ``slo`` blocks
-#: (windowed quantiles, error-budget burn, trace-linked exemplars) and
-#: per-tenant latency quantiles in the router summary; schemas 2 and 3 are
-#: still readable.
-BENCH_SCHEMA = 4
+#: current on-disk layout of ``BENCH_serve.json``.  Schema 5 added the
+#: top-level ``warm_boot`` record (persistent-warmup artifact boot vs cold
+#: warmup + priming) and the artifact-boot crash run under ``scale_out``;
+#: schema 4 added the ``scale_out`` record (multi-process fleet curve +
+#: crash-recovery run); schema 3 added the multi-tenant record's per-tenant
+#: ``slo`` blocks (windowed quantiles, error-budget burn, trace-linked
+#: exemplars) and per-tenant latency quantiles in the router summary;
+#: schemas 2 through 4 are still readable.
+BENCH_SCHEMA = 5
 
 #: worker counts of the default scale-out curve
 DEFAULT_SCALE_OUT = (1, 2, 4)
@@ -604,6 +618,121 @@ def _streams_identical(report, reference, streams) -> bool:
     )
 
 
+def _run_warm_boot(
+    tier: str,
+    requests: int,
+    request_cols: int,
+    max_batch: int,
+    seed: int,
+    reuse_tolerance: float = 0.0,
+    revise_ratio: float | None = 2.0,
+) -> dict:
+    """Schema-5 persistent-warmup record: artifact boot vs cold warm+prime.
+
+    The cold path to a fully warm session is two-phase: ``warmup()`` bakes
+    the plan and pins views, then the first blocks of traffic *teach* it —
+    centroid-cache fills with their staleness baselines, per-bucket kernel
+    cost baselines.  The warmstore artifact replaces both phases with one
+    ``load_warm_state`` call, so the honest comparison is::
+
+        cold.ready_seconds  = warmup_seconds + prime_seconds   (bake + learn)
+        artifact.load_seconds                                   (one load)
+
+    The stream is ``repeat`` with ``reuse_tolerance=0.0`` — the regime where
+    centroid reuse is bitwise lossless — so the record can also assert the
+    identity triangle: loaded-warm == freshly-warmed == cold-boot outputs,
+    all bitwise.  ``revise_ratio`` keeps the measure-and-revise loop armed
+    on every session, proving a loaded plan revises like a baked one.
+    """
+    total_cols = requests * request_cols
+    net, cfg, pool = _tier_workload(tier, total_cols, seed)
+    pool = _shape_stream(pool, "repeat", max_batch)
+    stream = _split_requests(pool, request_cols)
+
+    def fresh_session():
+        return EngineSession(
+            net, cfg, warm=False,
+            centroid_reuse=True, reuse_tolerance=reuse_tolerance,
+            revise_ratio=revise_ratio,
+        )
+
+    def serve(session):
+        server = InferenceServer(
+            session, max_batch=max_batch, max_wait_s=60.0, queue_limit=len(stream)
+        )
+        report = server.serve(iter(stream))
+        return np.hstack([t.y for t in report.served])
+
+    # ---- cold boot: bake the plan, then learn from the priming pass
+    net.drop_views()
+    cold = fresh_session()
+    t0 = time.perf_counter()
+    cold.warmup()
+    warmup_seconds = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    cold_y = serve(cold)
+    prime_seconds = time.perf_counter() - t0
+
+    art_dir = tempfile.mkdtemp(prefix="repro-warmstore-")
+    art_path = os.path.join(art_dir, f"{tier}.warmstate")
+    try:
+        t0 = time.perf_counter()
+        save_manifest = cold.save_warm_state(art_path)
+        save_seconds = time.perf_counter() - t0
+
+        # freshly-warmed reference: bakes its own plan, learns its own cache
+        net.drop_views()
+        fresh = fresh_session()
+        fresh.warmup()
+        fresh_y = serve(fresh)
+
+        # artifact boot: one load call replaces warmup *and* priming
+        net.drop_views()
+        loaded = fresh_session()
+        t0 = time.perf_counter()
+        load_manifest = loaded.load_warm_state(art_path)
+        load_seconds = time.perf_counter() - t0
+        loaded_y = serve(loaded)
+    finally:
+        shutil.rmtree(art_dir, ignore_errors=True)
+    net.drop_views()
+
+    ready_seconds = warmup_seconds + prime_seconds
+    return {
+        "tier": tier,
+        "benchmark": net.name,
+        "requests": len(stream),
+        "request_cols": request_cols,
+        "max_batch": max_batch,
+        "stream": "repeat",
+        "reuse_tolerance": reuse_tolerance,
+        "revise_ratio": revise_ratio,
+        "cold": {
+            "warmup_seconds": warmup_seconds,
+            "prime_seconds": prime_seconds,
+            "ready_seconds": ready_seconds,
+        },
+        "artifact": {
+            "save_seconds": save_seconds,
+            "load_seconds": load_seconds,
+            "size_bytes": save_manifest["size_bytes"],
+            "dense_views": save_manifest["dense_views"],
+            "ell_views": save_manifest["ell_views"],
+            "plan_layers": save_manifest["plan_layers"],
+            "memo_choices": save_manifest["memo_choices"],
+            "memo_costs": save_manifest["memo_costs"],
+            "cache_entries_saved": save_manifest["cache_entries"],
+            "cache_entries_adopted": load_manifest["cache_entries"],
+        },
+        "speedup": ready_seconds / load_seconds if load_seconds > 0 else float("inf"),
+        "loaded_warm_source": loaded.warm_source,
+        "loaded_cache": loaded.reuse.stats() if loaded.reuse is not None else None,
+        "outputs_identical": bool(
+            np.array_equal(loaded_y, fresh_y) and np.array_equal(fresh_y, cold_y)
+        ),
+    }
+
+
 def _run_scale_out(
     worker_counts,
     tier: str,
@@ -626,7 +755,10 @@ def _run_scale_out(
     the headline the CI gate checks.  A final crash run at the largest
     count SIGKILLs one worker mid-stream and must recover: victim restarted
     (restart counters surfaced), streams replayed, every output still
-    bitwise identical, no request failed anywhere.
+    bitwise identical, no request failed anywhere.  Since schema 5 the
+    crash run's workers boot from a saved warmstore artifact, so the
+    victim's replacement incarnation demonstrates the artifact-boot
+    restart path (``crash["artifact_boot"]``).
     """
     from repro.serve.fleet import TenantSpec, stream_shard
 
@@ -695,9 +827,29 @@ def _run_scale_out(
     if counts[-1] >= 2:
         n = counts[-1]
         victim = stream_shard(items[0][1], n)
-        report = _fleet_pass(spec, items, n, max_batch, kill=victim)
+        # the crash run boots its workers from a warm-state artifact: warmup
+        # is paid once here at save time, and — the point of the exercise —
+        # the SIGKILLed worker's replacement incarnation loads the same file
+        # instead of re-baking before it replays the victim streams
+        art_dir = tempfile.mkdtemp(prefix="repro-warmstore-")
+        art_path = os.path.join(art_dir, "fleet.warmstate")
+        net.drop_views()
+        save_manifest = EngineSession(net, cfg).save_warm_state(art_path)
+        net.drop_views()
+        try:
+            report = _fleet_pass(
+                dataclasses.replace(spec, warm_state=art_path),
+                items, n, max_batch, kill=victim,
+            )
+        finally:
+            shutil.rmtree(art_dir, ignore_errors=True)
         other_streams = [s for s in names if stream_shard(s, n) != victim]
         victim_streams = [s for s in names if stream_shard(s, n) == victim]
+        victim_rep = report.worker_reports[victim] or {}
+        sources = [
+            ((rep or {}).get("warm_sources") or {}).get("m")
+            for rep in report.worker_reports
+        ]
         crash = {
             "workers": n,
             "victim": victim,
@@ -720,6 +872,16 @@ def _run_scale_out(
                 and len(report.served) == len(items)
                 and _streams_identical(report, reference, names)
             ),
+            "artifact_boot": {
+                "size_bytes": save_manifest["size_bytes"],
+                "plan_layers": save_manifest["plan_layers"],
+                "warm_sources": sources,
+                "all_workers_artifact": all(s == "artifact" for s in sources),
+                "victim_warm_source": sources[victim],
+                "victim_incarnation": victim_rep.get("incarnation"),
+                "victim_build_seconds": victim_rep.get("build_seconds"),
+                "victim_warmup_seconds": victim_rep.get("warmup_seconds"),
+            },
         }
 
     return {
@@ -742,11 +904,12 @@ def _run_scale_out(
 def load_bench_records(data) -> list[dict]:
     """Per-tier records from a loaded ``BENCH_serve.json`` object.
 
-    Accepts every on-disk generation: the current schema-4 layout
-    (``{"schema": 4, "tiers": [...], "scale_out": {...}}``) and schema 3
-    before it (same ``tiers`` shape — those bumps added the ``multi`` SLO
-    blocks and the ``scale_out`` record without touching the per-tier
-    records), schema 2, a scale-out-only capture (``tiers`` absent — an
+    Accepts every on-disk generation: the current schema-5 layout
+    (``{"schema": 5, "tiers": [...], "warm_boot": {...}, "scale_out":
+    {...}}``) and schemas 2-4 before it (same ``tiers`` shape — those bumps
+    added the ``multi`` SLO blocks, the ``scale_out`` record, and the
+    ``warm_boot`` record without touching the per-tier
+    records), a scale-out-only capture (``tiers`` absent — an
     empty record list, *not* an error, so perf tooling pointed at such a
     file skips tier gating instead of crashing), and the legacy
     single-benchmark dict from before the tier split, which is wrapped as a
@@ -792,6 +955,8 @@ def bench_serve(
     scale_out_streams: int = 8,
     scale_out_max_batch: int = 16,
     scale_out_requests: int | None = None,
+    warm_boot: bool | None = None,
+    warm_boot_tier: str = "sdgc-shallow",
 ) -> dict:
     """Measure request throughput: cold per-request engines vs warm serving.
 
@@ -833,6 +998,13 @@ def bench_serve(
     measures overhead instead of sharding.  An empty ``tiers`` tuple (CLI:
     ``--tiers none``) skips the per-tier records entirely for
     scale-out-only captures.
+
+    ``warm_boot`` adds the schema-5 persistent-warmup record under the
+    result's ``"warm_boot"`` key (see :func:`_run_warm_boot`):
+    ``warm_boot_tier`` booted cold (bake + priming traffic), snapshotted
+    via :mod:`repro.core.warmstore`, and re-booted from the artifact, with
+    time-to-warm for both modes and the bitwise identity triangle.  The
+    default (``None``) runs it whenever per-tier records run.
     """
     if tiers is None:
         tiers = (benchmark,) if benchmark is not None else DEFAULT_TIERS
@@ -865,6 +1037,16 @@ def bench_serve(
         "async_ab": async_ab,
         "tiers": records,
     }
+    if warm_boot is None:
+        warm_boot = bool(tiers)
+    if warm_boot:
+        result["warm_boot"] = _run_warm_boot(
+            tier=warm_boot_tier,
+            requests=requests,
+            request_cols=request_cols,
+            max_batch=max_batch,
+            seed=seed,
+        )
     if multi:
         result["multi"] = _run_multi(
             tiers=multi_tiers if multi_tiers is not None else MULTI_TIERS,

@@ -125,6 +125,13 @@ class TenantSpec:
     slo: str | None = None
     centroid_reuse: bool = False
     reuse_tolerance: float = 0.5
+    #: arm the memo's measure-and-revise loop (see ``EngineSession``)
+    revise_ratio: float | None = None
+    #: path to a :mod:`repro.core.warmstore` artifact; workers then boot
+    #: warm by loading it (fingerprint-checked) instead of baking, and a
+    #: crash-restarted incarnation loads the same file — warmup is paid
+    #: once, at save time, not once per incarnation
+    warm_state: str | None = None
 
     def build(self):
         """``(network, config)`` for this tenant, deterministic per spec."""
@@ -277,14 +284,27 @@ def _worker_run(worker_id, incarnation, specs, options, task_q, result_q,
     registry = ModelRegistry(
         memory_budget_bytes=options.get("memory_budget_bytes")
     )
+    built = []
     for spec in specs:
         net, cfg = spec.build()
         net.drop_views()  # hand the session freshly-cold views to pin
-        registry.register(
+        built.append((spec, net, cfg))
+    build_seconds = time.perf_counter() - t_build
+    # registry warmup is timed apart from the (unavoidable) network build:
+    # it is the part a warm-state artifact eliminates, and the number the
+    # warm-boot tests and bench compare across boot modes
+    t_warm = time.perf_counter()
+    warm_sources: dict[str, str] = {}
+    for spec, net, cfg in built:
+        session = registry.register(
             spec.name, net, config=cfg, warm=True, slo=spec.slo,
+            warm_state=spec.warm_state,
             centroid_reuse=spec.centroid_reuse,
             reuse_tolerance=spec.reuse_tolerance,
+            revise_ratio=spec.revise_ratio,
         )
+        warm_sources[spec.name] = session.warm_source
+    warmup_seconds = time.perf_counter() - t_warm
     router = AsyncRouter(
         registry,
         max_batch=options.get("max_batch", 256),
@@ -303,7 +323,9 @@ def _worker_run(worker_id, incarnation, specs, options, task_q, result_q,
     result_q.put(("ready", incarnation, {
         "pid": os.getpid(),
         "obs_port": obs.port if obs is not None else None,
-        "warmup_seconds": time.perf_counter() - t_build,
+        "build_seconds": build_seconds,
+        "warmup_seconds": warmup_seconds,
+        "warm_sources": warm_sources,
     }))
 
     inflight: deque = deque()  # (req_id, AsyncTicket), arrival order
@@ -369,6 +391,9 @@ def _worker_run(worker_id, incarnation, specs, options, task_q, result_q,
                 "worker": worker_id,
                 "incarnation": incarnation,
                 "pid": os.getpid(),
+                "build_seconds": build_seconds,
+                "warmup_seconds": warmup_seconds,
+                "warm_sources": warm_sources,
                 **counts,
                 "streams": sorted(streams),
                 "cpu_seconds": time.process_time() - cpu0,
@@ -548,7 +573,8 @@ class FleetReport:
                     k: rep.get(k)
                     for k in ("incarnation", "pid", "requests", "columns",
                               "rejected", "failed", "streams", "cpu_seconds",
-                              "busy_seconds", "wall_seconds")
+                              "busy_seconds", "wall_seconds", "build_seconds",
+                              "warmup_seconds", "warm_sources")
                 }
             per_worker.append(entry)
         return {
@@ -1073,14 +1099,43 @@ class FleetDispatcher:
                 merged[f"{model}@{slot.index}"] = block
         return merged
 
+    def health(self) -> dict:
+        """Fleet health for ``/healthz``: degraded once any slot is dead.
+
+        A slot goes *dead* when it crashes past ``max_restarts`` — from then
+        on every stream hashed to it fails fast, so the process being alive
+        is no longer the truth about serving capacity.  The dict's
+        ``healthy`` flag drives the endpoint's status code (503 when False);
+        the rest is diagnostic payload.
+        """
+        with self._lock:
+            dead = [slot.index for slot in self._slots if slot.dead]
+            alive = sum(
+                1 for slot in self._slots
+                if slot.process is not None and slot.process.is_alive()
+            )
+        return {
+            "healthy": not dead,
+            "status": "degraded" if dead else "ok",
+            "workers": self.workers,
+            "alive": alive,
+            "dead_workers": dead,
+        }
+
     def obs_endpoint(self, port: int = 0, host: str = "127.0.0.1"):
-        """Start one merged ``/metrics`` + ``/slo`` endpoint for the fleet."""
+        """Start one merged ``/metrics`` + ``/slo`` endpoint for the fleet.
+
+        ``/healthz`` on this endpoint reports *fleet* health (see
+        :meth:`health`): 200 while every worker slot is serviceable, 503
+        once any slot has exhausted its restart budget.
+        """
         from repro.obs.http import ObsServer
 
         return ObsServer(
             None,
             slo_provider=self.merged_slo,
             metrics_provider=self.render_merged_metrics,
+            health_provider=self.health,
             host=host,
             port=port,
         )

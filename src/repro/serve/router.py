@@ -111,6 +111,7 @@ class ModelRegistry:
         config=None,
         kind: str = "snicit",
         warm: bool = False,
+        warm_state: str | None = None,
         session: EngineSession | None = None,
         slo: SloPolicy | str | None = None,
         **session_kwargs,
@@ -121,7 +122,13 @@ class ModelRegistry:
         :class:`~repro.serve.session.EngineSession` here — on the shared
         metrics registry, labeled ``model=name`` — or hand in a prebuilt
         ``session``.  ``warm=False`` registers cold (views build lazily on
-        first use); ``warm=True`` pins them eagerly.  Duplicate names are a
+        first use); ``warm=True`` pins them eagerly.  ``warm_state`` names a
+        :mod:`repro.core.warmstore` artifact to boot from instead of baking:
+        the session is built cold, then
+        :meth:`~repro.serve.session.EngineSession.load_warm_state` restores
+        views, plan, memo baselines, and cache fills (fingerprint-checked) —
+        the path fleets use so every worker, including crash-restarted
+        incarnations, skips warmup.  Duplicate names are a
         :class:`~repro.errors.ConfigError` — a name means one tenant.
 
         ``slo`` attaches a per-tenant service-level objective — an
@@ -138,11 +145,15 @@ class ModelRegistry:
                 network,
                 config,
                 kind=kind,
-                warm=warm,
+                warm=warm and warm_state is None,
                 metrics=self.metrics,
                 name=name,
                 **session_kwargs,
             )
+            if warm_state is not None:
+                session.load_warm_state(warm_state)
+        elif warm_state is not None:
+            session.load_warm_state(warm_state)
         self._sessions[name] = session
         self._last_served[name] = self.clock()
         if slo is not None:

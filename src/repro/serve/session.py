@@ -80,6 +80,13 @@ class EngineSession:
         Staleness budget forwarded to the cache: a reused block is admitted
         while its assignment distance / residue density stay within
         ``baseline * (1 + tolerance)``.
+    revise_ratio:
+        Enable the memo's measure-and-revise loop: when a strategy bucket's
+        observed cost EWMA drifts past ``baseline * revise_ratio``, the
+        memoized choice is dropped and the champion tournament (or the baked
+        plan's layer decision) re-runs.  ``None`` (default) keeps the legacy
+        replay-first-decision behavior; costs are still recorded either way
+        so :meth:`save_warm_state` persists the baselines.
     """
 
     def __init__(
@@ -94,6 +101,7 @@ class EngineSession:
         metrics: MetricsRegistry | None = None,
         centroid_reuse: bool = False,
         reuse_tolerance: float = 0.5,
+        revise_ratio: float | None = None,
         name: str | None = None,
     ):
         self.network = network
@@ -105,7 +113,9 @@ class EngineSession:
         #: the session's metric surface: a per-tenant labeled view when
         #: named, the raw registry otherwise (legacy unlabeled series)
         self.scoped = self.metrics.labeled(model=name) if name is not None else self.metrics
-        self.memo = StrategyMemo(memo_buckets).bind_metrics(self.scoped)
+        self.memo = StrategyMemo(
+            memo_buckets, revise_ratio=revise_ratio
+        ).bind_metrics(self.scoped)
         self.scratch = BufferPool().bind_metrics(self.scoped)
         self.reuse = (
             CentroidCache(tolerance=reuse_tolerance).bind_metrics(self.scoped)
@@ -147,6 +157,9 @@ class EngineSession:
         self.plan = None
         #: True while the session holds warm state (views pinned / warmup run)
         self.warmed = False
+        #: how the warm state was obtained: 'baked' (warmup ran here),
+        #: 'artifact' (restored via load_warm_state), or None while cold
+        self.warm_source: str | None = None
         if warm:
             self.warmup()
 
@@ -192,6 +205,8 @@ class EngineSession:
         with self.tracer.span("session.warmup", cat="serve", network=net.name):
             if self.kind == "snicit":
                 self.plan = bake_plan(net, metrics=self.scoped)
+                if self.memo.revise_ratio is not None:
+                    self.plan.enable_revision(self.memo)
                 self.engine.plan = self.plan
             else:
                 for i, layer in enumerate(net.layers):
@@ -201,7 +216,40 @@ class EngineSession:
                         net.ell(i)
         self._c_warmup.inc(time.perf_counter() - t0)
         self.warmed = True
+        self.warm_source = "baked"
         return self.warmup_seconds
+
+    def save_warm_state(self, path: str) -> dict:
+        """Persist this session's warm state as a fingerprint-keyed artifact.
+
+        See :mod:`repro.core.warmstore` for the format and its invariants.
+        Returns the save manifest (size, view/memo/cache entry counts).
+        """
+        from repro.core.warmstore import save_warm_state
+
+        return save_warm_state(self, path)
+
+    def load_warm_state(self, path: str) -> dict:
+        """Boot warm from a saved artifact instead of running :meth:`warmup`.
+
+        Restores pinned views, the baked plan, memo choices with their cost
+        baselines, and centroid-cache fills — after verifying the artifact's
+        network fingerprint, engine kind, and format version.  The load time
+        lands on the same ``session_warmup_seconds_total`` counter a baked
+        warmup uses, so ``warmup_seconds`` stays the honest "cost to get
+        warm" number either way.  Returns the load manifest.
+        """
+        from repro.core.warmstore import load_warm_state
+
+        t0 = time.perf_counter()
+        with self.tracer.span(
+            "session.load_warm_state", cat="serve", network=self.network.name
+        ):
+            manifest = load_warm_state(self, path)
+        self._c_warmup.inc(time.perf_counter() - t0)
+        self.warmed = True
+        self.warm_source = "artifact"
+        return manifest
 
     def retained_nbytes(self) -> int:
         """Warm-state footprint: scratch pool + pinned views + cached centroids.
@@ -236,6 +284,7 @@ class EngineSession:
         if getattr(self.engine, "plan", None) is not None:
             self.engine.plan = None
         self.warmed = False
+        self.warm_source = None
         return freed
 
     # ------------------------------------------------------------- serving
@@ -267,6 +316,7 @@ class EngineSession:
             "network": self.network.name,
             "model": self.name,
             "warmed": self.warmed,
+            "warm_source": self.warm_source,
             "retained_nbytes": self.retained_nbytes(),
             "calls": self.calls,
             "columns": self.columns,

@@ -25,6 +25,8 @@ racing arrival jitter — see the fleet module docstring.
 
 import json
 import pickle
+import time
+import urllib.error
 import urllib.request
 
 import numpy as np
@@ -34,7 +36,7 @@ from repro.errors import ConfigError, ServeClosedError
 from repro.harness.experiments.common import sdgc_config
 from repro.obs.merge import inject_label, merge_prometheus, merge_snapshots
 from repro.radixnet import benchmark_input, build_benchmark
-from repro.serve import AsyncRouter, ModelRegistry
+from repro.serve import AsyncRouter, EngineSession, ModelRegistry
 from repro.serve.fleet import (
     FleetDispatcher,
     TenantSpec,
@@ -301,3 +303,89 @@ def test_fleet_crash_recovery_isolates_streams():
     # the replacement incarnation filed the victim slot's final report
     assert report.worker_reports[victim] is not None
     assert report.worker_reports[victim]["incarnation"] == 2
+
+
+def test_fleet_crash_restart_boots_from_artifact(tmp_path):
+    """A SIGKILLed worker's replacement boots from the shared warm artifact.
+
+    With ``TenantSpec.warm_state`` set, every incarnation — the crash
+    victim's replacement included — must report booting from the artifact
+    (nobody silently re-bakes), pay less for registry warmup than for the
+    unavoidable network build, and replay its shard bitwise identically.
+    """
+    net = build_benchmark(BENCH, seed=0)
+    net.drop_views()
+    artifact = str(tmp_path / "warm.npz")
+    EngineSession(net, sdgc_config(net.num_layers)).save_warm_state(artifact)
+    net.drop_views()
+
+    by_slot = _streams_for_slots(2, 2)
+    streams = [s for v in by_slot.values() for s in v]
+    items = _workload(streams, per_stream=4)
+    victim = 0
+    specs = [TenantSpec("m", BENCH, warm_state=artifact)]
+    fleet = FleetDispatcher(
+        specs, workers=2, max_batch=4, max_wait_s=WAIT, start_timeout=180.0
+    )
+    try:
+        for model, stream, y0 in items:
+            fleet.submit(model, y0, stream=stream)
+        fleet.kill_worker(victim)  # SIGKILL mid-stream, queues non-empty
+        report = fleet.join()
+    finally:
+        fleet.close()
+
+    assert report.restarts[victim] == 1
+    assert report.restart_total == 1
+    assert not report.failed and not report.rejected
+    assert report.status == "ok"
+    reference = _reference_outputs(items, max_batch=4)
+    for stream in streams:
+        assert np.array_equal(report.stream_output(stream), reference[stream])
+    # every incarnation booted from the artifact, the replacement included
+    for rep in report.worker_reports:
+        assert rep is not None
+        assert rep["warm_sources"] == {"m": "artifact"}
+    victim_rep = report.worker_reports[victim]
+    assert victim_rep["incarnation"] == 2
+    # artifact boot skips warmup work: loading the file is structurally
+    # cheaper than the network build the replacement also had to pay,
+    # where a cold boot pays build *plus* a full bake on top
+    assert victim_rep["warmup_seconds"] < victim_rep["build_seconds"]
+
+
+def test_fleet_healthz_degrades_past_restart_budget():
+    """A slot dead past ``max_restarts`` flips the fleet ``/healthz`` to 503.
+
+    Process liveness alone must not report a fleet that fails every stream
+    hashed to a dead slot as healthy — the endpoint is a readiness probe
+    wired to :meth:`FleetDispatcher.health`.
+    """
+    specs = [TenantSpec("m", BENCH)]
+    fleet = FleetDispatcher(
+        specs, workers=2, max_batch=4, max_wait_s=WAIT,
+        start_timeout=180.0, max_restarts=0,
+    )
+    endpoint = None
+    try:
+        assert fleet.health()["healthy"] is True
+        endpoint = fleet.obs_endpoint()
+        with urllib.request.urlopen(endpoint.url + "/healthz", timeout=5.0) as r:
+            assert r.status == 200
+            assert json.loads(r.read().decode())["healthy"] is True
+        fleet.kill_worker(0)  # restart budget is 0: the slot goes dead
+        deadline = time.monotonic() + 60.0
+        while fleet.health()["healthy"] and time.monotonic() < deadline:
+            time.sleep(0.05)
+        health = fleet.health()
+        assert health["healthy"] is False
+        assert health["dead_workers"] == [0]
+        with pytest.raises(urllib.error.HTTPError) as exc_info:
+            urllib.request.urlopen(endpoint.url + "/healthz", timeout=5.0)
+        assert exc_info.value.code == 503
+        payload = json.loads(exc_info.value.read().decode())
+        assert payload["healthy"] is False and payload["dead_workers"] == [0]
+    finally:
+        if endpoint is not None:
+            endpoint.close()
+        fleet.close()

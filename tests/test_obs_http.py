@@ -78,6 +78,39 @@ def test_slo_provider_error_renders_as_body_not_crash(registry):
         assert scrape(server, "/healthz")[0] == 200
 
 
+def test_healthz_provider_flips_readiness_status(registry):
+    state = {"healthy": True, "workers": 2, "dead_workers": []}
+
+    with ObsServer(registry, health_provider=lambda: dict(state)) as server:
+        status, ctype, body = scrape(server, "/healthz")
+        assert status == 200 and ctype == "application/json"
+        assert json.loads(body)["healthy"] is True
+        # degraded: the endpoint must answer 503 with the diagnostic payload
+        state["healthy"] = False
+        state["dead_workers"] = [1]
+        with pytest.raises(urllib.error.HTTPError) as exc_info:
+            scrape(server, "/healthz")
+        assert exc_info.value.code == 503
+        payload = json.loads(exc_info.value.read().decode())
+        assert payload["healthy"] is False
+        assert payload["dead_workers"] == [1]
+        # recovery flips it back without restarting the server
+        state["healthy"] = True
+        state["dead_workers"] = []
+        assert scrape(server, "/healthz")[0] == 200
+
+
+def test_healthz_provider_error_falls_back_to_liveness(registry):
+    def provider():
+        raise RuntimeError("health reporter wedged")
+
+    with ObsServer(registry, health_provider=provider) as server:
+        status, _, body = scrape(server, "/healthz")
+        # the probe answers for this process; a broken reporter must not
+        # fake a dead one
+        assert status == 200 and body == "ok\n"
+
+
 def test_unknown_path_is_404(registry):
     with ObsServer(registry) as server:
         with pytest.raises(urllib.error.HTTPError) as exc_info:

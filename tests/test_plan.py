@@ -103,8 +103,9 @@ def test_planned_spmm_bitwise_matches_champion(rng, density, dead_fraction):
     dead = int(24 * dead_fraction)
     if dead:
         y[:dead, :] = 0.0
-    z_plan, work_plan, strat_plan = planned_spmm(net, plan.layers[0], y)
+    z_plan, work_plan, strat_plan, frac = planned_spmm(net, plan.layers[0], y)
     z_champ, work_champ, strat_champ = champion_spmm(net, 0, y)
+    assert 0.0 <= frac <= 1.0
     assert np.array_equal(z_plan, z_champ)
     assert work_plan == work_champ
     # 'csr' is the plan's name for the batch-parallel branch champion calls

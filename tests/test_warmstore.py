@@ -1,0 +1,387 @@
+"""Warm-state artifact lifecycle (repro.core.warmstore) + autotuner memo.
+
+Four layers of coverage:
+
+* round-trip — a served-warm session saved and restored into a fresh
+  session must come back with the same views, plan, memo baselines, and
+  cache fills, and replay the exact saved outputs;
+* rejection semantics — truncated files, random bytes, a missing header
+  member, a foreign magic, and a future format version all raise
+  :class:`~repro.errors.FormatError`; an artifact saved for a *different*
+  network (or engine kind) raises :class:`~repro.errors.ConfigError`; a
+  missing path propagates ``FileNotFoundError`` untouched;
+* bitwise identity — the loaded / freshly-warmed / cold-engine output
+  triangle is bitwise equal on both the scaled-SDGC and medium tiers,
+  including a repeated block that exercises the adopted centroid cache;
+* measure-and-revise — property-based: under any seeded cost history the
+  memo revises at most once per stable regime and then goes quiescent (no
+  thrash), and a plan-level revision mid-serve never changes outputs, only
+  the strategy counters.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import SNICIT
+from repro.core.warmstore import WARMSTORE_VERSION, peek_header
+from repro.errors import ConfigError, FormatError
+from repro.harness.experiments.common import sdgc_config
+from repro.harness.experiments.table4 import medium_config
+from repro.harness.medium import get_trained
+from repro.harness.workloads import get_benchmark, get_input
+from repro.kernels import StrategyMemo
+from repro.radixnet import build_benchmark
+from repro.serve import EngineSession
+
+BENCH = "144-24"
+
+
+# ------------------------------------------------------------------ helpers
+def _blocks(n=2, cols=4):
+    return [np.asarray(get_input(BENCH, cols, seed=10 + i)) for i in range(n)]
+
+
+def _session(net, cfg, **kw):
+    """A reuse-enabled session at the bitwise-lossless setting."""
+    kw.setdefault("warm", False)
+    kw.setdefault("centroid_reuse", True)
+    kw.setdefault("reuse_tolerance", 0.0)
+    return EngineSession(net, cfg, **kw)
+
+
+def _rewrite_header(src, dst, mutate):
+    """Copy an artifact, applying ``mutate`` to its JSON header in place."""
+    with np.load(src, allow_pickle=False) as data:
+        arrays = {name: data[name] for name in data.files}
+    header = json.loads(bytes(arrays["header"]).decode("utf-8"))
+    mutate(header)
+    arrays["header"] = np.frombuffer(
+        json.dumps(header, sort_keys=True).encode("utf-8"), dtype=np.uint8
+    )
+    with open(dst, "wb") as fh:
+        np.savez(fh, **arrays)
+
+
+@pytest.fixture(scope="module")
+def sdgc_state(tmp_path_factory):
+    """One served-warm SDGC session saved to an artifact, plus its outputs."""
+    net = get_benchmark(BENCH)
+    cfg = sdgc_config(net.num_layers)
+    net.drop_views()
+    session = _session(net, cfg, warm=True, revise_ratio=2.0)
+    blocks = _blocks()
+    outputs = [session.run(y0).y.copy() for y0 in blocks]
+    path = str(tmp_path_factory.mktemp("warmstore") / "sdgc.npz")
+    manifest = session.save_warm_state(path)
+    net.drop_views()
+    return {
+        "net": net,
+        "cfg": cfg,
+        "path": path,
+        "manifest": manifest,
+        "blocks": blocks,
+        "outputs": outputs,
+        "memo_entries": session.memo.stats()["entries"],
+    }
+
+
+# --------------------------------------------------------------- round trip
+def test_unwarmed_session_refuses_to_save(tmp_path):
+    net = get_benchmark(BENCH)
+    session = _session(net, sdgc_config(net.num_layers))
+    with pytest.raises(ConfigError, match="warm"):
+        session.save_warm_state(str(tmp_path / "cold.npz"))
+
+
+def test_save_load_round_trip_restores_state(sdgc_state):
+    net = sdgc_state["net"]
+    net.drop_views()
+    session = _session(net, sdgc_state["cfg"], revise_ratio=2.0)
+    assert not session.warmed
+    manifest = session.load_warm_state(sdgc_state["path"])
+    assert session.warmed
+    assert session.warm_source == "artifact"
+    saved = sdgc_state["manifest"]
+    for key in (
+        "fingerprint", "dense_views", "ell_views", "plan_layers",
+        "memo_choices", "memo_costs",
+    ):
+        assert manifest[key] == saved[key]
+    assert manifest["cache_entries"] == saved["cache_entries"]
+    assert manifest["cache_skipped"] == 0
+    # the baked plan came back whole and the memo resumed its baselines
+    assert session.plan is not None
+    assert len(session.plan.layers) == saved["plan_layers"] == net.num_layers
+    assert session.memo.stats()["entries"] == sdgc_state["memo_entries"]
+    assert session.memo.stats()["cost_entries"] == saved["memo_costs"]
+    # ...and the restored session replays the exact saved outputs
+    for y0, want in zip(sdgc_state["blocks"], sdgc_state["outputs"]):
+        assert np.array_equal(session.run(y0).y, want)
+    net.drop_views()
+
+
+def test_peek_header_reports_identity(sdgc_state):
+    header = peek_header(sdgc_state["path"])
+    assert header["format_version"] == WARMSTORE_VERSION
+    assert header["engine_kind"] == "snicit"
+    assert header["network"]["fingerprint"] == sdgc_state["net"].fingerprint
+    assert header["network"]["layers"] == len(sdgc_state["net"].layers)
+
+
+# ---------------------------------------------------------------- rejection
+def test_fingerprint_mismatch_rejected(sdgc_state):
+    other = build_benchmark(BENCH, seed=1)  # same shape, different weights
+    assert other.fingerprint != sdgc_state["net"].fingerprint
+    session = _session(other, sdgc_state["cfg"])
+    with pytest.raises(ConfigError, match="fingerprint"):
+        session.load_warm_state(sdgc_state["path"])
+    assert not session.warmed  # the refused load left no half-restored state
+
+
+def test_engine_kind_mismatch_rejected(sdgc_state):
+    net = sdgc_state["net"]
+    session = EngineSession(net, kind="dense", warm=False)
+    with pytest.raises(ConfigError, match="dense"):
+        session.load_warm_state(sdgc_state["path"])
+    net.drop_views()
+
+
+def test_truncated_artifact_rejected(sdgc_state, tmp_path):
+    raw = open(sdgc_state["path"], "rb").read()
+    for frac, name in ((0.5, "half.npz"), (0.95, "tail.npz")):
+        stump = tmp_path / name
+        stump.write_bytes(raw[: int(len(raw) * frac)])
+        with pytest.raises(FormatError):
+            peek_header(str(stump))
+
+
+def test_random_bytes_rejected(tmp_path):
+    junk = tmp_path / "junk.npz"
+    junk.write_bytes(b"\x00\x01not-an-archive\xff" * 128)
+    with pytest.raises(FormatError):
+        peek_header(str(junk))
+
+
+def test_npz_without_header_member_rejected(tmp_path):
+    bare = tmp_path / "bare.npz"
+    with open(bare, "wb") as fh:
+        np.savez(fh, weights=np.zeros(4, dtype=np.float32))
+    with pytest.raises(FormatError, match="header"):
+        peek_header(str(bare))
+
+
+def test_foreign_magic_rejected(sdgc_state, tmp_path):
+    alien = tmp_path / "alien.npz"
+    _rewrite_header(
+        sdgc_state["path"], alien, lambda h: h.update(format="other-tool")
+    )
+    with pytest.raises(FormatError):
+        peek_header(str(alien))
+
+
+def test_version_skew_refused(sdgc_state, tmp_path):
+    future = tmp_path / "future.npz"
+    _rewrite_header(
+        sdgc_state["path"], future,
+        lambda h: h.update(format_version=WARMSTORE_VERSION + 1),
+    )
+    with pytest.raises(FormatError, match="version"):
+        peek_header(str(future))
+    net = sdgc_state["net"]
+    session = _session(net, sdgc_state["cfg"])
+    with pytest.raises(FormatError, match="version"):
+        session.load_warm_state(str(future))
+    net.drop_views()
+
+
+def test_missing_file_propagates_file_not_found(sdgc_state, tmp_path):
+    session = _session(sdgc_state["net"], sdgc_state["cfg"])
+    with pytest.raises(FileNotFoundError):
+        session.load_warm_state(str(tmp_path / "nope.npz"))
+
+
+# --------------------------------------------------------- bitwise identity
+def _assert_triangle(net, cfg, history, continuation, tmp_path, **session_kw):
+    """Cold boot, warm boot, and snapshot-resume serve bitwise identically.
+
+    Two invariants at once:
+
+    * boot-path invariance — a lazily-warming session (memo path, nothing
+      pre-baked) and a freshly-warmed session (baked plan) serve the whole
+      ``history + continuation`` sequence bitwise identically;
+    * snapshot-resume invariance — saving the warm session after
+      ``history`` and loading the artifact into a new session must continue
+      ``continuation`` exactly as the never-stopped session would have: the
+      artifact carries the cache/memo state forward, it never invents a
+      different one.
+    """
+    net.drop_views()
+    lazy = _session(net, cfg, **session_kw)  # warm=False: warms on demand
+    lazy_out = [lazy.run(y0).y.copy() for y0 in history + continuation]
+    net.drop_views()
+    fresh = _session(net, cfg, warm=True, **session_kw)
+    fresh_out = [fresh.run(y0).y.copy() for y0 in history]
+    path = str(tmp_path / "triangle.npz")
+    fresh.save_warm_state(path)
+    fresh_out += [fresh.run(y0).y.copy() for y0 in continuation]
+    net.drop_views()
+    loaded = _session(net, cfg, **session_kw)
+    loaded.load_warm_state(path)
+    assert loaded.warm_source == "artifact"
+    loaded_out = [loaded.run(y0).y.copy() for y0 in continuation]
+    net.drop_views()
+    for lazy_y, fresh_y in zip(lazy_out, fresh_out):
+        assert np.array_equal(fresh_y, lazy_y)
+    for fresh_y, loaded_y in zip(fresh_out[len(history):], loaded_out):
+        assert np.array_equal(loaded_y, fresh_y)
+
+
+def test_loaded_outputs_bitwise_identical_sdgc(tmp_path):
+    net = get_benchmark(BENCH)
+    a, b = _blocks(2)
+    # the repeated block makes the resumed session serve from the artifact's
+    # adopted centroid cache, not just recompute — that path must be bitwise
+    _assert_triangle(
+        net, sdgc_config(net.num_layers), [a, b], [a, b], tmp_path,
+        revise_ratio=2.0,
+    )
+
+
+def test_loaded_outputs_bitwise_identical_medium(tmp_path):
+    tm = get_trained("A")
+    net = tm.stack.network
+    cfg = medium_config(tm.spec.sparse_layers)
+    y0 = np.ascontiguousarray(tm.stack.head(tm.test.images[:12]))
+    a = np.ascontiguousarray(y0[:, :6])
+    b = np.ascontiguousarray(y0[:, 6:])
+    _assert_triangle(net, cfg, [a, b], [a, b], tmp_path)
+
+
+def test_loaded_cache_hits_match_pure_engine_on_repeat_stream(tmp_path):
+    """Artifact-adopted cache hits reproduce the stateless engine bitwise.
+
+    On an identical repeated block the assign-only path is exact (every
+    column's residue telescopes against the very centroids it was filled
+    from), so even a raw per-request :class:`~repro.core.SNICIT` engine —
+    no session, no cache — must agree with every reused serve.
+    """
+    net = get_benchmark(BENCH)
+    cfg = sdgc_config(net.num_layers)
+    (a,) = _blocks(1)
+    net.drop_views()
+    want = SNICIT(net, cfg).infer(a).y.copy()
+    net.drop_views()
+    fresh = _session(net, cfg, warm=True)
+    for _ in range(2):  # fill, then an in-session hit
+        assert np.array_equal(fresh.run(a).y, want)
+    path = str(tmp_path / "repeat.npz")
+    fresh.save_warm_state(path)
+    net.drop_views()
+    loaded = _session(net, cfg)
+    loaded.load_warm_state(path)
+    assert np.array_equal(loaded.run(a).y, want)
+    stats = loaded.reuse.stats()
+    assert stats["hits"] >= 1  # served from the adopted entry...
+    assert stats["fills"] == 0  # ...not from a fresh conversion
+    net.drop_views()
+
+
+# --------------------------------------------------------- measure & revise
+def test_memo_revise_ratio_must_exceed_one():
+    with pytest.raises(ConfigError):
+        StrategyMemo(revise_ratio=1.0)
+    with pytest.raises(ConfigError):
+        StrategyMemo(revise_ratio=0.5)
+    assert StrategyMemo(revise_ratio=1.01).revise_ratio == 1.01
+
+
+def test_memo_export_import_round_trip():
+    memo = StrategyMemo(revise_ratio=2.0)
+    memo.record(0, 0.2, "colwise", network="netA")
+    memo.record(3, 0.9, "ell", network="netA")
+    for seconds in (0.001, 0.002, 0.001, 0.0015):
+        memo.observe(3, 0.9, "ell", seconds, network="netA")
+    clone = StrategyMemo(revise_ratio=2.0)
+    clone.import_state(memo.export_state())
+    assert clone.export_state() == memo.export_state()
+    assert clone.lookup(3, 0.9, network="netA") == "ell"
+
+
+def test_memo_import_rejects_bucket_mismatch():
+    state = StrategyMemo(n_buckets=16).export_state()
+    with pytest.raises(ConfigError, match="bucket"):
+        StrategyMemo(n_buckets=8).import_state(state)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    prefix=st.lists(
+        st.floats(1e-6, 1.0, allow_nan=False, allow_infinity=False),
+        max_size=30,
+    ),
+    stable=st.floats(1e-6, 1.0, allow_nan=False, allow_infinity=False),
+    ratio=st.floats(1.05, 4.0, allow_nan=False, allow_infinity=False),
+)
+def test_memo_measure_and_revise_converges(prefix, stable, ratio):
+    """Any cost history followed by a stable regime revises at most once.
+
+    After a drift-triggered revision the record resets, so the re-frozen
+    baseline equals the stable cost and the trigger condition
+    (``ewma > baseline * ratio`` with ``ratio > 1``) can never fire again —
+    the autotuner must not thrash, whatever the measurement history was.
+    """
+    memo = StrategyMemo(revise_ratio=ratio)
+
+    def feed(seconds):
+        revised = memo.observe(2, 0.4, "masked", seconds)
+        if revised:
+            memo.record(2, 0.4, "masked")  # the tournament re-records
+        return revised
+
+    memo.record(2, 0.4, "masked")
+    for seconds in prefix:
+        feed(seconds)
+    # 300 stable observations drive the EWMA to its float fixed point, so
+    # any drift event this regime can cause has happened by the end
+    stable_revisions = sum(feed(stable) for _ in range(300))
+    assert stable_revisions <= 1
+    before = memo.revisions
+    for _ in range(50):
+        feed(stable)
+    assert memo.revisions == before  # quiescent once costs are stable
+    assert memo.lookup(2, 0.4) == "masked"  # and the choice is intact
+
+
+def test_plan_revision_preserves_outputs():
+    """A mid-serve strategy revision moves counters, never outputs."""
+    net = get_benchmark(BENCH)
+    net.drop_views()
+    session = _session(
+        net, sdgc_config(net.num_layers), warm=True, revise_ratio=1.5
+    )
+    y0 = np.asarray(get_input(BENCH, 4, seed=3))
+    want = session.run(y0).y.copy()
+    for _ in range(session.memo.min_samples):
+        assert np.array_equal(session.run(y0).y, want)
+    # inject the cost record a suddenly-slow kernel would leave behind:
+    # a high EWMA over a tiny frozen baseline, past min_samples
+    assert session.memo._cost  # the plan's dispatches observed real costs
+    for rec in session.memo._cost.values():
+        rec[0] = float(session.memo.min_samples)
+        rec[1] = 1.0
+        rec[2] = 1e-9
+    plan_before = session.plan.revisions
+    memo_before = session.memo.revisions
+    assert np.array_equal(session.run(y0).y, want)  # revision is invisible
+    assert session.plan.revisions > plan_before
+    assert session.memo.revisions > memo_before
+    assert session.stats()["memo"]["revisions"] == session.memo.revisions
+    # the re-derived plan settles and keeps serving identically
+    settled = session.plan.revisions
+    assert np.array_equal(session.run(y0).y, want)
+    assert np.array_equal(session.run(y0).y, want)
+    assert session.plan.revisions == settled
+    net.drop_views()

@@ -9,18 +9,22 @@ additionally gates the schema-4 fleet record: per-worker-count *capacity*
 speedup floors (capacity — total columns over the critical-path worker's
 CPU seconds — is used instead of wall-clock so the gate is stable across
 runners with different core counts), bitwise ``outputs_identical`` at every
-count, and a successful crash-recovery run.  Any breach prints a GitHub
-``::error`` annotation and exits non-zero, failing the job (the workflow
-uploads the trace artifact regardless of outcome).
+count, and a successful crash-recovery run.  A ``warm_boot`` budget section
+gates the schema-5 persistent-warmup record: the artifact boot must be at
+least ``min_speedup`` times faster than the cold warmup + priming path and
+its outputs bitwise identical across the loaded/fresh/cold triangle.  Any
+breach prints a GitHub ``::error`` annotation and exits non-zero, failing
+the job (the workflow uploads the trace artifact regardless of outcome).
 
 Usage:
     python tools/check_perf_budget.py \
         --bench BENCH_new.json --baseline BENCH_serve.json \
-        --budget CI_perf_budget.json [--only tiers|scale_out|all]
+        --budget CI_perf_budget.json [--only tiers|scale_out|warm_boot|all]
 
-``--only`` lets split CI jobs gate their own half: the tier smoke passes
-``--only tiers`` and the scale-out smoke ``--only scale_out`` (whose bench
-file, produced with ``--tiers none``, has no tier records at all).
+``--only`` lets split CI jobs gate their own section: the tier smoke passes
+``--only tiers``, the scale-out smoke ``--only scale_out`` (whose bench
+file, produced with ``--tiers none``, has no tier records at all), and the
+warm-artifact smoke ``--only warm_boot``.
 
 The tool is stdlib-only and standalone (no repo imports), so it runs before
 PYTHONPATH is set up and can be unit-tested in isolation.
@@ -160,6 +164,41 @@ def check_scale_out(bench: dict, budget: dict) -> list[str]:
     return failures
 
 
+def check_warm_boot(bench: dict, budget: dict) -> list[str]:
+    """Warm-boot budget breaches; empty means the artifact gate passes."""
+    rules = budget.get("warm_boot")
+    if not rules:
+        return []
+    record = bench.get("warm_boot")
+    if not record:
+        return ["warm_boot: missing from the bench output"]
+    failures: list[str] = []
+    min_speedup = rules.get("min_speedup")
+    speedup = record.get("speedup")
+    if min_speedup is not None:
+        if speedup is None:
+            failures.append("warm_boot: record has no speedup metric")
+        elif speedup < float(min_speedup):
+            failures.append(
+                f"warm_boot: artifact boot is only {speedup:.2f}x faster than "
+                f"cold warmup+priming, below the budget floor "
+                f"{float(min_speedup):.2f}x"
+            )
+    if rules.get("require_outputs_identical") and not record.get(
+        "outputs_identical"
+    ):
+        failures.append(
+            "warm_boot: loaded/fresh/cold outputs are not bitwise identical"
+        )
+    if rules.get("require_artifact_source", True):
+        if record.get("loaded_warm_source") != "artifact":
+            failures.append(
+                f"warm_boot: loaded session reports warm_source="
+                f"{record.get('loaded_warm_source')!r}, expected 'artifact'"
+            )
+    return failures
+
+
 def check_budget(
     bench: dict, baseline: dict | None, budget: dict, only: str = "all"
 ) -> list[str]:
@@ -169,6 +208,8 @@ def check_budget(
         failures.extend(check_tiers(bench, baseline, budget))
     if only in ("all", "scale_out"):
         failures.extend(check_scale_out(bench, budget))
+    if only in ("all", "warm_boot"):
+        failures.extend(check_warm_boot(bench, budget))
     return failures
 
 
@@ -178,7 +219,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--baseline", help="committed baseline bench JSON")
     parser.add_argument("--budget", required=True, help="per-tier budget JSON")
     parser.add_argument(
-        "--only", choices=("all", "tiers", "scale_out"), default="all",
+        "--only", choices=("all", "tiers", "scale_out", "warm_boot"),
+        default="all",
         help="gate only one budget section (default: all)",
     )
     args = parser.parse_args(argv)
@@ -212,6 +254,17 @@ def main(argv: list[str] | None = None) -> int:
                 f"outputs_identical={entry.get('outputs_identical')}",
                 f"restarts={entry.get('restarts')}",
             )
+    if args.only in ("all", "warm_boot"):
+        record = bench.get("warm_boot")
+        if record:
+            speedup = record.get("speedup")
+            print(
+                "[warm-boot]",
+                f"speedup={speedup:.2f}" if speedup is not None else "speedup=n/a",
+                f"cold_ready_s={(record.get('cold') or {}).get('ready_seconds')}",
+                f"artifact_load_s={(record.get('artifact') or {}).get('load_seconds')}",
+                f"outputs_identical={record.get('outputs_identical')}",
+            )
 
     failures = check_budget(bench, baseline, budget, only=args.only)
     for message in failures:
@@ -223,6 +276,8 @@ def main(argv: list[str] | None = None) -> int:
         sections.append(f"{len(budget.get('tiers', {}))} tiers")
     if args.only in ("all", "scale_out") and budget.get("scale_out"):
         sections.append("scale_out")
+    if args.only in ("all", "warm_boot") and budget.get("warm_boot"):
+        sections.append("warm_boot")
     print(f"perf budget OK ({', '.join(sections) or 'nothing'} checked)")
     return 0
 
