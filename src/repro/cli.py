@@ -12,6 +12,9 @@ Usage::
     python -m repro serve 144-24 --async-transport --arrival-rate 500
     python -m repro serve --model a=144-24 --model b=144-48 --memory-budget-mb 8
     python -m repro serve --model a=144-24 --slo 'p99<50ms@60s/99%' --obs-port 9095
+    python -m repro serve --model a=144-24 --model b=144-48 \\
+        --qos a=interactive --qos b=batch:rate=256,burst=512
+    python -m repro bench-serve --tiers none --no-warm-boot --qos
     python -m repro bench-serve                  # tiered cold vs warm throughput
     python -m repro bench-serve 144-24 --centroid-reuse --stream repeat
     python -m repro bench-serve --multi --memory-budget-mb 8
@@ -92,6 +95,28 @@ def _finish_obs_endpoint(args, server) -> None:
         except KeyboardInterrupt:
             pass
     server.close()
+
+
+def _parse_qos_flags(args, names) -> dict[str, str] | None:
+    """``--qos NAME=SPEC`` flags as a name -> policy-spec dict.
+
+    Returns None when no flag was given; raises SystemExit-style (logged,
+    value ``None`` with ``args._qos_error`` set) handling is left to the
+    callers, so this just validates shape and tenant names.
+    """
+    if not getattr(args, "qos", None):
+        return None
+    policies: dict[str, str] = {}
+    for spec in args.qos:
+        name, sep, policy = spec.partition("=")
+        if not sep or not name or not policy:
+            raise ValueError(f"--qos wants NAME=SPEC, got {spec!r}")
+        if name not in names:
+            raise ValueError(
+                f"--qos names unknown tenant {name!r}; tenants: {sorted(names)}"
+            )
+        policies[name] = policy
+    return policies
 
 
 def _cmd_list(args) -> int:
@@ -191,6 +216,11 @@ def _serve_multi(args) -> int:
         if args.memory_budget_mb is not None
         else None
     )
+    try:
+        qos_map = _parse_qos_flags(args, {name for name, _ in models}) or {}
+    except ValueError as exc:
+        log.error(str(exc))
+        return 2
     tracer, _ = _make_obs(args)
     registry = ModelRegistry(memory_budget_bytes=budget_bytes)
     streams: dict[str, list] = {}
@@ -204,6 +234,7 @@ def _serve_multi(args) -> int:
             centroid_reuse=args.centroid_reuse, reuse_tolerance=args.reuse_tolerance,
             revise_ratio=args.revise_ratio,
             slo=args.slo,
+            qos=qos_map.get(name),
         )
         streams[name] = _split_requests(
             np.asarray(get_input(benchmark, args.requests * args.request_cols, args.seed)),
@@ -266,6 +297,13 @@ def _serve_multi(args) -> int:
                  f"bytes retained (highwater {budget['highwater_bytes']}, "
                  f"{budget['evictions']} warm-to-cold demotions: "
                  f"{summary['demoted'] or 'none'})")
+    if qos_map:
+        admission = (router.stats().get("qos") or {}).get("admission") or {}
+        for name in sorted(qos_map):
+            reasons = (admission.get("shed") or {}).get(name) or {}
+            log.info(f"  [{name}] qos {registry.qos_policy(name).describe()}: "
+                     f"shed {sum(reasons.values())}"
+                     + (f" ({reasons})" if reasons else ""))
     if args.metrics:
         log.info(registry.metrics.to_prometheus().rstrip("\n"))
     if tracer is not None:
@@ -295,6 +333,11 @@ def _serve_fleet(args) -> int:
         tenants.append((args.benchmark, args.benchmark))
     if args.arrival_rate is not None:
         log.warning("--arrival-rate is not supported with --workers; ignored")
+    try:
+        qos_map = _parse_qos_flags(args, {name for name, _ in tenants}) or {}
+    except ValueError as exc:
+        log.error(str(exc))
+        return 2
     specs = [
         TenantSpec(
             name, benchmark, threshold=args.threshold, slo=args.slo,
@@ -302,6 +345,7 @@ def _serve_fleet(args) -> int:
             reuse_tolerance=args.reuse_tolerance,
             revise_ratio=args.revise_ratio,
             warm_state=args.warm_state,
+            qos=qos_map.get(name),
         )
         for name, benchmark in tenants
     ]
@@ -347,6 +391,12 @@ def _serve_fleet(args) -> int:
                  f"{len(rep.get('streams') or [])} streams, "
                  f"cpu {1e3 * (rep.get('cpu_seconds') or 0):.1f} ms, "
                  f"restarts={per['restarts']}")
+        shed = (((rep.get("qos") or {}).get("admission") or {}).get("shed")
+                or {})
+        if shed:
+            log.info(f"  [worker {per['worker']}] qos shed: " + ", ".join(
+                f"{m}={sum(r.values())}" for m, r in sorted(shed.items())
+            ))
     if args.slo:
         for key, slo in sorted(fleet.merged_slo().items()):
             est = slo["latency_estimate_s"]
@@ -378,6 +428,9 @@ def _cmd_serve(args) -> int:
     if args.benchmark is None:
         log.error("serve needs a benchmark, or at least one --model NAME=BENCHMARK")
         return 2
+    if getattr(args, "qos", None):
+        log.warning("--qos applies to --model / --workers tenants; ignored "
+                    "for single-benchmark serving (one tenant, no contention)")
     net = get_benchmark(args.benchmark)
     overrides = {} if args.threshold is None else {"threshold_layer": args.threshold}
     cfg = sdgc_config(net.num_layers, **overrides)
@@ -583,6 +636,7 @@ def _cmd_bench_serve(args) -> int:
         scale_out=scale_out,
         scale_out_requests=args.scale_out_requests,
         warm_boot=args.warm_boot,
+        qos=args.qos,
         **extra,
     )
     for record in result["tiers"]:
@@ -647,6 +701,25 @@ def _cmd_bench_serve(args) -> int:
                  f"({wrec['artifact']['size_bytes']} bytes) — "
                  f"{wrec['speedup']:.1f}x, "
                  f"identical={wrec['outputs_identical']}")
+    qrec = result.get("qos")
+    if qrec is not None:
+        log.info(f"bench-serve [qos] interactive={qrec['interactive_tier']} "
+                 f"vs bulk={qrec['bulk_tier']} "
+                 f"({qrec['bulk_requests']} bulk requests, quota admits "
+                 f"{qrec['bulk_admit']}):")
+        for arm_key, label in (("with_qos", "qos"), ("no_qos", "fifo")):
+            arm = qrec[arm_key]
+            inter = arm["per_tenant"]["interactive"]
+            bulk = arm["per_tenant"]["bulk"]
+            p99 = (inter["latency_seconds"] or {}).get("p99")
+            ratio = arm["interactive_p99_ratio"]
+            p99_text = f"{p99 * 1e3:7.2f} ms" if p99 is not None else "n/a"
+            ratio_text = f"{ratio:.2f}x solo" if ratio is not None else "n/a"
+            log.info(f"  [{label:4s}] interactive p99 {p99_text} "
+                     f"({ratio_text})   bulk served {bulk['served']}/"
+                     f"{bulk['submitted']} (shed {bulk['shed']})")
+        log.info(f"  identical={qrec['outputs_identical']}   "
+                 f"shed_accounting_ok={qrec['shed_accounting_ok']}")
     srec = result.get("scale_out")
     if srec is not None:
         log.info(f"bench-serve [scale-out] {srec['benchmark']}: "
@@ -826,6 +899,15 @@ def build_parser() -> argparse.ArgumentParser:
              "and under --workers every worker — including crash-restarted "
              "ones — loads the same file",
     )
+    serve_p.add_argument(
+        "--qos", action="append", default=None, metavar="NAME=SPEC",
+        help="per-tenant QoS policy (repeatable), e.g. a=interactive or "
+             "b='batch:w=2,rate=512,burst=1024' — priority class "
+             "(interactive beats batch), deficit-round-robin weight, and a "
+             "token-bucket rate limit in columns/second; tenants default to "
+             "interactive with weight 1 and no limit.  Applies to --model "
+             "and --workers tenants",
+    )
     _add_reuse_flags(serve_p)
     _add_obs_flags(serve_p)
     _add_endpoint_flags(serve_p)
@@ -908,6 +990,13 @@ def build_parser() -> argparse.ArgumentParser:
     bserve_p.add_argument(
         "--no-warm-boot", dest="warm_boot", action="store_false",
         help="skip the persistent-warmup record",
+    )
+    bserve_p.add_argument(
+        "--qos", action="store_true",
+        help="append the schema-6 QoS A/B record: an interactive tenant's "
+             "p99 while a quota-limited bulk tenant saturates the same "
+             "router, under the priority scheduler and under plain FIFO, "
+             "with bitwise output checks and shed accounting",
     )
     _add_reuse_flags(bserve_p)
     _add_obs_flags(bserve_p)

@@ -41,3 +41,17 @@ class ServeOverflowError(ReproError, RuntimeError):
 
 class ServeClosedError(ReproError, RuntimeError):
     """The serving transport is shut down; the request was not (or will not be) run."""
+
+
+class ServeShedError(ServeOverflowError):
+    """Admission control shed the request before it entered a lane.
+
+    Subclasses :class:`ServeOverflowError` so every existing overflow handler
+    (reject accounting in routers, benches, and the fleet) treats a shed as a
+    rejection; ``reason`` carries the admission trigger (``rate_limit``,
+    ``queue_pressure``, ``slo_burn``, ``memory_pressure``).
+    """
+
+    def __init__(self, message: str, *, reason: str = "shed") -> None:
+        super().__init__(message)
+        self.reason = reason

@@ -28,6 +28,7 @@ tenant, and :meth:`SloTracker.report` renders the JSON block embedded in
 
 from __future__ import annotations
 
+import math
 import re
 import time
 from dataclasses import dataclass
@@ -216,6 +217,9 @@ class SloTracker:
         self.policy = policy
         self.name = name
         self.clock = clock
+        #: most recently evaluated burn rate — a cheap signal admission
+        #: control can poll on every submit without re-reading the window
+        self.last_burn = 0.0
         quantiles = tuple(sorted({0.5, 0.95, 0.99, policy.quantile}))
         if metrics is not None:
             self.window = metrics.window(
@@ -318,7 +322,11 @@ class SloTracker:
         snap = self.window.snapshot()
         count = snap["count"]
         policy = self.policy
-        if count == 0:
+        if count <= 0:
+            # an idle window (zero requests after rotation) must read as
+            # zero burn / full budget — a 0/0 here would leak NaN into the
+            # /slo JSON and every merged fleet scrape
+            self.last_burn = 0.0
             return SloReport(
                 policy=policy, window=snap,
                 requests_total=self.requests_total,
@@ -328,10 +336,16 @@ class SloTracker:
                 columns_per_second=None,
                 quantile_ok=None, budget_ok=None, throughput_ok=None,
             )
-        estimate = self.window.quantile(policy.quantile)
-        breach_fraction = snap["over_target"] / count
+        # read the estimate from the same snapshot as the breach counts: a
+        # second window read could rotate in between and disagree (or go
+        # empty entirely, reintroducing the divide-by-zero this guards)
+        estimate = snap["quantiles"].get(f"p{policy.quantile * 100:g}")
+        breach_fraction = (snap["over_target"] or 0) / count
         burn = breach_fraction / policy.error_budget
+        if not math.isfinite(burn):
+            burn = 0.0
         budget_remaining = 1.0 - burn
+        self.last_burn = burn
         # windowed throughput: columns over the full window span (slightly
         # conservative while the window is still filling)
         cps = snap["columns"] / policy.window_s

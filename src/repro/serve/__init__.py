@@ -33,6 +33,15 @@ This package keeps one engine warm and feeds it well-packed blocks:
   and per-worker reports/metrics/SLO merge into one
   :class:`~repro.serve.fleet.FleetReport` and one ``/metrics`` + ``/slo``
   scrape (``worker=`` label kept separable);
+* :mod:`repro.serve.qos` — SLO-driven quality of service: per-tenant
+  :class:`~repro.serve.qos.QosPolicy` (priority class + DWRR weight + token
+  -bucket rate limit), the :class:`~repro.serve.qos.DeficitScheduler` both
+  routers use to pick the next lane to flush (strict priority between
+  classes, deficit-weighted round robin within one; FIFO *within* a lane is
+  untouched, so per-stream outputs stay bitwise identical), and the
+  :class:`~repro.serve.qos.AdmissionController` that sheds batch-class load
+  (``ServeShedError``) under rate limits, queue pressure, SLO burn, or
+  memory-budget pressure — before it can queue behind interactive traffic;
 * :func:`~repro.serve.bench.bench_serve` — the tiered cold-vs-warm
   throughput benchmark behind ``python -m repro bench-serve``, including the
   centroid-reuse A/B pass, the open-loop sync-vs-async A/B, and the
@@ -75,6 +84,13 @@ from repro.serve.fleet import (
     WorkerCrashError,
     stream_shard,
 )
+from repro.serve.qos import (
+    PRIORITY_CLASSES,
+    AdmissionController,
+    DeficitScheduler,
+    QosPolicy,
+    TokenBucket,
+)
 from repro.serve.router import AsyncRouter, ModelRegistry, Router, RouterReport
 from repro.serve.server import InferenceServer, ServeReport
 from repro.serve.session import EngineSession
@@ -106,4 +122,9 @@ __all__ = [
     "DEFAULT_TIERS",
     "MULTI_TIERS",
     "STREAM_MODES",
+    "QosPolicy",
+    "TokenBucket",
+    "DeficitScheduler",
+    "AdmissionController",
+    "PRIORITY_CLASSES",
 ]

@@ -163,6 +163,8 @@ class MicroBatcher:
             "wait_flushes": 0,
             "hol_stalls": 0,
             "hol_underfill_columns": 0,
+            "timer_underfills": 0,
+            "timer_underfill_columns": 0,
         }
         #: per-block centroid-reuse outcomes ('hit' / 'cold' / 'stale'),
         #: populated only when the session's engine carries a CentroidCache
@@ -201,6 +203,11 @@ class MicroBatcher:
         self._c_hol_underfill = metrics.counter(
             "serve_hol_underfill_columns_total",
             help="block columns left empty by FIFO head-of-line packing",
+        )
+        self._c_timer_underfill = metrics.counter(
+            "serve_timer_underfill_columns_total",
+            help="block columns left empty on latency-deadline flushes "
+                 "(the head arrived late; nothing was refused)",
         )
         self._fill_buckets = (0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0)
         self._metrics = metrics
@@ -277,6 +284,22 @@ class MicroBatcher:
             self._flush_batch(reason="full")
             n += 1
         return n
+    def flush_one(self, reason: str = "full") -> int:
+        """Run exactly one block; returns the columns it carried (0 if idle).
+
+        The QoS lane scheduler flushes one block per pick so a
+        higher-priority lane can preempt between blocks; ``reason`` labels
+        the fill histogram exactly as :meth:`poll`/:meth:`drain` would.
+        A ``'wait'`` flush counts toward ``wait_flushes`` per block.
+        """
+        if not self._pending:
+            return 0
+        if reason == "wait":
+            self.counters["wait_flushes"] += 1
+        before = self._pending_cols
+        self._flush_batch(reason=reason)
+        return before - self._pending_cols
+
     def seconds_until_due(self) -> float | None:
         """Seconds until the oldest pending request ages past ``max_wait_s``.
 
@@ -344,15 +367,29 @@ class MicroBatcher:
             for ticket in take:
                 ticket.packed_at = packed_at
                 ticket.block_id = block_id
-            if self._pending and cols < self.max_batch:
-                # under-filled with work still queued: the next head is too
-                # wide for the gap and FIFO refuses to skip past it
-                underfill = self.max_batch - cols
+            underfill = self.max_batch - cols
+            if (
+                self._pending
+                and underfill > 0
+                and cols + self._pending[0].columns > self.max_batch
+            ):
+                # under-filled with work still queued AND the head refused
+                # to fit: that — and only that — is a head-of-line stall.
+                # An under-filled deadline flush with an empty queue is the
+                # head arriving late, not FIFO refusing anyone.
                 self.counters["hol_stalls"] += 1
                 self.counters["hol_underfill_columns"] += underfill
                 self._c_hol_stalls.inc()
                 self._c_hol_underfill.inc(underfill)
                 pack_span.set(hol_underfill=underfill)
+            elif reason == "wait" and underfill > 0 and not self._pending:
+                # latency-flush underfill: the timer fired before traffic
+                # filled the block — tracked separately so sparse traffic
+                # does not inflate serve_hol_stalls_total
+                self.counters["timer_underfills"] += 1
+                self.counters["timer_underfill_columns"] += underfill
+                self._c_timer_underfill.inc(underfill)
+                pack_span.set(timer_underfill=underfill)
             block = take[0].y0 if len(take) == 1 else np.hstack([t.y0 for t in take])
             pack_span.set(requests=len(take), columns=cols)
         with tracer.span(

@@ -23,6 +23,16 @@ counts, with per-count wall *and* capacity throughput (see
 ``outputs_identical`` checks against a single-process reference, and a
 crash-injection run proving supervised recovery mid-stream.
 
+Schema 6 adds the ``qos`` record (see :mod:`repro.serve.qos`): an
+interactive tenant and a saturating bulk tenant served through the same
+router twice — once under the QoS policy (priority lanes, deficit-weighted
+service, admission control shedding the bulk tenant at its hard quota) and
+once under plain registration-order FIFO.  The record carries each
+tenant's solo-run latency baseline, the mixed-run quantiles for both arms,
+the interactive p99 inflation ratio the CI gate bounds, bitwise
+``outputs_identical`` checks against the solo runs, and the shed
+accounting identity (submitted == served + shed + failed).
+
 Schema 5 adds the ``warm_boot`` record (see :mod:`repro.core.warmstore`):
 one tier booted cold — plan baked, then a priming pass that fills the
 centroid cache and cost baselines from traffic — then snapshotted and
@@ -70,15 +80,17 @@ __all__ = [
 
 DEFAULT_BENCH_PATH = "BENCH_serve.json"
 
-#: current on-disk layout of ``BENCH_serve.json``.  Schema 5 added the
-#: top-level ``warm_boot`` record (persistent-warmup artifact boot vs cold
-#: warmup + priming) and the artifact-boot crash run under ``scale_out``;
-#: schema 4 added the ``scale_out`` record (multi-process fleet curve +
-#: crash-recovery run); schema 3 added the multi-tenant record's per-tenant
-#: ``slo`` blocks (windowed quantiles, error-budget burn, trace-linked
-#: exemplars) and per-tenant latency quantiles in the router summary;
-#: schemas 2 through 4 are still readable.
-BENCH_SCHEMA = 5
+#: current on-disk layout of ``BENCH_serve.json``.  Schema 6 added the
+#: top-level ``qos`` record (priority-lane A/B: interactive p99 under bulk
+#: saturation with and without the QoS scheduler, plus shed accounting);
+#: schema 5 added the ``warm_boot`` record (persistent-warmup artifact boot
+#: vs cold warmup + priming) and the artifact-boot crash run under
+#: ``scale_out``; schema 4 added the ``scale_out`` record (multi-process
+#: fleet curve + crash-recovery run); schema 3 added the multi-tenant
+#: record's per-tenant ``slo`` blocks (windowed quantiles, error-budget
+#: burn, trace-linked exemplars) and per-tenant latency quantiles in the
+#: router summary; schemas 2 through 5 are still readable.
+BENCH_SCHEMA = 6
 
 #: worker counts of the default scale-out curve
 DEFAULT_SCALE_OUT = (1, 2, 4)
@@ -901,6 +913,213 @@ def _run_scale_out(
     }
 
 
+def _qos_latency_quantiles(tickets, qs=(0.5, 0.95, 0.99)) -> dict | None:
+    lat = [
+        t.latency_seconds
+        for t in tickets
+        if t.ready and t.latency_seconds is not None
+    ]
+    if not lat:
+        return None
+    arr = np.array(lat)
+    return {f"p{int(q * 100)}": float(np.quantile(arr, q)) for q in qs}
+
+
+def _qos_tickets_identical(mine, reference) -> bool:
+    """Bitwise compare two served-ticket sequences, submit order."""
+    a = [t for t in mine if t.ready]
+    b = [t for t in reference if t.ready]
+    return len(a) == len(b) and all(
+        np.array_equal(x.y, y.y) for x, y in zip(a, b)
+    )
+
+
+def _qos_pass(tenants, submissions, max_batch, policy):
+    """One async serve of ``submissions`` under the given scheduler policy.
+
+    Returns per-tenant ticket lists (submit order), per-tenant shed counts
+    by admission reason, the router's final stats, and the wall seconds
+    from first submit to drained.
+    """
+    from repro.errors import ServeShedError
+    from repro.serve.router import AsyncRouter, ModelRegistry
+
+    registry = ModelRegistry()
+    for name, tenant in tenants.items():
+        tenant["net"].drop_views()
+        registry.register(
+            name, tenant["net"], config=tenant["cfg"], warm=True,
+            slo=tenant.get("slo"), qos=tenant.get("qos"),
+        )
+    router = AsyncRouter(
+        registry, max_batch=max_batch, max_wait_s=60.0,
+        queue_limit=len(submissions) + 1, on_full="reject", policy=policy,
+    )
+    tickets: dict[str, list] = {name: [] for name in tenants}
+    shed: dict[str, dict[str, int]] = {name: {} for name in tenants}
+    t0 = time.perf_counter()
+    for name, y0 in submissions:
+        try:
+            tickets[name].append(router.submit(name, y0))
+        except ServeShedError as exc:
+            shed[name][exc.reason] = shed[name].get(exc.reason, 0) + 1
+    router.close(drain=True)
+    wall = time.perf_counter() - t0
+    stats = router.stats()
+    for tenant in tenants.values():
+        tenant["net"].drop_views()  # hand the memoized network back cold
+    return tickets, shed, stats, wall
+
+
+def _run_qos(
+    requests: int = 24,
+    bulk_requests: int = 40,
+    request_cols: int = 16,
+    seed: int = 1,
+    interactive_tier: str = "sdgc-shallow",
+    bulk_tier: str = "sdgc-deep",
+    bulk_admit: int | None = None,
+    slo: str | None = MULTI_SLO_SPEC,
+) -> dict:
+    """Schema-6 QoS A/B: interactive p99 under bulk saturation, two arms.
+
+    Two tenants share one :class:`~repro.serve.router.AsyncRouter`: an
+    ``interactive``-class tenant and a ``batch``-class bulk tenant whose
+    policy carries a hard quota (``rate=0`` token bucket) sized to admit
+    ``bulk_admit`` of its ``bulk_requests`` requests.  The bulk tenant
+    submits its whole burst first, then the interactive tenant submits —
+    the worst arrival order for the interactive side, since the worker is
+    already deep in the bulk backlog.
+
+    Every request is exactly one ``request_cols``-column block
+    (``max_batch == request_cols``), so scheduling order — not packing — is
+    the only variable between arms; packing invariance under QoS is proved
+    separately by the scheduler property tests.
+
+    Four passes: each tenant solo (its latency baseline and, for the bulk
+    tenant, the admitted-prefix reference the quota must reproduce), the
+    mixed stream under ``policy="qos"``, and the same mixed stream under
+    ``policy="fifo"`` (registration-order service, no admission).  The
+    record carries both arms' interactive p99 inflation over solo — the
+    QoS arm must hold near 1.0 while the FIFO arm queues interactive
+    behind the whole bulk backlog — plus bitwise output identity against
+    the solo runs and the shed accounting identity.
+    """
+    max_batch = request_cols
+    tenants: dict[str, dict] = {}
+    for name, tier, count in (
+        ("interactive", interactive_tier, requests),
+        ("bulk", bulk_tier, bulk_requests),
+    ):
+        net, cfg, pool = _tier_workload(tier, count * request_cols, seed)
+        net.drop_views()
+        tenants[name] = {
+            "net": net, "cfg": cfg, "tier": tier, "slo": slo,
+            "stream": _split_requests(pool, request_cols),
+        }
+    if bulk_admit is None:
+        bulk_admit = max(1, (bulk_requests * 3) // 5)
+    if not 0 < bulk_admit <= bulk_requests:
+        raise ConfigError(
+            f"bulk_admit must be in 1..{bulk_requests}, got {bulk_admit}"
+        )
+    tenants["interactive"]["qos"] = "interactive"
+    # hard quota: a zero-rate bucket admits exactly the first `bulk_admit`
+    # requests, so the shed count — and the served subsequence the solo
+    # reference must match bitwise — is deterministic, not timing-dependent
+    tenants["bulk"]["qos"] = f"batch:rate=0,burst={bulk_admit * request_cols}"
+
+    def submissions(names):
+        return [
+            (name, y0) for name in names for y0 in tenants[name]["stream"]
+        ]
+
+    solo: dict[str, dict] = {}
+    solo_tickets: dict[str, list] = {}
+    for name in tenants:
+        tks, shed, _, wall = _qos_pass(
+            {name: tenants[name]}, submissions([name]), max_batch, "qos"
+        )
+        solo_tickets[name] = tks[name]
+        solo[name] = {
+            "served": sum(1 for t in tks[name] if t.ready),
+            "shed": sum(shed[name].values()),
+            "latency_seconds": _qos_latency_quantiles(tks[name]),
+            "wall_seconds": wall,
+        }
+
+    def run_arm(policy):
+        # bulk first: its lane is created first (so FIFO services it
+        # first) and its backlog is already queued when interactive arrives
+        tks, shed, stats, wall = _qos_pass(
+            tenants, submissions(["bulk", "interactive"]), max_batch, policy
+        )
+        per_tenant = {}
+        for name in tenants:
+            served = sum(1 for t in tks[name] if t.ready)
+            failed = sum(1 for t in tks[name] if t.failed)
+            shed_n = sum(shed[name].values())
+            submitted = len(tenants[name]["stream"])
+            lat = _qos_latency_quantiles(tks[name])
+            solo_p99 = (solo[name]["latency_seconds"] or {}).get("p99")
+            per_tenant[name] = {
+                "tier": tenants[name]["tier"],
+                "qos": tenants[name]["qos"],
+                "submitted": submitted,
+                "served": served,
+                "shed": shed_n,
+                "shed_reasons": dict(shed[name]),
+                "failed": failed,
+                "shed_accounting_ok": bool(
+                    served + shed_n + failed == submitted
+                ),
+                "latency_seconds": lat,
+                "p99_over_solo": (
+                    lat["p99"] / solo_p99
+                    if lat and solo_p99 and solo_p99 > 0
+                    else None
+                ),
+                "outputs_identical": _qos_tickets_identical(
+                    tks[name], solo_tickets[name]
+                ),
+            }
+        return {
+            "policy": policy,
+            "wall_seconds": wall,
+            "per_tenant": per_tenant,
+            "interactive_p99_ratio": per_tenant["interactive"]["p99_over_solo"],
+            "qos": stats.get("qos"),
+        }
+
+    with_qos = run_arm("qos")
+    no_qos = run_arm("fifo")
+    return {
+        "interactive_tier": interactive_tier,
+        "bulk_tier": bulk_tier,
+        "requests": requests,
+        "bulk_requests": bulk_requests,
+        "bulk_admit": bulk_admit,
+        "request_cols": request_cols,
+        "max_batch": max_batch,
+        "slo_spec": slo,
+        "solo": solo,
+        "with_qos": with_qos,
+        "no_qos": no_qos,
+        "outputs_identical": bool(
+            all(
+                t["outputs_identical"]
+                for t in with_qos["per_tenant"].values()
+            )
+        ),
+        "shed_accounting_ok": bool(
+            all(
+                t["shed_accounting_ok"]
+                for t in with_qos["per_tenant"].values()
+            )
+        ),
+    }
+
+
 def load_bench_records(data) -> list[dict]:
     """Per-tier records from a loaded ``BENCH_serve.json`` object.
 
@@ -923,11 +1142,11 @@ def load_bench_records(data) -> list[dict]:
         legacy = dict(data)
         legacy.setdefault("tier", legacy["benchmark"])
         return [legacy]
-    if "scale_out" in data:  # scale-out-only capture (e.g. CI smoke)
-        return []
+    if "scale_out" in data or "qos" in data:
+        return []  # record-only capture (e.g. a CI smoke run); no tiers
     raise ConfigError(
-        "unrecognized BENCH_serve layout (no 'tiers', 'benchmark', or "
-        "'scale_out' key)"
+        "unrecognized BENCH_serve layout (no 'tiers', 'benchmark', "
+        "'scale_out', or 'qos' key)"
     )
 
 
@@ -957,6 +1176,10 @@ def bench_serve(
     scale_out_requests: int | None = None,
     warm_boot: bool | None = None,
     warm_boot_tier: str = "sdgc-shallow",
+    qos: bool = False,
+    qos_requests: int = 24,
+    qos_bulk_requests: int = 40,
+    qos_request_cols: int = 16,
 ) -> dict:
     """Measure request throughput: cold per-request engines vs warm serving.
 
@@ -1005,6 +1228,11 @@ def bench_serve(
     via :mod:`repro.core.warmstore`, and re-booted from the artifact, with
     time-to-warm for both modes and the bitwise identity triangle.  The
     default (``None``) runs it whenever per-tier records run.
+
+    ``qos`` adds the schema-6 QoS A/B record under the result's ``"qos"``
+    key (see :func:`_run_qos`): an interactive tenant's p99 measured while
+    a quota-limited bulk tenant saturates the same router, under the QoS
+    scheduler and under plain FIFO, against each tenant's solo baseline.
     """
     if tiers is None:
         tiers = (benchmark,) if benchmark is not None else DEFAULT_TIERS
@@ -1055,6 +1283,14 @@ def bench_serve(
             max_batch=max_batch,
             seed=seed,
             memory_budget_mb=memory_budget_mb,
+            slo=slo,
+        )
+    if qos:
+        result["qos"] = _run_qos(
+            requests=qos_requests,
+            bulk_requests=qos_bulk_requests,
+            request_cols=qos_request_cols,
+            seed=seed,
             slo=slo,
         )
     if scale_out:

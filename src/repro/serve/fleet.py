@@ -132,6 +132,11 @@ class TenantSpec:
     #: crash-restarted incarnation loads the same file — warmup is paid
     #: once, at save time, not once per incarnation
     warm_state: str | None = None
+    #: QoS policy spec (``"interactive"``, ``"batch:w=2"``, ...); parsed by
+    #: :meth:`repro.serve.qos.QosPolicy.parse` in every worker, so the whole
+    #: fleet enforces one policy per tenant — scheduling class, DWRR weight,
+    #: and rate limit are identical on every shard
+    qos: str | None = None
 
     def build(self):
         """``(network, config)`` for this tenant, deterministic per spec."""
@@ -302,6 +307,7 @@ def _worker_run(worker_id, incarnation, specs, options, task_q, result_q,
             centroid_reuse=spec.centroid_reuse,
             reuse_tolerance=spec.reuse_tolerance,
             revise_ratio=spec.revise_ratio,
+            qos=spec.qos,
         )
         warm_sources[spec.name] = session.warm_source
     warmup_seconds = time.perf_counter() - t_warm
@@ -311,6 +317,9 @@ def _worker_run(worker_id, incarnation, specs, options, task_q, result_q,
         max_wait_s=options.get("max_wait_s", 60.0),
         queue_limit=options.get("queue_limit", 4096),
         on_full="reject",
+        policy=options.get("policy", "qos"),
+        queue_pressure_requests=options.get("queue_pressure_requests"),
+        burn_threshold=options.get("burn_threshold"),
     )
     obs = None
     if options.get("worker_obs"):
@@ -401,6 +410,7 @@ def _worker_run(worker_id, incarnation, specs, options, task_q, result_q,
                 "wall_seconds": time.perf_counter() - wall0,
                 "registry": json_safe(registry.stats()),
                 "lanes": json_safe(router.stats()["lanes"]),
+                "qos": json_safe(router.stats().get("qos")),
                 "slo": registry.slo_report_json() or None,
                 "metrics": json_safe(registry.metrics.snapshot()),
                 "prometheus": registry.metrics.to_prometheus(),
@@ -574,7 +584,7 @@ class FleetReport:
                     for k in ("incarnation", "pid", "requests", "columns",
                               "rejected", "failed", "streams", "cpu_seconds",
                               "busy_seconds", "wall_seconds", "build_seconds",
-                              "warmup_seconds", "warm_sources")
+                              "warmup_seconds", "warm_sources", "qos")
                 }
             per_worker.append(entry)
         return {
@@ -644,8 +654,14 @@ class FleetDispatcher:
         heartbeat_timeout: float | None = None,
         max_restarts: int = 2,
         mp_context: str = "spawn",
+        policy: str = "qos",
+        queue_pressure_requests: int | None = None,
+        burn_threshold: float | None = None,
     ):
         import multiprocessing as mp
+
+        from repro.serve.qos import QosPolicy
+        from repro.serve.router import _check_name
 
         self.specs = tuple(specs)
         if not self.specs:
@@ -653,6 +669,9 @@ class FleetDispatcher:
         names = [s.name for s in self.specs]
         if len(set(names)) != len(names):
             raise ConfigError(f"duplicate tenant names in {names}")
+        for spec in self.specs:
+            _check_name("model", spec.name)
+            QosPolicy.parse(spec.qos)  # fail fast here, not in every worker
         self.workers = int(workers)
         if self.workers < 1:
             raise ConfigError(f"need at least one worker, got {workers}")
@@ -667,6 +686,9 @@ class FleetDispatcher:
             "queue_limit": int(queue_limit),
             "memory_budget_bytes": memory_budget_bytes,
             "worker_obs": bool(worker_obs),
+            "policy": str(policy),
+            "queue_pressure_requests": queue_pressure_requests,
+            "burn_threshold": burn_threshold,
         }
         self._lock = threading.RLock()
         self._tickets: dict[int, FleetTicket] = {}
@@ -746,6 +768,10 @@ class FleetDispatcher:
             raise ConfigError(
                 f"unknown model {model!r}; fleet serves {sorted(self._names)}"
             )
+        if stream is not None:
+            from repro.serve.router import _check_name
+
+            _check_name("stream", str(stream))
         stream = model if stream is None else str(stream)
         y0 = np.asarray(y0)
         with self._lock:

@@ -51,10 +51,16 @@ from repro.obs.export import json_safe
 from repro.obs.slo import SloPolicy, SloTracker
 from repro.serve.async_server import AsyncServeReport, AsyncTicket
 from repro.serve.batcher import MicroBatcher, Ticket
+from repro.serve.qos import AdmissionController, DeficitScheduler, QosPolicy
 from repro.serve.server import ServeReport
 from repro.serve.session import EngineSession
 
 __all__ = ["ModelRegistry", "Router", "AsyncRouter", "RouterReport"]
+
+#: Lane service policies: ``'qos'`` is class-priority + deficit-weighted
+#: round robin with admission control; ``'fifo'`` is the legacy
+#: registration-order service with no admission (the A/B control arm).
+SCHEDULER_POLICIES = ("qos", "fifo")
 
 
 def _unpack_request(item):
@@ -65,9 +71,32 @@ def _unpack_request(item):
     return model, None, y0
 
 
+def _check_name(kind: str, name: str) -> str:
+    """Reject ``@`` in model/stream names.
+
+    Lane labels are ``model@stream`` and merged fleet SLO keys are
+    ``model@worker`` — plain concatenation, so a tenant literally named
+    ``"a@b"`` would alias another lane's stats and SLO block.  Refusing the
+    character at register/submit time makes the collision impossible
+    instead of merely unlikely.
+    """
+    if "@" in name:
+        raise ConfigError(
+            f"{kind} name {name!r} must not contain '@': it is the separator "
+            f"in lane labels (model@stream) and fleet SLO keys (model@worker)"
+        )
+    return name
+
+
 def _lane_label(model: str, stream: str | None) -> str:
     """Stable display key for a lane in stats dicts."""
     return model if stream is None else f"{model}@{stream}"
+
+
+def _request_columns(y0) -> int:
+    """Column count of a raw request, before full validation."""
+    arr = np.asarray(y0)
+    return int(arr.shape[1]) if arr.ndim >= 2 else 1
 
 
 class ModelRegistry:
@@ -99,6 +128,7 @@ class ModelRegistry:
         self._sessions: dict[str, EngineSession] = {}
         self._last_served: dict[str, float] = {}
         self._slo: dict[str, SloTracker] = {}
+        self._qos: dict[str, QosPolicy] = {}
         #: model names demoted by budget enforcement, in eviction order
         self.demotions: list[str] = []
 
@@ -114,6 +144,7 @@ class ModelRegistry:
         warm_state: str | None = None,
         session: EngineSession | None = None,
         slo: SloPolicy | str | None = None,
+        qos: QosPolicy | str | None = None,
         **session_kwargs,
     ) -> EngineSession:
         """Add a named tenant; returns its session.
@@ -135,7 +166,14 @@ class ModelRegistry:
         :class:`~repro.obs.slo.SloPolicy` or a compact spec string like
         ``'p99<50ms@60s/99%'`` — whose tracker the routers feed with every
         resolved request (see :meth:`set_slo`).
+
+        ``qos`` declares the tenant's service class, DWRR weight, and
+        optional column-rate limit — a :class:`~repro.serve.qos.QosPolicy`
+        or a compact spec like ``'batch:w=2,rate=256'``.  Unset tenants
+        default to interactive weight 1, which reproduces pre-QoS service
+        exactly when every tenant is unset.
         """
+        _check_name("model", name)
         if name in self._sessions:
             raise ConfigError(f"model {name!r} is already registered")
         if session is None:
@@ -156,6 +194,16 @@ class ModelRegistry:
             session.load_warm_state(warm_state)
         self._sessions[name] = session
         self._last_served[name] = self.clock()
+        policy = QosPolicy.parse(qos)
+        self._qos[name] = policy
+        scoped = self.metrics.labeled(model=name)
+        scoped.gauge(
+            "qos_priority_rank",
+            help="tenant service class rank (0=interactive, 1=batch)",
+        ).set(policy.rank)
+        scoped.gauge(
+            "qos_weight", help="tenant deficit-round-robin weight"
+        ).set(policy.weight)
         if slo is not None:
             self.set_slo(name, slo)
         # an eagerly-warmed tenant can push the ledger over budget the
@@ -170,6 +218,7 @@ class ModelRegistry:
         del self._sessions[name]
         del self._last_served[name]
         self._slo.pop(name, None)
+        self._qos.pop(name, None)
         self.budget.drop(name)
         self.budget.publish()
         return session
@@ -218,6 +267,25 @@ class ModelRegistry:
             name: report.to_json() for name, report in self.slo_report().items()
         }
 
+    # ------------------------------------------------------------------ QoS
+    def qos_policy(self, name: str) -> QosPolicy:
+        """The tenant's QoS policy (default interactive weight 1 if unset)."""
+        return self._qos.get(name) or QosPolicy()
+
+    def max_interactive_burn(self) -> float | None:
+        """Worst live SLO burn across interactive tenants (admission signal).
+
+        ``None`` when no interactive tenant carries an SLO policy.  Reads
+        the trackers' last evaluated burn instead of re-reading windows, so
+        polling it on every submit is cheap.
+        """
+        burns = [
+            tracker.last_burn
+            for name, tracker in self._slo.items()
+            if self.qos_policy(name).rank == 0
+        ]
+        return max(burns) if burns else None
+
     def __contains__(self, name: str) -> bool:
         return name in self._sessions
 
@@ -236,13 +304,17 @@ class ModelRegistry:
         return self.budget.retained_bytes
 
     def enforce(self, protect=()) -> list[str]:
-        """Demote LRU sessions until the ledger fits the budget.
+        """Demote sessions until the ledger fits: batch class first, then LRU.
 
         ``protect`` names tenants exempt this round (typically the one that
         just served — demoting it would immediately re-warm).  Returns the
-        names demoted, oldest first.  The high-water gauge is published
-        *after* enforcement, so a run that stays within budget certifies it
-        via ``memory_budget_highwater_bytes <= memory_budget_limit_bytes``.
+        names demoted in eviction order.  Candidates sort batch-class
+        tenants ahead of interactive ones — shedding a bulk tenant's warm
+        state is always preferred over evicting an interactive tenant's —
+        and least-recently-served first within a class (pure LRU when every
+        tenant shares a class).  The high-water gauge is published *after*
+        enforcement, so a run that stays within budget certifies it via
+        ``memory_budget_highwater_bytes <= memory_budget_limit_bytes``.
         """
         self.refresh_accounts()
         demoted: list[str] = []
@@ -253,7 +325,10 @@ class ModelRegistry:
                     for name, session in self._sessions.items()
                     if name not in protect and session.retained_nbytes() > 0
                 ),
-                key=lambda name: self._last_served[name],
+                key=lambda name: (
+                    -self.qos_policy(name).rank,
+                    self._last_served[name],
+                ),
             )
             for name in candidates:
                 if not self.budget.over_budget:
@@ -278,6 +353,10 @@ class ModelRegistry:
             "budget": self.budget.stats(),
             "demotions": list(self.demotions),
         }
+        if self._qos:
+            out["qos_policies"] = {
+                name: policy.to_json() for name, policy in self._qos.items()
+            }
         if self._slo:
             out["slo"] = self.slo_report_json()
         return out
@@ -415,6 +494,19 @@ class Router:
     :class:`~repro.serve.batcher.MicroBatcher` (created on first use), so
     blocks never mix tenants.  After every flush opportunity the registry's
     memory budget is enforced, protecting the tenant that just served.
+
+    Which lane flushes next is decided by a
+    :class:`~repro.serve.qos.DeficitScheduler` under ``policy='qos'``
+    (strict interactive-before-batch priority, deficit-weighted round
+    robin within a class) or by registration order under ``policy='fifo'``
+    (the legacy arm).  The scheduler only reorders *between* lanes; FIFO
+    packing inside each lane is untouched, so per-stream outputs stay
+    bitwise identical either way.  Under ``'qos'`` an
+    :class:`~repro.serve.qos.AdmissionController` sheds load before it
+    enters a lane: per-tenant token-bucket rate limits, and pressure
+    triggers (queued requests >= ``queue_pressure_requests``, interactive
+    SLO burn >= ``burn_threshold``, memory budget over limit) that shed
+    only batch-class tenants.
     """
 
     def __init__(
@@ -424,12 +516,31 @@ class Router:
         max_wait_s: float = 0.002,
         queue_limit: int = 1024,
         clock=time.monotonic,
+        policy: str = "qos",
+        queue_pressure_requests: int | None = None,
+        burn_threshold: float | None = None,
     ):
+        if policy not in SCHEDULER_POLICIES:
+            raise ConfigError(
+                f"unknown scheduler policy {policy!r}; known: {SCHEDULER_POLICIES}"
+            )
         self.registry = registry
         self.max_batch = int(max_batch)
         self.max_wait_s = float(max_wait_s)
         self.queue_limit = int(queue_limit)
         self.clock = clock
+        self.policy = policy
+        self.scheduler = DeficitScheduler(quantum=float(max_batch))
+        self.admission = (
+            AdmissionController(
+                metrics=registry.metrics,
+                queue_pressure_requests=queue_pressure_requests,
+                burn_threshold=burn_threshold,
+                clock=clock,
+            )
+            if policy == "qos"
+            else None
+        )
         self._lanes: dict[tuple[str, str | None], MicroBatcher] = {}
 
     def lane(self, model: str, stream: str | None = None) -> MicroBatcher:
@@ -438,8 +549,11 @@ class Router:
         ``stream=None`` is the tenant's default lane (the pre-fleet
         behavior).  Distinct streams of one tenant get distinct batchers, so
         their blocks never mix — the structural invariant behind per-stream
-        bitwise determinism.  Unknown model names raise.
+        bitwise determinism.  Unknown model names raise, as do stream names
+        containing ``@`` (they would alias lane labels).
         """
+        if stream is not None:
+            _check_name("stream", str(stream))
         key = (model, stream)
         batcher = self._lanes.get(key)
         if batcher is None:
@@ -459,37 +573,100 @@ class Router:
 
             batcher.on_resolve = feed_slo
             self._lanes[key] = batcher
+            qos = self.registry.qos_policy(model)
+            self.scheduler.register(
+                key, qos.rank, qos.weight, label=_lane_label(model, stream)
+            )
+            if self.admission is not None:
+                self.admission.register(model, qos)
         return batcher
 
     # ------------------------------------------------------------- serving
     def submit(self, model: str, y0: np.ndarray, stream: str | None = None) -> Ticket:
-        """Route one request to its ``(model, stream)`` lane; may flush a block."""
-        ticket = self.lane(model, stream).submit(y0)
+        """Route one request to its ``(model, stream)`` lane; may flush a block.
+
+        Under ``policy='qos'`` the request first passes admission control —
+        a shed raises :class:`~repro.errors.ServeShedError` (a
+        :class:`~repro.errors.ServeOverflowError`) before the lane sees it.
+        """
+        lane = self.lane(model, stream)
+        if self.admission is not None:
+            self.admission.admit(
+                model,
+                _request_columns(y0),
+                pending_requests=self.pending_requests(),
+                interactive_burn=self.registry.max_interactive_burn(),
+                over_budget=self.registry.budget.over_budget,
+            )
+        ticket = lane.enqueue(y0)
+        self._service()
         self.registry.touch(model)
         self.registry.enforce(protect={model})
         return ticket
 
+    def pending_requests(self) -> int:
+        """Requests queued across every lane (admission pressure signal)."""
+        return sum(b.pending_requests for b in self._lanes.values())
+
     def step(self) -> int:
-        """Poll every lane's max-wait deadline; returns blocks flushed."""
-        n = 0
-        for (model, _stream), batcher in self._lanes.items():
-            flushed = batcher.poll()
-            if flushed:
-                self.registry.touch(model)
-                self.registry.enforce(protect={model})
-            n += flushed
-        return n
+        """Flush due lanes scheduler-ordered; returns blocks flushed."""
+        return self._service(due=True)
 
     def drain(self) -> int:
-        """Flush everything pending in every lane."""
+        """Flush everything pending in every lane, scheduler-ordered."""
+        return self._service(due=True, drain=True)
+
+    def _pick(self, candidates: dict) -> tuple[str, str | None]:
+        """Next lane to flush: DWRR under 'qos', registration order under 'fifo'."""
+        if self.policy == "fifo":
+            for key in self._lanes:
+                if key in candidates:
+                    return key
+        return self.scheduler.pick(candidates)
+
+    def _service(self, *, due: bool = False, drain: bool = False) -> int:
+        """Flush runnable blocks one at a time in scheduler order.
+
+        A lane is runnable when it holds a full block; with ``due`` also
+        when its oldest request aged past ``max_wait_s``; with ``drain``
+        whenever anything is pending.  One block flushes per pick, then
+        candidates rebuild — so a higher-priority lane that became runnable
+        preempts at block granularity.  Engine failures propagate after the
+        batcher routes them to the failing block's tickets, matching the
+        single-lane contract.
+        """
         n = 0
-        for (model, _stream), batcher in self._lanes.items():
-            flushed = batcher.drain()
+        while True:
+            candidates: dict[tuple[str, str | None], int] = {}
+            reasons: dict[tuple[str, str | None], str] = {}
+            for key, batcher in self._lanes.items():
+                if not batcher.pending_requests:
+                    self.scheduler.reset(key)
+                    continue
+                if batcher.pending_columns >= batcher.max_batch:
+                    reasons[key] = "full"
+                elif drain:
+                    reasons[key] = "drain"
+                elif due:
+                    d = batcher.seconds_until_due()
+                    if d is not None and d <= 0:
+                        reasons[key] = "wait"
+                if key in reasons:
+                    candidates[key] = min(
+                        batcher.pending_columns, batcher.max_batch
+                    )
+            if not candidates:
+                return n
+            key = self._pick(candidates)
+            model, _stream = key
+            batcher = self._lanes[key]
+            flushed = batcher.flush_one(reason=reasons[key])
             if flushed:
+                n += 1
                 self.registry.touch(model)
                 self.registry.enforce(protect={model})
-            n += flushed
-        return n
+            if not batcher.pending_requests:
+                self.scheduler.reset(key)
 
     def serve(self, requests) -> RouterReport:
         """Run a mixed stream of ``(model, y0)`` or ``(model, stream, y0)``."""
@@ -515,6 +692,13 @@ class Router:
     def stats(self) -> dict:
         return {
             "registry": self.registry.stats(),
+            "qos": {
+                "policy": self.policy,
+                "scheduler": self.scheduler.stats(),
+                "admission": (
+                    self.admission.stats() if self.admission is not None else None
+                ),
+            },
             "lanes": {
                 _lane_label(model, stream): b.stats()
                 for (model, stream), b in self._lanes.items()
@@ -544,9 +728,15 @@ class AsyncRouter:
     thread into that tenant's own bounded intake lane — backpressure is per
     tenant, so one tenant's burst rejects (``on_full='reject'``) or blocks
     (``'block'``) only its own producers — while a single consumer worker
-    round-robins the lanes, packing and executing one tenant's block at a
-    time on its warm session.  Blocks never mix tenants; the memory budget
-    is enforced between blocks, protecting the tenant that just ran.
+    services the lanes one block at a time on each tenant's warm session.
+    Which lane runs next is the :class:`~repro.serve.qos.DeficitScheduler`'s
+    call under ``policy='qos'`` (interactive before batch, deficit-weighted
+    within a class; new arrivals re-ingested between blocks, so an
+    interactive burst preempts a bulk backlog at block granularity) or
+    registration order under ``'fifo'``.  Admission control (rate limits +
+    batch-first pressure shedding) runs inside ``submit`` under ``'qos'``.
+    Blocks never mix tenants; the memory budget is enforced between
+    blocks, protecting the tenant that just ran.
     """
 
     def __init__(
@@ -557,6 +747,9 @@ class AsyncRouter:
         queue_limit: int = 1024,
         on_full: str = "reject",
         clock=time.monotonic,
+        policy: str = "qos",
+        queue_pressure_requests: int | None = None,
+        burn_threshold: float | None = None,
     ):
         from repro.serve.async_server import BACKPRESSURE_POLICIES
 
@@ -564,12 +757,28 @@ class AsyncRouter:
             raise ConfigError(
                 f"unknown backpressure policy {on_full!r}; known: {BACKPRESSURE_POLICIES}"
             )
+        if policy not in SCHEDULER_POLICIES:
+            raise ConfigError(
+                f"unknown scheduler policy {policy!r}; known: {SCHEDULER_POLICIES}"
+            )
         self.registry = registry
         self.max_batch = int(max_batch)
         self.max_wait_s = float(max_wait_s)
         self.queue_limit = int(queue_limit)
         self.on_full = on_full
         self.clock = clock
+        self.policy = policy
+        self.scheduler = DeficitScheduler(quantum=float(max_batch))
+        self.admission = (
+            AdmissionController(
+                metrics=registry.metrics,
+                queue_pressure_requests=queue_pressure_requests,
+                burn_threshold=burn_threshold,
+                clock=clock,
+            )
+            if policy == "qos"
+            else None
+        )
         self._lanes: dict[tuple[str, str | None], _AsyncLane] = {}
         self._lock = threading.Lock()
         self._arrived = threading.Condition(self._lock)
@@ -584,6 +793,8 @@ class AsyncRouter:
 
     def _lane(self, model: str, stream: str | None = None) -> _AsyncLane:
         """Lane for ``(model, stream)`` (lock held by the caller)."""
+        if stream is not None:
+            _check_name("stream", str(stream))
         key = (model, stream)
         lane = self._lanes.get(key)
         if lane is None:
@@ -600,6 +811,12 @@ class AsyncRouter:
                 ),
             )
             self._lanes[key] = lane
+            qos = self.registry.qos_policy(model)
+            self.scheduler.register(
+                key, qos.rank, qos.weight, label=_lane_label(model, stream)
+            )
+            if self.admission is not None:
+                self.admission.register(model, qos)
         return lane
 
     # ------------------------------------------------------------- producer
@@ -622,6 +839,18 @@ class AsyncRouter:
             if self._closed:
                 raise ServeClosedError("router is closed; request not accepted")
             lane = self._lane(model, stream)
+            if self.admission is not None:
+                pending = sum(
+                    len(ln.intake) + ln.batcher.pending_requests
+                    for ln in self._lanes.values()
+                )
+                self.admission.admit(
+                    model,
+                    y0.shape[1],
+                    pending_requests=pending,
+                    interactive_burn=self.registry.max_interactive_burn(),
+                    over_budget=self.registry.budget.over_budget,
+                )
             if len(lane.intake) >= self.queue_limit:
                 if self.on_full == "reject":
                     raise ServeOverflowError(
@@ -699,6 +928,74 @@ class AsyncRouter:
                 due = d
         return due
 
+    def _grab_locked(self) -> list[tuple[_AsyncLane, list[AsyncTicket]]]:
+        """Take every lane's intake (lock held by the caller)."""
+        grabbed: list[tuple[_AsyncLane, list[AsyncTicket]]] = []
+        for lane in self._lanes.values():
+            if lane.intake:
+                items = list(lane.intake)
+                lane.intake.clear()
+                grabbed.append((lane, items))
+        if grabbed:
+            self._space.notify_all()
+        return grabbed
+
+    def _ingest(self, grabbed) -> None:
+        """Move grabbed tickets into their lanes' batchers (worker thread).
+
+        Enqueue-only: which blocks form is decided afterwards by the
+        scheduler, one flush at a time.  Moving every ticket before any
+        flush does not change packing — a block is always the longest FIFO
+        prefix of its own lane that fits ``max_batch``, regardless of how
+        many enqueues happened since the last flush.
+        """
+        now = self.clock()
+        for lane, items in grabbed:
+            for ticket in items:
+                ticket.dequeued_at = now
+                try:
+                    ticket.inner = lane.batcher.enqueue(ticket.y0)
+                except Exception as exc:
+                    # cannot happen for validated requests under the
+                    # sized batcher cap, but an accepted ticket must
+                    # still resolve
+                    ticket._resolve(self.clock(), error=exc)
+                    continue
+                lane.inflight.append(ticket)
+
+    def _candidates(self, drain: bool) -> tuple[dict, dict]:
+        """Runnable lanes: ``{key: block_cost}`` plus each lane's flush reason."""
+        with self._lock:
+            lanes = list(self._lanes.items())
+        candidates: dict[tuple[str, str | None], int] = {}
+        reasons: dict[tuple[str, str | None], str] = {}
+        for key, lane in lanes:
+            batcher = lane.batcher
+            if not batcher.pending_requests:
+                self.scheduler.reset(key)
+                continue
+            if batcher.pending_columns >= batcher.max_batch:
+                reasons[key] = "full"
+            elif drain:
+                reasons[key] = "drain"
+            else:
+                d = batcher.seconds_until_due()
+                if d is not None and d <= 0:
+                    reasons[key] = "wait"
+            if key in reasons:
+                candidates[key] = min(batcher.pending_columns, batcher.max_batch)
+        return candidates, reasons
+
+    def _pick(self, candidates: dict) -> tuple[str, str | None]:
+        """Next lane to flush: DWRR under 'qos', registration order under 'fifo'."""
+        if self.policy == "fifo":
+            with self._lock:
+                order = list(self._lanes)
+            for key in order:
+                if key in candidates:
+                    return key
+        return self.scheduler.pick(candidates)
+
     def _worker_loop(self) -> None:
         while True:
             with self._lock:
@@ -710,37 +1007,38 @@ class AsyncRouter:
                     if due is not None and due <= 0:
                         break
                     self._arrived.wait(timeout=due)
-                grabbed: list[tuple[_AsyncLane, list[AsyncTicket]]] = []
-                for lane in self._lanes.values():
-                    items = list(lane.intake)
-                    lane.intake.clear()
-                    grabbed.append((lane, items))
-                if any(items for _, items in grabbed):
-                    self._space.notify_all()
-                closing = self._closed and not any(i for _, i in grabbed)
+                grabbed = self._grab_locked()
+                closing = self._closed and not grabbed
                 abort = self._abort
             if abort:
                 self._abort_pending(grabbed)
                 return
-            now = self.clock()
-            for lane, items in grabbed:
-                for ticket in items:
-                    ticket.dequeued_at = now
-                    try:
-                        ticket.inner = lane.batcher.enqueue(ticket.y0)
-                    except Exception as exc:
-                        # cannot happen for validated requests under the
-                        # sized batcher cap, but an accepted ticket must
-                        # still resolve
-                        ticket._resolve(self.clock(), error=exc)
-                        continue
-                    lane.inflight.append(ticket)
-                    self._run_guarded(lane.model, lane, lane.batcher.flush_full)
-                self._run_guarded(lane.model, lane, lane.batcher.poll)
+            self._ingest(grabbed)
+            # service: one block per scheduler pick, re-grabbing new
+            # arrivals between blocks so an interactive burst preempts a
+            # bulk backlog at block granularity instead of waiting out a
+            # whole registration-order sweep
+            while True:
+                candidates, reasons = self._candidates(drain=closing)
+                if not candidates:
+                    break
+                key = self._pick(candidates)
+                with self._lock:
+                    lane = self._lanes[key]
+                reason = reasons[key]
+                self._run_guarded(
+                    lane.model, lane, lambda: lane.batcher.flush_one(reason=reason)
+                )
+                if not lane.batcher.pending_requests:
+                    self.scheduler.reset(key)
+                with self._lock:
+                    grabbed = self._grab_locked()
+                    abort = self._abort
+                if abort:
+                    self._abort_pending(grabbed)
+                    return
+                self._ingest(grabbed)
             if closing:
-                for lane in self._lanes.values():
-                    while lane.batcher.pending_requests:
-                        self._run_guarded(lane.model, lane, lane.batcher.drain)
                 with self._lock:
                     abort = self._abort
                 if abort:
@@ -810,6 +1108,13 @@ class AsyncRouter:
             "on_full": self.on_full,
             "closed": self._closed,
             "exec_seconds": self._exec_seconds,
+            "qos": {
+                "policy": self.policy,
+                "scheduler": self.scheduler.stats(),
+                "admission": (
+                    self.admission.stats() if self.admission is not None else None
+                ),
+            },
             "lanes": {
                 _lane_label(model, stream): lane.batcher.stats()
                 for (model, stream), lane in self._lanes.items()

@@ -66,6 +66,37 @@ def test_slo_provider_is_evaluated_per_scrape(registry):
     assert second["a"]["scrapes"] == first["a"]["scrapes"] + 1
 
 
+def test_slo_payload_is_strictly_finite_on_idle_window(registry):
+    """Satellite regression: burn math on an idle (rotated-empty) window
+    used to leak NaN/inf into the /slo JSON.  The payload must parse under
+    a strict-finite decoder — json.dumps happily emits bare ``NaN`` tokens,
+    so only rejecting the constants proves the clamp."""
+    from repro.obs import SloPolicy, SloTracker
+
+    class Clock:
+        t = 50.0
+
+        def __call__(self):
+            return self.t
+
+    clock = Clock()
+    tracker = SloTracker(SloPolicy.parse("p99<10ms@5s/99%"), clock=clock)
+    tracker.record(1.0)  # one breach, then the window rotates empty
+    clock.t += 6.0
+
+    def reject_constants(token):
+        raise AssertionError(f"non-finite {token!r} leaked into /slo JSON")
+
+    provider = lambda: {"a": tracker.report().to_json()}  # noqa: E731
+    with ObsServer(registry, slo_provider=provider) as server:
+        status, _, body = scrape(server, "/slo")
+    assert status == 200
+    payload = json.loads(body, parse_constant=reject_constants)
+    assert payload["a"]["burn_rate"] == 0.0
+    assert payload["a"]["budget_remaining"] == 1.0
+    assert payload["a"]["compliant"] is True
+
+
 def test_slo_provider_error_renders_as_body_not_crash(registry):
     def provider():
         raise RuntimeError("reporter wedged")

@@ -214,6 +214,113 @@ def test_main_only_scale_out_on_tiers_none_capture(tmp_path):
 
 
 # ---------------------------------------------------------------------------
+# schema-6 QoS A/B gating
+
+
+def qos_arm(ratio, served=24, shed=16, failed=0):
+    return {
+        "interactive_p99_ratio": ratio,
+        "per_tenant": {
+            "interactive": {"submitted": 24, "served": 24, "shed": 0, "failed": 0},
+            "bulk": {"submitted": 40, "served": served, "shed": shed,
+                     "failed": failed},
+        },
+    }
+
+
+def qos_record(with_ratio=0.9, no_ratio=3.5, identical=True, accounting=True,
+               failed=0):
+    return {
+        "with_qos": qos_arm(with_ratio, failed=failed),
+        "no_qos": qos_arm(no_ratio, served=40, shed=0),
+        "outputs_identical": identical,
+        "shed_accounting_ok": accounting,
+    }
+
+
+QOS_BUDGET = {
+    "qos": {
+        "max_interactive_p99_ratio": 1.5,
+        "require_no_qos_breach": True,
+        "require_outputs_identical": True,
+        "require_shed_accounting": True,
+    }
+}
+
+
+def test_qos_gate_passes_within_budget():
+    b = {"qos": qos_record()}
+    assert cpb.check_budget(b, None, QOS_BUDGET) == []
+
+
+def test_qos_gate_fails_above_p99_ceiling():
+    b = {"qos": qos_record(with_ratio=2.1)}
+    failures = cpb.check_budget(b, None, QOS_BUDGET)
+    assert any("2.10x" in f and "ceiling 1.50x" in f for f in failures)
+
+
+def test_qos_gate_requires_the_control_arm_to_breach():
+    # a FIFO arm that also holds the ceiling means the bulk tenant never
+    # contended — the QoS pass would be vacuous, so the gate fails it
+    b = {"qos": qos_record(no_ratio=1.2)}
+    failures = cpb.check_budget(b, None, QOS_BUDGET)
+    assert any("proves nothing" in f for f in failures)
+
+
+def test_qos_gate_fails_on_divergence_and_accounting():
+    diverged = {"qos": qos_record(identical=False)}
+    assert any(
+        "bitwise" in f for f in cpb.check_budget(diverged, None, QOS_BUDGET)
+    )
+    unbalanced = {"qos": qos_record(accounting=False)}
+    assert any(
+        "shed accounting" in f
+        for f in cpb.check_budget(unbalanced, None, QOS_BUDGET)
+    )
+    dropped = {"qos": qos_record(failed=2)}
+    assert any(
+        "failed 2 requests" in f
+        for f in cpb.check_budget(dropped, None, QOS_BUDGET)
+    )
+
+
+def test_qos_gate_fails_on_missing_record_or_ratios():
+    assert cpb.check_budget({}, None, QOS_BUDGET, only="qos") == [
+        "qos: missing from the bench output"
+    ]
+    armless = {"qos": {"outputs_identical": True, "shed_accounting_ok": True}}
+    failures = cpb.check_budget(armless, None, QOS_BUDGET)
+    assert any("QoS arm has no interactive p99 ratio" in f for f in failures)
+    assert any("control arm has no interactive p99 ratio" in f for f in failures)
+
+
+def test_qos_gate_only_isolation():
+    # qos rules present but --only tiers: the qos half is not consulted
+    b = bench(record("medium-A"), record("sdgc-shallow", woc=3.0))
+    assert cpb.check_budget(b, None, {**BUDGET, **QOS_BUDGET}, only="tiers") == []
+    # --only qos against a qos-only capture ignores the missing tiers
+    b2 = {"schema": 6, "qos": qos_record()}
+    assert cpb.check_budget(b2, None, {**BUDGET, **QOS_BUDGET}, only="qos") == []
+
+
+def test_load_records_tolerates_qos_only_capture():
+    assert cpb.load_records({"schema": 6, "qos": qos_record()}) == {}
+
+
+def test_main_only_qos_exit_codes(tmp_path):
+    ok = {"schema": 6, "qos": qos_record()}
+    bad = {"schema": 6, "qos": qos_record(with_ratio=3.0)}
+    budget_p = tmp_path / "budget.json"
+    budget_p.write_text(json.dumps(QOS_BUDGET))
+    for payload, code in ((ok, 0), (bad, 1)):
+        bench_p = tmp_path / "bench.json"
+        bench_p.write_text(json.dumps(payload))
+        argv = ["--bench", str(bench_p), "--budget", str(budget_p),
+                "--only", "qos"]
+        assert cpb.main(argv) == code
+
+
+# ---------------------------------------------------------------------------
 # the in-repo loader must accept the same generations (satellite: schema
 # round-trip so the gate never silently drops tiers)
 
@@ -229,14 +336,16 @@ def test_repro_load_bench_records_round_trips_all_schemas():
         {"schema": 2, "tiers": [tier_rec]},
         {"schema": 3, "tiers": [tier_rec], "multi": {}},
         {"schema": 4, "tiers": [tier_rec], "scale_out": scale_record()},
+        {"schema": 6, "tiers": [tier_rec], "qos": qos_record()},
     ):
         recs = load_bench_records(payload)
         assert [r["tier"] for r in recs] == ["sdgc-shallow"]
     # legacy single-benchmark dict wraps to one record
     legacy = load_bench_records({"benchmark": "144-24", "warm": {}})
     assert [r["tier"] for r in legacy] == ["144-24"]
-    # scale-out-only capture: empty, not an error
+    # record-only captures (--tiers none): empty, not an error
     assert load_bench_records({"schema": 4, "scale_out": scale_record()}) == []
+    assert load_bench_records({"schema": 6, "qos": qos_record()}) == []
     with pytest.raises(ConfigError):
         load_bench_records({"nope": 1})
     with pytest.raises(ConfigError):

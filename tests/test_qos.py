@@ -1,0 +1,682 @@
+"""QoS scheduling suite: policies, DWRR, admission, and the property tests.
+
+Four layers of coverage over :mod:`repro.serve.qos` and its router wiring:
+
+* unit — :class:`~repro.serve.qos.QosPolicy` spec parsing and validation,
+  :class:`~repro.serve.qos.TokenBucket` refill/hard-quota arithmetic,
+  :class:`~repro.serve.qos.DeficitScheduler` strict priority + weighted
+  service on a fake clock, :class:`~repro.serve.qos.AdmissionController`
+  shed triggers and idempotent registration;
+* integration — the sync and async routers servicing an interactive lane
+  ahead of a bulk backlog (and *not* doing so under the ``'fifo'`` control
+  arm), rate-limit and burn-triggered shedding through ``submit``, and
+  batch-before-interactive demotion order in the registry's budget
+  enforcement;
+* regression — ``@`` in model/stream names is refused everywhere it would
+  alias a lane label (``model@stream``) or a fleet SLO key
+  (``model@worker``);
+* property (hypothesis) — for arbitrary interleavings of two-priority
+  traffic: every stream's outputs are bitwise identical to its solo run
+  under both policies, a batch lane is never picked while an interactive
+  lane is runnable, and pressure shedding only ever hits the lowest class
+  present.
+"""
+
+import threading
+import time
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError, ServeOverflowError, ServeShedError, ShapeError
+from repro.obs import MetricsRegistry
+from repro.serve import (
+    PRIORITY_CLASSES,
+    AdmissionController,
+    AsyncRouter,
+    DeficitScheduler,
+    MicroBatcher,
+    ModelRegistry,
+    QosPolicy,
+    Router,
+    TokenBucket,
+)
+from repro.serve.fleet import FleetDispatcher, TenantSpec
+
+WAIT = 20.0
+
+
+# ------------------------------------------------------------------ fixtures
+class FakeClock:
+    def __init__(self, t: float = 0.0):
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+class FakeNetwork:
+    input_dim = 4
+
+    def validate_input(self, y0):
+        y0 = np.asarray(y0, dtype=np.float64)
+        if y0.ndim != 2 or y0.shape[0] != self.input_dim:
+            raise ShapeError(f"input must be ({self.input_dim}, B), got {y0.shape}")
+        return y0
+
+
+class FakeQosSession:
+    """Session stand-in whose output depends on the whole packed block.
+
+    ``run`` returns ``y0 * 2 + sum(block)`` — every request's output is a
+    function of its blockmates' contents, so bitwise output identity holds
+    *iff* block packing is identical.  That is what lets the property test
+    conclude "the scheduler did not perturb packing" from array equality
+    alone.  ``log`` (shared across sessions) records block service order;
+    ``gate`` parks executions for the async preemption test.
+    """
+
+    def __init__(
+        self,
+        name: str = "s",
+        log: list | None = None,
+        gate: threading.Event | None = None,
+        warm_bytes: int = 100,
+        metrics: MetricsRegistry | None = None,
+    ):
+        from repro.obs import as_tracer
+
+        self.network = FakeNetwork()
+        self.tracer = as_tracer(None)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.name = name
+        self.log = log
+        self.gate = gate
+        self.warm_bytes = warm_bytes
+        self._retained = warm_bytes
+        self.calls = 0
+        self.demote_calls = 0
+
+    def run(self, y0):
+        self.calls += 1
+        if self.log is not None:
+            self.log.append(self.name)
+        if self.gate is not None:
+            assert self.gate.wait(WAIT), "test gate never opened"
+        self._retained = self.warm_bytes
+        return SimpleNamespace(
+            y=y0 * 2.0 + float(np.sum(y0)), stats={}, stage_seconds={}
+        )
+
+    def retained_nbytes(self) -> int:
+        return self._retained
+
+    def demote(self) -> int:
+        freed, self._retained = self._retained, 0
+        self.demote_calls += 1
+        return freed
+
+    def stats(self) -> dict:
+        return {"calls": self.calls}
+
+
+def req(k: int = 1, fill: float = 1.0) -> np.ndarray:
+    return np.full((FakeNetwork.input_dim, k), fill)
+
+
+# ------------------------------------------------------------- policy parsing
+def test_policy_parse_full_spec_and_passthrough():
+    policy = QosPolicy.parse("batch:w=2,rate=256,burst=64")
+    assert policy.priority == "batch" and policy.rank == 1
+    assert policy.weight == 2.0
+    assert policy.rate_cols_per_s == 256.0
+    assert policy.burst_cols == 64.0 and policy.effective_burst == 64.0
+    assert QosPolicy.parse(policy) is policy  # instances pass through
+
+
+def test_policy_parse_defaults_reproduce_pre_qos_service():
+    # None (an unconfigured tenant) must parse to interactive weight 1 with
+    # no rate limit — the configuration under which the DWRR scheduler
+    # degenerates to the legacy service order
+    policy = QosPolicy.parse(None)
+    assert policy.priority == "interactive" and policy.rank == 0
+    assert policy.weight == 1.0
+    assert policy.rate_cols_per_s is None and policy.effective_burst is None
+    assert QosPolicy.parse("interactive") == policy
+
+
+def test_policy_burst_defaults_to_one_second_of_rate():
+    policy = QosPolicy.parse("batch:rate=128")
+    assert policy.burst_cols is None
+    assert policy.effective_burst == 128.0
+    assert "rate=128" in policy.describe()
+    assert policy.to_json()["burst_cols"] == 128.0
+
+
+@pytest.mark.parametrize(
+    "spec",
+    [
+        "gold",                      # unknown class
+        "batch:w=",                  # empty value
+        "batch:w=fast",              # non-numeric value
+        "batch:speed=2",             # unknown key
+        "batch:w=0",                 # weight must be > 0
+        "batch:w=-1",
+        "batch:rate=-5",             # rate must be >= 0
+        "batch:burst=64",            # burst requires a rate
+        "batch:rate=0",              # a hard quota needs an explicit burst
+    ],
+)
+def test_policy_parse_rejects_bad_specs(spec):
+    with pytest.raises(ConfigError):
+        QosPolicy.parse(spec)
+
+
+def test_priority_classes_order_is_the_rank_order():
+    assert PRIORITY_CLASSES == ("interactive", "batch")
+    assert QosPolicy.parse("interactive").rank < QosPolicy.parse("batch").rank
+
+
+# --------------------------------------------------------------- token bucket
+def test_token_bucket_refills_at_rate():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=10.0, burst=10.0, clock=clock)
+    assert bucket.try_take(10.0)
+    assert not bucket.try_take(1.0)  # empty, no debt taken
+    clock.advance(0.5)
+    assert bucket.try_take(5.0)  # refilled 0.5 s * 10 cols/s
+    assert not bucket.try_take(1.0)
+    clock.advance(100.0)
+    assert bucket.try_take(10.0)  # refill clamps at burst
+    assert not bucket.try_take(1.0)
+
+
+def test_token_bucket_zero_rate_is_a_hard_quota():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=0.0, burst=4.0, clock=clock)
+    assert bucket.try_take(2.0) and bucket.try_take(2.0)
+    clock.advance(1e6)  # no amount of waiting refills a hard quota
+    assert not bucket.try_take(1.0)
+
+
+def test_token_bucket_validation():
+    with pytest.raises(ConfigError):
+        TokenBucket(rate=-1.0, burst=1.0)
+    with pytest.raises(ConfigError):
+        TokenBucket(rate=1.0, burst=0.0)
+
+
+# ---------------------------------------------------------- deficit scheduler
+def test_scheduler_strict_priority_between_classes():
+    sched = DeficitScheduler(quantum=4.0)
+    sched.register("i", rank=0, weight=1.0)
+    sched.register("b", rank=1, weight=1.0)
+    # while the interactive lane is runnable, batch is never picked
+    for _ in range(5):
+        assert sched.pick({"i": 4, "b": 4}) == "i"
+    assert sched.pick({"b": 4}) == "b"  # batch runs only when alone
+
+
+def test_scheduler_weights_split_service_proportionally():
+    sched = DeficitScheduler(quantum=4.0)
+    sched.register("a", rank=1, weight=1.0)
+    sched.register("b", rank=1, weight=3.0)
+    for _ in range(8):
+        assert sched.pick({"a": 4, "b": 4}) in ("a", "b")
+    lanes = sched.stats()["lanes"]
+    # with both lanes always runnable, service follows the 1:3 weights
+    assert lanes["a"]["served_blocks"] == 2
+    assert lanes["b"]["served_blocks"] == 6
+
+
+def test_scheduler_reset_drops_banked_deficit():
+    sched = DeficitScheduler(quantum=4.0)
+    sched.register("a", rank=0, weight=1.0)
+    sched.register("b", rank=0, weight=1.0)
+    assert sched.pick({"a": 4, "b": 4}) == "a"
+    assert sched.stats()["lanes"]["b"]["deficit"] > 0  # b banked a grant
+    sched.reset("b")  # lane went idle: it must not burst ahead later
+    assert sched.stats()["lanes"]["b"]["deficit"] == 0.0
+    sched.reset("missing")  # unknown lanes are a no-op
+
+
+def test_scheduler_grants_unlock_oversized_blocks():
+    # a block costing many quanta must still be served (grants are computed
+    # arithmetically, not one round at a time)
+    sched = DeficitScheduler(quantum=1.0)
+    sched.register("a", rank=0, weight=1.0)
+    assert sched.pick({"a": 1000.0}) == "a"
+    assert sched.stats()["lanes"]["a"]["grants"] == 1000
+
+
+def test_scheduler_validation_and_unknown_candidates():
+    with pytest.raises(ConfigError):
+        DeficitScheduler(quantum=0.0)
+    sched = DeficitScheduler(quantum=4.0)
+    assert sched.pick({}) is None
+    assert sched.pick({"unregistered": 4}) is None
+
+
+# --------------------------------------------------------- admission control
+def test_admission_rate_limit_sheds_and_register_is_idempotent():
+    metrics = MetricsRegistry()
+    adm = AdmissionController(metrics=metrics, clock=FakeClock())
+    policy = QosPolicy.parse("interactive:rate=0,burst=4")
+    adm.register("a", policy)
+    adm.admit("a", 2)
+    adm.admit("a", 2)
+    with pytest.raises(ServeShedError) as exc_info:
+        adm.admit("a", 1)
+    assert exc_info.value.reason == "rate_limit"
+    # a shed IS an overflow error, so existing reject handlers count it
+    assert isinstance(exc_info.value, ServeOverflowError)
+    # re-registering (a lane rebuilt after eviction) must not refill the
+    # hard-quota bucket: first registration wins
+    adm.register("a", QosPolicy.parse("interactive:rate=0,burst=4"))
+    with pytest.raises(ServeShedError):
+        adm.admit("a", 1)
+    assert adm.shed == {"a": {"rate_limit": 2}}
+    assert adm.shed_total() == 2 and adm.shed_total("a") == 2
+    snap = metrics.snapshot()
+    assert snap['qos_shed_total{model="a",reason="rate_limit"}'] == 2
+
+
+def test_admission_pressure_sheds_batch_class_only():
+    adm = AdmissionController(
+        queue_pressure_requests=3, burn_threshold=1.0, clock=FakeClock()
+    )
+    adm.register("i", QosPolicy.parse("interactive"))
+    adm.register("b", QosPolicy.parse("batch"))
+    # interactive is never pressure-shed, whatever the signals say
+    adm.admit("i", 1, pending_requests=100, interactive_burn=5.0, over_budget=True)
+    with pytest.raises(ServeShedError) as exc_info:
+        adm.admit("b", 1, over_budget=True)
+    assert exc_info.value.reason == "memory_pressure"
+    with pytest.raises(ServeShedError) as exc_info:
+        adm.admit("b", 1, interactive_burn=2.0)
+    assert exc_info.value.reason == "slo_burn"
+    with pytest.raises(ServeShedError) as exc_info:
+        adm.admit("b", 1, pending_requests=3)
+    assert exc_info.value.reason == "queue_pressure"
+    adm.admit("b", 1)  # no pressure: admitted
+    stats = adm.stats()
+    assert stats["shed"]["b"] == {
+        "memory_pressure": 1, "slo_burn": 1, "queue_pressure": 1,
+    }
+    assert stats["shed_total"] == 3
+
+
+def test_admission_thresholds_default_off():
+    # unset thresholds (the router's defaults) never pressure-shed, so
+    # all-default tenants reproduce pre-QoS behaviour exactly
+    adm = AdmissionController(
+        queue_pressure_requests=None, burn_threshold=None, clock=FakeClock()
+    )
+    adm.register("b", QosPolicy.parse("batch"))
+    adm.admit("b", 1, pending_requests=10**6, interactive_burn=10.0)
+
+
+# ------------------------------------------------------- router integration
+def test_router_rejects_unknown_policy():
+    registry = ModelRegistry()
+    with pytest.raises(ConfigError, match="unknown scheduler policy"):
+        Router(registry, policy="nope")
+    with pytest.raises(ConfigError, match="unknown scheduler policy"):
+        AsyncRouter(registry, policy="nope")
+
+
+def test_registry_register_parses_qos_and_publishes_rank():
+    metrics = MetricsRegistry()
+    registry = ModelRegistry(metrics=metrics)
+    registry.register("a", session=FakeQosSession(metrics=metrics), qos="batch:w=2")
+    policy = registry.qos_policy("a")
+    assert policy.priority == "batch" and policy.weight == 2.0
+    assert registry.qos_policy("unset") == QosPolicy()  # default interactive
+    snap = metrics.snapshot()
+    assert snap['qos_priority_rank{model="a"}'] == 1.0
+    assert snap['qos_weight{model="a"}'] == 2.0
+    assert registry.stats()["qos_policies"]["a"]["priority"] == "batch"
+    with pytest.raises(ConfigError):
+        registry.register("b", session=FakeQosSession(), qos="gold")
+
+
+def test_sync_drain_services_interactive_before_bulk_backlog():
+    log: list[str] = []
+    registry = ModelRegistry()
+    registry.register("bulk", session=FakeQosSession("bulk", log), qos="batch")
+    registry.register("inter", session=FakeQosSession("inter", log))
+    router = Router(registry, max_batch=8, max_wait_s=60.0, queue_limit=64)
+    for _ in range(3):
+        router.submit("bulk", req(2))  # 6 columns pending: no full flush yet
+    router.submit("inter", req(2))
+    router.drain()
+    # the bulk lane was created first and holds more work, but the
+    # interactive block flushes first — strict priority between classes
+    assert log == ["inter", "bulk"]
+
+
+def test_sync_fifo_policy_is_the_registration_order_control_arm():
+    log: list[str] = []
+    registry = ModelRegistry()
+    registry.register("bulk", session=FakeQosSession("bulk", log), qos="batch")
+    registry.register("inter", session=FakeQosSession("inter", log))
+    router = Router(
+        registry, max_batch=8, max_wait_s=60.0, queue_limit=64, policy="fifo"
+    )
+    assert router.admission is None  # the control arm sheds nothing
+    for _ in range(3):
+        router.submit("bulk", req(2))
+    router.submit("inter", req(2))
+    router.drain()
+    assert log == ["bulk", "inter"]  # registration order, priority ignored
+    assert router.stats()["qos"]["policy"] == "fifo"
+    assert router.stats()["qos"]["admission"] is None
+
+
+def test_async_interactive_preempts_bulk_backlog_between_blocks():
+    log: list[str] = []
+    gate = threading.Event()
+    bulk = FakeQosSession("bulk", log, gate=gate)
+    inter = FakeQosSession("inter", log)
+    registry = ModelRegistry()
+    registry.register("bulk", session=bulk, qos="batch")
+    registry.register("inter", session=inter)
+    router = AsyncRouter(registry, max_batch=1, max_wait_s=60.0, queue_limit=16)
+    tickets = [router.submit("bulk", req()) for _ in range(3)]
+    deadline = time.monotonic() + WAIT
+    while bulk.calls == 0 and time.monotonic() < deadline:
+        time.sleep(0.001)  # worker parked inside the first bulk block
+    assert bulk.calls == 1
+    tickets.append(router.submit("inter", req()))
+    gate.set()
+    assert router.close(drain=True, timeout=WAIT)
+    for ticket in tickets:
+        assert ticket.ready
+    # the interactive arrival jumped the two queued bulk blocks: arrivals
+    # are re-ingested between blocks, so preemption is at block granularity
+    assert log == ["bulk", "inter", "bulk", "bulk"]
+
+
+def test_async_fifo_control_arm_finishes_the_backlog_first():
+    log: list[str] = []
+    gate = threading.Event()
+    bulk = FakeQosSession("bulk", log, gate=gate)
+    registry = ModelRegistry()
+    registry.register("bulk", session=bulk, qos="batch")
+    registry.register("inter", session=FakeQosSession("inter", log))
+    router = AsyncRouter(
+        registry, max_batch=1, max_wait_s=60.0, queue_limit=16, policy="fifo"
+    )
+    for _ in range(3):
+        router.submit("bulk", req())
+    deadline = time.monotonic() + WAIT
+    while bulk.calls == 0 and time.monotonic() < deadline:
+        time.sleep(0.001)
+    router.submit("inter", req())
+    gate.set()
+    assert router.close(drain=True, timeout=WAIT)
+    assert log == ["bulk", "bulk", "bulk", "inter"]
+
+
+def test_router_hard_quota_sheds_a_deterministic_prefix():
+    registry = ModelRegistry()
+    registry.register(
+        "a", session=FakeQosSession(), qos="interactive:rate=0,burst=4"
+    )
+    router = Router(registry, max_batch=8, max_wait_s=60.0)
+    admitted = [router.submit("a", req(2)) for _ in range(2)]  # 4 of 4 columns
+    with pytest.raises(ServeShedError, match="admission control"):
+        router.submit("a", req(2))
+    with pytest.raises(ServeOverflowError):  # sheds are overflow errors
+        router.submit("a", req(2))
+    router.drain()
+    assert all(t.ready for t in admitted)
+    shed = router.stats()["qos"]["admission"]["shed"]
+    assert shed == {"a": {"rate_limit": 2}}
+
+
+def test_router_sheds_bulk_on_interactive_burn():
+    registry = ModelRegistry()
+    registry.register(
+        "inter", session=FakeQosSession(), slo="p99<10ms@60s/99%"
+    )
+    registry.register("bulk", session=FakeQosSession(), qos="batch")
+    router = Router(registry, max_batch=8, max_wait_s=60.0, burn_threshold=1.0)
+    assert registry.max_interactive_burn() == 0.0  # idle tracker: no burn
+    router.submit("bulk", req())  # no burn yet: bulk admitted
+    registry.slo_tracker("inter").record(1.0)  # one breach torches the budget
+    assert registry.max_interactive_burn() > 1.0
+    with pytest.raises(ServeShedError) as exc_info:
+        router.submit("bulk", req())
+    assert exc_info.value.reason == "slo_burn"
+    router.submit("inter", req())  # the interactive tenant itself still lands
+    router.drain()
+
+
+def test_max_interactive_burn_ignores_batch_tenants():
+    registry = ModelRegistry()
+    registry.register("bulk", session=FakeQosSession(), qos="batch",
+                      slo="p99<10ms@60s/99%")
+    assert registry.max_interactive_burn() is None  # no interactive SLO
+    registry.slo_tracker("bulk").record(1.0)
+    # a burning *batch* tenant is not an admission signal
+    assert registry.max_interactive_burn() is None
+
+
+def test_enforce_demotes_batch_class_before_older_interactive():
+    clock = FakeClock()
+    registry = ModelRegistry(memory_budget_bytes=250, clock=clock)
+    inter = FakeQosSession(warm_bytes=100)
+    registry.register("inter", session=inter)
+    clock.advance(1.0)
+    registry.register("b1", session=FakeQosSession(warm_bytes=100), qos="batch")
+    clock.advance(1.0)
+    registry.register("b2", session=FakeQosSession(warm_bytes=100), qos="batch")
+    # registering b2 pushed the ledger to 300 > 250.  Pure LRU would demote
+    # "inter" (the oldest); the QoS-aware order sheds batch warm state first
+    assert registry.demotions == ["b1"]
+    assert inter.demote_calls == 0
+
+
+# --------------------------------------------------- '@' collision regression
+def test_model_and_stream_names_reject_at_sign():
+    # lane labels are "model@stream" and fleet SLO keys "model@worker" by
+    # plain concatenation: a tenant literally named "a@b" would alias lane
+    # ("a", "b")'s stats and SLO block.  Both inputs are refused up front.
+    registry = ModelRegistry()
+    with pytest.raises(ConfigError, match="must not contain '@'"):
+        registry.register("a@b", session=FakeQosSession())
+    registry.register("a", session=FakeQosSession())
+    router = Router(registry, max_batch=4, max_wait_s=60.0)
+    with pytest.raises(ConfigError, match="must not contain '@'"):
+        router.submit("a", req(), stream="s@1")
+    router.submit("a", req(), stream="s1")  # '@'-free streams still work
+    router.drain()
+    with AsyncRouter(registry, max_batch=4, max_wait_s=60.0) as arouter:
+        with pytest.raises(ConfigError, match="must not contain '@'"):
+            arouter.submit("a", req(), stream="s@1")
+        ticket = arouter.submit("a", req(), stream="s1")
+    assert ticket.ready
+
+
+def test_fleet_rejects_at_names_and_bad_qos_before_spawn():
+    # the dispatcher validates specs before paying any process spawn, so a
+    # bad name or policy fails in milliseconds, not after fleet warmup
+    with pytest.raises(ConfigError, match="must not contain '@'"):
+        FleetDispatcher([TenantSpec(name="a@b", source="144-24")], workers=1)
+    with pytest.raises(ConfigError):
+        FleetDispatcher(
+            [TenantSpec(name="a", source="144-24", qos="gold")], workers=1
+        )
+
+
+# ------------------------------------------- batcher underfill counters (bug)
+def test_timer_underfill_is_not_a_hol_stall():
+    # regression: a latency-deadline flush of an under-filled block with an
+    # empty queue used to count as a head-of-line stall.  Nothing was
+    # refused — the head simply arrived late — so it must land in the
+    # timer_underfill counters instead.
+    clock = FakeClock()
+    session = FakeQosSession()
+    batcher = MicroBatcher(session, max_batch=4, max_wait_s=1.0, clock=clock)
+    batcher.submit(req(2))
+    clock.advance(1.5)
+    assert batcher.poll() == 1
+    assert batcher.counters["hol_stalls"] == 0
+    assert batcher.counters["hol_underfill_columns"] == 0
+    assert batcher.counters["timer_underfills"] == 1
+    assert batcher.counters["timer_underfill_columns"] == 2
+    snap = session.metrics.snapshot()
+    assert snap["serve_timer_underfill_columns_total"] == 2
+    assert snap.get("serve_hol_stalls_total", 0) == 0
+
+
+def test_wait_flush_with_refusing_head_still_counts_hol():
+    # a deadline flush where the FIFO head genuinely refused to fit is a
+    # real stall; the trailing under-filled block (queue empty) is not
+    clock = FakeClock()
+    session = FakeQosSession()
+    batcher = MicroBatcher(session, max_batch=4, max_wait_s=1.0, clock=clock)
+    batcher.enqueue(req(3))
+    batcher.enqueue(req(2))  # 5 cols queued: the 2-col head refuses the gap
+    clock.advance(1.5)
+    assert batcher.poll() == 2
+    assert batcher.counters["hol_stalls"] == 1
+    assert batcher.counters["hol_underfill_columns"] == 1
+    assert batcher.counters["timer_underfills"] == 1  # the trailing 2-col block
+    assert batcher.counters["timer_underfill_columns"] == 2
+
+
+def test_flush_one_returns_columns_and_labels_wait_flushes():
+    clock = FakeClock()
+    batcher = MicroBatcher(
+        FakeQosSession(), max_batch=4, max_wait_s=60.0, clock=clock
+    )
+    assert batcher.flush_one() == 0  # idle: nothing to run
+    t1 = batcher.enqueue(req(2))
+    t2 = batcher.enqueue(req(1))
+    assert batcher.flush_one(reason="wait") == 3  # one block, both tickets
+    assert t1.ready and t2.ready
+    assert batcher.counters["batches"] == 1
+    assert batcher.counters["wait_flushes"] == 1
+
+
+# -------------------------------------------------- property tests (hypothesis)
+TENANT_QOS = {"i1": "interactive", "i2": "interactive:w=2", "bulk": "batch:w=2"}
+
+
+class RecordingRouter(Router):
+    """Router that records every scheduler decision for invariant checks."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.picks: list[tuple[dict, tuple]] = []
+
+    def _pick(self, candidates):
+        key = super()._pick(candidates)
+        self.picks.append((dict(candidates), key))
+        return key
+
+
+def _build_router(names, policy="qos", cls=Router, max_batch=4, **kwargs):
+    registry = ModelRegistry()
+    for name in names:
+        registry.register(name, session=FakeQosSession(), qos=TENANT_QOS[name])
+    return cls(
+        registry, max_batch=max_batch, max_wait_s=60.0, queue_limit=1024,
+        policy=policy, **kwargs,
+    )
+
+
+def _solo_outputs(name, widths):
+    router = _build_router([name])
+    tickets = [
+        router.submit(name, req(k, fill=float(fill))) for fill, k in widths
+    ]
+    router.drain()
+    return [t.y for t in tickets]
+
+
+moves_strategy = st.lists(
+    st.tuples(st.sampled_from(sorted(TENANT_QOS)), st.integers(1, 3)),
+    min_size=1,
+    max_size=24,
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(moves=moves_strategy)
+def test_property_outputs_bitwise_match_solo_under_any_interleaving(moves):
+    """Satellite property (a) + (b): for ANY interleaving of two-priority
+    traffic, each stream's outputs are bitwise identical to its solo run
+    (the scheduler reorders between lanes, never within), and a batch lane
+    is never picked while an interactive lane is runnable."""
+    # distinct fill per request makes block contents (and therefore the
+    # block-mixing session outputs) injective in the packing
+    per_tenant: dict[str, list] = {name: [] for name in TENANT_QOS}
+    plan = []
+    for index, (name, k) in enumerate(moves):
+        per_tenant[name].append((index + 1, k))
+        plan.append((name, index + 1, k))
+    refs = {
+        name: _solo_outputs(name, widths)
+        for name, widths in per_tenant.items()
+        if widths
+    }
+    for policy in ("qos", "fifo"):
+        router = _build_router(sorted(TENANT_QOS), policy=policy,
+                               cls=RecordingRouter)
+        tickets: dict[str, list] = {name: [] for name in TENANT_QOS}
+        for name, fill, k in plan:
+            tickets[name].append(router.submit(name, req(k, fill=float(fill))))
+        router.drain()
+        for name, ref in refs.items():
+            got = [t.y for t in tickets[name]]
+            assert len(got) == len(ref)
+            for mine, solo in zip(got, ref):
+                assert np.array_equal(mine, solo), (
+                    f"policy={policy} tenant={name}: packing diverged from solo"
+                )
+        if policy == "qos":
+            ranks = {
+                name: router.registry.qos_policy(name).rank
+                for name in TENANT_QOS
+            }
+            for candidates, picked in router.picks:
+                if ranks[picked[0]] > 0:
+                    # a batch pick is only legal when no interactive lane
+                    # was runnable at that instant
+                    assert all(
+                        ranks[model] > 0 for (model, _stream) in candidates
+                    ), f"batch lane picked over runnable interactive: {candidates}"
+
+
+@settings(max_examples=25, deadline=None)
+@given(moves=moves_strategy)
+def test_property_pressure_shed_hits_only_the_lowest_class(moves):
+    """Satellite property (c): under queue pressure, every shed request is
+    batch-class — the lowest class present — and interactive traffic is
+    never pressure-shed regardless of interleaving."""
+    router = _build_router(
+        sorted(TENANT_QOS), queue_pressure_requests=3, max_batch=10**6,
+    )
+    ranks = {n: router.registry.qos_policy(n).rank for n in TENANT_QOS}
+    admitted, shed = [], []
+    for index, (name, k) in enumerate(moves):
+        try:
+            admitted.append(router.submit(name, req(k, fill=float(index + 1))))
+        except ServeShedError as exc:
+            assert exc.reason == "queue_pressure"
+            assert ranks[name] > 0, f"interactive tenant {name} was pressure-shed"
+            shed.append(name)
+    router.drain()
+    assert all(t.ready for t in admitted)
+    reasons = router.stats()["qos"]["admission"]["shed"]
+    assert sum(sum(r.values()) for r in reasons.values()) == len(shed)
+    assert all(set(r) == {"queue_pressure"} for r in reasons.values())

@@ -328,7 +328,7 @@ def test_bench_serve_writes_machine_readable_json(tmp_path):
         benchmark="144-24", requests=6, request_cols=2, max_batch=6, out=out
     )
     on_disk = json.loads(out.read_text())
-    assert on_disk["schema"] == 5
+    assert on_disk["schema"] == 6
     records = load_bench_records(on_disk)
     assert len(records) == 1
     rec = records[0]

@@ -159,6 +159,29 @@ def test_throughput_floor_verdict():
     assert tracker.report().throughput_ok is True
 
 
+def test_idle_window_burn_is_finite_zero_and_caches_last_burn():
+    """Satellite regression: an idle window after rotation must read as
+    burn 0 / budget 1 (not 0/0 -> NaN), and ``last_burn`` — the cheap
+    signal admission control polls on every submit — must track it."""
+    import math
+
+    clock = FakeClock(50.0)
+    tracker = SloTracker(SloPolicy.parse("p99<10ms@10s/99%"), clock=clock)
+    assert tracker.last_burn == 0.0  # idle from birth, no traffic yet
+    tracker.record(1.0)  # a breach: the window burns hard
+    assert tracker.report().burn_rate == pytest.approx(100.0)
+    assert tracker.last_burn == pytest.approx(100.0)
+    clock.advance(11.0)  # everything rotates out: the window is empty again
+    report = tracker.report()
+    assert report.burn_rate == 0.0 and math.isfinite(report.burn_rate)
+    assert report.budget_remaining == 1.0
+    assert tracker.last_burn == 0.0
+    # the JSON path must carry no non-finite tokens (json.dumps would
+    # happily serialize NaN; a strict re-parse is the actual check)
+    blob = json.dumps(report.to_json())
+    json.loads(blob, parse_constant=lambda s: pytest.fail(f"leaked {s!r}"))
+
+
 def test_window_expiry_restores_budget():
     clock = FakeClock(50.0)
     tracker = SloTracker(SloPolicy.parse("p99<10ms@10s/99%"), clock=clock)

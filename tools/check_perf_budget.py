@@ -12,19 +12,26 @@ runners with different core counts), bitwise ``outputs_identical`` at every
 count, and a successful crash-recovery run.  A ``warm_boot`` budget section
 gates the schema-5 persistent-warmup record: the artifact boot must be at
 least ``min_speedup`` times faster than the cold warmup + priming path and
-its outputs bitwise identical across the loaded/fresh/cold triangle.  Any
+its outputs bitwise identical across the loaded/fresh/cold triangle.  A
+``qos`` budget section gates the schema-6 QoS A/B record: the interactive
+tenant's mixed-load p99 must stay within ``max_interactive_p99_ratio`` of
+its solo-run p99 under the QoS scheduler, the no-QoS FIFO arm must
+demonstrably breach that same ceiling (otherwise the A/B proves nothing),
+per-stream outputs must be bitwise identical to the solo runs, and shed
+accounting must balance (served + shed + failed == submitted).  Any
 breach prints a GitHub ``::error`` annotation and exits non-zero, failing
 the job (the workflow uploads the trace artifact regardless of outcome).
 
 Usage:
     python tools/check_perf_budget.py \
         --bench BENCH_new.json --baseline BENCH_serve.json \
-        --budget CI_perf_budget.json [--only tiers|scale_out|warm_boot|all]
+        --budget CI_perf_budget.json \
+        [--only tiers|scale_out|warm_boot|qos|all]
 
 ``--only`` lets split CI jobs gate their own section: the tier smoke passes
 ``--only tiers``, the scale-out smoke ``--only scale_out`` (whose bench
-file, produced with ``--tiers none``, has no tier records at all), and the
-warm-artifact smoke ``--only warm_boot``.
+file, produced with ``--tiers none``, has no tier records at all), the
+warm-artifact smoke ``--only warm_boot``, and the qos smoke ``--only qos``.
 
 The tool is stdlib-only and standalone (no repo imports), so it runs before
 PYTHONPATH is set up and can be unit-tested in isolation.
@@ -50,11 +57,11 @@ def load_records(data: dict) -> dict[str, dict]:
         return {rec.get("tier", rec.get("benchmark")): rec for rec in data["tiers"]}
     if "benchmark" in data:
         return {data.get("tier", data["benchmark"]): data}
-    if "scale_out" in data:
+    if "scale_out" in data or "qos" in data:
         return {}
     raise ValueError(
-        "unrecognized BENCH_serve layout (no 'tiers', 'benchmark', or "
-        "'scale_out' key)"
+        "unrecognized BENCH_serve layout (no 'tiers', 'benchmark', "
+        "'scale_out', or 'qos' key)"
     )
 
 
@@ -199,6 +206,62 @@ def check_warm_boot(bench: dict, budget: dict) -> list[str]:
     return failures
 
 
+def check_qos(bench: dict, budget: dict) -> list[str]:
+    """QoS budget breaches; empty means the priority-scheduling gate passes."""
+    rules = budget.get("qos")
+    if not rules:
+        return []
+    record = bench.get("qos")
+    if not record:
+        return ["qos: missing from the bench output"]
+    failures: list[str] = []
+    ceiling = rules.get("max_interactive_p99_ratio")
+    with_qos = record.get("with_qos") or {}
+    no_qos = record.get("no_qos") or {}
+    ratio = with_qos.get("interactive_p99_ratio")
+    if ceiling is not None:
+        if ratio is None:
+            failures.append("qos: QoS arm has no interactive p99 ratio")
+        elif ratio > float(ceiling):
+            failures.append(
+                f"qos: interactive p99 under bulk load is {ratio:.2f}x its "
+                f"solo p99, above the budget ceiling {float(ceiling):.2f}x — "
+                f"priority scheduling is not isolating the interactive tenant"
+            )
+    if rules.get("require_no_qos_breach") and ceiling is not None:
+        # the control arm must actually hurt, or the A/B shows nothing:
+        # a FIFO run that also holds the ceiling means the bulk load never
+        # contended and the QoS-arm pass is vacuous
+        no_ratio = no_qos.get("interactive_p99_ratio")
+        if no_ratio is None:
+            failures.append("qos: FIFO control arm has no interactive p99 ratio")
+        elif no_ratio <= float(ceiling):
+            failures.append(
+                f"qos: FIFO control arm held interactive p99 at "
+                f"{no_ratio:.2f}x solo (ceiling {float(ceiling):.2f}x) — the "
+                f"bulk tenant never contended, so the QoS pass proves nothing"
+            )
+    if rules.get("require_outputs_identical") and not record.get(
+        "outputs_identical"
+    ):
+        failures.append(
+            "qos: QoS-arm outputs are not bitwise identical to the solo runs"
+        )
+    if rules.get("require_shed_accounting", True):
+        if not record.get("shed_accounting_ok"):
+            failures.append(
+                "qos: shed accounting does not balance "
+                "(served + shed + failed != submitted)"
+            )
+        for name, tenant in (with_qos.get("per_tenant") or {}).items():
+            if tenant.get("failed"):
+                failures.append(
+                    f"qos: tenant {name} failed {tenant['failed']} requests "
+                    f"in the QoS arm"
+                )
+    return failures
+
+
 def check_budget(
     bench: dict, baseline: dict | None, budget: dict, only: str = "all"
 ) -> list[str]:
@@ -210,6 +273,8 @@ def check_budget(
         failures.extend(check_scale_out(bench, budget))
     if only in ("all", "warm_boot"):
         failures.extend(check_warm_boot(bench, budget))
+    if only in ("all", "qos"):
+        failures.extend(check_qos(bench, budget))
     return failures
 
 
@@ -219,7 +284,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--baseline", help="committed baseline bench JSON")
     parser.add_argument("--budget", required=True, help="per-tier budget JSON")
     parser.add_argument(
-        "--only", choices=("all", "tiers", "scale_out", "warm_boot"),
+        "--only", choices=("all", "tiers", "scale_out", "warm_boot", "qos"),
         default="all",
         help="gate only one budget section (default: all)",
     )
@@ -265,6 +330,26 @@ def main(argv: list[str] | None = None) -> int:
                 f"artifact_load_s={(record.get('artifact') or {}).get('load_seconds')}",
                 f"outputs_identical={record.get('outputs_identical')}",
             )
+    if args.only in ("all", "qos"):
+        record = bench.get("qos")
+        if record:
+            for arm_key, label in (("with_qos", "qos"), ("no_qos", "fifo")):
+                arm = record.get(arm_key) or {}
+                ratio = arm.get("interactive_p99_ratio")
+                bulk = (arm.get("per_tenant") or {}).get("bulk") or {}
+                print(
+                    f"[qos {label}]",
+                    f"interactive_p99_ratio={ratio:.2f}"
+                    if ratio is not None
+                    else "interactive_p99_ratio=n/a",
+                    f"bulk_served={bulk.get('served')}/{bulk.get('submitted')}",
+                    f"shed={bulk.get('shed')}",
+                )
+            print(
+                "[qos]",
+                f"outputs_identical={record.get('outputs_identical')}",
+                f"shed_accounting_ok={record.get('shed_accounting_ok')}",
+            )
 
     failures = check_budget(bench, baseline, budget, only=args.only)
     for message in failures:
@@ -278,6 +363,8 @@ def main(argv: list[str] | None = None) -> int:
         sections.append("scale_out")
     if args.only in ("all", "warm_boot") and budget.get("warm_boot"):
         sections.append("warm_boot")
+    if args.only in ("all", "qos") and budget.get("qos"):
+        sections.append("qos")
     print(f"perf budget OK ({', '.join(sections) or 'nothing'} checked)")
     return 0
 
